@@ -1,0 +1,222 @@
+//! Time and memory models (Eqs. 3, 7–12).
+//!
+//! The paper assumes buckets of equal size `N/B` to derive upper bounds
+//! on the reduction ratios; these functions reproduce those exact
+//! expressions so Figure 1 can be regenerated point for point.
+
+use crate::wiki_k;
+
+/// Number of buckets implied by the default signature rule:
+/// `M = log₂(N)/2 − 1` bits → `B = 2^M` buckets.
+pub fn default_buckets(n: f64) -> f64 {
+    let m = (n.log2() / 2.0 - 1.0).max(1.0);
+    2f64.powf(m)
+}
+
+/// Parameters of the Figure 1 model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Average machine-operation time β, seconds (paper: 50 µs, citing
+    /// Hennessy & Patterson).
+    pub beta: f64,
+    /// Cluster size `C` (paper: 1024 nodes).
+    pub machines: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { beta: 50e-6, machines: 1024.0 }
+    }
+}
+
+/// Eq. 11: DASC processing time in seconds.
+///
+/// `Time = (β/C) [ M·N + B² + 2N + (2N² + 34N(log₂N − 9)) / B ]`
+/// with `M = log₂B` and `K = 17(log₂N − 9)`.
+pub fn dasc_time_seconds(n: f64, model: &CostModel) -> f64 {
+    let b = default_buckets(n);
+    let m = b.log2();
+    let k = wiki_k(n);
+    let per_bucket = (2.0 * n * n + 2.0 * k * n) / b;
+    model.beta / model.machines * (m * n + b * b + 2.0 * n + per_bucket)
+}
+
+/// The plain-SC counterpart of Eq. 11 (the Eq. 8 numerator):
+/// `Time = (β/C)(2N² + 2KN + 2N)`.
+pub fn sc_time_seconds(n: f64, model: &CostModel) -> f64 {
+    let k = wiki_k(n);
+    model.beta / model.machines * (2.0 * n * n + 2.0 * k * n + 2.0 * n)
+}
+
+/// Eq. 12: DASC memory in bytes, single-precision:
+/// `Memory = 4·B·(N/B)² = 4N²/B`.
+pub fn dasc_memory_bytes(n: f64) -> f64 {
+    4.0 * n * n / default_buckets(n)
+}
+
+/// Full-matrix memory: `4N²` bytes.
+pub fn sc_memory_bytes(n: f64) -> f64 {
+    4.0 * n * n
+}
+
+/// Eq. 8's limit: the time-reduction ratio `α ≈ 1/B` under uniform
+/// buckets.
+pub fn time_reduction_ratio(n: f64) -> f64 {
+    1.0 / default_buckets(n)
+}
+
+/// Eq. 3's operation count for DASC with an **arbitrary** bucket
+/// profile: `M·N + B² + 2N + Σᵢ (2Nᵢ² + 2KᵢNᵢ)`. This is the exact
+/// pre-upper-bound expression; Eq. 8's uniform assumption is only the
+/// bound.
+///
+/// # Panics
+/// Panics if `bucket_sizes` and `bucket_ks` differ in length.
+pub fn dasc_operations_general(
+    n: f64,
+    m: f64,
+    bucket_sizes: &[f64],
+    bucket_ks: &[f64],
+) -> f64 {
+    assert_eq!(
+        bucket_sizes.len(),
+        bucket_ks.len(),
+        "bucket size/K profiles must align"
+    );
+    let b = bucket_sizes.len() as f64;
+    let per_bucket: f64 = bucket_sizes
+        .iter()
+        .zip(bucket_ks)
+        .map(|(&ni, &ki)| 2.0 * ni * ni + 2.0 * ki * ni)
+        .sum();
+    m * n + b * b + 2.0 * n + per_bucket
+}
+
+/// The Eq. 7 denominator: plain SC's operation count
+/// `2N² + 2KN + 2N`.
+pub fn sc_operations(n: f64, k: f64) -> f64 {
+    2.0 * n * n + 2.0 * k * n + 2.0 * n
+}
+
+/// Eq. 7 exactly: the time-reduction ratio `α` for an arbitrary bucket
+/// profile. Uniform buckets approach the `1/B` bound; skew pushes the
+/// ratio toward 1.
+pub fn time_reduction_ratio_general(
+    n: f64,
+    m: f64,
+    k: f64,
+    bucket_sizes: &[f64],
+    bucket_ks: &[f64],
+) -> f64 {
+    dasc_operations_general(n, m, bucket_sizes, bucket_ks) / sc_operations(n, k)
+}
+
+/// Eq. 9's numerator: the approximated matrix's memory in bytes for an
+/// arbitrary bucket profile, `4 Σ Nᵢ²`.
+pub fn dasc_memory_bytes_general(bucket_sizes: &[f64]) -> f64 {
+    4.0 * bucket_sizes.iter().map(|&ni| ni * ni).sum::<f64>()
+}
+
+/// Eq. 10: the space-reduction ratio `γ = 1/B` under uniform buckets.
+pub fn space_reduction_ratio(n: f64) -> f64 {
+    1.0 / default_buckets(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_buckets_rule() {
+        // N = 2^20 → M = 9 → B = 512.
+        assert_eq!(default_buckets((1u64 << 20) as f64), 512.0);
+        // N = 2^28 → M = 13 → B = 8192.
+        assert_eq!(default_buckets((1u64 << 28) as f64), 8192.0);
+    }
+
+    #[test]
+    fn dasc_is_faster_and_smaller_than_sc_at_scale() {
+        let model = CostModel::default();
+        for e in 20..=29u32 {
+            let n = (1u64 << e) as f64;
+            assert!(dasc_time_seconds(n, &model) < sc_time_seconds(n, &model));
+            assert!(dasc_memory_bytes(n) < sc_memory_bytes(n));
+        }
+    }
+
+    #[test]
+    fn reduction_ratios_match_bucket_count() {
+        let n = (1u64 << 24) as f64;
+        let b = default_buckets(n);
+        assert_eq!(time_reduction_ratio(n), 1.0 / b);
+        assert_eq!(space_reduction_ratio(n), 1.0 / b);
+    }
+
+    #[test]
+    fn figure1_shape_subquadratic_growth() {
+        // Doubling N must grow DASC time by clearly less than the 4×
+        // quadratic factor SC shows.
+        let model = CostModel::default();
+        let n = (1u64 << 24) as f64;
+        let dasc_factor =
+            dasc_time_seconds(2.0 * n, &model) / dasc_time_seconds(n, &model);
+        let sc_factor = sc_time_seconds(2.0 * n, &model) / sc_time_seconds(n, &model);
+        assert!(sc_factor > 3.9, "sc factor {sc_factor}");
+        assert!(dasc_factor < 3.5, "dasc factor {dasc_factor}");
+
+        let mem_factor = dasc_memory_bytes(2.0 * n) / dasc_memory_bytes(n);
+        assert!(mem_factor < 4.0);
+    }
+
+    #[test]
+    fn general_ratio_approaches_one_over_b_for_uniform_buckets() {
+        let n = 65536.0;
+        let b = 64usize;
+        let sizes = vec![n / b as f64; b];
+        let ks = vec![4.0; b];
+        let alpha = time_reduction_ratio_general(n, 6.0, 256.0, &sizes, &ks);
+        // Within 2x of 1/B (the bound neglects the linear terms).
+        assert!(alpha < 2.0 / b as f64, "alpha {alpha}");
+        assert!(alpha > 0.5 / b as f64, "alpha {alpha}");
+    }
+
+    #[test]
+    fn skewed_buckets_worsen_the_ratio() {
+        let n = 4096.0;
+        let uniform = vec![n / 8.0; 8];
+        // One giant bucket holding half the data.
+        let mut skewed = vec![n / 16.0; 7];
+        skewed.push(n - 7.0 * n / 16.0);
+        let ks = vec![2.0; 8];
+        let a_u = time_reduction_ratio_general(n, 3.0, 16.0, &uniform, &ks);
+        let a_s = time_reduction_ratio_general(n, 3.0, 16.0, &skewed, &ks);
+        assert!(a_s > a_u, "skew did not worsen ratio: {a_s} vs {a_u}");
+    }
+
+    #[test]
+    fn general_memory_matches_uniform_formula() {
+        let n = 1024.0;
+        let b = 16usize;
+        let sizes = vec![n / b as f64; b];
+        let general = dasc_memory_bytes_general(&sizes);
+        assert!((general - 4.0 * n * n / b as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "profiles must align")]
+    fn misaligned_profiles_panic() {
+        dasc_operations_general(10.0, 2.0, &[5.0, 5.0], &[1.0]);
+    }
+
+    #[test]
+    fn figure1_magnitudes_are_plausible() {
+        // Sanity-check against the plotted scale: at N = 2²⁰ the paper's
+        // log₂(hours) plot puts SC near 2⁵ h and DASC well below it.
+        let model = CostModel::default();
+        let n = (1u64 << 20) as f64;
+        let sc_hours = sc_time_seconds(n, &model) / 3600.0;
+        let dasc_hours = dasc_time_seconds(n, &model) / 3600.0;
+        assert!(sc_hours > 20.0 && sc_hours < 40.0, "sc {sc_hours} h");
+        assert!(dasc_hours < sc_hours / 100.0, "dasc {dasc_hours} h");
+    }
+}

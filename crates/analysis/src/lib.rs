@@ -1,0 +1,50 @@
+//! Closed-form cost and accuracy models from Section 4 of the paper.
+//!
+//! These are the equations behind the two purely analytic figures:
+//!
+//! * **Figure 1** — time (Eq. 11) and memory (Eq. 12) of DASC vs. plain
+//!   spectral clustering for 2²⁰…2²⁹ points on a 1024-node cluster with
+//!   β = 50 µs per machine operation.
+//! * **Figure 2** — collision probability of near-duplicate points as a
+//!   function of the signature width `M` (Eqs. 13–19), using the
+//!   Wikipedia fit `K = 17(log₂N − 9)` (Eq. 15).
+//!
+//! ```
+//! use dasc_analysis::{dasc_memory_bytes, sc_memory_bytes};
+//!
+//! // Eq. 10: the approximation divides memory by the bucket count.
+//! let n = (1u64 << 20) as f64;
+//! let ratio = sc_memory_bytes(n) / dasc_memory_bytes(n);
+//! assert_eq!(ratio, 512.0); // B = 2^(20/2 - 1)
+//! ```
+
+pub mod collision;
+pub mod cost;
+
+pub use collision::{collision_p1, collision_p2, wiki_collision_probability};
+pub use cost::{
+    dasc_memory_bytes, dasc_memory_bytes_general, dasc_operations_general,
+    dasc_time_seconds, default_buckets, sc_memory_bytes, sc_operations,
+    sc_time_seconds, space_reduction_ratio, time_reduction_ratio,
+    time_reduction_ratio_general, CostModel,
+};
+
+/// Eq. 15: the Wikipedia category fit `K = 17(log₂N − 9)`, clamped to at
+/// least 1 (duplicated from `dasc-data` so this crate stays
+/// dependency-free; both are tested against the same anchors).
+pub fn wiki_k(n: f64) -> f64 {
+    (17.0 * (n.log2() - 9.0)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiki_k_anchor() {
+        assert_eq!(wiki_k(1024.0), 17.0);
+        assert_eq!(wiki_k(2048.0), 34.0);
+        // Clamped below the fit's zero crossing.
+        assert_eq!(wiki_k(2.0), 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Runtime ablations over DASC's design choices (DESIGN.md §5): merge
+//! strategy, signature width M, hash family, and threshold rule. The
+//! quality counterparts live in the `ablation_quality` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dasc_core::{Dasc, DascConfig};
+use dasc_data::SyntheticConfig;
+use dasc_kernel::Kernel;
+use dasc_lsh::{
+    LshConfig, MergeStrategy, MinHash, PStableLsh, PcaHash,
+    SignRandomProjection, SignatureModel, ThresholdRule,
+};
+
+fn dataset(n: usize) -> dasc_data::Dataset {
+    SyntheticConfig::blobs(n, 64, 16).seed(0xAB1A).generate()
+}
+
+fn bench_merge_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_merge_strategy");
+    g.sample_size(10);
+    let ds = dataset(2048);
+    let kernel = Kernel::gaussian(0.3);
+    for (label, strategy) in [
+        ("greedy_pairs", MergeStrategy::GreedyPairs),
+        ("closure", MergeStrategy::TransitiveClosure),
+        ("none", MergeStrategy::None),
+    ] {
+        g.bench_function(label, |b| {
+            let cfg = DascConfig::for_dataset(2048, 16)
+                .kernel(kernel)
+                .lsh(LshConfig::with_bits(5).merge_strategy(strategy));
+            b.iter(|| black_box(Dasc::new(cfg.clone()).run(&ds.points)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_m_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_m_sweep");
+    g.sample_size(10);
+    let ds = dataset(2048);
+    let kernel = Kernel::gaussian(0.3);
+    for &m in &[2usize, 4, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let cfg = DascConfig::for_dataset(2048, 16)
+                .kernel(kernel)
+                .lsh(LshConfig::with_bits(m));
+            b.iter(|| black_box(Dasc::new(cfg.clone()).run(&ds.points)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_hash_family");
+    let ds = dataset(4096);
+    let m = 8usize;
+    let paper = SignatureModel::fit(&ds.points, &LshConfig::with_bits(m));
+    let srp = SignRandomProjection::new(m, 64, 7);
+    let mh = MinHash::new(m, 7);
+    g.bench_function("paper_axis_threshold", |b| {
+        b.iter(|| black_box(paper.hash_all(&ds.points)))
+    });
+    g.bench_function("sign_random_projection", |b| {
+        b.iter(|| black_box(srp.hash_all(&ds.points)))
+    });
+    g.bench_function("min_hash", |b| {
+        b.iter(|| black_box(mh.hash_all(&ds.points)))
+    });
+    let ps = PStableLsh::new(m, 64, 1.0, 7);
+    g.bench_function("p_stable", |b| {
+        b.iter(|| black_box(ps.hash_all(&ds.points)))
+    });
+    let pca = PcaHash::fit(&ds.points, m);
+    g.bench_function("pca_hash", |b| {
+        b.iter(|| black_box(pca.hash_all(&ds.points)))
+    });
+    g.finish();
+}
+
+fn bench_threshold_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_threshold_rule");
+    let ds = dataset(4096);
+    for (label, rule) in [
+        ("histogram_valley", ThresholdRule::HistogramValley),
+        ("median", ThresholdRule::Median),
+        ("midpoint", ThresholdRule::Midpoint),
+    ] {
+        g.bench_function(label, |b| {
+            let cfg = LshConfig::with_bits(8).threshold_rule(rule);
+            b.iter(|| black_box(SignatureModel::fit(&ds.points, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_strategy,
+    bench_m_sweep,
+    bench_hash_families,
+    bench_threshold_rules
+);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Quality ablations over DASC's design choices (DESIGN.md §5):
+//!
+//! 1. bucket-merge rule `P = M−1` vs. no merging;
+//! 2. signature width `M` sweep (accuracy vs. parallelism, Figure 2's
+//!    tradeoff measured empirically);
+//! 3. dimension-selection and threshold rules of the hash family.
+
+use dasc_bench::{print_header, print_row, Scale};
+use dasc_core::{Dasc, DascConfig};
+use dasc_data::SyntheticConfig;
+use dasc_kernel::Kernel;
+use dasc_lsh::{DimensionSelection, LshConfig, ThresholdRule};
+use dasc_metrics::accuracy;
+
+fn run_with(points: &[Vec<f64>], truth: &[usize], k: usize, lsh: LshConfig) -> (f64, usize, usize) {
+    let kernel = Kernel::gaussian_median_heuristic(points);
+    let res = Dasc::new(
+        DascConfig::for_dataset(points.len(), k)
+            .kernel(kernel)
+            .lsh(lsh),
+    )
+    .run(points);
+    (
+        accuracy(&res.clustering.assignments, truth),
+        res.buckets.len(),
+        res.approx_gram_bytes,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(1usize << 11, 1usize << 13);
+    let k = 16usize;
+    let ds = SyntheticConfig::paper_default(n, k).seed(0xAB1A).generate();
+    let truth = ds.labels.as_ref().expect("labelled");
+    let m_default = dasc_lsh::default_signature_bits(n);
+
+    // --- Ablation 1: merge rule. ---
+    print_header(
+        &format!("Ablation: bucket merging (N = {n}, M = {m_default})"),
+        &["merge P", "accuracy", "buckets", "gram bytes"],
+    );
+    for (label, p) in [("M-1 (paper)", m_default - 1), ("M (off)", m_default)] {
+        let (acc, buckets, bytes) =
+            run_with(&ds.points, truth, k, LshConfig::with_bits(m_default).merge_p(p));
+        print_row(&[
+            label.to_string(),
+            format!("{acc:.3}"),
+            buckets.to_string(),
+            bytes.to_string(),
+        ]);
+    }
+
+    // --- Ablation 2: signature width M. ---
+    print_header(
+        &format!("Ablation: signature width M (N = {n})"),
+        &["M", "accuracy", "buckets", "gram bytes"],
+    );
+    for m in [2usize, 3, 4, 5, 6, 8] {
+        let (acc, buckets, bytes) =
+            run_with(&ds.points, truth, k, LshConfig::with_bits(m));
+        print_row(&[
+            m.to_string(),
+            format!("{acc:.3}"),
+            buckets.to_string(),
+            bytes.to_string(),
+        ]);
+    }
+
+    // --- Ablation 3: hash-family internals. ---
+    print_header(
+        &format!("Ablation: dimension/threshold rules (N = {n}, M = {m_default})"),
+        &["variant", "accuracy", "buckets", "gram bytes"],
+    );
+    let variants: Vec<(&str, LshConfig)> = vec![
+        ("top-span+valley", LshConfig::with_bits(m_default)),
+        (
+            "weighted+valley",
+            LshConfig::with_bits(m_default)
+                .selection(DimensionSelection::SpanWeighted { seed: 7 }),
+        ),
+        (
+            "top-span+median",
+            LshConfig::with_bits(m_default).threshold_rule(ThresholdRule::Median),
+        ),
+        (
+            "top-span+midpoint",
+            LshConfig::with_bits(m_default).threshold_rule(ThresholdRule::Midpoint),
+        ),
+    ];
+    for (label, lsh) in variants {
+        let (acc, buckets, bytes) = run_with(&ds.points, truth, k, lsh);
+        print_row(&[
+            label.to_string(),
+            format!("{acc:.3}"),
+            buckets.to_string(),
+            bytes.to_string(),
+        ]);
+    }
+
+    // --- Ablation 4: bucket balance across hash families on skewed
+    // (tf-idf-like) data — the regime where the paper concedes a
+    // "different hashing function" (spectral hashing) is needed.
+    let wiki = dasc_data::WikiCorpusConfig::new(scale.pick(2048, 8192))
+        .categories(32)
+        .seed(0xAB1B)
+        .generate();
+    let m_wiki = 6usize;
+    print_header(
+        &format!("Ablation: bucket balance on skewed data (N = {}, M = {m_wiki})", wiki.points.len()),
+        &["family", "buckets", "largest", "gini-ish"],
+    );
+    let families: Vec<(&str, Vec<dasc_lsh::Signature>)> = vec![
+        (
+            "paper valley",
+            dasc_lsh::SignatureModel::fit(&wiki.points, &LshConfig::with_bits(m_wiki))
+                .hash_all(&wiki.points),
+        ),
+        (
+            "paper median",
+            dasc_lsh::SignatureModel::fit(
+                &wiki.points,
+                &LshConfig::with_bits(m_wiki).threshold_rule(ThresholdRule::Median),
+            )
+            .hash_all(&wiki.points),
+        ),
+        (
+            "sign-random-proj",
+            dasc_lsh::SignRandomProjection::new(m_wiki, wiki.dims(), 5)
+                .hash_all(&wiki.points),
+        ),
+        (
+            "p-stable",
+            dasc_lsh::PStableLsh::new(m_wiki, wiki.dims(), 0.5, 5).hash_all(&wiki.points),
+        ),
+        (
+            "pca-hash",
+            dasc_lsh::PcaHash::fit(&wiki.points, m_wiki).hash_all(&wiki.points),
+        ),
+    ];
+    for (name, sigs) in families {
+        let buckets = dasc_lsh::BucketSet::from_signatures(&sigs);
+        let sizes = buckets.sizes();
+        let largest = sizes.iter().copied().max().unwrap_or(0);
+        // Σ(sᵢ/N)² — 1/T for perfect balance, →1 for one giant bucket.
+        let n = wiki.points.len() as f64;
+        let conc: f64 = sizes.iter().map(|&s| (s as f64 / n).powi(2)).sum();
+        print_row(&[
+            name.to_string(),
+            buckets.len().to_string(),
+            largest.to_string(),
+            format!("{conc:.3}"),
+        ]);
+    }
+
+    println!(
+        "\nRead: merging recovers accuracy lost at bucket boundaries at the \
+         cost of fewer/larger buckets; larger M trades accuracy for \
+         parallelism and memory; the paper's valley thresholds avoid \
+         splitting dense regions on clustered data, while data-dependent \
+         balanced families (pca-hash — the paper's 'spectral hashing' \
+         remedy) fix the skewed-marginal case."
+    );
+}

@@ -1,0 +1,38 @@
+//! Figure 2 — collision probability vs. number of hash functions `M`
+//! (Eq. 18), for dataset sizes 1M … 1G.
+
+use dasc_analysis::wiki_collision_probability;
+use dasc_bench::{print_header, print_row};
+
+fn main() {
+    let sizes: Vec<(&str, f64)> = vec![
+        ("1M", 2f64.powi(20)),
+        ("2M", 2f64.powi(21)),
+        ("4M", 2f64.powi(22)),
+        ("8M", 2f64.powi(23)),
+        ("16M", 2f64.powi(24)),
+        ("32M", 2f64.powi(25)),
+        ("64M", 2f64.powi(26)),
+        ("128M", 2f64.powi(27)),
+        ("256M", 2f64.powi(28)),
+        ("512M", 2f64.powi(29)),
+        ("1G", 2f64.powi(30)),
+    ];
+
+    let mut cols = vec!["M"];
+    cols.extend(sizes.iter().map(|(name, _)| *name));
+    print_header("Figure 2: P(similar points share a bucket)", &cols);
+
+    for m in (5..=35u32).step_by(5) {
+        let mut row = vec![m.to_string()];
+        for &(_, n) in &sizes {
+            row.push(format!("{:.4}", wiki_collision_probability(n, m)));
+        }
+        print_row(&row);
+    }
+
+    println!(
+        "\nShape check: sub-linear decrease in M (tunable accuracy/parallelism \
+         tradeoff, Section 4.2)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 3 — clustering accuracy on the Wikipedia(-like) corpus for
+//! DASC, SC, PSC and NYST as the dataset grows.
+//!
+//! The paper plots 2¹⁰ … 2²² documents; the default scale runs the head
+//! of that range (pass `--full` for more). As in the paper, the
+//! heavyweight baselines stop early: "some algorithms we compare against
+//! did not scale … some curves do not cover the whole range".
+
+use dasc_bench::{print_header, print_row, time_it, Scale};
+use dasc_core::{
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
+    SpectralClustering, SpectralConfig,
+};
+use dasc_data::WikiCorpusConfig;
+use dasc_kernel::Kernel;
+use dasc_metrics::accuracy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let exps: Vec<u32> = scale.pick(vec![10, 11, 12], vec![10, 11, 12, 13, 14]);
+    let sc_cap = scale.pick(1usize << 12, 1usize << 13);
+    let psc_cap = scale.pick(1usize << 12, 1usize << 14);
+
+    print_header(
+        "Figure 3: accuracy vs dataset size (Wikipedia-like corpus)",
+        &["log2(N)", "K", "DASC", "SC", "PSC", "NYST"],
+    );
+
+    for e in exps {
+        let n = 1usize << e;
+        let ds = WikiCorpusConfig::new(n).seed(0xF163).generate();
+        let truth = ds.labels.as_ref().expect("labelled corpus");
+        let k = ds.num_classes().expect("labelled corpus");
+        let kernel = Kernel::gaussian_median_heuristic(&ds.points);
+
+        let (dasc_res, _) = time_it(|| {
+            Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points)
+        });
+        let dasc_acc = accuracy(&dasc_res.clustering.assignments, truth);
+
+        let sc_acc = if n <= sc_cap {
+            let res = SpectralClustering::new(
+                SpectralConfig::new(k).kernel(kernel),
+            )
+            .run(&ds.points);
+            format!("{:.3}", accuracy(&res.clustering.assignments, truth))
+        } else {
+            "-".to_string()
+        };
+
+        let psc_acc = if n <= psc_cap {
+            let res =
+                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points);
+            format!("{:.3}", accuracy(&res.clustering.assignments, truth))
+        } else {
+            "-".to_string()
+        };
+
+        let nyst_acc = {
+            let res = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&ds.points);
+            format!("{:.3}", accuracy(&res.clustering.assignments, truth))
+        };
+
+        print_row(&[
+            e.to_string(),
+            k.to_string(),
+            format!("{dasc_acc:.3}"),
+            sc_acc,
+            psc_acc,
+            nyst_acc,
+        ]);
+    }
+
+    println!(
+        "\nShape check: DASC ≈ SC, both above PSC/NYST; missing cells mark \
+         baselines that no longer scale (paper Figure 3 behaviour)."
+    );
+}

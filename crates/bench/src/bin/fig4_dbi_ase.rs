@@ -1,0 +1,89 @@
+//! Figure 4 — internal quality (DBI, Eq. 20; ASE, Eq. 21) on the
+//! synthetic 64-dimensional dataset for DASC, SC, PSC and NYST.
+
+use dasc_bench::{print_header, print_row, Scale};
+use dasc_core::{
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
+    SpectralClustering, SpectralConfig,
+};
+use dasc_data::SyntheticConfig;
+use dasc_kernel::Kernel;
+use dasc_metrics::{ase, davies_bouldin};
+
+struct Quality {
+    dbi: f64,
+    ase: f64,
+}
+
+fn quality(points: &[Vec<f64>], assignments: &[usize], k: usize) -> Quality {
+    Quality {
+        dbi: davies_bouldin(points, assignments, k),
+        ase: ase(points, assignments, k),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let exps: Vec<u32> = scale.pick(vec![10, 11, 12], vec![10, 11, 12, 13, 14]);
+    let sc_cap = scale.pick(1usize << 12, 1usize << 13);
+    let psc_cap = scale.pick(1usize << 12, 1usize << 14);
+    let k = 8usize;
+
+    print_header(
+        "Figure 4(a)+(b): DBI and ASE vs dataset size (synthetic, d=64)",
+        &["log2(N)", "DASC dbi/ase", "SC dbi/ase", "PSC dbi/ase", "NYST dbi/ase"],
+    );
+
+    for e in exps {
+        let n = 1usize << e;
+        let ds = SyntheticConfig::paper_default(n, k)
+            .spread(0.08)
+            .noise_fraction(0.1)
+            .seed(0xF1_64)
+            .generate();
+        let kernel = Kernel::gaussian_median_heuristic(&ds.points);
+
+        let dasc = {
+            let res =
+                Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points);
+            let q = quality(
+                &ds.points,
+                &res.clustering.assignments,
+                res.clustering.num_clusters,
+            );
+            format!("{:.2}/{:.2}", q.dbi, q.ase)
+        };
+
+        let sc = if n <= sc_cap {
+            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
+                .run(&ds.points);
+            let q = quality(&ds.points, &res.clustering.assignments, k);
+            format!("{:.2}/{:.2}", q.dbi, q.ase)
+        } else {
+            "-".to_string()
+        };
+
+        let psc = if n <= psc_cap {
+            let res =
+                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points);
+            let q = quality(&ds.points, &res.clustering.assignments, k);
+            format!("{:.2}/{:.2}", q.dbi, q.ase)
+        } else {
+            "-".to_string()
+        };
+
+        let nyst = {
+            let res =
+                Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&ds.points);
+            let q = quality(&ds.points, &res.clustering.assignments, k);
+            format!("{:.2}/{:.2}", q.dbi, q.ase)
+        };
+
+        print_row(&[e.to_string(), dasc, sc, psc, nyst]);
+    }
+
+    println!(
+        "\nShape check: DASC tracks SC closely on both indices; PSC/NYST sit \
+         visibly apart (paper: ~30%/40% worse ASE)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 6 — measured processing time and memory for DASC, SC and PSC
+//! on the Wikipedia(-like) corpus.
+//!
+//! Times are wall-clock on this machine (the paper used a five-node
+//! Hadoop lab cluster); memory is the similarity-structure footprint at
+//! the paper's 4-byte convention. Expect the paper's *shape*: DASC far
+//! below PSC, PSC far below SC, with the baselines dropping out as N
+//! grows.
+
+use dasc_bench::{kb, print_header, print_row, secs, time_it, Scale};
+use dasc_core::{
+    Dasc, DascConfig, ParallelSpectral, PscConfig, SpectralClustering,
+    SpectralConfig,
+};
+use dasc_data::WikiCorpusConfig;
+use dasc_kernel::{gram_memory_bytes, Kernel};
+use dasc_lsh::{default_signature_bits, LshConfig, ThresholdRule};
+
+fn main() {
+    let scale = Scale::from_env();
+    let exps: Vec<u32> = scale.pick(vec![10, 11, 12], vec![10, 11, 12, 13, 14]);
+    let sc_cap = scale.pick(1usize << 11, 1usize << 12);
+    let psc_cap = scale.pick(1usize << 12, 1usize << 13);
+
+    print_header(
+        "Figure 6: time (s) and memory (KB) vs dataset size",
+        &["log2(N)", "DASC t/mem", "SC t/mem", "PSC t/mem"],
+    );
+
+    for e in exps {
+        let n = 1usize << e;
+        let ds = WikiCorpusConfig::new(n).seed(0xF166).generate();
+        let k = ds.num_classes().expect("labelled corpus");
+        let kernel = Kernel::gaussian_median_heuristic(&ds.points);
+
+        // A finer, balanced partition (median thresholds, +3 bits): the
+        // regime the paper ran in, where Σ Nᵢ² sits far below both the
+        // full matrix and PSC's t-NN storage. The paper itself prescribes
+        // data-dependent balanced hashing for skewed (tf-idf) marginals.
+        let m = default_signature_bits(n) + 3;
+        let (dasc_res, dasc_t) = time_it(|| {
+            Dasc::new(
+                DascConfig::for_dataset(n, k).kernel(kernel).lsh(
+                    LshConfig::with_bits(m)
+                        .threshold_rule(ThresholdRule::Median),
+                ),
+            )
+            .run(&ds.points)
+        });
+        let dasc_cell =
+            format!("{}/{}", secs(dasc_t), kb(dasc_res.approx_gram_bytes));
+
+        let sc_cell = if n <= sc_cap {
+            let (_, t) = time_it(|| {
+                SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
+                    .run(&ds.points)
+            });
+            format!("{}/{}", secs(t), kb(gram_memory_bytes(n)))
+        } else {
+            "-".to_string()
+        };
+
+        let psc_cell = if n <= psc_cap {
+            let (res, t) = time_it(|| {
+                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points)
+            });
+            format!("{}/{}", secs(t), kb(res.sparse_memory_bytes))
+        } else {
+            "-".to_string()
+        };
+
+        print_row(&[e.to_string(), dasc_cell, sc_cell, psc_cell]);
+    }
+
+    println!(
+        "\nShape check: DASC's memory curve is orders of magnitude flatter \
+         than SC's and clearly below PSC's sparse storage (paper Fig. 6b); \
+         baselines stop where they stop scaling (Fig. 6a)."
+    );
+}

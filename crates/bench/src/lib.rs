@@ -1,0 +1,118 @@
+//! Shared harness utilities for the per-figure/per-table regenerator
+//! binaries (see DESIGN.md §4 for the experiment index).
+
+use std::time::{Duration, Instant};
+
+use dasc_kernel::Kernel;
+use rayon::prelude::*;
+
+/// Run scale: `Small` finishes in seconds on a laptop; `Full` approaches
+/// the paper's ranges (minutes to hours). Selected by a `--full` CLI
+/// flag or `DASC_SCALE=full`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop-quick default.
+    Small,
+    /// Paper-scale sweep.
+    Full,
+}
+
+impl Scale {
+    /// Parse from process args and environment.
+    pub fn from_env() -> Self {
+        let argv_full = std::env::args().any(|a| a == "--full");
+        let env_full = std::env::var("DASC_SCALE")
+            .map(|v| v.eq_ignore_ascii_case("full"))
+            .unwrap_or(false);
+        if argv_full || env_full {
+            Scale::Full
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// Pick `small` or `full` by scale.
+    pub fn pick<T>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Time a closure, returning `(result, duration)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Print a header row followed by an underline, fixed 14-char columns.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n== {title} ==");
+    let row: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", row.join(" "));
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+/// Print one data row, fixed 14-char columns.
+pub fn print_row(cells: &[String]) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", row.join(" "));
+}
+
+/// Format a byte count as KB with the paper's convention.
+pub fn kb(bytes: usize) -> String {
+    format!("{:.0}", bytes as f64 / 1024.0)
+}
+
+/// Format a duration in seconds.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Frobenius norm of the *full* Gram matrix computed streaming — O(N²)
+/// time, O(1) memory — so Figure 5 can compare against exact norms at
+/// sizes where materializing the matrix would not fit (the paper stopped
+/// at 512 K for exactly this reason; streaming removes the ceiling).
+pub fn full_gram_fnorm_streaming(points: &[Vec<f64>], kernel: &Kernel) -> f64 {
+    let n = points.len();
+    let total: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            // Diagonal term once, off-diagonal twice (symmetry).
+            let kii = kernel.eval(&points[i], &points[i]);
+            acc += kii * kii;
+            for j in (i + 1)..n {
+                let v = kernel.eval(&points[i], &points[j]);
+                acc += 2.0 * v * v;
+            }
+            acc
+        })
+        .sum();
+    total.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasc_kernel::full_gram;
+
+    #[test]
+    fn streaming_fnorm_matches_dense() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i as f64) / 20.0, ((i * 3) % 7) as f64 / 7.0])
+            .collect();
+        let k = Kernel::gaussian(0.4);
+        let dense = full_gram(&pts, &k).frobenius_norm();
+        let streamed = full_gram_fnorm_streaming(&pts, &k);
+        assert!((dense - streamed).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Small.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

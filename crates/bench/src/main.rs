@@ -1,0 +1,22 @@
+//! Index of the figure/table regenerators. Run any of them with
+//! `cargo run --release -p dasc-bench --bin <name> [--full]`.
+
+fn main() {
+    println!("dasc-bench: per-figure/table regenerators (see DESIGN.md §4)\n");
+    for (bin, what) in [
+        ("fig1_scalability", "Figure 1  — analytic time/memory model"),
+        ("fig2_collision", "Figure 2  — collision probability vs M"),
+        ("table1_categories", "Table 1   — Wikipedia category counts"),
+        ("fig3_accuracy_wiki", "Figure 3  — accuracy, 4 algorithms"),
+        ("fig4_dbi_ase", "Figure 4  — DBI + ASE, synthetic data"),
+        ("fig5_fnorm", "Figure 5  — Frobenius-norm ratio vs buckets"),
+        ("fig6_time_memory", "Figure 6  — measured time + memory"),
+        ("table3_elasticity", "Table 3   — 16/32/64-node elasticity"),
+        ("fterm_selection", "Sec. 5.2  — tf-idf term-count pilot"),
+        ("ablation_quality", "DESIGN §5 — merge/M/hash-rule ablations"),
+        ("scalability_sweep", "Fig. 1 (measured) — growth per doubling"),
+    ] {
+        println!("  cargo run --release -p dasc-bench --bin {bin:<22} # {what}");
+    }
+    println!("\nPass --full (or DASC_SCALE=full) for paper-scale sweeps.");
+}

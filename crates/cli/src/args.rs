@@ -1,0 +1,328 @@
+//! Argument parsing for the `dasc` binary (hand-rolled; no external
+//! dependencies).
+//!
+//! ```text
+//! dasc cluster  --input pts.csv --k 8 [--algorithm dasc] [--sigma 0.2]
+//!               [--bits M] [--labels-last-column] [--output out.csv]
+//! dasc generate --kind blobs|wiki|grid --n 1000 [--d 64] [--k 8]
+//!               [--seed 42] --output pts.csv
+//! ```
+
+use std::fmt;
+
+/// Which clustering algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's contribution.
+    Dasc,
+    /// Exact spectral clustering.
+    Sc,
+    /// Parallel spectral clustering (t-NN sparse).
+    Psc,
+    /// Nyström-extension spectral clustering.
+    Nyst,
+    /// Self-tuning spectral clustering (Zelnik-Manor local scaling).
+    Stsc,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s.to_ascii_lowercase().as_str() {
+            "dasc" => Ok(Self::Dasc),
+            "sc" => Ok(Self::Sc),
+            "psc" => Ok(Self::Psc),
+            "nyst" | "nystrom" => Ok(Self::Nyst),
+            "stsc" | "self-tuning" => Ok(Self::Stsc),
+            other => Err(ParseError::Invalid(format!("unknown algorithm '{other}'"))),
+        }
+    }
+}
+
+/// A fully-parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Cluster a CSV dataset.
+    Cluster {
+        /// Input CSV path.
+        input: String,
+        /// Output CSV path (`-` or empty = stdout).
+        output: Option<String>,
+        /// Number of clusters.
+        k: usize,
+        /// Algorithm choice.
+        algorithm: Algorithm,
+        /// Gaussian bandwidth; `None` = median heuristic.
+        sigma: Option<f64>,
+        /// LSH signature bits; `None` = paper default.
+        bits: Option<usize>,
+        /// Treat the last CSV column as a ground-truth label and report
+        /// accuracy/NMI.
+        labels_last_column: bool,
+    },
+    /// Generate a demo dataset as CSV.
+    Generate {
+        /// `blobs`, `wiki`, or `grid`.
+        kind: String,
+        /// Number of points.
+        n: usize,
+        /// Dimensions (blobs/grid).
+        d: usize,
+        /// Clusters/categories.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output CSV path.
+        output: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing required flag.
+    Missing(&'static str),
+    /// Malformed value or unknown flag/command.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Missing(flag) => write!(f, "missing required {flag}"),
+            ParseError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dasc — distributed approximate spectral clustering
+
+USAGE:
+  dasc cluster  --input <csv> --k <K> [--algorithm dasc|sc|psc|nyst|stsc]
+                [--sigma <f>] [--bits <M>] [--labels-last-column]
+                [--output <csv>]
+  dasc generate --kind blobs|wiki|grid --n <N> [--d <D>] [--k <K>]
+                [--seed <S>] --output <csv>
+  dasc help
+";
+
+/// Parse an argv slice (excluding the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let mut it = argv.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "cluster" => parse_cluster(&argv[1..]),
+        "generate" => parse_generate(&argv[1..]),
+        other => Err(ParseError::Invalid(format!("unknown command '{other}'"))),
+    }
+}
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn scan(argv: &'a [String], boolean: &[&str]) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(ParseError::Invalid(format!("unexpected argument '{flag}'")));
+            }
+            if boolean.contains(&flag) {
+                pairs.push((flag, None));
+                i += 1;
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError::Invalid(format!("flag {flag} needs a value")))?;
+                pairs.push((flag, Some(value.as_str())));
+                i += 2;
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| *f == flag)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.pairs.iter().any(|(f, _)| *f == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, ParseError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| {
+                ParseError::Invalid(format!("bad value '{v}' for {flag}"))
+            }),
+        }
+    }
+}
+
+fn parse_cluster(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    Ok(Command::Cluster {
+        input: flags
+            .get("--input")
+            .ok_or(ParseError::Missing("--input"))?
+            .to_string(),
+        output: flags.get("--output").map(str::to_string),
+        k: flags
+            .parsed::<usize>("--k")?
+            .ok_or(ParseError::Missing("--k"))?,
+        algorithm: match flags.get("--algorithm") {
+            Some(a) => Algorithm::parse(a)?,
+            None => Algorithm::Dasc,
+        },
+        sigma: flags.parsed::<f64>("--sigma")?,
+        bits: flags.parsed::<usize>("--bits")?,
+        labels_last_column: flags.has("--labels-last-column"),
+    })
+}
+
+fn parse_generate(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::Generate {
+        kind: flags
+            .get("--kind")
+            .ok_or(ParseError::Missing("--kind"))?
+            .to_string(),
+        n: flags
+            .parsed::<usize>("--n")?
+            .ok_or(ParseError::Missing("--n"))?,
+        d: flags.parsed::<usize>("--d")?.unwrap_or(64),
+        k: flags.parsed::<usize>("--k")?.unwrap_or(8),
+        seed: flags.parsed::<u64>("--seed")?.unwrap_or(42),
+        output: flags
+            .get("--output")
+            .ok_or(ParseError::Missing("--output"))?
+            .to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_cluster() {
+        let c = parse(&sv(&["cluster", "--input", "a.csv", "--k", "5"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Cluster {
+                input: "a.csv".into(),
+                output: None,
+                k: 5,
+                algorithm: Algorithm::Dasc,
+                sigma: None,
+                bits: None,
+                labels_last_column: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_full_cluster() {
+        let c = parse(&sv(&[
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "3",
+            "--algorithm",
+            "psc",
+            "--sigma",
+            "0.5",
+            "--bits",
+            "6",
+            "--labels-last-column",
+            "--output",
+            "out.csv",
+        ]))
+        .unwrap();
+        match c {
+            Command::Cluster { algorithm, sigma, bits, labels_last_column, output, .. } => {
+                assert_eq!(algorithm, Algorithm::Psc);
+                assert_eq!(sigma, Some(0.5));
+                assert_eq!(bits, Some(6));
+                assert!(labels_last_column);
+                assert_eq!(output.as_deref(), Some("out.csv"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let c = parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "100", "--output", "o.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                kind: "blobs".into(),
+                n: 100,
+                d: 64,
+                k: 8,
+                seed: 42,
+                output: "o.csv".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in [&["help"][..], &["--help"], &["-h"], &[]] {
+            assert_eq!(parse(&sv(h)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let e = parse(&sv(&["cluster", "--k", "2"])).unwrap_err();
+        assert_eq!(e, ParseError::Missing("--input"));
+    }
+
+    #[test]
+    fn bad_number() {
+        let e = parse(&sv(&["cluster", "--input", "a", "--k", "two"])).unwrap_err();
+        assert!(matches!(e, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn unknown_algorithm() {
+        let e = parse(&sv(&[
+            "cluster", "--input", "a", "--k", "2", "--algorithm", "magic",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown algorithm"));
+    }
+
+    #[test]
+    fn unknown_command() {
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn dangling_flag_value() {
+        let e = parse(&sv(&["cluster", "--input"])).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Library backing the `dasc` command-line tool: CSV I/O, argument
+//! parsing, and the dispatch from parsed options to the algorithms.
+//!
+//! Kept as a library so every piece is unit-testable; `main.rs` is a
+//! thin shell around [`run`].
+
+pub mod args;
+pub mod csv;
+pub mod runner;
+
+pub use args::{Algorithm, Command, ParseError};
+pub use runner::run;
+
+/// Entry point used by the binary: parse then run, mapping every error
+/// to a message + exit code.
+pub fn main_with_args(argv: &[String]) -> Result<String, String> {
+    let cmd = args::parse(argv).map_err(|e| e.to_string())?;
+    runner::run(&cmd).map_err(|e| e.to_string())
+}

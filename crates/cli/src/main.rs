@@ -1,0 +1,13 @@
+//! The `dasc` command-line binary. See `dasc help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dasc_cli::main_with_args(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", dasc_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

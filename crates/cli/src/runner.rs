@@ -1,0 +1,322 @@
+//! Dispatch from a parsed [`Command`] to dataset generation or
+//! clustering, with human-readable reporting.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use dasc_core::{
+    local_scaling_similarity, Dasc, DascConfig, Nystrom, NystromConfig,
+    ParallelSpectral, PscConfig, SpectralClustering, SpectralConfig,
+};
+use dasc_data::{SyntheticConfig, WikiCorpusConfig};
+use dasc_kernel::Kernel;
+use dasc_lsh::LshConfig;
+use dasc_metrics::{accuracy, nmi};
+
+use crate::args::{Algorithm, Command, USAGE};
+use crate::csv;
+
+/// Execute a command, returning the human-readable report that the
+/// binary prints.
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { kind, n, d, k, seed, output } => {
+            generate(kind, *n, *d, *k, *seed, output)
+        }
+        Command::Cluster {
+            input,
+            output,
+            k,
+            algorithm,
+            sigma,
+            bits,
+            labels_last_column,
+        } => cluster(
+            input,
+            output.as_deref(),
+            *k,
+            *algorithm,
+            *sigma,
+            *bits,
+            *labels_last_column,
+        ),
+    }
+}
+
+fn generate(
+    kind: &str,
+    n: usize,
+    d: usize,
+    k: usize,
+    seed: u64,
+    output: &str,
+) -> Result<String, String> {
+    let ds = match kind {
+        "blobs" => SyntheticConfig::blobs(n, d, k).seed(seed).generate(),
+        "grid" => {
+            let bits = (k.max(2) as f64).log2().ceil() as usize;
+            SyntheticConfig::grid(n, d.max(bits), bits).seed(seed).generate()
+        }
+        "wiki" => WikiCorpusConfig::new(n).categories(k.max(1)).seed(seed).generate(),
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    let file = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    csv::write_points(&mut w, &ds.points, ds.labels.as_deref())
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("write {output}: {e}"))?;
+    Ok(format!(
+        "wrote {} points ({} dims, {} classes, labels in last column) to {output}",
+        ds.points.len(),
+        ds.dims(),
+        ds.num_classes().unwrap_or(0)
+    ))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cluster(
+    input: &str,
+    output: Option<&str>,
+    k: usize,
+    algorithm: Algorithm,
+    sigma: Option<f64>,
+    bits: Option<usize>,
+    labels_last_column: bool,
+) -> Result<String, String> {
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let n = points.len();
+    let kernel = match sigma {
+        Some(s) if s > 0.0 => Kernel::gaussian(s),
+        Some(s) => return Err(format!("--sigma must be positive, got {s}")),
+        None => Kernel::gaussian_median_heuristic(&points),
+    };
+
+    let (assignments, detail) = match algorithm {
+        Algorithm::Dasc => {
+            let mut cfg = DascConfig::for_dataset(n, k).kernel(kernel);
+            if let Some(m) = bits {
+                cfg = cfg.lsh(LshConfig::with_bits(m));
+            }
+            let res = Dasc::new(cfg).run(&points);
+            (
+                res.clustering.assignments,
+                format!(
+                    "dasc: {} buckets, approx gram {} KB (full {} KB)",
+                    res.buckets.len(),
+                    res.approx_gram_bytes / 1024,
+                    4 * n * n / 1024
+                ),
+            )
+        }
+        Algorithm::Sc => {
+            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
+                .run(&points);
+            (
+                res.clustering.assignments,
+                format!("sc: full gram {} KB", res.gram_memory_bytes / 1024),
+            )
+        }
+        Algorithm::Psc => {
+            let res = ParallelSpectral::new(PscConfig::new(k).kernel(kernel)).run(&points);
+            (
+                res.clustering.assignments,
+                format!(
+                    "psc: {} nnz, sparse {} KB",
+                    res.nnz,
+                    res.sparse_memory_bytes / 1024
+                ),
+            )
+        }
+        Algorithm::Nyst => {
+            let res = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&points);
+            (
+                res.clustering.assignments,
+                format!(
+                    "nyst: {} landmarks, {} KB",
+                    res.landmarks,
+                    res.memory_bytes / 1024
+                ),
+            )
+        }
+        Algorithm::Stsc => {
+            // Self-tuning: per-point bandwidths (r = 7), so --sigma is
+            // ignored by construction.
+            let s = local_scaling_similarity(&points, 7);
+            let c = SpectralClustering::new(SpectralConfig::new(k)).run_on_similarity(&s);
+            (
+                c.assignments,
+                "stsc: local scaling (r = 7), full similarity matrix".to_string(),
+            )
+        }
+    };
+
+    let mut report = format!("clustered {n} points into k={k}\n{detail}");
+    if let Some(truth) = &labels {
+        report.push_str(&format!(
+            "\naccuracy: {:.4}\nnmi: {:.4}",
+            accuracy(&assignments, truth),
+            nmi(&assignments, truth)
+        ));
+    }
+
+    match output {
+        Some("-") | None => {
+            // Assignments to stdout only when explicitly requested with
+            // "-"; otherwise just the report.
+            if output == Some("-") {
+                let mut buf = Vec::new();
+                csv::write_assignments(&mut buf, &assignments)
+                    .map_err(|e| e.to_string())?;
+                report.push('\n');
+                report.push_str(&String::from_utf8_lossy(&buf));
+            }
+        }
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            csv::write_assignments(&mut w, &assignments)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            report.push_str(&format!("\nassignments written to {path}"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dasc-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn sv(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_then_cluster_roundtrip() {
+        let data = tmp("pts.csv");
+        let out = tmp("assign.csv");
+        let r = run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "120", "--d", "8", "--k", "3",
+            "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("120 points"));
+
+        let r = run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--labels-last-column",
+            "--output",
+            &out,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("accuracy"), "report: {r}");
+        // High accuracy on easy blobs.
+        let acc: f64 = r
+            .lines()
+            .find(|l| l.starts_with("accuracy:"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("accuracy line");
+        assert!(acc > 0.9, "accuracy {acc}");
+
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.starts_with("# index,cluster"));
+        assert_eq!(written.lines().count(), 121);
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let data = tmp("pts2.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "80", "--d", "4", "--k", "2",
+            "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+        for alg in ["dasc", "sc", "psc", "nyst", "stsc"] {
+            let r = run(&args::parse(&sv(&[
+                "cluster",
+                "--input",
+                &data,
+                "--k",
+                "2",
+                "--algorithm",
+                alg,
+                "--labels-last-column",
+            ]))
+            .unwrap())
+            .unwrap();
+            assert!(r.contains("clustered 80 points"), "{alg}: {r}");
+        }
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let e = run(&Command::Generate {
+            kind: "mystery".into(),
+            n: 1,
+            d: 1,
+            k: 1,
+            seed: 0,
+            output: tmp("x.csv"),
+        })
+        .unwrap_err();
+        assert!(e.contains("unknown dataset kind"));
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let e = run(&args::parse(&sv(&[
+            "cluster", "--input", "/nonexistent/nope.csv", "--k", "2",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(e.contains("open"));
+    }
+
+    #[test]
+    fn bad_sigma_rejected() {
+        let data = tmp("pts3.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "10", "--d", "2", "--k", "2",
+            "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+        let e = run(&args::parse(&sv(&[
+            "cluster", "--input", &data, "--k", "2", "--sigma", "-1",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(e.contains("sigma"));
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+}

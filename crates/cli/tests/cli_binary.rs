@@ -1,0 +1,88 @@
+//! Black-box tests of the compiled `dasc` CLI binary: spawn the real
+//! executable and assert on its stdout/stderr/exit codes.
+
+use std::process::Command;
+
+/// The `dasc` binary, built by cargo before this test runs.
+fn dasc_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dasc")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dasc-bin-test-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = Command::new(dasc_bin())
+        .arg("help")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"), "stdout: {text}");
+}
+
+#[test]
+fn bad_command_exits_nonzero_with_usage() {
+    let out = Command::new(dasc_bin())
+        .arg("frobnicate")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr: {err}");
+    assert!(err.contains("USAGE"), "stderr: {err}");
+}
+
+#[test]
+fn generate_and_cluster_end_to_end() {
+    let data = tmp("e2e.csv");
+    let assignments = tmp("e2e-assign.csv");
+
+    let out = Command::new(dasc_bin())
+        .args([
+            "generate", "--kind", "blobs", "--n", "150", "--d", "8", "--k",
+            "3", "--seed", "7", "--output", &data,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = Command::new(dasc_bin())
+        .args([
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--labels-last-column",
+            "--output",
+            &assignments,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("accuracy:"), "report: {report}");
+
+    let written = std::fs::read_to_string(&assignments).expect("assignments file");
+    assert_eq!(written.lines().count(), 151); // header + 150 rows
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&assignments);
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = Command::new(dasc_bin())
+        .args(["cluster", "--input", "/definitely/not/here.csv", "--k", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("open"), "stderr: {err}");
+}

@@ -1,0 +1,685 @@
+//! The DASC algorithm (Section 3): LSH partitioning, bucket merging,
+//! per-bucket approximate kernel blocks, per-bucket spectral clustering —
+//! runnable serially (rayon over buckets) or as the paper's two
+//! MapReduce stages on the `dasc-mapreduce` substrate.
+
+use std::time::{Duration, Instant};
+
+use dasc_kernel::{ApproximateGram, Kernel};
+use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
+use dasc_mapreduce::{
+    reduce_groups, run_map_only, simulate_on_cluster, ClusterConfig, FnMapper,
+    FnReducer, JobStats,
+};
+use rayon::prelude::*;
+
+use crate::spectral::{SpectralClustering, SpectralConfig};
+use crate::Clustering;
+
+/// DASC configuration.
+#[derive(Clone, Debug)]
+pub struct DascConfig {
+    /// Total number of clusters `K` across the dataset. Each bucket `i`
+    /// receives `Kᵢ ∝ Nᵢ` of them (at least one).
+    pub k: usize,
+    /// Kernel for the per-bucket similarity blocks (paper: Gaussian,
+    /// Eq. 1).
+    pub kernel: Kernel,
+    /// LSH stage configuration (signature width `M`, merge threshold
+    /// `P`, histogram bins, dimension selection).
+    pub lsh: LshConfig,
+    /// Dense→Lanczos eigensolver crossover inside buckets.
+    pub lanczos_threshold: usize,
+    /// Consolidate the `Σ Kᵢ` per-bucket clusters down to exactly `K`
+    /// global clusters with a weighted K-means over fragment centroids.
+    /// Buckets can split a natural cluster across partitions; without
+    /// consolidation each fragment stays its own cluster and quality
+    /// metrics over-penalize DASC for over-segmentation.
+    pub consolidate: bool,
+    /// RNG seed (spectral seeds derive from it per bucket).
+    pub seed: u64,
+}
+
+impl DascConfig {
+    /// Paper defaults for `n` points and `k` clusters:
+    /// `M = ⌈log₂N⌉/2 − 1`, `P = M − 1`, Gaussian kernel σ = 0.2.
+    pub fn for_dataset(n: usize, k: usize) -> Self {
+        assert!(k >= 1, "DASC needs k >= 1");
+        Self {
+            k,
+            kernel: Kernel::gaussian(0.2),
+            lsh: LshConfig::for_dataset(n),
+            lanczos_threshold: 512,
+            consolidate: true,
+            seed: 0xDA5C,
+        }
+    }
+
+    /// Builder: toggle fragment consolidation.
+    pub fn consolidate(mut self, on: bool) -> Self {
+        self.consolidate = on;
+        self
+    }
+
+    /// Builder: kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: LSH configuration.
+    pub fn lsh(mut self, lsh: LshConfig) -> Self {
+        self.lsh = lsh;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-stage wall-clock breakdown of a serial DASC run.
+#[derive(Clone, Debug, Default)]
+pub struct DascStageTimes {
+    /// Signature generation (model fit + hashing).
+    pub lsh: Duration,
+    /// Bucket formation and merging.
+    pub bucketing: Duration,
+    /// Sub-similarity matrices.
+    pub gram: Duration,
+    /// Per-bucket spectral clustering.
+    pub clustering: Duration,
+}
+
+/// Result of a DASC run.
+#[derive(Clone, Debug)]
+pub struct DascResult {
+    /// The final clustering; cluster ids are contiguous across buckets.
+    pub clustering: Clustering,
+    /// The (merged) bucket structure used.
+    pub buckets: BucketSet,
+    /// Bytes of the approximate Gram matrix (4·Σ Nᵢ², Eq. 12).
+    pub approx_gram_bytes: usize,
+    /// Stage timings.
+    pub times: DascStageTimes,
+}
+
+/// Result of a distributed DASC run, carrying MapReduce statistics so
+/// elasticity can be replayed on other cluster sizes (Table 3).
+#[derive(Clone, Debug)]
+pub struct DascDistributedResult {
+    /// The final clustering (identical to the serial result for the same
+    /// configuration — the engine is deterministic).
+    pub clustering: Clustering,
+    /// Number of buckets after merging.
+    pub num_buckets: usize,
+    /// Bytes of the approximate Gram matrix.
+    pub approx_gram_bytes: usize,
+    /// Stage 1 (LSH map + shuffle) statistics.
+    pub stage1: JobStats,
+    /// Stage 2 (per-bucket clustering reduce) statistics.
+    pub stage2: JobStats,
+}
+
+impl DascDistributedResult {
+    /// Replay the recorded task bag on an arbitrary cluster and return
+    /// the simulated total duration (the Table 3 mechanism).
+    pub fn simulate_total(&self, cluster: &ClusterConfig) -> Duration {
+        let s1 = simulate_on_cluster(&self.stage1, cluster);
+        let s2 = simulate_on_cluster(&self.stage2, cluster);
+        s1.total + s2.total
+    }
+}
+
+/// The DASC clusterer.
+#[derive(Clone, Debug)]
+pub struct Dasc {
+    config: DascConfig,
+}
+
+impl Dasc {
+    /// Create from a configuration.
+    pub fn new(config: DascConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &DascConfig {
+        &self.config
+    }
+
+    /// Fit the LSH model, hash, bucket, and merge — steps 1–2 of the
+    /// algorithm, exposed for the kernel-approximation use case where a
+    /// different downstream algorithm consumes the buckets.
+    pub fn partition(&self, points: &[Vec<f64>]) -> (SignatureModel, BucketSet) {
+        let model = SignatureModel::fit(points, &self.config.lsh);
+        let sigs = model.hash_all(points);
+        let buckets =
+            BucketSet::from_signatures(&sigs)
+                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        (model, buckets)
+    }
+
+    /// Build the block-diagonal approximate kernel matrix — steps 1–3,
+    /// the algorithm-independent approximation of the paper's abstract.
+    pub fn approximate_gram(&self, points: &[Vec<f64>]) -> ApproximateGram {
+        let (_, buckets) = self.partition(points);
+        ApproximateGram::from_buckets(points, &buckets, &self.config.kernel)
+    }
+
+    /// Run the full DASC pipeline serially (buckets in parallel via
+    /// rayon).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn run(&self, points: &[Vec<f64>]) -> DascResult {
+        assert!(!points.is_empty(), "DASC: empty dataset");
+        let t0 = Instant::now();
+        let model = SignatureModel::fit(points, &self.config.lsh);
+        let sigs = model.hash_all(points);
+        let lsh_time = t0.elapsed();
+        let mut result = self.run_with_signatures(points, &sigs);
+        result.times.lsh = lsh_time;
+        result
+    }
+
+    /// Run the pipeline from pre-computed signatures — the hook for
+    /// plugging any LSH family (sign-random-projection, p-stable,
+    /// PCA/spectral hashing for skewed data) in place of the paper's
+    /// axis-threshold model. Bucket merging, per-bucket clustering and
+    /// consolidation all behave exactly as in [`Dasc::run`].
+    ///
+    /// The merge threshold comes from `config.lsh.merge_p`; set
+    /// `config.lsh` (via [`LshConfig::with_bits`]) to the external
+    /// family's signature width so `P = M − 1` keeps its meaning.
+    ///
+    /// # Panics
+    /// Panics if `signatures` does not match `points` in length, or the
+    /// dataset is empty.
+    pub fn run_with_signatures(
+        &self,
+        points: &[Vec<f64>],
+        sigs: &[Signature],
+    ) -> DascResult {
+        assert!(!points.is_empty(), "DASC: empty dataset");
+        assert_eq!(points.len(), sigs.len(), "DASC: signature count mismatch");
+        let n = points.len();
+        let mut times = DascStageTimes::default();
+
+        let t0 = Instant::now();
+        let buckets =
+            BucketSet::from_signatures(sigs)
+                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        times.bucketing = t0.elapsed();
+
+        let t0 = Instant::now();
+        let gram = ApproximateGram::from_buckets(points, &buckets, &self.config.kernel);
+        times.gram = t0.elapsed();
+        let approx_gram_bytes = gram.memory_bytes();
+
+        let t0 = Instant::now();
+        let per_bucket: Vec<(Vec<usize>, Clustering)> = gram
+            .blocks()
+            .par_iter()
+            .enumerate()
+            .map(|(bi, block)| {
+                let ki = bucket_cluster_count(self.config.k, block.members.len(), n);
+                let sc = SpectralClustering::new(
+                    self.spectral_config(ki, bi as u64),
+                );
+                let c = sc.run_on_similarity(&block.matrix);
+                (block.members.clone(), c)
+            })
+            .collect();
+        times.clustering = t0.elapsed();
+
+        let stitched = stitch_global(n, &per_bucket);
+        let clustering = if self.config.consolidate {
+            consolidate_fragments(points, &stitched, self.config.k, self.config.seed)
+        } else {
+            stitched
+        };
+        DascResult { clustering, buckets, approx_gram_bytes, times }
+    }
+
+    /// Run DASC as the paper's two MapReduce stages.
+    ///
+    /// Stage 1 is Algorithm 1 (map: point → `(signature, index)`), with
+    /// bucket merging applied between the shuffle and the reducer, as
+    /// Section 3.3 specifies. Stage 2 is Algorithm 2 plus the spectral
+    /// step: each reduce task computes a bucket's sub-similarity matrix
+    /// and clusters it.
+    pub fn run_distributed(
+        &self,
+        points: &[Vec<f64>],
+        cluster: &ClusterConfig,
+    ) -> DascDistributedResult {
+        assert!(!points.is_empty(), "DASC: empty dataset");
+        let n = points.len();
+
+        // Stage 1: LSH signatures via MapReduce.
+        let model = SignatureModel::fit(points, &self.config.lsh);
+        let mapper = FnMapper::new(
+            |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
+                emit(model.hash(&point).bits(), index);
+            },
+        );
+        let inputs: Vec<(usize, Vec<f64>)> =
+            points.iter().cloned().enumerate().collect();
+        let grouped = run_map_only(&mapper, inputs, cluster);
+        let stage1 = grouped.stats.clone();
+
+        // Between-stage merge: reconstruct per-point signatures from the
+        // shuffle groups and apply the P-similar rule.
+        let m = self.config.lsh.num_bits;
+        let mut sigs = vec![Signature::zero(m); n];
+        for (bits, members) in &grouped.records {
+            let s = Signature::from_bits(*bits, m);
+            for &i in members {
+                sigs[i] = s;
+            }
+        }
+        let buckets =
+            BucketSet::from_signatures(&sigs)
+                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        let approx_gram_bytes = 4 * buckets.approx_gram_entries();
+
+        // Stage 2: one reduce task per merged bucket.
+        let k_total = self.config.k;
+        let kernel = self.config.kernel;
+        let lanczos_threshold = self.config.lanczos_threshold;
+        let seed = self.config.seed;
+        let reducer = FnReducer::new(
+            move |bucket_id: usize,
+                  members: Vec<usize>,
+                  emit: &mut dyn FnMut((usize, usize, usize))| {
+                let sub: Vec<Vec<f64>> =
+                    members.iter().map(|&i| points[i].clone()).collect();
+                let ki = bucket_cluster_count(k_total, members.len(), n);
+                let mut cfg = SpectralConfig::new(ki)
+                    .kernel(kernel)
+                    .seed(seed ^ (bucket_id as u64).wrapping_mul(0x9E37_79B9));
+                cfg.lanczos_threshold = lanczos_threshold;
+                let sc = SpectralClustering::new(cfg);
+                let c = sc.run(&sub).clustering;
+                for (local, &point) in members.iter().enumerate() {
+                    emit((point, bucket_id, c.assignments[local]));
+                }
+            },
+        );
+        let groups: Vec<(usize, Vec<usize>)> = buckets
+            .buckets()
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| (bi, b.members.clone()))
+            .collect();
+        let reduced = reduce_groups(&reducer, groups, cluster);
+        let stage2 = reduced.stats.clone();
+
+        // Stitch bucket-local cluster ids into a global id space.
+        let ki_per_bucket: Vec<usize> = buckets
+            .sizes()
+            .iter()
+            .map(|&ni| bucket_cluster_count(self.config.k, ni, n))
+            .collect();
+        let mut offsets = vec![0usize; ki_per_bucket.len() + 1];
+        for (i, &ki) in ki_per_bucket.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + ki;
+        }
+        let mut assignments = vec![0usize; n];
+        for &(point, bucket_id, local) in &reduced.records {
+            assignments[point] = offsets[bucket_id] + local.min(ki_per_bucket[bucket_id] - 1);
+        }
+        let stitched = Clustering::new(assignments, *offsets.last().expect("nonempty"));
+        let clustering = if self.config.consolidate {
+            consolidate_fragments(points, &stitched, self.config.k, self.config.seed)
+        } else {
+            stitched
+        };
+
+        DascDistributedResult {
+            clustering,
+            num_buckets: buckets.len(),
+            approx_gram_bytes,
+            stage1,
+            stage2,
+        }
+    }
+
+    fn spectral_config(&self, ki: usize, bucket_index: u64) -> SpectralConfig {
+        let mut cfg = SpectralConfig::new(ki)
+            .kernel(self.config.kernel)
+            .seed(self.config.seed ^ bucket_index.wrapping_mul(0x9E37_79B9));
+        cfg.lanczos_threshold = self.config.lanczos_threshold;
+        cfg
+    }
+}
+
+/// `Kᵢ = clamp(round(K · Nᵢ / N), 1, Nᵢ)`: clusters are apportioned to
+/// buckets by size, never zero, never more than the bucket's points.
+pub fn bucket_cluster_count(k_total: usize, bucket_size: usize, n: usize) -> usize {
+    if bucket_size == 0 {
+        return 0;
+    }
+    let share = (k_total as f64 * bucket_size as f64 / n as f64).round() as usize;
+    share.clamp(1, bucket_size)
+}
+
+/// Consolidate the stitched `Σ Kᵢ` fragment clusters down to exactly
+/// `k` global clusters: weighted K-means (k-means++, Lloyd) over the
+/// fragment centroids in input space, fragments weighted by size.
+///
+/// LSH buckets can split a natural cluster across partitions; this
+/// two-level step reunites fragments, so the final clustering is
+/// comparable to one produced directly with `k` clusters.
+fn consolidate_fragments(
+    points: &[Vec<f64>],
+    stitched: &Clustering,
+    k: usize,
+    seed: u64,
+) -> Clustering {
+    let num_fragments = stitched.num_clusters;
+    if num_fragments <= k || points.is_empty() {
+        return stitched.clone();
+    }
+    let d = points[0].len();
+
+    // Fragment centroids and weights.
+    let mut centroids = vec![vec![0.0; d]; num_fragments];
+    let mut weights = vec![0.0f64; num_fragments];
+    for (p, &a) in points.iter().zip(&stitched.assignments) {
+        for (c, &v) in centroids[a].iter_mut().zip(p) {
+            *c += v;
+        }
+        weights[a] += 1.0;
+    }
+    for (c, &w) in centroids.iter_mut().zip(&weights) {
+        if w > 0.0 {
+            for v in c.iter_mut() {
+                *v /= w;
+            }
+        }
+    }
+
+    let frag_to_final = weighted_kmeans(&centroids, &weights, k, seed);
+    let assignments: Vec<usize> = stitched
+        .assignments
+        .iter()
+        .map(|&a| frag_to_final[a])
+        .collect();
+    Clustering::new(assignments, k)
+}
+
+/// Weighted K-means over a small set of (centroid, weight) pairs.
+/// Returns the cluster id of each input point. Deterministic per seed.
+pub(crate) fn weighted_kmeans(
+    points: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    use dasc_linalg::vector;
+    use rand::{Rng, SeedableRng};
+
+    let n = points.len();
+    let k = k.min(n).max(1);
+    let d = points[0].len();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xC0507);
+
+    // Weighted k-means++ seeding.
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (0..n).max_by(|&a, &b| {
+        weights[a].partial_cmp(&weights[b]).expect("NaN weight")
+    });
+    centers.push(points[first.expect("nonempty")].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| vector::sq_dist(p, &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().zip(weights).map(|(d, w)| d * w).sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, (&dd, &w)) in d2.iter().zip(weights).enumerate() {
+                let mass = dd * w;
+                if u < mass {
+                    chosen = i;
+                    break;
+                }
+                u -= mass;
+            }
+            chosen
+        };
+        centers.push(points[next].clone());
+        let latest = centers.last().expect("just pushed").clone();
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(vector::sq_dist(p, &latest));
+        }
+    }
+
+    // Weighted Lloyd iterations.
+    let mut assign = vec![0usize; n];
+    for _ in 0..50 {
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, cen) in centers.iter().enumerate() {
+                let dd = vector::sq_dist(p, cen);
+                if dd < best.1 {
+                    best = (c, dd);
+                }
+            }
+            assign[i] = best.0;
+        }
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut mass = vec![0.0f64; k];
+        for (i, p) in points.iter().enumerate() {
+            let w = weights[i];
+            vector::axpy(w, p, &mut sums[assign[i]]);
+            mass[assign[i]] += w;
+        }
+        let mut moved = 0.0;
+        for c in 0..k {
+            if mass[c] > 0.0 {
+                let mut new_c = sums[c].clone();
+                vector::scale(1.0 / mass[c], &mut new_c);
+                moved += vector::dist(&centers[c], &new_c);
+                centers[c] = new_c;
+            }
+        }
+        if moved < 1e-9 {
+            break;
+        }
+    }
+    assign
+}
+
+/// Combine per-bucket clusterings into a single assignment with
+/// contiguous global cluster ids.
+fn stitch_global(n: usize, per_bucket: &[(Vec<usize>, Clustering)]) -> Clustering {
+    let mut assignments = vec![0usize; n];
+    let mut offset = 0usize;
+    for (members, c) in per_bucket {
+        for (local, &point) in members.iter().enumerate() {
+            assignments[point] = offset + c.assignments[local];
+        }
+        offset += c.num_clusters;
+    }
+    Clustering::new(assignments, offset.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasc_lsh::LshConfig;
+
+    /// Four tight blobs in the corners of the unit square.
+    fn four_blobs(per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for i in 0..per {
+                let jx = (i % 7) as f64 * 0.004;
+                let jy = (i % 5) as f64 * 0.004;
+                pts.push(vec![c[0] + jx, c[1] + jy]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn bucket_cluster_count_rules() {
+        assert_eq!(bucket_cluster_count(10, 0, 100), 0);
+        assert_eq!(bucket_cluster_count(10, 1, 100), 1);
+        assert_eq!(bucket_cluster_count(10, 50, 100), 5);
+        assert_eq!(bucket_cluster_count(10, 100, 100), 10);
+        // Never exceeds bucket size.
+        assert_eq!(bucket_cluster_count(100, 2, 4), 2);
+    }
+
+    #[test]
+    fn recovers_four_blobs() {
+        let (pts, truth) = four_blobs(25);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2));
+        let res = Dasc::new(cfg).run(&pts);
+        assert_eq!(res.clustering.len(), 100);
+        let acc = dasc_metrics::accuracy(&res.clustering.assignments, &truth);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn memory_below_full_gram() {
+        // With tiny M the P = M−1 merge is transitive across the whole
+        // 2-bit cube and collapses everything into one bucket (full
+        // Gram); disable merging to observe the block-diagonal saving.
+        let (pts, _) = four_blobs(25);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .lsh(LshConfig::with_bits(2).merge_p(2));
+        let res = Dasc::new(cfg).run(&pts);
+        let full = 4 * 100 * 100;
+        assert!(
+            res.approx_gram_bytes < full,
+            "approx {} vs full {full}",
+            res.approx_gram_bytes
+        );
+        assert!(res.buckets.len() >= 2, "LSH produced a single bucket");
+    }
+
+    #[test]
+    fn partition_and_approximate_gram_agree() {
+        let (pts, _) = four_blobs(10);
+        let dasc = Dasc::new(
+            DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2)),
+        );
+        let (_, buckets) = dasc.partition(&pts);
+        let gram = dasc.approximate_gram(&pts);
+        assert_eq!(gram.blocks().len(), buckets.len());
+        assert_eq!(gram.stored_entries(), buckets.approx_gram_entries());
+    }
+
+    #[test]
+    fn distributed_matches_serial_accuracy() {
+        let (pts, truth) = four_blobs(20);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2));
+        let serial = Dasc::new(cfg.clone()).run(&pts);
+        let dist = Dasc::new(cfg)
+            .run_distributed(&pts, &ClusterConfig::single_node());
+        let acc_serial =
+            dasc_metrics::accuracy(&serial.clustering.assignments, &truth);
+        let acc_dist = dasc_metrics::accuracy(&dist.clustering.assignments, &truth);
+        assert!((acc_serial - acc_dist).abs() < 1e-9);
+        assert_eq!(dist.num_buckets, serial.buckets.len());
+        assert_eq!(dist.approx_gram_bytes, serial.approx_gram_bytes);
+    }
+
+    #[test]
+    fn distributed_stats_capture_both_stages() {
+        let (pts, _) = four_blobs(10);
+        let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2));
+        let dist =
+            Dasc::new(cfg).run_distributed(&pts, &ClusterConfig::single_node());
+        assert!(dist.stage1.num_map_tasks() >= 1);
+        assert_eq!(dist.stage2.num_reduce_tasks(), dist.num_buckets);
+        // Simulated time shrinks (weakly) with more nodes.
+        let t1 = dist.simulate_total(&ClusterConfig::emr(1));
+        let t64 = dist.simulate_total(&ClusterConfig::emr(64));
+        assert!(t64 <= t1);
+    }
+
+    #[test]
+    fn singleton_buckets_are_fine() {
+        // One point per corner: every bucket is a singleton.
+        let (pts, _) = four_blobs(1);
+        let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2));
+        let res = Dasc::new(cfg).run(&pts);
+        assert_eq!(res.clustering.len(), 4);
+        // Four singleton buckets → four clusters.
+        assert_eq!(res.clustering.num_clusters, 4);
+    }
+
+    #[test]
+    fn custom_signatures_drive_the_pipeline() {
+        // Feed sign-random-projection signatures instead of the paper's
+        // axis-threshold model; blobs around distinct directions are
+        // still recovered.
+        use dasc_lsh::SignRandomProjection;
+        let (pts, truth) = four_blobs(20);
+        let m = 4usize;
+        let srp = SignRandomProjection::new(m, 2, 11);
+        let sigs = srp.hash_all(&pts);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(m));
+        let res = Dasc::new(cfg).run_with_signatures(&pts, &sigs);
+        assert_eq!(res.clustering.len(), 80);
+        let acc = dasc_metrics::accuracy(&res.clustering.assignments, &truth);
+        assert!(acc > 0.8, "SRP-driven DASC accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "signature count mismatch")]
+    fn mismatched_signatures_panic() {
+        let (pts, _) = four_blobs(2);
+        let sigs = vec![dasc_lsh::Signature::zero(2)];
+        Dasc::new(DascConfig::for_dataset(8, 2)).run_with_signatures(&pts, &sigs);
+    }
+
+    #[test]
+    fn consolidation_caps_cluster_count() {
+        let (pts, _) = four_blobs(25);
+        let cfg = DascConfig::for_dataset(pts.len(), 2)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2).merge_p(2));
+        let with = Dasc::new(cfg.clone()).run(&pts);
+        assert!(with.clustering.num_clusters <= 2);
+        let without = Dasc::new(cfg.consolidate(false)).run(&pts);
+        assert!(without.clustering.num_clusters >= with.clustering.num_clusters);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (pts, _) = four_blobs(15);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .lsh(LshConfig::with_bits(3))
+            .seed(11);
+        let a = Dasc::new(cfg.clone()).run(&pts);
+        let b = Dasc::new(cfg).run(&pts);
+        assert_eq!(a.clustering.assignments, b.clustering.assignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        Dasc::new(DascConfig::for_dataset(1, 1)).run(&[]);
+    }
+}

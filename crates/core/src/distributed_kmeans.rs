@@ -1,0 +1,258 @@
+//! MapReduce K-means — the Mahout algorithm the paper's related-work
+//! section cites ("the open-source Apache Mahout library implements …
+//! K-Means … using the MapReduce model"), and the final step of the
+//! distributed spectral pipeline.
+//!
+//! One MapReduce job per Lloyd iteration, exactly Mahout's structure:
+//! the driver broadcasts centroids, mappers emit
+//! `(nearest centroid, (point-sum, count))` partial aggregates, reducers
+//! average them into new centroids, and the driver checks convergence.
+
+use dasc_linalg::vector;
+use dasc_mapreduce::{
+    reduce_groups, run_map_combine, ClusterConfig, FnMapper, FnReducer, JobStats,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::kmeans::KMeansConfig;
+use crate::Clustering;
+
+/// Result of a distributed K-means run.
+#[derive(Clone, Debug)]
+pub struct DistributedKMeansResult {
+    /// Final clustering.
+    pub clustering: Clustering,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations (MapReduce jobs) executed.
+    pub iterations: usize,
+    /// Merged statistics over all iterations' jobs.
+    pub stats: JobStats,
+}
+
+/// Run K-means as iterated MapReduce jobs on the given cluster.
+///
+/// Deterministic per seed and independent of the cluster size (the
+/// engine's shuffle is stable).
+///
+/// # Panics
+/// Panics on an empty or ragged dataset.
+pub fn distributed_kmeans(
+    config: &KMeansConfig,
+    points: &[Vec<f64>],
+    cluster: &ClusterConfig,
+) -> DistributedKMeansResult {
+    assert!(!points.is_empty(), "distributed k-means: empty dataset");
+    let d = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == d),
+        "distributed k-means: ragged dataset"
+    );
+    let n = points.len();
+    let k = config.k.min(n);
+
+    // Driver-side k-means++ seeding (Mahout seeds on the driver too).
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut centroids = kmeanspp(points, k, &mut rng);
+
+    let mut stats = JobStats::default();
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // Map: point → (nearest centroid, (sum, count)).
+        let centroids_ref = &centroids;
+        let mapper = FnMapper::new(
+            move |_idx: usize,
+                  point: Vec<f64>,
+                  emit: &mut dyn FnMut(usize, (Vec<f64>, usize))| {
+                let c = nearest(&point, centroids_ref);
+                emit(c, (point, 1));
+            },
+        );
+        // Reduce: average the partial sums into the new centroid.
+        let reducer = FnReducer::new(
+            |cid: usize,
+             parts: Vec<(Vec<f64>, usize)>,
+             emit: &mut dyn FnMut((usize, Vec<f64>))| {
+                let mut total = vec![0.0; parts[0].0.len()];
+                let mut count = 0usize;
+                for (sum, c) in parts {
+                    vector::axpy(1.0, &sum, &mut total);
+                    count += c;
+                }
+                vector::scale(1.0 / count as f64, &mut total);
+                emit((cid, total));
+            },
+        );
+        let inputs: Vec<(usize, Vec<f64>)> =
+            points.iter().cloned().enumerate().collect();
+        // Combiner: sum partial (point-sum, count) pairs per map task —
+        // Mahout's combiner, shrinking the shuffle from N records to at
+        // most (tasks × k).
+        let grouped = run_map_combine(
+            &mapper,
+            |_cid: &usize, parts: Vec<(Vec<f64>, usize)>| {
+                let mut total = vec![0.0; d];
+                let mut count = 0usize;
+                for (sum, c) in parts {
+                    vector::axpy(1.0, &sum, &mut total);
+                    count += c;
+                }
+                vec![(total, count)]
+            },
+            inputs,
+            cluster,
+        );
+        stats.merge(&grouped.stats);
+        let out = reduce_groups(&reducer, grouped.records, cluster);
+        stats.merge(&out.stats);
+
+        let mut movement = 0.0;
+        let mut next = centroids.clone();
+        for (cid, c) in out.records {
+            movement += vector::dist(&centroids[cid], &c);
+            next[cid] = c;
+        }
+        centroids = next;
+        if movement <= config.tol {
+            break;
+        }
+    }
+
+    // Final assignment (a map-only pass in Mahout; computed driver-side
+    // here since assignments must come back anyway).
+    let assignments: Vec<usize> =
+        points.iter().map(|p| nearest(p, &centroids)).collect();
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
+        .sum();
+
+    DistributedKMeansResult {
+        clustering: Clustering::new(assignments, k),
+        centroids,
+        inertia,
+        iterations,
+        stats,
+    }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cen) in centroids.iter().enumerate() {
+        let d = vector::sq_dist(p, cen);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best.0
+}
+
+fn kmeanspp(points: &[Vec<f64>], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids = vec![points[rng.gen_range(0..n)].clone()];
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| vector::sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if u < w {
+                    chosen = i;
+                    break;
+                }
+                u -= w;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        let latest = centroids.last().expect("just pushed").clone();
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(vector::sq_dist(p, &latest));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_blobs_on_mapreduce() {
+        let res = distributed_kmeans(
+            &KMeansConfig::new(2),
+            &blobs(),
+            &ClusterConfig::single_node(),
+        );
+        let a = res.clustering.assignments[0];
+        let b = res.clustering.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..60 {
+            assert_eq!(res.clustering.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(res.iterations >= 1);
+        assert!(res.stats.num_map_tasks() >= res.iterations);
+    }
+
+    #[test]
+    fn cluster_size_does_not_change_answer() {
+        // The combiner sums partial aggregates per map task, so the
+        // floating-point summation *order* varies with cluster size —
+        // exactly as on real Hadoop. Assignments and centroids must agree
+        // up to rounding, not bit-for-bit.
+        let pts = blobs();
+        let a = distributed_kmeans(&KMeansConfig::new(2), &pts, &ClusterConfig::single_node());
+        let b = distributed_kmeans(&KMeansConfig::new(2), &pts, &ClusterConfig::emr(16));
+        assert_eq!(a.clustering.assignments, b.clustering.assignments);
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            for (x, y) in ca.iter().zip(cb) {
+                assert!((x - y).abs() < 1e-9, "centroid drift {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_inertia_on_easy_data() {
+        let pts = blobs();
+        let dist = distributed_kmeans(&KMeansConfig::new(2), &pts, &ClusterConfig::emr(4));
+        let serial = crate::KMeans::new(KMeansConfig::new(2)).run(&pts);
+        assert!((dist.inertia - serial.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_quickly_on_separated_data() {
+        let res = distributed_kmeans(
+            &KMeansConfig::new(2),
+            &blobs(),
+            &ClusterConfig::single_node(),
+        );
+        assert!(res.iterations < 10, "took {} iterations", res.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        distributed_kmeans(&KMeansConfig::new(1), &[], &ClusterConfig::single_node());
+    }
+}

@@ -1,0 +1,171 @@
+//! Shared spectral-embedding steps (Ng–Jordan–Weiss).
+//!
+//! All four algorithms in this crate go through the same pipeline tail:
+//! normalized Laplacian `L = D^{−1/2} S D^{−1/2}` (Eq. 2), leading
+//! eigenvectors, row normalization to the unit sphere, K-means.
+
+use dasc_linalg::{lanczos, symmetric_eigen, LanczosOptions, Matrix};
+
+/// Build the symmetric normalized Laplacian `L = D^{−1/2} S D^{−1/2}`
+/// from a dense similarity matrix (Eq. 2).
+///
+/// Isolated vertices (zero degree) keep zero rows, matching the sparse
+/// convention.
+///
+/// # Panics
+/// Panics if `s` is not square.
+pub fn normalized_laplacian(s: &Matrix) -> Matrix {
+    assert!(s.is_square(), "laplacian: matrix must be square");
+    let n = s.nrows();
+    let degrees = s.row_sums();
+    let inv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            l[(i, j)] = inv_sqrt[i] * s[(i, j)] * inv_sqrt[j];
+        }
+    }
+    l
+}
+
+/// Top-`k` eigenvectors of a dense symmetric matrix, stacked as columns.
+///
+/// Uses the full Householder+QL decomposition below `lanczos_threshold`
+/// and Lanczos above it (the crossover the paper's tridiagonalization
+/// discussion motivates).
+pub fn top_eigenvectors(
+    l: &Matrix,
+    k: usize,
+    lanczos_threshold: usize,
+    seed: u64,
+) -> Matrix {
+    let n = l.nrows();
+    let k = k.min(n).max(1);
+    if n <= lanczos_threshold {
+        let eig = symmetric_eigen(l);
+        eig.top_k(k).1
+    } else {
+        let mut opts = LanczosOptions::top(k);
+        opts.seed = seed;
+        lanczos(l, &opts).eigenvectors
+    }
+}
+
+/// Row-normalize an embedding to unit length
+/// (`Y_ij = X_ij / √(Σ_j X_ij²)`, the NJW step quoted in Section 3.2).
+/// Zero rows are left at zero.
+pub fn row_normalize(x: &Matrix) -> Matrix {
+    let (n, k) = x.shape();
+    let mut y = x.clone();
+    for i in 0..n {
+        let norm: f64 = (0..k).map(|j| y[(i, j)] * y[(i, j)]).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for j in 0..k {
+                y[(i, j)] /= norm;
+            }
+        }
+    }
+    y
+}
+
+/// Rows of a matrix as owned vectors (K-means input).
+pub fn rows_of(m: &Matrix) -> Vec<Vec<f64>> {
+    (0..m.nrows()).map(|i| m.row(i).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_of_uniform_similarity() {
+        // S = all-ones (n=4): degrees 4, L = S/4 with eigenvalue 1.
+        let s = Matrix::from_fn(4, 4, |_, _| 1.0);
+        let l = normalized_laplacian(&s);
+        assert!((l[(0, 0)] - 0.25).abs() < 1e-12);
+        let eig = symmetric_eigen(&l);
+        assert!((eig.eigenvalues[3] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn laplacian_top_eigenvalue_at_most_one() {
+        // For any similarity matrix with non-negative entries, the
+        // normalized Laplacian's spectrum lies in [-1, 1].
+        let s = Matrix::from_rows(&[
+            &[1.0, 0.5, 0.1],
+            &[0.5, 1.0, 0.2],
+            &[0.1, 0.2, 1.0],
+        ]);
+        let l = normalized_laplacian(&s);
+        let eig = symmetric_eigen(&l);
+        for &v in &eig.eigenvalues {
+            assert!((-1.0 - 1e-10..=1.0 + 1e-10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn laplacian_handles_isolated_vertex() {
+        let s = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+        let l = normalized_laplacian(&s);
+        assert_eq!(l[(0, 0)], 0.0);
+        assert_eq!(l[(0, 1)], 0.0);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_similarity_yields_indicator_eigenvectors() {
+        // Two disconnected blocks: top-2 eigenvectors separate them.
+        let mut s = Matrix::zeros(4, 4);
+        for i in 0..2 {
+            for j in 0..2 {
+                s[(i, j)] = 1.0;
+                s[(i + 2, j + 2)] = 1.0;
+            }
+        }
+        let l = normalized_laplacian(&s);
+        let v = top_eigenvectors(&l, 2, 1000, 0);
+        let y = row_normalize(&v);
+        // Rows 0,1 identical; rows 2,3 identical; the two groups differ.
+        let r0 = y.row(0).to_vec();
+        let r2 = y.row(2).to_vec();
+        assert!((r0[0] - y.row(1)[0]).abs() < 1e-8);
+        assert!((r2[0] - y.row(3)[0]).abs() < 1e-8);
+        let dot: f64 = r0.iter().zip(&r2).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-8, "group embeddings not orthogonal");
+    }
+
+    #[test]
+    fn row_normalize_unit_rows() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let y = row_normalize(&m);
+        assert!((y[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((y[(0, 1)] - 0.8).abs() < 1e-12);
+        assert_eq!(y.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn lanczos_path_matches_dense_path() {
+        let s = Matrix::from_fn(30, 30, |i, j| {
+            (-((i as f64 - j as f64) / 5.0).powi(2)).exp()
+        });
+        let l = normalized_laplacian(&s);
+        let dense = top_eigenvectors(&l, 3, 1000, 7);
+        let lz = top_eigenvectors(&l, 3, 10, 7);
+        // Eigenvectors match up to sign: compare absolute inner products.
+        for c in 0..3 {
+            let a = dense.col(c);
+            let b = lz.col(c);
+            let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(dot.abs() > 0.99, "column {c} mismatch (|dot| = {})", dot.abs());
+        }
+    }
+
+    #[test]
+    fn rows_of_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(rows_of(&m), vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+}

@@ -1,0 +1,304 @@
+//! K-means with k-means++ seeding (Hartigan–Wong reference in the
+//! paper; Lloyd iterations here, which is what Mahout runs).
+
+use dasc_linalg::vector;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// K-means configuration.
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ seeding.
+    pub seed: u64,
+    /// Independent restarts; the run with the lowest inertia wins.
+    /// K-means on spectral embeddings is seed-sensitive, so restarts are
+    /// what keep the SC/DASC comparison about the approximation rather
+    /// than seeding luck.
+    pub restarts: usize,
+}
+
+impl KMeansConfig {
+    /// Defaults: 100 iterations, 1e-6 tolerance, 8 restarts, fixed seed.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-means needs k >= 1");
+        Self { k, max_iters: 100, tol: 1e-6, seed: 0xC1A55E5, restarts: 8 }
+    }
+
+    /// Builder: RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: restart count.
+    pub fn restarts(mut self, r: usize) -> Self {
+        assert!(r >= 1, "need at least one restart");
+        self.restarts = r;
+        self
+    }
+}
+
+/// K-means result.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster id per point.
+    pub assignments: Vec<usize>,
+    /// Final centroids (k rows, or fewer if `k > n`).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// K-means clusterer.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// Create a clusterer from a configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// Cluster `points` into `k` groups: best of `restarts` independent
+    /// k-means++ runs by inertia.
+    ///
+    /// `k` is clamped to the number of points. Deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics on an empty or ragged dataset.
+    pub fn run(&self, points: &[Vec<f64>]) -> KMeansResult {
+        let mut best: Option<KMeansResult> = None;
+        for r in 0..self.config.restarts.max(1) {
+            let seed = self.config.seed ^ (r as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let candidate = self.run_once(points, seed);
+            let better = best
+                .as_ref()
+                .map(|b| candidate.inertia < b.inertia)
+                .unwrap_or(true);
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best.expect("at least one restart")
+    }
+
+    fn run_once(&self, points: &[Vec<f64>], seed: u64) -> KMeansResult {
+        assert!(!points.is_empty(), "k-means: empty dataset");
+        let d = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == d),
+            "k-means: ragged dataset"
+        );
+        let n = points.len();
+        let k = self.config.k.min(n);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for it in 0..self.config.max_iters {
+            iterations = it + 1;
+            // Assignment step (point-parallel).
+            assignments = points
+                .par_iter()
+                .map(|p| nearest(p, &centroids).0)
+                .collect();
+
+            // Update step.
+            let mut sums = vec![vec![0.0; d]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                vector::axpy(1.0, p, &mut sums[a]);
+                counts[a] += 1;
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from
+                    // its centroid, the standard fix-up.
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            let da = vector::sq_dist(a, &centroids[assignments[0]]);
+                            let db = vector::sq_dist(b, &centroids[assignments[0]]);
+                            da.partial_cmp(&db).expect("NaN")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("nonempty");
+                    movement += vector::dist(&centroids[c], &points[far]);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let mut new_c = sums[c].clone();
+                vector::scale(1.0 / counts[c] as f64, &mut new_c);
+                movement += vector::dist(&centroids[c], &new_c);
+                centroids[c] = new_c;
+            }
+            if movement <= self.config.tol {
+                break;
+            }
+        }
+
+        // Final assignment against the converged centroids.
+        assignments = points
+            .par_iter()
+            .map(|p| nearest(p, &centroids).0)
+            .collect();
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
+            .sum();
+
+        KMeansResult { assignments, centroids, inertia, iterations }
+    }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cen) in centroids.iter().enumerate() {
+        let d = vector::sq_dist(p, cen);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, each next centroid drawn
+/// with probability proportional to squared distance from the nearest
+/// chosen centroid.
+fn kmeanspp_init(
+    points: &[Vec<f64>],
+    k: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| vector::sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick any.
+            rng.gen_range(0..n)
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if u < w {
+                    chosen = i;
+                    break;
+                }
+                u -= w;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        let latest = centroids.last().expect("just pushed").clone();
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(vector::sq_dist(p, &latest));
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let res = KMeans::new(KMeansConfig::new(2)).run(&two_blobs());
+        // Even indices are blob A, odd are blob B.
+        let a = res.assignments[0];
+        let b = res.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..40 {
+            assert_eq!(res.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = two_blobs();
+        let i1 = KMeans::new(KMeansConfig::new(1)).run(&pts).inertia;
+        let i2 = KMeans::new(KMeansConfig::new(2)).run(&pts).inertia;
+        assert!(i2 < i1);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = KMeans::new(KMeansConfig::new(10)).run(&pts);
+        assert_eq!(res.centroids.len(), 2);
+        assert!((res.inertia - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = two_blobs();
+        let a = KMeans::new(KMeansConfig::new(3).seed(1)).run(&pts);
+        let b = KMeans::new(KMeansConfig::new(3).seed(1)).run(&pts);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let pts = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let res = KMeans::new(KMeansConfig::new(1)).run(&pts);
+        assert_eq!(res.centroids[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let pts = vec![vec![3.0]; 10];
+        let res = KMeans::new(KMeansConfig::new(3)).run(&pts);
+        assert_eq!(res.inertia, 0.0);
+        assert_eq!(res.assignments.len(), 10);
+    }
+
+    #[test]
+    fn k1_assigns_everything_to_zero() {
+        let res = KMeans::new(KMeansConfig::new(1)).run(&two_blobs());
+        assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        KMeans::new(KMeansConfig::new(1)).run(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        KMeansConfig::new(0);
+    }
+}

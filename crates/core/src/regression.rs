@@ -1,0 +1,175 @@
+//! DASC-accelerated kernel ridge regression.
+//!
+//! A second consumer of the paper's kernel-matrix approximation (the
+//! abstract's claim that the approximation "can be used to scale many
+//! kernel-based machine learning algorithms"): the same LSH partition
+//! that drives approximate spectral clustering decomposes KRR's global
+//! `(K + λI) α = y` solve into independent per-bucket solves, and at
+//! query time a point is routed to its bucket by its LSH signature.
+
+use dasc_kernel::{ApproximateGram, Kernel, RidgeModel};
+use dasc_lsh::{BucketSet, SignatureModel};
+
+use crate::dasc::{Dasc, DascConfig};
+
+/// A fitted DASC kernel ridge regressor.
+pub struct DascRegressor {
+    model: SignatureModel,
+    buckets: BucketSet,
+    ridge: RidgeModel,
+    train_points: Vec<Vec<f64>>,
+    kernel: Kernel,
+}
+
+impl DascRegressor {
+    /// Fit on a labelled dataset: LSH partition (steps 1–2 of DASC),
+    /// block-diagonal Gram (step 3), then per-bucket ridge solves with
+    /// regularization `lambda`.
+    ///
+    /// # Panics
+    /// Panics on empty data, mismatched targets, or `lambda <= 0`.
+    pub fn fit(
+        config: &DascConfig,
+        points: &[Vec<f64>],
+        targets: &[f64],
+        lambda: f64,
+    ) -> Self {
+        assert!(!points.is_empty(), "DascRegressor: empty dataset");
+        assert_eq!(points.len(), targets.len(), "DascRegressor: target mismatch");
+        let dasc = Dasc::new(config.clone());
+        let (model, buckets) = dasc.partition(points);
+        let gram = ApproximateGram::from_buckets(points, &buckets, &config.kernel);
+        let ridge = RidgeModel::fit_blocks(&gram, targets, config.kernel, lambda);
+        Self {
+            model,
+            buckets,
+            ridge,
+            train_points: points.to_vec(),
+            kernel: config.kernel,
+        }
+    }
+
+    /// Number of buckets / ridge blocks.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Route a query point to a bucket: the bucket whose representative
+    /// signature is Hamming-closest to the query's signature (exact
+    /// match for any signature seen at training time that was not
+    /// merged away).
+    pub fn route(&self, x: &[f64]) -> usize {
+        let sig = self.model.hash(x);
+        self.buckets
+            .buckets()
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, b)| (sig.hamming(&b.signature), *i))
+            .map(|(i, _)| i)
+            .expect("at least one bucket")
+    }
+
+    /// Predict using only the query's bucket — the O(Nᵢ) fast path that
+    /// mirrors DASC's training-time approximation.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let block = self.route(x);
+        self.ridge.predict_in_block(block, x, &self.train_points)
+    }
+
+    /// Predict summing over all buckets (O(N); tighter when the query
+    /// sits near a bucket boundary).
+    pub fn predict_full(&self, x: &[f64]) -> f64 {
+        self.ridge.predict(x, &self.train_points)
+    }
+
+    /// Mean squared error of the fast path over a labelled set.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "mse: target mismatch");
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| {
+                let e = self.predict(x) - y;
+                e * e
+            })
+            .sum::<f64>()
+            / xs.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasc_lsh::LshConfig;
+
+    /// Two separated regimes with different linear responses.
+    fn two_regimes(per: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..per {
+            let t = i as f64 / per as f64;
+            xs.push(vec![0.1 + 0.1 * t, 0.1]);
+            ys.push(2.0 * t);
+            xs.push(vec![0.8 + 0.1 * t, 0.9]);
+            ys.push(-1.0 - t);
+        }
+        (xs, ys)
+    }
+
+    fn cfg(n: usize) -> DascConfig {
+        DascConfig::for_dataset(n, 2)
+            .kernel(Kernel::gaussian(0.1))
+            .lsh(LshConfig::with_bits(2))
+    }
+
+    #[test]
+    fn fits_and_predicts_training_regimes() {
+        let (xs, ys) = two_regimes(40);
+        let reg = DascRegressor::fit(&cfg(xs.len()), &xs, &ys, 1e-4);
+        assert!(reg.num_buckets() >= 2);
+        let mse = reg.mse(&xs, &ys);
+        assert!(mse < 0.02, "training mse {mse}");
+    }
+
+    #[test]
+    fn routing_sends_queries_to_their_regime() {
+        let (xs, ys) = two_regimes(40);
+        let reg = DascRegressor::fit(&cfg(xs.len()), &xs, &ys, 1e-4);
+        let low = reg.route(&[0.15, 0.1]);
+        let high = reg.route(&[0.85, 0.9]);
+        assert_ne!(low, high, "regimes routed to the same bucket");
+        // Predictions land in each regime's response range.
+        assert!(reg.predict(&[0.15, 0.1]) > -0.5);
+        assert!(reg.predict(&[0.85, 0.9]) < 0.0);
+    }
+
+    #[test]
+    fn fast_path_close_to_full_path_off_boundary() {
+        let (xs, ys) = two_regimes(40);
+        let reg = DascRegressor::fit(&cfg(xs.len()), &xs, &ys, 1e-4);
+        let q = [0.12, 0.1];
+        let fast = reg.predict(&q);
+        let full = reg.predict_full(&q);
+        assert!(
+            (fast - full).abs() < 0.05,
+            "fast {fast} vs full {full}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target mismatch")]
+    fn mismatch_panics() {
+        let (xs, _) = two_regimes(5);
+        DascRegressor::fit(&cfg(xs.len()), &xs, &[0.0], 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        DascRegressor::fit(&DascConfig::for_dataset(1, 1), &[], &[], 1e-3);
+    }
+}

@@ -1,0 +1,312 @@
+//! Exact spectral clustering (the SC baseline; Ng–Jordan–Weiss on the
+//! full kernel matrix, as Mahout implements it).
+
+use dasc_kernel::{full_gram, gram_memory_bytes, Kernel};
+use dasc_linalg::Matrix;
+
+use crate::embedding::{normalized_laplacian, row_normalize, rows_of, top_eigenvectors};
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::Clustering;
+
+/// Which eigensolver the spectral pipeline uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EigenBackend {
+    /// Always the dense Householder + QL path.
+    Dense,
+    /// Always Lanczos.
+    Lanczos,
+    /// Dense below the threshold, Lanczos above (default: 512).
+    Auto,
+}
+
+/// Which normalized Laplacian drives the embedding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaplacianKind {
+    /// `L = D^{−1/2} S D^{−1/2}` with row-normalized eigenvectors —
+    /// Ng–Jordan–Weiss, the paper's Eq. 2 (default).
+    Symmetric,
+    /// The random-walk operator `D^{−1} S` (Shi–Malik): its
+    /// eigenvectors are `D^{−1/2} v` for the symmetric operator's `v`,
+    /// used without row normalization.
+    RandomWalk,
+}
+
+/// Spectral clustering configuration.
+#[derive(Clone, Debug)]
+pub struct SpectralConfig {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Kernel for the similarity matrix (paper: Gaussian, Eq. 1).
+    pub kernel: Kernel,
+    /// Eigensolver selection.
+    pub backend: EigenBackend,
+    /// Dense→Lanczos crossover for [`EigenBackend::Auto`].
+    pub lanczos_threshold: usize,
+    /// Laplacian normalization variant.
+    pub laplacian: LaplacianKind,
+    /// RNG seed (K-means seeding, Lanczos start vector).
+    pub seed: u64,
+}
+
+impl SpectralConfig {
+    /// Defaults: Gaussian kernel σ = 0.2 (unit-normalized data),
+    /// automatic eigensolver.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "spectral clustering needs k >= 1");
+        Self {
+            k,
+            kernel: Kernel::gaussian(0.2),
+            backend: EigenBackend::Auto,
+            lanczos_threshold: 512,
+            laplacian: LaplacianKind::Symmetric,
+            seed: 0x5BEC,
+        }
+    }
+
+    /// Builder: Laplacian variant.
+    pub fn laplacian(mut self, kind: LaplacianKind) -> Self {
+        self.laplacian = kind;
+        self
+    }
+
+    /// Builder: kernel.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: eigensolver backend.
+    pub fn backend(mut self, backend: EigenBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// The SC baseline.
+#[derive(Clone, Debug)]
+pub struct SpectralClustering {
+    config: SpectralConfig,
+}
+
+/// Result of an SC run with cost accounting.
+#[derive(Clone, Debug)]
+pub struct SpectralResult {
+    /// The clustering.
+    pub clustering: Clustering,
+    /// Bytes the full Gram matrix occupies (4-byte convention, Eq. 12).
+    pub gram_memory_bytes: usize,
+}
+
+impl SpectralClustering {
+    /// Create from a configuration.
+    pub fn new(config: SpectralConfig) -> Self {
+        Self { config }
+    }
+
+    /// Cluster raw points: full Gram → Laplacian → embedding → K-means.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn run(&self, points: &[Vec<f64>]) -> SpectralResult {
+        assert!(!points.is_empty(), "spectral clustering: empty dataset");
+        let gram = full_gram(points, &self.config.kernel);
+        let clustering = self.run_on_similarity(&gram);
+        SpectralResult {
+            clustering,
+            gram_memory_bytes: gram_memory_bytes(points.len()),
+        }
+    }
+
+    /// Cluster a pre-computed similarity matrix (used per bucket by
+    /// DASC).
+    ///
+    /// # Panics
+    /// Panics if `similarity` is not square.
+    pub fn run_on_similarity(&self, similarity: &Matrix) -> Clustering {
+        assert!(similarity.is_square(), "similarity must be square");
+        let n = similarity.nrows();
+        let k = self.config.k.min(n).max(1);
+        if n == 0 {
+            return Clustering::new(Vec::new(), 0);
+        }
+        if k == 1 || n == 1 {
+            return Clustering::new(vec![0; n], 1);
+        }
+
+        let l = normalized_laplacian(similarity);
+        let threshold = match self.config.backend {
+            EigenBackend::Dense => usize::MAX,
+            EigenBackend::Lanczos => 0,
+            EigenBackend::Auto => self.config.lanczos_threshold,
+        };
+        let mut v = top_eigenvectors(&l, k, threshold, self.config.seed);
+        let y = match self.config.laplacian {
+            LaplacianKind::Symmetric => row_normalize(&v),
+            LaplacianKind::RandomWalk => {
+                // D^{-1} S shares eigenvectors with the symmetric form up
+                // to the D^{-1/2} change of basis; no row normalization.
+                let degrees = similarity.row_sums();
+                for i in 0..n {
+                    let scale = if degrees[i] > 0.0 {
+                        1.0 / degrees[i].sqrt()
+                    } else {
+                        0.0
+                    };
+                    for j in 0..k {
+                        v[(i, j)] *= scale;
+                    }
+                }
+                v
+            }
+        };
+        let km = KMeans::new(KMeansConfig::new(k).seed(self.config.seed));
+        let res = km.run(&rows_of(&y));
+        Clustering::new(res.assignments, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rings_free() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two concentric rings — the classic case where K-means fails and
+        // spectral clustering succeeds ("performs well with non-Gaussian
+        // clusters").
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let t = i as f64 / 40.0 * std::f64::consts::TAU;
+            pts.push(vec![0.1 * t.cos() + 0.5, 0.1 * t.sin() + 0.5]);
+            labels.push(0);
+            pts.push(vec![0.45 * t.cos() + 0.5, 0.45 * t.sin() + 0.5]);
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    fn agreement(a: &[usize], b: &[usize]) -> f64 {
+        // Two-cluster label agreement up to permutation.
+        let same: usize = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        let frac = same as f64 / a.len() as f64;
+        frac.max(1.0 - frac)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..30 {
+            pts.push(vec![0.1 + 0.001 * i as f64, 0.1]);
+            truth.push(0);
+            pts.push(vec![0.9 - 0.001 * i as f64, 0.9]);
+            truth.push(1);
+        }
+        let res = SpectralClustering::new(SpectralConfig::new(2)).run(&pts);
+        assert_eq!(agreement(&res.clustering.assignments, &truth), 1.0);
+        assert_eq!(res.gram_memory_bytes, 4 * 60 * 60);
+    }
+
+    #[test]
+    fn handles_nonconvex_rings() {
+        let (pts, truth) = two_rings_free();
+        let cfg = SpectralConfig::new(2).kernel(Kernel::gaussian(0.05));
+        let res = SpectralClustering::new(cfg).run(&pts);
+        assert!(
+            agreement(&res.clustering.assignments, &truth) > 0.95,
+            "rings not separated"
+        );
+    }
+
+    #[test]
+    fn k1_trivial() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let res = SpectralClustering::new(SpectralConfig::new(1)).run(&pts);
+        assert_eq!(res.clustering.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = SpectralClustering::new(SpectralConfig::new(5)).run(&pts);
+        assert_eq!(res.clustering.assignments.len(), 2);
+        assert!(res.clustering.num_clusters <= 2);
+    }
+
+    #[test]
+    fn dense_and_lanczos_backends_agree() {
+        let mut pts = Vec::new();
+        for i in 0..25 {
+            pts.push(vec![0.1 + 0.002 * i as f64, 0.2]);
+            pts.push(vec![0.8 + 0.002 * i as f64, 0.9]);
+        }
+        let dense = SpectralClustering::new(
+            SpectralConfig::new(2).backend(EigenBackend::Dense),
+        )
+        .run(&pts);
+        let lz = SpectralClustering::new(
+            SpectralConfig::new(2).backend(EigenBackend::Lanczos),
+        )
+        .run(&pts);
+        assert_eq!(
+            agreement(
+                &dense.clustering.assignments,
+                &lz.clustering.assignments
+            ),
+            1.0
+        );
+    }
+
+    #[test]
+    fn random_walk_laplacian_matches_symmetric_on_blobs() {
+        let mut pts = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..25 {
+            pts.push(vec![0.1 + 0.002 * i as f64, 0.2]);
+            truth.push(0);
+            pts.push(vec![0.8 + 0.002 * i as f64, 0.9]);
+            truth.push(1);
+        }
+        let rw = SpectralClustering::new(
+            SpectralConfig::new(2).laplacian(LaplacianKind::RandomWalk),
+        )
+        .run(&pts);
+        assert_eq!(agreement(&rw.clustering.assignments, &truth), 1.0);
+        let sym = SpectralClustering::new(SpectralConfig::new(2)).run(&pts);
+        assert_eq!(
+            agreement(&rw.clustering.assignments, &sym.clustering.assignments),
+            1.0
+        );
+    }
+
+    #[test]
+    fn random_walk_handles_rings() {
+        let (pts, truth) = two_rings_free();
+        let cfg = SpectralConfig::new(2)
+            .kernel(Kernel::gaussian(0.05))
+            .laplacian(LaplacianKind::RandomWalk);
+        let res = SpectralClustering::new(cfg).run(&pts);
+        assert!(agreement(&res.clustering.assignments, &truth) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (pts, _) = two_rings_free();
+        let cfg = SpectralConfig::new(2).kernel(Kernel::gaussian(0.05)).seed(3);
+        let a = SpectralClustering::new(cfg.clone()).run(&pts);
+        let b = SpectralClustering::new(cfg).run(&pts);
+        assert_eq!(a.clustering.assignments, b.clustering.assignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_panics() {
+        SpectralClustering::new(SpectralConfig::new(2)).run(&[]);
+    }
+}

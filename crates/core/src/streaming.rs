@@ -1,0 +1,292 @@
+//! Incremental (streaming) DASC.
+//!
+//! Section 5.1 of the paper: "the partitioning step allows our DASC
+//! algorithm to process very large scale data sets, because the data
+//! partitions (or splits) are incrementally processed, split by split
+//! … Intermediate results of hashing (buckets) are stored on S3 and
+//! then incrementally processed".
+//!
+//! This module reproduces that execution mode: chunks of points arrive
+//! one at a time, are hashed immediately, and are spilled to the
+//! replicated DFS — the driver holds only one 16-byte signature per
+//! point between stages. The clustering stage then pulls each bucket's
+//! members back from storage, one bucket at a time.
+
+use dasc_kernel::full_gram;
+use dasc_lsh::{BucketSet, SignatureModel, Signature};
+use dasc_mapreduce::{ClusterConfig, Dfs};
+
+use crate::dasc::{bucket_cluster_count, DascConfig};
+use crate::spectral::{SpectralClustering, SpectralConfig};
+use crate::Clustering;
+
+/// A streaming DASC session: push chunks, then finish.
+pub struct StreamingDasc {
+    config: DascConfig,
+    model: SignatureModel,
+    dfs: Dfs,
+    dims: usize,
+    signatures: Vec<Signature>,
+    /// Number of points per spilled chunk (prefix structure for
+    /// index → chunk resolution).
+    chunk_lens: Vec<usize>,
+}
+
+impl StreamingDasc {
+    /// Start a session. The signature model is fitted on `sample`
+    /// (typically the first split — the thresholds need representative
+    /// marginals, not the whole corpus).
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn new(config: DascConfig, cluster: ClusterConfig, sample: &[Vec<f64>]) -> Self {
+        assert!(!sample.is_empty(), "StreamingDasc: empty fitting sample");
+        let model = SignatureModel::fit(sample, &config.lsh);
+        let dims = sample[0].len();
+        Self {
+            config,
+            model,
+            dfs: Dfs::new(cluster),
+            dims,
+            signatures: Vec::new(),
+            chunk_lens: Vec::new(),
+        }
+    }
+
+    /// Hash a chunk and spill it to the DFS. Only the signatures stay in
+    /// driver memory.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch with the fitting sample.
+    pub fn push_chunk(&mut self, chunk: &[Vec<f64>]) {
+        if chunk.is_empty() {
+            return;
+        }
+        assert!(
+            chunk.iter().all(|p| p.len() == self.dims),
+            "StreamingDasc: chunk dimensionality mismatch"
+        );
+        for p in chunk {
+            self.signatures.push(self.model.hash(p));
+        }
+        let chunk_id = self.chunk_lens.len();
+        self.dfs
+            .put(&format!("/stream/chunk-{chunk_id:06}"), encode(chunk))
+            .expect("fresh chunk path");
+        self.chunk_lens.push(chunk.len());
+    }
+
+    /// Points ingested so far.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True before any chunk arrived.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Bytes of point data spilled to the DFS (logical, pre-replication).
+    pub fn spilled_bytes(&self) -> usize {
+        self.dfs.logical_bytes()
+    }
+
+    /// Close the stream: form buckets from the accumulated signatures,
+    /// pull each bucket's points back from the DFS, cluster per bucket,
+    /// and stitch. Returns `(clustering, buckets)`.
+    ///
+    /// # Panics
+    /// Panics if no points were pushed.
+    pub fn finish(self) -> (Clustering, BucketSet) {
+        assert!(!self.signatures.is_empty(), "StreamingDasc: no data pushed");
+        let n = self.signatures.len();
+        let buckets = BucketSet::from_signatures(&self.signatures)
+            .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+
+        // Chunk prefix offsets for index resolution.
+        let mut offsets = vec![0usize; self.chunk_lens.len() + 1];
+        for (i, &l) in self.chunk_lens.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + l;
+        }
+
+        let mut assignments = vec![0usize; n];
+        let mut cluster_offset = 0usize;
+        for (bi, bucket) in buckets.buckets().iter().enumerate() {
+            // Fetch members chunk by chunk (each chunk read at most once
+            // per bucket).
+            let mut members_points: Vec<Vec<f64>> =
+                Vec::with_capacity(bucket.members.len());
+            let mut cursor = 0usize;
+            while cursor < bucket.members.len() {
+                let chunk_id = offsets
+                    .partition_point(|&o| o <= bucket.members[cursor])
+                    - 1;
+                let bytes = self
+                    .dfs
+                    .get(&format!("/stream/chunk-{chunk_id:06}"))
+                    .expect("spilled chunk exists");
+                let chunk = decode(&bytes, self.dims);
+                while cursor < bucket.members.len()
+                    && bucket.members[cursor] < offsets[chunk_id + 1]
+                {
+                    members_points
+                        .push(chunk[bucket.members[cursor] - offsets[chunk_id]].clone());
+                    cursor += 1;
+                }
+            }
+
+            let ki = bucket_cluster_count(self.config.k, bucket.members.len(), n);
+            let similarity = full_gram(&members_points, &self.config.kernel);
+            let mut cfg = SpectralConfig::new(ki)
+                .kernel(self.config.kernel)
+                .seed(self.config.seed ^ (bi as u64).wrapping_mul(0x9E37_79B9));
+            cfg.lanczos_threshold = self.config.lanczos_threshold;
+            let c = SpectralClustering::new(cfg).run_on_similarity(&similarity);
+            for (local, &point) in bucket.members.iter().enumerate() {
+                assignments[point] = cluster_offset + c.assignments[local];
+            }
+            cluster_offset += c.num_clusters;
+        }
+
+        (
+            Clustering::new(assignments, cluster_offset.max(1)),
+            buckets,
+        )
+    }
+}
+
+fn encode(points: &[Vec<f64>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(points.len() * points[0].len() * 8);
+    for p in points {
+        for &v in p {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode(bytes: &[u8], dims: usize) -> Vec<Vec<f64>> {
+    assert_eq!(bytes.len() % (dims * 8), 0, "corrupt chunk");
+    bytes
+        .chunks_exact(dims * 8)
+        .map(|row| {
+            row.chunks_exact(8)
+                .map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasc_kernel::Kernel;
+    use dasc_lsh::LshConfig;
+
+    fn four_blobs(per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for i in 0..per {
+                pts.push(vec![
+                    c[0] + (i % 7) as f64 * 0.004,
+                    c[1] + (i % 5) as f64 * 0.004,
+                ]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+
+    fn config(n: usize) -> DascConfig {
+        DascConfig::for_dataset(n, 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2).merge_p(2))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let pts = vec![vec![1.5, -2.25], vec![0.0, 3.125]];
+        assert_eq!(decode(&encode(&pts), 2), pts);
+    }
+
+    #[test]
+    fn streaming_matches_batch_accuracy() {
+        let (pts, truth) = four_blobs(25);
+        let cfg = config(pts.len());
+
+        // Batch reference (consolidation off to compare raw stitching).
+        let batch = crate::Dasc::new(cfg.clone().consolidate(false)).run(&pts);
+
+        // Stream in 7 uneven chunks, fitting on the full set so the
+        // model matches the batch run.
+        let mut s = StreamingDasc::new(
+            cfg.consolidate(false),
+            ClusterConfig::single_node(),
+            &pts,
+        );
+        for chunk in pts.chunks(17) {
+            s.push_chunk(chunk);
+        }
+        assert_eq!(s.len(), pts.len());
+        assert!(s.spilled_bytes() >= pts.len() * 2 * 8);
+        let (clustering, buckets) = s.finish();
+
+        assert_eq!(buckets.len(), batch.buckets.len());
+        let a = dasc_metrics::accuracy(&clustering.assignments, &truth);
+        let b = dasc_metrics::accuracy(&batch.clustering.assignments, &truth);
+        assert!((a - b).abs() < 1e-12, "stream {a} vs batch {b}");
+        assert!(a > 0.9, "streaming accuracy {a}");
+    }
+
+    #[test]
+    fn empty_chunks_are_ignored() {
+        let (pts, _) = four_blobs(5);
+        let mut s = StreamingDasc::new(
+            config(pts.len()),
+            ClusterConfig::single_node(),
+            &pts,
+        );
+        s.push_chunk(&[]);
+        assert!(s.is_empty());
+        s.push_chunk(&pts);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn driver_memory_is_signatures_only() {
+        // The session holds one Signature (16 B) per point; point data
+        // lives in the DFS.
+        let (pts, _) = four_blobs(50);
+        let mut s = StreamingDasc::new(
+            config(pts.len()),
+            ClusterConfig::single_node(),
+            &pts[..40],
+        );
+        for chunk in pts.chunks(40) {
+            s.push_chunk(chunk);
+        }
+        assert_eq!(s.signatures.len(), 200);
+        assert_eq!(s.spilled_bytes(), 200 * 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_panics() {
+        let (pts, _) = four_blobs(5);
+        let mut s = StreamingDasc::new(
+            config(pts.len()),
+            ClusterConfig::single_node(),
+            &pts,
+        );
+        s.push_chunk(&[vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data pushed")]
+    fn finish_without_data_panics() {
+        let (pts, _) = four_blobs(2);
+        StreamingDasc::new(config(8), ClusterConfig::single_node(), &pts).finish();
+    }
+}

@@ -1,0 +1,228 @@
+//! The dataset container shared by every experiment.
+
+/// A labelled point set.
+///
+/// `labels`, when present, hold the ground-truth cluster/category of each
+/// point and drive the accuracy metric of Figure 3.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Feature vectors, all the same dimensionality.
+    pub points: Vec<Vec<f64>>,
+    /// Optional ground-truth labels, same length as `points`.
+    pub labels: Option<Vec<usize>>,
+    /// Human-readable provenance tag.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Build a dataset, validating shape invariants.
+    ///
+    /// # Panics
+    /// Panics on ragged points or a label/point length mismatch.
+    pub fn new(points: Vec<Vec<f64>>, labels: Option<Vec<usize>>, name: impl Into<String>) -> Self {
+        if let Some(first) = points.first() {
+            let d = first.len();
+            assert!(
+                points.iter().all(|p| p.len() == d),
+                "Dataset: ragged points"
+            );
+        }
+        if let Some(l) = &labels {
+            assert_eq!(l.len(), points.len(), "Dataset: label count mismatch");
+        }
+        Self { points, labels, name: name.into() }
+    }
+
+    /// Number of points `N`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality `d` (0 for an empty dataset).
+    pub fn dims(&self) -> usize {
+        self.points.first().map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Number of distinct ground-truth labels, if labelled.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.labels.as_ref().map(|ls| {
+            let mut seen: Vec<usize> = ls.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        })
+    }
+
+    /// Min–max normalize every feature to `[0, 1]` in place — the
+    /// "standard preprocessing step in data mining applications" the
+    /// paper applies. Constant dimensions map to 0.
+    pub fn normalize_unit_range(&mut self) {
+        let d = self.dims();
+        if self.points.is_empty() || d == 0 {
+            return;
+        }
+        for j in 0..d {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for p in &self.points {
+                lo = lo.min(p[j]);
+                hi = hi.max(p[j]);
+            }
+            let span = hi - lo;
+            for p in &mut self.points {
+                p[j] = if span > 0.0 { (p[j] - lo) / span } else { 0.0 };
+            }
+        }
+    }
+
+    /// Deterministic shuffled train/test split: `frac` of the points go
+    /// to the first dataset, the rest to the second.
+    ///
+    /// # Panics
+    /// Panics unless `frac ∈ (0, 1)`.
+    pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "split fraction must be in (0, 1)"
+        );
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(seed));
+        let cut = ((self.len() as f64) * frac).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        let pick = |ids: &[usize], tag: &str| Dataset {
+            points: ids.iter().map(|&i| self.points[i].clone()).collect(),
+            labels: self
+                .labels
+                .as_ref()
+                .map(|ls| ids.iter().map(|&i| ls[i]).collect()),
+            name: format!("{}[{tag}]", self.name),
+        };
+        (pick(&idx[..cut], "train"), pick(&idx[cut..], "test"))
+    }
+
+    /// Deterministically take the first `n` points (the paper varies
+    /// dataset size by sampling from a fixed corpus).
+    pub fn truncate(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            points: self.points[..n].to_vec(),
+            labels: self.labels.as_ref().map(|l| l[..n].to_vec()),
+            name: format!("{}[..{}]", self.name, n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 10.0]],
+            Some(vec![0, 1, 0]),
+            "t",
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.num_classes(), Some(2));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_range() {
+        let mut d = sample();
+        d.normalize_unit_range();
+        assert_eq!(d.points[0], vec![0.0, 0.0]);
+        assert_eq!(d.points[1], vec![0.5, 1.0]);
+        assert_eq!(d.points[2], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_constant_dim_to_zero() {
+        let mut d = Dataset::new(vec![vec![7.0], vec![7.0]], None, "c");
+        d.normalize_unit_range();
+        assert_eq!(d.points, vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let d = Dataset::new(
+            (0..20).map(|i| vec![i as f64]).collect(),
+            Some((0..20).map(|i| i % 2).collect()),
+            "s",
+        );
+        let (train, test) = d.split(0.7, 3);
+        assert_eq!(train.len(), 14);
+        assert_eq!(test.len(), 6);
+        // Every original value appears exactly once across the halves.
+        let mut all: Vec<f64> = train
+            .points
+            .iter()
+            .chain(&test.points)
+            .map(|p| p[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+        // Labels follow their points.
+        for (p, &l) in train.points.iter().zip(train.labels.as_ref().unwrap()) {
+            assert_eq!(l, (p[0] as usize) % 2);
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = Dataset::new((0..30).map(|i| vec![i as f64]).collect(), None, "s");
+        let (a1, _) = d.split(0.5, 7);
+        let (a2, _) = d.split(0.5, 7);
+        assert_eq!(a1.points, a2.points);
+        let (b, _) = d.split(0.5, 8);
+        assert_ne!(a1.points, b.points);
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction")]
+    fn bad_split_fraction_panics() {
+        sample().split(1.5, 0);
+    }
+
+    #[test]
+    fn truncate_keeps_labels_aligned() {
+        let d = sample().truncate(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, Some(vec![0, 1]));
+        // Truncating beyond length is a no-op.
+        assert_eq!(sample().truncate(10).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_points_panic() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], None, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn label_mismatch_panics() {
+        Dataset::new(vec![vec![1.0]], Some(vec![0, 1]), "bad");
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let d = Dataset::new(vec![], None, "empty");
+        assert!(d.is_empty());
+        assert_eq!(d.dims(), 0);
+        assert_eq!(d.num_classes(), None);
+    }
+}

@@ -1,0 +1,23 @@
+//! Dataset generation for the DASC experiments.
+//!
+//! The paper evaluates on two data sources:
+//!
+//! * **Synthetic** — 1 K to 4 M points, 64-dimensional, every feature in
+//!   `[0, 1]` (Section 5.2). [`SyntheticConfig`] reproduces this with
+//!   controllable cluster count, spread and seed.
+//! * **Wikipedia** — 3.55 M crawled documents reduced to their top
+//!   `F = 11` tf-idf terms, with ground-truth categories whose count
+//!   follows the fitted law `K = 17(log₂N − 9)` (Eq. 15, Table 1).
+//!   Crawling Wikipedia is outside this reproduction's reach, so
+//!   [`WikiCorpusConfig`] generates a synthetic corpus with the same
+//!   statistical shape: Zipfian vocabularies, per-category topic
+//!   distributions, tf-idf weighting, and exactly the Table 1 category
+//!   scaling. See DESIGN.md for the substitution argument.
+
+pub mod dataset;
+pub mod synthetic;
+pub mod wiki;
+
+pub use dataset::Dataset;
+pub use synthetic::SyntheticConfig;
+pub use wiki::{wiki_num_categories, WikiCorpusConfig, TABLE1_SIZES};

@@ -1,0 +1,288 @@
+//! Synthetic Gaussian-mixture datasets (paper Section 5.2).
+//!
+//! "The size of the synthetic datasets ranges from 1024 to 4 million data
+//! points. Each data point is a 64-dimension vector, where each dimension
+//! takes a real value chosen from the period [0–1]."
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Dataset;
+
+/// Configuration for a synthetic blob dataset.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of points `N`.
+    pub n: usize,
+    /// Dimensionality `d` (paper uses 64).
+    pub d: usize,
+    /// Number of ground-truth clusters `K`.
+    pub k: usize,
+    /// When set, the first `grid_bits` dimensions carry a binary grid:
+    /// cluster `c`'s centroid is `0.25 + 0.5·bit_j(c)` along dimension
+    /// `j < grid_bits` (and near 0.5 elsewhere), so axis-aligned LSH
+    /// cuts at mid-range separate clusters exactly. This is the
+    /// LSH-aligned regime the paper's collision analysis assumes for its
+    /// Wikipedia data. Requires `k == 2^grid_bits`.
+    pub grid_bits: Option<usize>,
+    /// Per-dimension Gaussian spread of each blob (σ before clamping).
+    pub spread: f64,
+    /// Fraction of points replaced by uniform background noise in
+    /// `[0,1]^d` (labelled with their nearest centroid).
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's synthetic setup: `d = 64`, values in `[0, 1]`, with a
+    /// cluster spread small enough that clusters are recoverable.
+    pub fn blobs(n: usize, d: usize, k: usize) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        assert!(d >= 1, "need at least one dimension");
+        Self {
+            n,
+            d,
+            k,
+            grid_bits: None,
+            spread: 0.04,
+            noise_fraction: 0.0,
+            seed: 0xDA5C,
+        }
+    }
+
+    /// LSH-aligned grid mixture: `2^bits` clusters whose centroids form
+    /// a binary grid over the first `bits` dimensions (see
+    /// [`SyntheticConfig::grid_bits`]).
+    ///
+    /// # Panics
+    /// Panics if `bits == 0` or `d < bits`.
+    pub fn grid(n: usize, d: usize, bits: usize) -> Self {
+        assert!(bits >= 1, "grid needs at least one bit");
+        assert!(d >= bits, "grid needs d >= bits");
+        let mut c = Self::blobs(n, d, 1 << bits);
+        c.grid_bits = Some(bits);
+        c
+    }
+
+    /// The exact paper defaults: 64 dimensions.
+    pub fn paper_default(n: usize, k: usize) -> Self {
+        Self::blobs(n, 64, k)
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the blob spread.
+    pub fn spread(mut self, spread: f64) -> Self {
+        assert!(spread >= 0.0, "spread must be non-negative");
+        self.spread = spread;
+        self
+    }
+
+    /// Builder: set the uniform-noise fraction.
+    pub fn noise_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "noise fraction must be in [0,1]");
+        self.noise_fraction = f;
+        self
+    }
+
+    /// Generate the dataset. Deterministic for a given configuration.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // Centroids drawn uniformly in [0.15, 0.85]^d so spread-σ tails
+        // rarely clip at the domain boundary; grid mode pins the leading
+        // dimensions to {0.25, 0.75} by the cluster id's bits and keeps
+        // the rest low-span so span-ranked LSH picks the grid dimensions.
+        let centroids: Vec<Vec<f64>> = (0..self.k)
+            .map(|c| {
+                (0..self.d)
+                    .map(|j| match self.grid_bits {
+                        Some(bits) if j < bits => {
+                            if (c >> j) & 1 == 1 {
+                                0.75
+                            } else {
+                                0.25
+                            }
+                        }
+                        Some(_) => rng.gen_range(0.45..0.55),
+                        None => rng.gen_range(0.15..0.85),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut points = Vec::with_capacity(self.n);
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let is_noise = rng.gen_range(0.0..1.0) < self.noise_fraction;
+            if is_noise {
+                let p: Vec<f64> =
+                    (0..self.d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                labels.push(nearest_centroid(&p, &centroids));
+                points.push(p);
+            } else {
+                // Round-robin cluster membership keeps cluster sizes
+                // balanced, matching controlled synthetic benchmarks.
+                let c = i % self.k;
+                let p: Vec<f64> = centroids[c]
+                    .iter()
+                    .map(|&mu| {
+                        (mu + self.spread * standard_normal(&mut rng))
+                            .clamp(0.0, 1.0)
+                    })
+                    .collect();
+                labels.push(c);
+                points.push(p);
+            }
+        }
+
+        Dataset::new(
+            points,
+            Some(labels),
+            format!("synthetic(n={},d={},k={})", self.n, self.d, self.k),
+        )
+    }
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("NaN")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one centroid")
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = SyntheticConfig::blobs(100, 8, 3).generate();
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dims(), 8);
+        assert_eq!(ds.num_classes(), Some(3));
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let ds = SyntheticConfig::blobs(500, 16, 4).spread(0.3).generate();
+        for p in &ds.points {
+            for &v in p {
+                assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticConfig::blobs(50, 4, 2).seed(1).generate();
+        let b = SyntheticConfig::blobs(50, 4, 2).seed(1).generate();
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.labels, b.labels);
+        let c = SyntheticConfig::blobs(50, 4, 2).seed(2).generate();
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn clusters_are_separated_with_small_spread() {
+        let ds = SyntheticConfig::blobs(200, 8, 2).seed(3).generate();
+        let labels = ds.labels.as_ref().unwrap();
+        // Within-cluster distances must be far below the cross-cluster
+        // distance on average.
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len().min(i + 20) {
+                let d = sq_dist(&ds.points[i], &ds.points[j]).sqrt();
+                if labels[i] == labels[j] {
+                    within = (within.0 + d, within.1 + 1);
+                } else {
+                    across = (across.0 + d, across.1 + 1);
+                }
+            }
+        }
+        let w = within.0 / within.1 as f64;
+        let a = across.0 / across.1 as f64;
+        assert!(w * 2.0 < a, "clusters not separated: within {w}, across {a}");
+    }
+
+    #[test]
+    fn balanced_cluster_sizes_without_noise() {
+        let ds = SyntheticConfig::blobs(90, 4, 3).generate();
+        let labels = ds.labels.unwrap();
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 30);
+        }
+    }
+
+    #[test]
+    fn noise_points_still_labelled() {
+        let ds = SyntheticConfig::blobs(100, 4, 2)
+            .noise_fraction(0.5)
+            .generate();
+        assert_eq!(ds.labels.as_ref().unwrap().len(), 100);
+        assert!(ds.labels.unwrap().iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn grid_centroids_are_binary() {
+        let ds = SyntheticConfig::grid(64, 8, 3).seed(5).generate();
+        assert_eq!(ds.num_classes(), Some(8));
+        let labels = ds.labels.as_ref().unwrap();
+        // Along grid dim j, a point's side of 0.5 encodes bit j of its
+        // cluster id (spread 0.04 keeps samples well inside each half).
+        for (p, &c) in ds.points.iter().zip(labels) {
+            for j in 0..3 {
+                let expect_high = (c >> j) & 1 == 1;
+                assert_eq!(p[j] > 0.5, expect_high, "cluster {c} dim {j}: {}", p[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_nonleading_dims_low_span() {
+        let ds = SyntheticConfig::grid(500, 8, 2).generate();
+        for j in 2..8 {
+            let lo = ds.points.iter().map(|p| p[j]).fold(f64::INFINITY, f64::min);
+            let hi = ds.points.iter().map(|p| p[j]).fold(0.0f64, f64::max);
+            assert!(hi - lo < 0.45, "dim {j} span {} too wide", hi - lo);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= bits")]
+    fn grid_with_too_few_dims_panics() {
+        SyntheticConfig::grid(10, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        SyntheticConfig::blobs(10, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise fraction")]
+    fn bad_noise_fraction_panics() {
+        SyntheticConfig::blobs(10, 4, 1).noise_fraction(1.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Kernel functions.
+//!
+//! Eq. 1 of the paper is the Gaussian (RBF) kernel; the others make the
+//! approximation layer generic over the downstream algorithm.
+
+use dasc_linalg::vector;
+
+/// A positive-semidefinite kernel function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Kernel {
+    /// Gaussian RBF `exp(−‖x−y‖² / 2σ²)` (Eq. 1). `sigma` is the kernel
+    /// bandwidth controlling how rapidly similarity decays.
+    Gaussian {
+        /// Kernel bandwidth σ.
+        sigma: f64,
+    },
+    /// Linear kernel `⟨x, y⟩`.
+    Linear,
+    /// Polynomial kernel `(⟨x, y⟩ + c)^degree`.
+    Polynomial {
+        /// Polynomial degree.
+        degree: u32,
+        /// Additive constant.
+        c: f64,
+    },
+    /// Laplacian kernel `exp(−γ ‖x−y‖₁)`.
+    Laplacian {
+        /// Decay rate γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's default kernel: Gaussian with bandwidth σ.
+    ///
+    /// # Panics
+    /// Panics if `sigma <= 0`.
+    pub fn gaussian(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "Gaussian kernel needs sigma > 0");
+        Kernel::Gaussian { sigma }
+    }
+
+    /// Evaluate the kernel on two points.
+    ///
+    /// # Panics
+    /// Panics if the points differ in dimension.
+    #[inline]
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel eval: dimension mismatch");
+        match *self {
+            Kernel::Gaussian { sigma } => {
+                (-vector::sq_dist(x, y) / (2.0 * sigma * sigma)).exp()
+            }
+            Kernel::Linear => vector::dot(x, y),
+            Kernel::Polynomial { degree, c } => {
+                (vector::dot(x, y) + c).powi(degree as i32)
+            }
+            Kernel::Laplacian { gamma } => {
+                let l1: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
+                (-gamma * l1).exp()
+            }
+        }
+    }
+
+    /// A data-driven bandwidth heuristic: the median pairwise distance
+    /// over a deterministic subsample. Useful when σ is not given.
+    pub fn gaussian_median_heuristic(points: &[Vec<f64>]) -> Self {
+        let n = points.len();
+        assert!(n >= 2, "median heuristic needs at least two points");
+        let stride = (n / 64).max(1);
+        let sample: Vec<&Vec<f64>> = points.iter().step_by(stride).collect();
+        let mut dists = Vec::new();
+        for i in 0..sample.len() {
+            for j in (i + 1)..sample.len() {
+                dists.push(vector::dist(sample[i], sample[j]));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        let median = dists[dists.len() / 2];
+        Kernel::gaussian(if median > 0.0 { median } else { 1.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_unit_at_identity() {
+        let k = Kernel::gaussian(0.5);
+        let x = vec![0.3, 0.7];
+        assert_eq!(k.eval(&x, &x), 1.0);
+    }
+
+    #[test]
+    fn gaussian_decays_with_distance() {
+        let k = Kernel::gaussian(1.0);
+        let a = k.eval(&[0.0], &[1.0]);
+        let b = k.eval(&[0.0], &[2.0]);
+        assert!(a > b && b > 0.0);
+        // Known value: exp(-1/2).
+        assert!((a - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_symmetric() {
+        let k = Kernel::gaussian(0.7);
+        let x = vec![0.1, 0.9, 0.4];
+        let y = vec![0.8, 0.2, 0.6];
+        assert_eq!(k.eval(&x, &y), k.eval(&y, &x));
+    }
+
+    #[test]
+    fn sigma_controls_decay_rate() {
+        let tight = Kernel::gaussian(0.1);
+        let wide = Kernel::gaussian(10.0);
+        assert!(tight.eval(&[0.0], &[1.0]) < wide.eval(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn linear_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn polynomial_known_value() {
+        let k = Kernel::Polynomial { degree: 2, c: 1.0 };
+        // (1*1 + 1)^2 = 4.
+        assert_eq!(k.eval(&[1.0], &[1.0]), 4.0);
+    }
+
+    #[test]
+    fn laplacian_uses_l1() {
+        let k = Kernel::Laplacian { gamma: 1.0 };
+        let v = k.eval(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!((v - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_heuristic_positive_sigma() {
+        let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts)
+        else {
+            panic!("expected gaussian")
+        };
+        assert!(sigma > 0.0 && sigma < 1.0);
+    }
+
+    #[test]
+    fn median_heuristic_degenerate_data() {
+        let pts: Vec<Vec<f64>> = (0..10).map(|_| vec![0.5]).collect();
+        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts)
+        else {
+            panic!("expected gaussian")
+        };
+        assert_eq!(sigma, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma > 0")]
+    fn zero_sigma_panics() {
+        Kernel::gaussian(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch_panics() {
+        Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

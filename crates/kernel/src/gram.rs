@@ -1,0 +1,101 @@
+//! The exact (full) Gram matrix — the O(N²) object DASC avoids.
+
+use dasc_linalg::Matrix;
+use rayon::prelude::*;
+
+use crate::functions::Kernel;
+
+/// Compute the full `N×N` Gram matrix `K[l,m] = k(X_l, X_m)`.
+///
+/// Row-parallel; only the upper triangle is evaluated and mirrored.
+pub fn full_gram(points: &[Vec<f64>], kernel: &Kernel) -> Matrix {
+    let n = points.len();
+    let mut g = Matrix::zeros(n, n);
+    // Compute rows in parallel: row i fills columns i..n.
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            (i..n)
+                .map(|j| kernel.eval(&points[i], &points[j]))
+                .collect()
+        })
+        .collect();
+    for (i, row) in rows.into_iter().enumerate() {
+        for (off, v) in row.into_iter().enumerate() {
+            let j = i + off;
+            g[(i, j)] = v;
+            g[(j, i)] = v;
+        }
+    }
+    g
+}
+
+/// Memory a full Gram matrix for `n` points requires, in bytes, under
+/// the paper's single-precision accounting (Eq. 12 uses 4 bytes/entry).
+pub fn gram_memory_bytes(n: usize) -> usize {
+    4 * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn gaussian_gram_diagonal_is_one() {
+        let g = full_gram(&unit_square(), &Kernel::gaussian(1.0));
+        for i in 0..4 {
+            assert_eq!(g[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let g = full_gram(&unit_square(), &Kernel::gaussian(0.5));
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn gram_values_match_kernel() {
+        let pts = unit_square();
+        let k = Kernel::gaussian(0.8);
+        let g = full_gram(&pts, &k);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(g[(i, j)], k.eval(&pts[i], &pts[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_gram_is_psd() {
+        // All eigenvalues of a Gaussian Gram matrix are non-negative.
+        let pts: Vec<Vec<f64>> =
+            (0..12).map(|i| vec![(i as f64) / 12.0, ((i * 7) % 12) as f64 / 12.0]).collect();
+        let g = full_gram(&pts, &Kernel::gaussian(0.4));
+        let eig = dasc_linalg::symmetric_eigen(&g);
+        for &v in &eig.eigenvalues {
+            assert!(v > -1e-9, "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = full_gram(&[], &Kernel::Linear);
+        assert_eq!(g.shape(), (0, 0));
+    }
+
+    #[test]
+    fn memory_accounting_is_quadratic() {
+        assert_eq!(gram_memory_bytes(1000), 4_000_000);
+        assert_eq!(gram_memory_bytes(0), 0);
+    }
+}

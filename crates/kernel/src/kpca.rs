@@ -1,0 +1,174 @@
+//! Kernel PCA (Schölkopf–Smola–Müller — the paper's reference \[31\] for
+//! kernel-based dimensionality reduction) on exact and block-diagonal
+//! Gram matrices: a third consumer of the DASC approximation.
+//!
+//! Steps: double-center the Gram matrix, eigendecompose, scale the top
+//! eigenvectors by `√λ` to get the embedding. Under the block-diagonal
+//! approximation the centering and eigensolve run independently per
+//! bucket.
+
+use dasc_linalg::{symmetric_eigen, Matrix};
+use rayon::prelude::*;
+
+use crate::approx::ApproximateGram;
+use crate::functions::Kernel;
+use crate::gram::full_gram;
+
+/// Result of an exact kernel PCA.
+#[derive(Clone, Debug)]
+pub struct KpcaEmbedding {
+    /// `N × dims` embedding (rows are points).
+    pub embedding: Matrix,
+    /// Captured eigenvalues, descending.
+    pub eigenvalues: Vec<f64>,
+}
+
+/// Per-bucket kernel PCA over a block-diagonal Gram matrix.
+#[derive(Clone, Debug)]
+pub struct BlockKpca {
+    /// `(members, embedding)` per bucket: `Nᵢ × dims` each.
+    pub blocks: Vec<(Vec<usize>, Matrix)>,
+}
+
+/// Double-center a Gram matrix in place:
+/// `K' = K − 1·K/n − K·1/n + 1·K·1/n²`.
+pub fn center_gram(k: &Matrix) -> Matrix {
+    let n = k.nrows();
+    if n == 0 {
+        return k.clone();
+    }
+    let nf = n as f64;
+    let row_means: Vec<f64> =
+        (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
+    let grand = row_means.iter().sum::<f64>() / nf;
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            c[(i, j)] = k[(i, j)] - row_means[i] - row_means[j] + grand;
+        }
+    }
+    c
+}
+
+fn embed(k: &Matrix, dims: usize) -> (Matrix, Vec<f64>) {
+    let n = k.nrows();
+    let dims = dims.min(n);
+    let centered = center_gram(k);
+    let eig = symmetric_eigen(&centered);
+    let (vals, vecs) = eig.top_k(dims);
+    // Embedding rows: yᵢⱼ = √λⱼ · vⱼ[i]; non-positive (numerically zero)
+    // components collapse to 0.
+    let mut emb = Matrix::zeros(n, dims);
+    for j in 0..dims {
+        let scale = vals[j].max(0.0).sqrt();
+        for i in 0..n {
+            emb[(i, j)] = scale * vecs[(i, j)];
+        }
+    }
+    (emb, vals)
+}
+
+/// Exact kernel PCA of `points` to `dims` components.
+///
+/// # Panics
+/// Panics if `dims == 0` or the dataset is empty.
+pub fn kernel_pca(points: &[Vec<f64>], kernel: &Kernel, dims: usize) -> KpcaEmbedding {
+    assert!(dims > 0, "kpca: dims must be positive");
+    assert!(!points.is_empty(), "kpca: empty dataset");
+    let k = full_gram(points, kernel);
+    let (embedding, eigenvalues) = embed(&k, dims);
+    KpcaEmbedding { embedding, eigenvalues }
+}
+
+/// Per-bucket kernel PCA over an [`ApproximateGram`] (bucket-parallel).
+///
+/// # Panics
+/// Panics if `dims == 0`.
+pub fn kernel_pca_blocks(gram: &ApproximateGram, dims: usize) -> BlockKpca {
+    assert!(dims > 0, "kpca: dims must be positive");
+    let blocks = gram
+        .blocks()
+        .par_iter()
+        .map(|b| {
+            let (emb, _) = embed(&b.matrix, dims);
+            (b.members.clone(), emb)
+        })
+        .collect();
+    BlockKpca { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_gram_has_zero_row_sums() {
+        let pts: Vec<Vec<f64>> =
+            (0..8).map(|i| vec![i as f64, (i * i % 5) as f64]).collect();
+        let k = full_gram(&pts, &Kernel::gaussian(1.0));
+        let c = center_gram(&k);
+        for s in c.row_sums() {
+            assert!(s.abs() < 1e-10, "row sum {s}");
+        }
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn linear_kpca_matches_pca_variances() {
+        // Data varying mostly along one axis: the first KPCA eigenvalue
+        // under the linear kernel is n times the first PCA variance.
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 / 10.0, 0.01 * (i % 2) as f64])
+            .collect();
+        let res = kernel_pca(&pts, &Kernel::Linear, 2);
+        assert!(res.eigenvalues[0] > 50.0 * res.eigenvalues[1]);
+        // Embedding's first column orders the points along the axis.
+        let col0: Vec<f64> = (0..20).map(|i| res.embedding[(i, 0)]).collect();
+        let increasing = col0.windows(2).all(|w| w[1] > w[0]);
+        let decreasing = col0.windows(2).all(|w| w[1] < w[0]);
+        assert!(increasing || decreasing, "first component not monotone");
+    }
+
+    #[test]
+    fn embedding_gram_matches_centered_kernel() {
+        // With all components kept, Y·Yᵀ reconstructs the centered Gram.
+        let pts: Vec<Vec<f64>> =
+            (0..6).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
+        let k = full_gram(&pts, &Kernel::gaussian(0.8));
+        let res = kernel_pca(&pts, &Kernel::gaussian(0.8), 6);
+        let rec = res.embedding.matmul(&res.embedding.transpose());
+        assert!(rec.max_abs_diff(&center_gram(&k)) < 1e-8);
+    }
+
+    #[test]
+    fn block_kpca_covers_every_point() {
+        use dasc_lsh::{BucketSet, Signature};
+        let pts: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64]).collect();
+        let sigs: Vec<Signature> = (0..12)
+            .map(|i| Signature::from_bits(u64::from(i >= 6), 1))
+            .collect();
+        let buckets = BucketSet::from_signatures(&sigs);
+        let gram = ApproximateGram::from_buckets(&pts, &buckets, &Kernel::gaussian(1.0));
+        let res = kernel_pca_blocks(&gram, 2);
+        assert_eq!(res.blocks.len(), 2);
+        let covered: usize = res.blocks.iter().map(|(m, _)| m.len()).sum();
+        assert_eq!(covered, 12);
+        for (members, emb) in &res.blocks {
+            assert_eq!(emb.nrows(), members.len());
+            assert_eq!(emb.ncols(), 2);
+        }
+    }
+
+    #[test]
+    fn dims_clamped_to_n() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let res = kernel_pca(&pts, &Kernel::Linear, 10);
+        assert_eq!(res.embedding.ncols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_dims_panics() {
+        kernel_pca(&[vec![0.0]], &Kernel::Linear, 0);
+    }
+}

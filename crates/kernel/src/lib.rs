@@ -1,0 +1,44 @@
+//! Kernel machinery: kernel functions, Gram matrices, and the DASC
+//! block-diagonal approximation.
+//!
+//! The paper's central object is the kernel (similarity/Gram) matrix.
+//! This crate provides:
+//!
+//! * [`Kernel`] — Gaussian (Eq. 1) plus the other standard kernels, so
+//!   the approximation stays "independent of the subsequently used
+//!   kernel-based machine learning algorithm";
+//! * [`full_gram`] — the exact `N×N` matrix (the O(N²) baseline);
+//! * [`ApproximateGram`] — the block-diagonal approximation induced by
+//!   LSH buckets, storing only `Σ Nᵢ²` entries;
+//! * [`nystrom_eigen`] — the Nyström low-rank alternative used by the
+//!   NYST baseline (Williams & Seeger / Schuetter & Shi);
+//! * Frobenius-norm comparison (Eqs. 22–24) behind Figure 5;
+//! * downstream consumers beyond clustering: kernel ridge regression,
+//!   an LS-SVM classifier, and kernel PCA, each runnable on either the
+//!   exact or the block-diagonal matrix.
+//!
+//! ```
+//! use dasc_kernel::{full_gram, Kernel};
+//!
+//! let points = vec![vec![0.0, 0.0], vec![1.0, 0.0]];
+//! let k = Kernel::gaussian(1.0);
+//! let gram = full_gram(&points, &k);
+//! assert_eq!(gram[(0, 0)], 1.0);                    // self-similarity
+//! assert!((gram[(0, 1)] - (-0.5f64).exp()).abs() < 1e-12); // Eq. 1
+//! ```
+
+pub mod approx;
+pub mod classifier;
+pub mod functions;
+pub mod gram;
+pub mod kpca;
+pub mod nystrom;
+pub mod ridge;
+
+pub use approx::ApproximateGram;
+pub use classifier::KernelClassifier;
+pub use functions::Kernel;
+pub use gram::{full_gram, gram_memory_bytes};
+pub use kpca::{center_gram, kernel_pca, kernel_pca_blocks, BlockKpca, KpcaEmbedding};
+pub use nystrom::{nystrom_eigen, NystromEigen};
+pub use ridge::RidgeModel;

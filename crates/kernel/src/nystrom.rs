@@ -1,0 +1,185 @@
+//! Nyström low-rank kernel approximation (Williams & Seeger), backing
+//! the NYST baseline (Schuetter & Shi's spectral clustering via the
+//! Nyström extension).
+//!
+//! Sample `m ≪ N` landmark points, eigendecompose the small `m×m`
+//! kernel block `W`, and extend to approximate eigenvectors of the full
+//! Gram matrix: `λ̃ᵢ = (N/m)·λᵢ(W)` and
+//! `ṽᵢ = √(m/N) · C uᵢ / λᵢ(W)` where `C` is the `N×m` cross-kernel.
+
+use dasc_linalg::{qr, symmetric_eigen, Matrix};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::functions::Kernel;
+
+/// Result of the Nyström eigen-approximation.
+#[derive(Clone, Debug)]
+pub struct NystromEigen {
+    /// Approximate top eigenvalues of the full Gram matrix, descending.
+    pub eigenvalues: Vec<f64>,
+    /// Approximate eigenvectors (`N × k`, orthonormalized columns).
+    pub eigenvectors: Matrix,
+    /// Indices of the sampled landmark points.
+    pub landmarks: Vec<usize>,
+}
+
+/// Approximate the top-`k` eigenpairs of the Gram matrix of `points`
+/// using `m` landmarks.
+///
+/// Complexity O(m²N) — the Nyström figure the paper's related-work
+/// section quotes.
+///
+/// # Panics
+/// Panics if `k == 0`, `m == 0`, or `m < k`.
+pub fn nystrom_eigen(
+    points: &[Vec<f64>],
+    kernel: &Kernel,
+    m: usize,
+    k: usize,
+    seed: u64,
+) -> NystromEigen {
+    assert!(k > 0, "nystrom: k must be positive");
+    assert!(m >= k, "nystrom: need at least as many landmarks as eigenpairs");
+    let n = points.len();
+    let m = m.min(n);
+    let k = k.min(m);
+
+    // Uniform landmark sample without replacement, deterministic.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    let mut landmarks: Vec<usize> = idx.into_iter().take(m).collect();
+    landmarks.sort_unstable();
+
+    // W: m×m landmark kernel; C: N×m cross kernel.
+    let mut w = Matrix::zeros(m, m);
+    for (a, &i) in landmarks.iter().enumerate() {
+        for (b, &j) in landmarks.iter().enumerate().skip(a) {
+            let v = kernel.eval(&points[i], &points[j]);
+            w[(a, b)] = v;
+            w[(b, a)] = v;
+        }
+    }
+    let mut c = Matrix::zeros(n, m);
+    for i in 0..n {
+        for (b, &j) in landmarks.iter().enumerate() {
+            c[(i, b)] = kernel.eval(&points[i], &points[j]);
+        }
+    }
+
+    let eig = symmetric_eigen(&w);
+    let (w_vals, w_vecs) = eig.top_k(k);
+
+    // Extend: ṽ = √(m/N) · C u / λ, with a pseudo-inverse cutoff for
+    // numerically-zero eigenvalues of W.
+    let cutoff = w_vals.first().map(|v| v.abs()).unwrap_or(0.0) * 1e-12;
+    let scale = (m as f64 / n as f64).sqrt();
+    let mut vectors = Matrix::zeros(n, k);
+    let mut values = Vec::with_capacity(k);
+    for col in 0..k {
+        let lam = w_vals[col];
+        values.push(lam * n as f64 / m as f64);
+        if lam.abs() <= cutoff {
+            continue; // leave a zero column; QR below re-orthogonalizes
+        }
+        for i in 0..n {
+            let mut acc = 0.0;
+            for b in 0..m {
+                acc += c[(i, b)] * w_vecs[(b, col)];
+            }
+            vectors[(i, col)] = scale * acc / lam;
+        }
+    }
+
+    // The extended vectors are only approximately orthogonal;
+    // re-orthonormalize (thin QR) as the NYST implementations do.
+    let vectors = if n >= k { qr(&vectors).q } else { vectors };
+
+    NystromEigen { eigenvalues: values, eigenvectors: vectors, landmarks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gram::full_gram;
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % 10) as f64 / 10.0, (i / 10) as f64 / 10.0])
+            .collect()
+    }
+
+    #[test]
+    fn all_landmarks_recovers_exact_spectrum() {
+        let pts = grid(20);
+        let k = Kernel::gaussian(0.5);
+        let ny = nystrom_eigen(&pts, &k, 20, 3, 1);
+        let exact = symmetric_eigen(&full_gram(&pts, &k));
+        let (exact_top, _) = exact.top_k(3);
+        for (a, b) in ny.eigenvalues.iter().zip(&exact_top) {
+            assert!((a - b).abs() < 1e-8, "nystrom {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn subsampled_spectrum_is_close() {
+        let pts = grid(60);
+        let k = Kernel::gaussian(0.6);
+        let ny = nystrom_eigen(&pts, &k, 30, 2, 2);
+        let exact = symmetric_eigen(&full_gram(&pts, &k));
+        let (exact_top, _) = exact.top_k(2);
+        for (a, b) in ny.eigenvalues.iter().zip(&exact_top) {
+            let rel = (a - b).abs() / b.abs().max(1e-9);
+            assert!(rel < 0.35, "relative error {rel} too large ({a} vs {b})");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let pts = grid(40);
+        let ny = nystrom_eigen(&pts, &Kernel::gaussian(0.5), 15, 4, 3);
+        let g = ny.eigenvectors.transpose().matmul(&ny.eigenvectors);
+        assert!(g.max_abs_diff(&Matrix::identity(4)) < 1e-8);
+    }
+
+    #[test]
+    fn landmarks_are_distinct_and_in_range() {
+        let pts = grid(25);
+        let ny = nystrom_eigen(&pts, &Kernel::Linear, 10, 2, 4);
+        assert_eq!(ny.landmarks.len(), 10);
+        let mut sorted = ny.landmarks.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "duplicate landmarks");
+        assert!(ny.landmarks.iter().all(|&i| i < 25));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = grid(30);
+        let a = nystrom_eigen(&pts, &Kernel::gaussian(1.0), 12, 3, 7);
+        let b = nystrom_eigen(&pts, &Kernel::gaussian(1.0), 12, 3, 7);
+        assert_eq!(a.landmarks, b.landmarks);
+        assert_eq!(a.eigenvalues, b.eigenvalues);
+    }
+
+    #[test]
+    fn m_clamped_to_n() {
+        let pts = grid(5);
+        let ny = nystrom_eigen(&pts, &Kernel::gaussian(1.0), 50, 2, 0);
+        assert_eq!(ny.landmarks.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        nystrom_eigen(&grid(4), &Kernel::Linear, 2, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many landmarks")]
+    fn m_below_k_panics() {
+        nystrom_eigen(&grid(4), &Kernel::Linear, 1, 2, 0);
+    }
+}

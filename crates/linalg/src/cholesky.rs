@@ -1,0 +1,192 @@
+//! Cholesky decomposition and SPD linear solves.
+//!
+//! Regularized kernel (Gram) matrices are symmetric positive definite;
+//! Cholesky is the right factorization for the kernel ridge regression
+//! consumer built on DASC's approximate Gram matrix.
+
+use crate::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Error for non-SPD input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index where the factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert!(a.is_square(), "cholesky: matrix must be square");
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let djj = diag.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / djj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` mismatches the factor's order.
+    #[allow(clippy::needless_range_loop)] // triangular-solve indexing
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "cholesky solve: dimension mismatch");
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Back: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// log-determinant of `A` (`2 Σ ln L_ii`), useful for model scoring.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.5],
+            &[0.6, 1.5, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-12);
+        // Factor is lower triangular.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_check() {
+        let a = spd_example();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec_into(&x, &mut ax);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b), b);
+        assert!((ch.log_det() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_known_value() {
+        // diag(4, 9): det = 36, ln 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        let err = Cholesky::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn zero_matrix_rejected() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn random_spd_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let n = 12;
+        // A = B Bᵀ + n·I is SPD.
+        let b_mat = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = b_mat.matmul(&b_mat.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        let ch = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = ch.solve(&b);
+        let mut ax = vec![0.0; n];
+        a.matvec_into(&x, &mut ax);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Dense and sparse linear algebra substrate for the DASC reproduction.
+//!
+//! The DASC paper (Gao, Abd-Almageed, Hefeeda; HPDC'12) relies on a stack
+//! of numerical routines that in the original system were provided by
+//! Mahout, PARPACK and Matlab. This crate implements that substrate from
+//! scratch:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual algebra.
+//! * [`CsrMatrix`] — compressed sparse row storage used by the PSC
+//!   baseline's t-nearest-neighbour similarity matrices.
+//! * [`tridiagonalize`] — Householder reduction of a symmetric matrix to
+//!   tridiagonal form (the transformation the paper describes ahead of QR).
+//! * [`SymmetricEigen`] — full symmetric eigendecomposition via implicit
+//!   QL with Wilkinson shifts on the tridiagonal form.
+//! * [`lanczos`] — Lanczos iteration with full reorthogonalization for the
+//!   leading eigenpairs of any [`MatVec`] operator (PARPACK substitute).
+//! * [`qr`] — Householder QR used for orthonormalization (Nyström).
+//!
+//! Everything is `f64`, deterministic, and free of `unsafe`.
+//!
+//! ```
+//! use dasc_linalg::{symmetric_eigen, Matrix};
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let eig = symmetric_eigen(&a);
+//! assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+//! assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+//! ```
+
+pub mod cholesky;
+pub mod dense;
+pub mod eigen;
+pub mod lanczos;
+pub mod operator;
+pub mod qr;
+pub mod sparse;
+pub mod svd;
+pub mod tridiag;
+pub mod vector;
+
+pub use cholesky::{Cholesky, NotPositiveDefinite};
+pub use dense::Matrix;
+pub use eigen::{symmetric_eigen, tridiagonal_eigen, SymmetricEigen};
+pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
+pub use operator::MatVec;
+pub use qr::{qr, QrDecomposition};
+pub use sparse::{CooBuilder, CsrMatrix};
+pub use svd::{energy_captured, numerical_rank, singular_values};
+pub use tridiag::{tridiagonalize, Tridiagonal};

@@ -1,0 +1,174 @@
+//! Householder QR decomposition.
+//!
+//! Used by the Nyström baseline to orthonormalize extended eigenvector
+//! blocks, and generally available as the substrate's orthogonalization
+//! primitive.
+
+use crate::Matrix;
+
+/// QR decomposition `A = Q R` with `Q` having orthonormal columns
+/// (thin/reduced form: `Q` is `m × n`, `R` is `n × n`, for `m ≥ n`).
+#[derive(Clone, Debug)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (`m × n`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n × n`).
+    pub r: Matrix,
+}
+
+/// Compute the thin QR decomposition of `a` by Householder reflections.
+///
+/// # Panics
+/// Panics if `a` has more columns than rows.
+pub fn qr(a: &Matrix) -> QrDecomposition {
+    let (m, n) = a.shape();
+    assert!(m >= n, "qr: requires rows >= cols (got {m}x{n})");
+    let mut work = a.clone();
+    // Householder vectors are stored column by column; we also retain the
+    // scalar factors to re-apply the reflections when forming Q.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the reflection that zeroes work[k+1.., k].
+        let mut x: Vec<f64> = (k..m).map(|i| work[(i, k)]).collect();
+        let alpha = {
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if x[0] >= 0.0 {
+                -norm
+            } else {
+                norm
+            }
+        };
+        if alpha == 0.0 {
+            // Column already zero below the diagonal; identity reflection.
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        x[0] -= alpha;
+        let vnorm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if vnorm > 0.0 {
+            for v in &mut x {
+                *v /= vnorm;
+            }
+        }
+        // Apply H = I - 2vvᵀ to the trailing submatrix.
+        for j in k..n {
+            let dot: f64 = (0..m - k).map(|i| x[i] * work[(k + i, j)]).sum();
+            for i in 0..m - k {
+                work[(k + i, j)] -= 2.0 * x[i] * dot;
+            }
+        }
+        vs.push(x);
+    }
+
+    // R is the upper n×n triangle of the transformed matrix.
+    let mut r = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+
+    // Form thin Q by applying the reflections, in reverse, to the first
+    // n columns of the identity.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (0..m - k).map(|i| v[i] * q[(k + i, j)]).sum();
+            for i in 0..m - k {
+                q[(k + i, j)] -= 2.0 * v[i] * dot;
+            }
+        }
+    }
+
+    QrDecomposition { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_qr(a: &Matrix, tol: f64) {
+        let d = qr(a);
+        let (m, n) = a.shape();
+        assert_eq!(d.q.shape(), (m, n));
+        assert_eq!(d.r.shape(), (n, n));
+        // A = Q R.
+        assert!(d.q.matmul(&d.r).max_abs_diff(a) < tol, "A != QR");
+        // Qᵀ Q = I.
+        let g = d.q.transpose().matmul(&d.q);
+        assert!(g.max_abs_diff(&Matrix::identity(n)) < tol, "Q not orthonormal");
+        // R upper triangular.
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(d.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_example() {
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ]);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn identity_decomposes_validly() {
+        // Householder sign conventions may give Q = R = -I; only the
+        // invariants matter.
+        let a = Matrix::identity(4);
+        check_qr(&a, 1e-12);
+        let d = qr(&a);
+        for i in 0..4 {
+            assert!((d.r[(i, i)].abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_column() {
+        // Second column is a multiple of the first; QR still reconstructs.
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 4.0],
+            &[3.0, 6.0],
+        ]);
+        let d = qr(&a);
+        assert!(d.q.matmul(&d.r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn wide_matrix_panics() {
+        qr(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn random_tall_reconstruction() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let a = Matrix::from_fn(20, 6, |_, _| rng.gen_range(-1.0..1.0));
+        check_qr(&a, 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Singular values via the eigendecomposition of `AᵀA`.
+//!
+//! The paper's Fnorm metric rests on the SVD identity
+//! `‖A‖²_F = Σ σₘ²` (Eqs. 23–24, unitary invariance); this module makes
+//! that identity checkable and provides singular values for rank/energy
+//! analyses of Gram matrices.
+
+use crate::dense::Matrix;
+use crate::eigen::symmetric_eigen;
+
+/// Singular values of `a`, descending. Computed as the square roots of
+/// the eigenvalues of `AᵀA` (clamped at zero), which is exact for the
+/// moderate sizes used here and needs no bidiagonalization machinery.
+pub fn singular_values(a: &Matrix) -> Vec<f64> {
+    let ata = a.transpose().matmul(a);
+    let eig = symmetric_eigen(&ata);
+    let mut vals: Vec<f64> = eig
+        .eigenvalues
+        .iter()
+        .rev()
+        .map(|&l| l.max(0.0).sqrt())
+        .collect();
+    // Guard against tiny negative rounding turned 0: ensure descending.
+    vals.sort_by(|x, y| y.partial_cmp(x).expect("NaN singular value"));
+    vals
+}
+
+/// Numerical rank: singular values above `tol · σ₁`.
+pub fn numerical_rank(a: &Matrix, tol: f64) -> usize {
+    let s = singular_values(a);
+    let cutoff = s.first().copied().unwrap_or(0.0) * tol;
+    s.iter().filter(|&&v| v > cutoff && v > 0.0).count()
+}
+
+/// Fraction of Frobenius energy captured by the top `k` singular values
+/// (`Σ_{m≤k} σₘ² / Σ σₘ²`) — the "rapidly decaying eigen-spectrum"
+/// observation that motivates both Nyström and DASC.
+pub fn energy_captured(a: &Matrix, k: usize) -> f64 {
+    let s = singular_values(a);
+    let total: f64 = s.iter().map(|v| v * v).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    s.iter().take(k).map(|v| v * v).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_singular_values_are_abs_entries() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        let s = singular_values(&a);
+        assert!((s[0] - 4.0).abs() < 1e-10);
+        assert!((s[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eq24_frobenius_identity() {
+        // ‖A‖²_F = Σ σ² (the paper's unitary-invariance argument).
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 0.5],
+            &[-1.0, 0.3, 2.2],
+            &[0.7, 0.7, -0.9],
+        ]);
+        let fro2 = a.frobenius_norm().powi(2);
+        let sum2: f64 = singular_values(&a).iter().map(|v| v * v).sum();
+        assert!((fro2 - sum2).abs() < 1e-9, "{fro2} vs {sum2}");
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Second row is 2× the first: rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(numerical_rank(&a, 1e-9), 1);
+        assert_eq!(numerical_rank(&Matrix::identity(3), 1e-9), 3);
+        assert_eq!(numerical_rank(&Matrix::zeros(2, 2), 1e-9), 0);
+    }
+
+    #[test]
+    fn rbf_gram_energy_concentrates() {
+        // The motivating observation: an RBF Gram matrix's spectrum
+        // decays fast, so few components carry most of the energy.
+        let pts: Vec<Vec<f64>> =
+            (0..24).map(|i| vec![(i % 6) as f64 / 6.0, (i / 6) as f64 / 4.0]).collect();
+        let g = Matrix::from_fn(24, 24, |i, j| {
+            let d2: f64 = pts[i]
+                .iter()
+                .zip(&pts[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            (-d2 / 0.5).exp()
+        });
+        let e4 = energy_captured(&g, 4);
+        assert!(e4 > 0.9, "top-4 energy only {e4}");
+        assert!((energy_captured(&g, 24) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tall_matrix_supported() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0], &[2.0]]);
+        let s = singular_values(&a);
+        assert_eq!(s.len(), 1);
+        assert!((s[0] - 3.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Householder reduction of a real symmetric matrix to tridiagonal form.
+//!
+//! This is the transformation the DASC paper invokes before QR/QL
+//! iteration ("we transform Lᵢ into a symmetric tridiagonal matrix Aᵢ").
+//! The implementation follows the classic EISPACK `tred2` routine,
+//! accumulating the orthogonal similarity transform `Q` so that
+//! `A = Q · T · Qᵀ`.
+
+use crate::Matrix;
+
+/// A symmetric tridiagonal matrix together with the accumulated
+/// orthogonal transform that produced it.
+#[derive(Clone, Debug)]
+pub struct Tridiagonal {
+    /// Diagonal entries `d[0..n]`.
+    pub diagonal: Vec<f64>,
+    /// Sub/super-diagonal entries; `off_diagonal[i]` couples `i-1` and `i`
+    /// (`off_diagonal[0]` is unused and kept at `0.0`, matching EISPACK).
+    pub off_diagonal: Vec<f64>,
+    /// Accumulated orthogonal matrix `Q` with `A = Q T Qᵀ`.
+    pub q: Matrix,
+}
+
+impl Tridiagonal {
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.diagonal.len()
+    }
+
+    /// Reconstruct the dense tridiagonal matrix `T` (for tests/debugging).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.order();
+        let mut t = Matrix::zeros(n, n);
+        for i in 0..n {
+            t[(i, i)] = self.diagonal[i];
+            if i > 0 {
+                t[(i, i - 1)] = self.off_diagonal[i];
+                t[(i - 1, i)] = self.off_diagonal[i];
+            }
+        }
+        t
+    }
+}
+
+/// Householder-tridiagonalize a symmetric matrix (EISPACK `tred2`).
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is the caller's responsibility;
+/// only the lower triangle is read.
+pub fn tridiagonalize(a: &Matrix) -> Tridiagonal {
+    assert!(a.is_square(), "tridiagonalize: matrix must be square");
+    let n = a.nrows();
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    if n == 0 {
+        return Tridiagonal { diagonal: d, off_diagonal: e, q: z };
+    }
+    if n == 1 {
+        d[0] = z[(0, 0)];
+        z[(0, 0)] = 1.0;
+        return Tridiagonal { diagonal: d, off_diagonal: e, q: z };
+    }
+
+    // Householder reduction, working from the last row upwards.
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        let mut scale = 0.0;
+        if l > 0 {
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+
+    // Accumulate the transformation matrix.
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+
+    Tridiagonal { diagonal: d, off_diagonal: e, q: z }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orthogonality_error(q: &Matrix) -> f64 {
+        q.transpose().matmul(q).max_abs_diff(&Matrix::identity(q.nrows()))
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = tridiagonalize(&Matrix::zeros(0, 0));
+        assert_eq!(t.order(), 0);
+        let t = tridiagonalize(&Matrix::from_rows(&[&[7.0]]));
+        assert_eq!(t.diagonal, vec![7.0]);
+        assert_eq!(t.q[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn already_tridiagonal_is_preserved_up_to_sign() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 0.0],
+            &[1.0, 2.0, 1.0],
+            &[0.0, 1.0, 2.0],
+        ]);
+        let t = tridiagonalize(&a);
+        // Reconstruction must hold regardless of sign conventions.
+        let rec = t.q.matmul(&t.to_dense()).matmul(&t.q.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality_4x4() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ]);
+        let t = tridiagonalize(&a);
+        assert!(orthogonality_error(&t.q) < 1e-10, "Q not orthogonal");
+        let rec = t.q.matmul(&t.to_dense()).matmul(&t.q.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10, "Q T Q^T != A");
+    }
+
+    #[test]
+    fn t_is_tridiagonal() {
+        let a = Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+        let t = tridiagonalize(&a);
+        let dense = t.to_dense();
+        for i in 0..6 {
+            for j in 0..6 {
+                if (i as i64 - j as i64).abs() > 1 {
+                    assert_eq!(dense[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_reduces_to_zero() {
+        let t = tridiagonalize(&Matrix::zeros(5, 5));
+        assert!(t.diagonal.iter().all(|&v| v == 0.0));
+        assert!(t.off_diagonal.iter().all(|&v| v == 0.0));
+        assert!(orthogonality_error(&t.q) < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Bucket formation and the P-similar-signature merge rule.
+//!
+//! Step two of DASC: points with identical signatures share a bucket,
+//! then buckets whose signatures agree in at least `P` bits are merged
+//! (Section 3.2). The merge is transitive — the paper performs pairwise
+//! comparisons over the `T` unique signatures (O(T²)) and combines
+//! matches — so we close it with a union–find.
+
+use std::collections::HashMap;
+
+use crate::config::MergeStrategy;
+use crate::signature::Signature;
+
+/// One bucket: a representative signature and its member point indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bucket {
+    /// Signature of the first (lowest signature value) constituent
+    /// bucket.
+    pub signature: Signature,
+    /// Member point indices, ascending.
+    pub members: Vec<usize>,
+}
+
+/// The set of buckets induced by a batch of signatures.
+#[derive(Clone, Debug)]
+pub struct BucketSet {
+    buckets: Vec<Bucket>,
+    num_points: usize,
+}
+
+impl BucketSet {
+    /// Group points by exact signature equality.
+    ///
+    /// Buckets are ordered by signature value, members ascending — fully
+    /// deterministic.
+    pub fn from_signatures(signatures: &[Signature]) -> Self {
+        let mut groups: HashMap<Signature, Vec<usize>> = HashMap::new();
+        for (idx, sig) in signatures.iter().enumerate() {
+            groups.entry(*sig).or_default().push(idx);
+        }
+        let mut buckets: Vec<Bucket> = groups
+            .into_iter()
+            .map(|(signature, members)| Bucket { signature, members })
+            .collect();
+        buckets.sort_by_key(|b| b.signature);
+        Self { buckets, num_points: signatures.len() }
+    }
+
+    /// Merge buckets whose signatures share at least `p` bits, closing
+    /// transitively. With the paper's `P = M − 1` the pairwise test is
+    /// the O(1) Eq. 6 bit trick.
+    ///
+    /// # Panics
+    /// Panics if `p` exceeds the signature width.
+    pub fn merge_similar(&self, p: usize) -> BucketSet {
+        let t = self.buckets.len();
+        if t <= 1 {
+            return self.clone();
+        }
+        let m = self.buckets[0].signature.len();
+        assert!(p <= m, "P = {p} exceeds signature width {m}");
+
+        // Union–find over bucket indices.
+        let mut parent: Vec<usize> = (0..t).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let use_bit_trick = p + 1 == m;
+        for i in 0..t {
+            for j in (i + 1)..t {
+                let a = &self.buckets[i].signature;
+                let b = &self.buckets[j].signature;
+                let similar = if use_bit_trick {
+                    a.differs_by_one(b)
+                } else {
+                    a.at_least_p_common(b, p)
+                };
+                if similar {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        // Attach the larger root index under the smaller so
+                        // the representative is the lowest signature.
+                        let (lo, hi) = if ri < rj { (ri, rj) } else { (rj, ri) };
+                        parent[hi] = lo;
+                    }
+                }
+            }
+        }
+
+        let mut merged: HashMap<usize, Bucket> = HashMap::new();
+        for i in 0..t {
+            let root = find(&mut parent, i);
+            let entry = merged.entry(root).or_insert_with(|| Bucket {
+                signature: self.buckets[root].signature,
+                members: Vec::new(),
+            });
+            entry.members.extend_from_slice(&self.buckets[i].members);
+        }
+        let mut buckets: Vec<Bucket> = merged.into_values().collect();
+        for b in &mut buckets {
+            b.members.sort_unstable();
+        }
+        buckets.sort_by_key(|b| b.signature);
+        BucketSet { buckets, num_points: self.num_points }
+    }
+
+    /// Merge buckets in greedy disjoint **pairs**: scanning buckets in
+    /// signature order, each unpaired bucket absorbs the first later
+    /// unpaired bucket whose signature shares at least `p` bits.
+    ///
+    /// Unlike [`BucketSet::merge_similar`], this does not take the
+    /// transitive closure. On dense signature spaces — every signature
+    /// value occupied, which is exactly what happens at the paper's
+    /// default `M = ⌈log₂N⌉/2 − 1` — the closure under `P = M − 1`
+    /// connects the whole Hamming cube and collapses the partition into
+    /// one bucket, destroying all parallelism. Greedy pairing keeps the
+    /// error-reduction benefit (adjacent buckets are combined) while
+    /// guaranteeing at least `T/2` buckets survive. The paper's merge
+    /// description (pairwise signature comparison, Eq. 6) is compatible
+    /// with either reading; DASC defaults to this one.
+    ///
+    /// # Panics
+    /// Panics if `p` exceeds the signature width.
+    pub fn merge_greedy_pairs(&self, p: usize) -> BucketSet {
+        let t = self.buckets.len();
+        if t <= 1 {
+            return self.clone();
+        }
+        let m = self.buckets[0].signature.len();
+        assert!(p <= m, "P = {p} exceeds signature width {m}");
+        let use_bit_trick = p + 1 == m;
+        let mut paired = vec![false; t];
+        let mut buckets: Vec<Bucket> = Vec::new();
+        for i in 0..t {
+            if paired[i] {
+                continue;
+            }
+            let mut merged = self.buckets[i].clone();
+            #[allow(clippy::needless_range_loop)] // j indexes paired + buckets
+            for j in (i + 1)..t {
+                if paired[j] {
+                    continue;
+                }
+                let a = &self.buckets[i].signature;
+                let b = &self.buckets[j].signature;
+                let similar = if use_bit_trick {
+                    a.differs_by_one(b)
+                } else {
+                    a.at_least_p_common(b, p)
+                };
+                if similar {
+                    merged.members.extend_from_slice(&self.buckets[j].members);
+                    paired[j] = true;
+                    break;
+                }
+            }
+            merged.members.sort_unstable();
+            buckets.push(merged);
+        }
+        BucketSet { buckets, num_points: self.num_points }
+    }
+
+    /// Apply a [`MergeStrategy`] with threshold `p`.
+    pub fn merge_with(&self, strategy: MergeStrategy, p: usize) -> BucketSet {
+        match strategy {
+            MergeStrategy::GreedyPairs => self.merge_greedy_pairs(p),
+            MergeStrategy::TransitiveClosure => self.merge_similar(p),
+            MergeStrategy::None => self.clone(),
+        }
+    }
+
+    /// Number of buckets `T`.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if there are no buckets (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Number of hashed points `N`.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// The buckets, ordered by signature.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Bucket sizes `Nᵢ` in bucket order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(|b| b.members.len()).collect()
+    }
+
+    /// Map each point index to its bucket index.
+    pub fn assignments(&self) -> Vec<usize> {
+        let mut a = vec![usize::MAX; self.num_points];
+        for (bi, b) in self.buckets.iter().enumerate() {
+            for &idx in &b.members {
+                a[idx] = bi;
+            }
+        }
+        a
+    }
+
+    /// Σ Nᵢ² — the approximated kernel's entry count, the quantity the
+    /// paper's space analysis (Eq. 9) bounds.
+    pub fn approx_gram_entries(&self) -> usize {
+        self.buckets.iter().map(|b| b.members.len().pow(2)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(bits: u64, len: usize) -> Signature {
+        Signature::from_bits(bits, len)
+    }
+
+    #[test]
+    fn exact_grouping() {
+        let sigs = vec![sig(0b01, 2), sig(0b10, 2), sig(0b01, 2), sig(0b01, 2)];
+        let bs = BucketSet::from_signatures(&sigs);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs.num_points(), 4);
+        assert_eq!(bs.buckets()[0].members, vec![0, 2, 3]);
+        assert_eq!(bs.buckets()[1].members, vec![1]);
+        assert_eq!(bs.sizes(), vec![3, 1]);
+    }
+
+    #[test]
+    fn assignments_cover_all_points() {
+        let sigs = vec![sig(0, 3), sig(1, 3), sig(0, 3), sig(7, 3)];
+        let bs = BucketSet::from_signatures(&sigs);
+        let a = bs.assignments();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], a[2]);
+        assert_ne!(a[0], a[1]);
+        assert!(a.iter().all(|&x| x < bs.len()));
+    }
+
+    #[test]
+    fn merge_p_eq_m_minus_1_uses_hamming_1() {
+        // 000, 001 differ by 1 → merge; 111 stays alone.
+        let sigs = vec![sig(0b000, 3), sig(0b001, 3), sig(0b111, 3)];
+        let bs = BucketSet::from_signatures(&sigs).merge_similar(2);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs.buckets()[0].members, vec![0, 1]);
+        assert_eq!(bs.buckets()[1].members, vec![2]);
+    }
+
+    #[test]
+    fn merge_is_transitive() {
+        // 000–001–011–111 chain: each adjacent pair differs by one bit,
+        // so everything collapses into a single bucket.
+        let sigs = vec![sig(0b000, 3), sig(0b001, 3), sig(0b011, 3), sig(0b111, 3)];
+        let bs = BucketSet::from_signatures(&sigs).merge_similar(2);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs.buckets()[0].members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_with_lower_p_widens_radius() {
+        // 0000 vs 0011: hamming 2, so P = M-2 = 2 merges them but
+        // P = M-1 = 3 does not.
+        let sigs = vec![sig(0b0000, 4), sig(0b0011, 4)];
+        let strict = BucketSet::from_signatures(&sigs).merge_similar(3);
+        assert_eq!(strict.len(), 2);
+        let loose = BucketSet::from_signatures(&sigs).merge_similar(2);
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn merge_p_eq_m_merges_nothing() {
+        let sigs = vec![sig(0b00, 2), sig(0b01, 2)];
+        let bs = BucketSet::from_signatures(&sigs).merge_similar(2);
+        assert_eq!(bs.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let bs = BucketSet::from_signatures(&[]);
+        assert!(bs.is_empty());
+        assert_eq!(bs.merge_similar(0).len(), 0);
+        let bs = BucketSet::from_signatures(&[sig(5, 4)]);
+        assert_eq!(bs.merge_similar(3).len(), 1);
+    }
+
+    #[test]
+    fn approx_gram_entries_sums_squares() {
+        let sigs = vec![sig(0, 2), sig(0, 2), sig(1, 2)];
+        let bs = BucketSet::from_signatures(&sigs);
+        assert_eq!(bs.approx_gram_entries(), 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds signature width")]
+    fn oversized_p_panics() {
+        let sigs = vec![sig(0, 2), sig(1, 2)];
+        BucketSet::from_signatures(&sigs).merge_similar(3);
+    }
+
+    #[test]
+    fn greedy_pairs_does_not_chain() {
+        // 000–001–011–111: closure collapses to 1 bucket; greedy pairing
+        // yields (000,001) and (011,111) — two buckets.
+        let sigs = vec![sig(0b000, 3), sig(0b001, 3), sig(0b011, 3), sig(0b111, 3)];
+        let bs = BucketSet::from_signatures(&sigs).merge_greedy_pairs(2);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs.buckets()[0].members, vec![0, 1]);
+        assert_eq!(bs.buckets()[1].members, vec![2, 3]);
+    }
+
+    #[test]
+    fn greedy_pairs_keeps_at_least_half() {
+        // Full 4-bit cube occupied: closure gives 1 bucket; greedy gives
+        // exactly 8 pairs.
+        let sigs: Vec<Signature> = (0..16).map(|b| sig(b, 4)).collect();
+        let closure = BucketSet::from_signatures(&sigs).merge_similar(3);
+        assert_eq!(closure.len(), 1);
+        let pairs = BucketSet::from_signatures(&sigs).merge_greedy_pairs(3);
+        assert_eq!(pairs.len(), 8);
+        assert_eq!(pairs.num_points(), 16);
+        let total: usize = pairs.sizes().iter().sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn greedy_pairs_no_match_is_identity() {
+        let sigs = vec![sig(0b0000, 4), sig(0b1111, 4)];
+        let bs = BucketSet::from_signatures(&sigs).merge_greedy_pairs(3);
+        assert_eq!(bs.len(), 2);
+    }
+
+    #[test]
+    fn merge_deterministic_representative() {
+        let sigs = vec![sig(0b10, 2), sig(0b11, 2)];
+        let bs = BucketSet::from_signatures(&sigs).merge_similar(1);
+        assert_eq!(bs.len(), 1);
+        // Representative is the lowest signature of the merged set.
+        assert_eq!(bs.buckets()[0].signature, sig(0b10, 2));
+    }
+}

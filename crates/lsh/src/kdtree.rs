@@ -1,0 +1,289 @@
+//! k-d tree for exact nearest-neighbour queries.
+//!
+//! The paper's hash family is built "on the principle of the k-d tree"
+//! (its reference \[18\]); this is the tree itself. Besides grounding that
+//! reference, it accelerates the PSC baseline's t-NN graph construction
+//! from O(N²d) brute force to O(N log N) builds with sub-linear queries
+//! in low dimension.
+
+/// A static k-d tree over a point set (indices into the caller's data).
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    /// Flattened nodes; `nodes[0]` is the root (empty for no points).
+    nodes: Vec<Node>,
+    /// Dimensionality.
+    dims: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Index of the point stored at this node.
+    point: usize,
+    /// Split dimension at this node.
+    dim: usize,
+    /// Children as node indices (usize::MAX = none).
+    left: usize,
+    right: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+impl KdTree {
+    /// Build a balanced tree over `points` (median splits, cycling
+    /// dimensions).
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn build(points: &[Vec<f64>]) -> Self {
+        let dims = points.first().map(|p| p.len()).unwrap_or(0);
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "KdTree::build: ragged points"
+        );
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        if !idx.is_empty() {
+            build_recursive(points, &mut idx, 0, dims, &mut nodes);
+        }
+        Self { nodes, dims }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `k` nearest neighbours of `query` by Euclidean distance,
+    /// as `(point_index, distance)` sorted ascending by distance
+    /// (ties by index). `exclude` (e.g. the query's own index when
+    /// querying the indexed set) is skipped.
+    ///
+    /// # Panics
+    /// Panics if `query` has the wrong dimensionality.
+    pub fn nearest(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.dims, "KdTree: query dimension mismatch");
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        // Bounded max-heap as a sorted Vec (k is small for t-NN graphs).
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        self.search(points, query, 0, k, exclude, &mut best);
+        best.into_iter().map(|(d, i)| (i, d.sqrt())).collect()
+    }
+
+    fn search(
+        &self,
+        points: &[Vec<f64>],
+        query: &[f64],
+        node: usize,
+        k: usize,
+        exclude: Option<usize>,
+        best: &mut Vec<(f64, usize)>,
+    ) {
+        let n = &self.nodes[node];
+        let p = &points[n.point];
+        if exclude != Some(n.point) {
+            let d2: f64 = p
+                .iter()
+                .zip(query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let entry = (d2, n.point);
+            let pos = best
+                .binary_search_by(|probe| {
+                    probe.partial_cmp(&entry).expect("NaN distance")
+                })
+                .unwrap_or_else(|e| e);
+            best.insert(pos, entry);
+            best.truncate(k);
+        }
+
+        let delta = query[n.dim] - p[n.dim];
+        let (near, far) = if delta <= 0.0 {
+            (n.left, n.right)
+        } else {
+            (n.right, n.left)
+        };
+        if near != NONE {
+            self.search(points, query, near, k, exclude, best);
+        }
+        // Prune the far side unless the splitting plane is closer than
+        // the current k-th best.
+        let need_far = best.len() < k
+            || delta * delta
+                < best.last().map(|&(d, _)| d).unwrap_or(f64::INFINITY);
+        if far != NONE && need_far {
+            self.search(points, query, far, k, exclude, best);
+        }
+    }
+}
+
+fn build_recursive(
+    points: &[Vec<f64>],
+    idx: &mut [usize],
+    depth: usize,
+    dims: usize,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let dim = if dims == 0 { 0 } else { depth % dims };
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        points[a][dim]
+            .partial_cmp(&points[b][dim])
+            .expect("NaN coordinate")
+            .then(a.cmp(&b))
+    });
+    let point = idx[mid];
+    let me = nodes.len();
+    nodes.push(Node { point, dim, left: NONE, right: NONE });
+
+    // Split the slice around the median; recurse.
+    let (lo, rest) = idx.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    if !lo.is_empty() {
+        let l = build_recursive(points, lo, depth + 1, dims, nodes);
+        nodes[me].left = l;
+    }
+    if !hi.is_empty() {
+        let r = build_recursive(points, hi, depth + 1, dims, nodes);
+        nodes[me].right = r;
+    }
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(
+        points: &[Vec<f64>],
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| exclude != Some(*i))
+            .map(|(i, p)| {
+                let d: f64 = p
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (i, d)
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("NaN").then(a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                v.push(vec![i as f64, j as f64]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn single_nearest_matches_brute_force() {
+        let pts = grid_points();
+        let tree = KdTree::build(&pts);
+        let q = vec![2.3, 4.1];
+        let got = tree.nearest(&pts, &q, 1, None);
+        let want = brute_force(&pts, &q, 1, None);
+        assert_eq!(got[0].0, want[0].0);
+        assert!((got[0].1 - want[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_matches_brute_force_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let pts: Vec<Vec<f64>> = (0..200)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let tree = KdTree::build(&pts);
+        for _ in 0..25 {
+            let q: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let got = tree.nearest(&pts, &q, 7, None);
+            let want = brute_force(&pts, &q, 7, None);
+            let gi: Vec<usize> = got.iter().map(|x| x.0).collect();
+            let wi: Vec<usize> = want.iter().map(|x| x.0).collect();
+            assert_eq!(gi, wi, "kNN mismatch for query {q:?}");
+        }
+    }
+
+    #[test]
+    fn exclude_skips_self() {
+        let pts = grid_points();
+        let tree = KdTree::build(&pts);
+        let got = tree.nearest(&pts, &pts[7], 3, Some(7));
+        assert!(got.iter().all(|&(i, _)| i != 7));
+        let want = brute_force(&pts, &pts[7], 3, Some(7));
+        assert_eq!(
+            got.iter().map(|x| x.0).collect::<Vec<_>>(),
+            want.iter().map(|x| x.0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![vec![1.0, 1.0]; 5];
+        let tree = KdTree::build(&pts);
+        let got = tree.nearest(&pts, &[1.0, 1.0], 3, None);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let tree = KdTree::build(&pts);
+        let got = tree.nearest(&pts, &[0.9], 10, None);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pts: Vec<Vec<f64>> = Vec::new();
+        let tree = KdTree::build(&pts);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn distances_sorted_ascending() {
+        let pts = grid_points();
+        let tree = KdTree::build(&pts);
+        let got = tree.nearest(&pts, &[2.5, 2.5], 8, None);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dim_panics() {
+        let pts = vec![vec![0.0, 0.0]];
+        KdTree::build(&pts).nearest(&pts, &[0.0], 1, None);
+    }
+}

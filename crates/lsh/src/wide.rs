@@ -1,0 +1,210 @@
+//! Arbitrary-width binary signatures (`M > 64`).
+//!
+//! [`crate::Signature`] packs into one `u64`, which covers every
+//! configuration the paper evaluates (`M ≤ 35`). Ablations that sweep
+//! beyond 64 bits use this multi-word variant; it offers the same
+//! Hamming-space operations, including a word-wise generalization of the
+//! Eq. 6 one-bit-difference trick.
+
+use std::fmt;
+
+/// A binary signature of arbitrary width, packed into `u64` words
+/// (little-endian bit order: bit 0 is word 0's LSB). Ordering is
+/// numeric: most-significant word first.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WideSignature {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PartialOrd for WideSignature {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WideSignature {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Numeric comparison: widths first, then words from the most
+        // significant down.
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.words.iter().rev().cmp(other.words.iter().rev()))
+    }
+}
+
+impl WideSignature {
+    /// All-zero signature of `len` bits.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn zero(len: usize) -> Self {
+        assert!(len > 0, "signature length must be positive");
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Signatures are never empty; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range");
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Hamming distance.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn hamming(&self, other: &WideSignature) -> u32 {
+        assert_eq!(self.len, other.len, "hamming: width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Number of agreeing bits.
+    pub fn common_bits(&self, other: &WideSignature) -> u32 {
+        self.len as u32 - self.hamming(other)
+    }
+
+    /// Word-wise Eq. 6: exactly one word differs, and that word's XOR is
+    /// a power of two. O(words), constant per word.
+    pub fn differs_by_one(&self, other: &WideSignature) -> bool {
+        assert_eq!(self.len, other.len, "differs_by_one: width mismatch");
+        let mut seen_diff = false;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            let x = a ^ b;
+            if x != 0 {
+                if seen_diff || x & x.wrapping_sub(1) != 0 {
+                    return false;
+                }
+                seen_diff = true;
+            }
+        }
+        seen_diff
+    }
+
+    /// Narrow to a packed [`crate::Signature`] when `len <= 64`.
+    ///
+    /// # Panics
+    /// Panics if the signature is wider than 64 bits.
+    pub fn to_packed(&self) -> crate::Signature {
+        assert!(self.len <= 64, "signature too wide to pack");
+        crate::Signature::from_bits(self.words[0], self.len)
+    }
+}
+
+impl fmt::Debug for WideSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WideSignature(")?;
+        for i in (0..self.len).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_across_word_boundary() {
+        let mut s = WideSignature::zero(130);
+        s.set(0, true);
+        s.set(63, true);
+        s.set(64, true);
+        s.set(129, true);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(129));
+        assert!(!s.get(65));
+        s.set(64, false);
+        assert!(!s.get(64));
+    }
+
+    #[test]
+    fn hamming_across_words() {
+        let mut a = WideSignature::zero(100);
+        let mut b = WideSignature::zero(100);
+        a.set(3, true);
+        a.set(70, true);
+        b.set(70, true);
+        b.set(99, true);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.common_bits(&b), 98);
+    }
+
+    #[test]
+    fn differs_by_one_wide() {
+        let mut a = WideSignature::zero(128);
+        let mut b = WideSignature::zero(128);
+        b.set(100, true);
+        assert!(a.differs_by_one(&b));
+        assert!(!a.differs_by_one(&a));
+        a.set(5, true);
+        assert!(!a.differs_by_one(&b)); // two differing bits, two words
+        let mut c = WideSignature::zero(128);
+        c.set(100, true);
+        c.set(101, true);
+        assert!(!b.differs_by_one(&c) || b.hamming(&c) == 1);
+        assert_eq!(b.hamming(&c), 1);
+        assert!(b.differs_by_one(&c));
+    }
+
+    #[test]
+    fn to_packed_roundtrip() {
+        let mut w = WideSignature::zero(10);
+        w.set(1, true);
+        w.set(9, true);
+        let p = w.to_packed();
+        assert_eq!(p.bits(), 0b10_0000_0010);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn pack_wide_panics() {
+        WideSignature::zero(65).to_packed();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_panics() {
+        WideSignature::zero(64).get(64);
+    }
+
+    #[test]
+    fn ordering_is_consistent() {
+        let mut a = WideSignature::zero(128);
+        let mut b = WideSignature::zero(128);
+        a.set(2, true);
+        b.set(100, true);
+        assert!(a < b);
+    }
+}

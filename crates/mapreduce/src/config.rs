@@ -1,0 +1,149 @@
+//! Cluster topology and Hadoop-style tuning parameters (paper Table 2).
+
+/// Configuration of the (simulated) Hadoop cluster a job runs on.
+///
+/// Field defaults mirror Table 2 of the paper, which lists the Elastic
+/// MapReduce setup: 4 map slots and 2 reduce slots per task tracker and a
+/// DFS replication factor of 3. Heap sizes are carried for memory
+/// accounting parity with the paper's setup, not enforced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (task trackers / data nodes).
+    pub nodes: usize,
+    /// Concurrent map tasks per node ("Maximum map tasks in tasktracker").
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+    /// DFS block replication factor.
+    pub replication: usize,
+    /// DFS block size in bytes (64 MB in Hadoop 0.20; configurable so
+    /// tests can exercise multi-block files cheaply).
+    pub block_size: usize,
+    /// Records per input split — the record-level analogue of Hadoop's
+    /// block-driven split sizing, so map-task count grows with data
+    /// volume. A floor of two waves per slot still applies.
+    pub records_per_split: usize,
+    /// Attempts per task before the job fails (Hadoop's
+    /// `mapred.map.max.attempts`, default 4). A task attempt "fails" by
+    /// panicking; the engine catches the unwind and reschedules.
+    pub max_task_attempts: usize,
+    /// Job tracker heap, bytes (Table 2: 768 MB).
+    pub jobtracker_heap: usize,
+    /// Name node heap, bytes (Table 2: 256 MB).
+    pub namenode_heap: usize,
+    /// Task tracker heap, bytes (Table 2: 512 MB).
+    pub tasktracker_heap: usize,
+    /// Data node heap, bytes (Table 2: 256 MB).
+    pub datanode_heap: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's Amazon Elastic MapReduce setup (Table 2) with the
+    /// given node count (the paper uses 16, 32 and 64).
+    pub fn emr(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        Self {
+            nodes,
+            map_slots_per_node: 4,
+            reduce_slots_per_node: 2,
+            replication: 3.min(nodes),
+            block_size: 64 * 1024 * 1024,
+            records_per_split: 1024,
+            max_task_attempts: 4,
+            jobtracker_heap: 768 << 20,
+            namenode_heap: 256 << 20,
+            tasktracker_heap: 512 << 20,
+            datanode_heap: 256 << 20,
+        }
+    }
+
+    /// The paper's five-machine lab cluster (one master, four slaves;
+    /// Core2 Duo E6550, 1 GB DRAM). Worker count is the four slaves.
+    pub fn local_lab() -> Self {
+        let mut c = Self::emr(4);
+        c.replication = 3;
+        c
+    }
+
+    /// Single-node configuration, handy for unit tests.
+    pub fn single_node() -> Self {
+        Self::emr(1)
+    }
+
+    /// Total concurrent map tasks the cluster admits.
+    pub fn total_map_slots(&self) -> usize {
+        self.nodes * self.map_slots_per_node
+    }
+
+    /// Total concurrent reduce tasks the cluster admits.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.nodes * self.reduce_slots_per_node
+    }
+
+    /// Default number of reduce tasks for a job on this cluster
+    /// (Hadoop's rule of thumb: ~1× the reduce slot count).
+    pub fn default_num_reducers(&self) -> usize {
+        self.total_reduce_slots().max(1)
+    }
+
+    /// Cap a requested parallelism at what this machine can actually run
+    /// concurrently (the engine executes slots as real threads).
+    pub(crate) fn effective_threads(&self, slots: usize) -> usize {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        slots.min(host.max(1)).max(1)
+    }
+}
+
+impl Default for ClusterConfig {
+    /// Defaults to the 16-node EMR setup, the smallest cloud
+    /// configuration evaluated in the paper.
+    fn default() -> Self {
+        Self::emr(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emr_matches_table2() {
+        let c = ClusterConfig::emr(16);
+        assert_eq!(c.map_slots_per_node, 4);
+        assert_eq!(c.reduce_slots_per_node, 2);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.jobtracker_heap, 768 << 20);
+        assert_eq!(c.namenode_heap, 256 << 20);
+        assert_eq!(c.tasktracker_heap, 512 << 20);
+        assert_eq!(c.datanode_heap, 256 << 20);
+    }
+
+    #[test]
+    fn slot_totals_scale_with_nodes() {
+        assert_eq!(ClusterConfig::emr(16).total_map_slots(), 64);
+        assert_eq!(ClusterConfig::emr(64).total_map_slots(), 256);
+        assert_eq!(ClusterConfig::emr(32).total_reduce_slots(), 64);
+    }
+
+    #[test]
+    fn replication_capped_by_nodes() {
+        assert_eq!(ClusterConfig::emr(1).replication, 1);
+        assert_eq!(ClusterConfig::emr(2).replication, 2);
+        assert_eq!(ClusterConfig::emr(5).replication, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        ClusterConfig::emr(0);
+    }
+
+    #[test]
+    fn effective_threads_at_least_one() {
+        let c = ClusterConfig::single_node();
+        assert!(c.effective_threads(0) >= 1);
+        assert!(c.effective_threads(1000) >= 1);
+    }
+}

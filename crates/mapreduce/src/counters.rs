@@ -1,0 +1,142 @@
+//! Hadoop-style named counters.
+//!
+//! Mappers and reducers increment shared counters to report
+//! application-level statistics (records filtered, parse errors, bytes
+//! seen …) alongside the engine's built-in [`crate::JobStats`]. A
+//! [`Counters`] value is `Sync`; capture a reference in the mapper or
+//! reducer closure.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// A set of named monotone counters, cheap to increment concurrently.
+#[derive(Default)]
+pub struct Counters {
+    inner: RwLock<BTreeMap<String, AtomicU64>>,
+}
+
+impl Counters {
+    /// Create an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the counter `name`, creating it at zero on first use.
+    pub fn inc(&self, name: &str, by: u64) {
+        {
+            let map = self.inner.read();
+            if let Some(c) = map.get(name) {
+                c.fetch_add(by, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.inner.write();
+        map.entry(name.to_string())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value of `name` (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner
+            .read()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_increment_and_get() {
+        let c = Counters::new();
+        assert_eq!(c.get("records"), 0);
+        c.inc("records", 3);
+        c.inc("records", 2);
+        assert_eq!(c.get("records"), 5);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let c = Counters::new();
+        c.inc("zebra", 1);
+        c.inc("alpha", 2);
+        let snap: Vec<(String, u64)> = c.snapshot().into_iter().collect();
+        assert_eq!(snap, vec![("alpha".into(), 2), ("zebra".into(), 1)]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = Counters::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        c.inc("hits", 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.get("hits"), 8000);
+    }
+
+    #[test]
+    fn usable_from_a_mapreduce_job() {
+        use crate::{run_job, ClusterConfig, FnMapper, FnReducer};
+        let counters = Counters::new();
+        let mapper = FnMapper::new(
+            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+                if v.is_multiple_of(2) {
+                    counters.inc("even_records", 1);
+                    emit(0, v);
+                } else {
+                    counters.inc("odd_records_dropped", 1);
+                }
+            },
+        );
+        let reducer = FnReducer::new(
+            |_k: u32, vs: Vec<u32>, emit: &mut dyn FnMut(usize)| {
+                counters.inc("reduce_groups", 1);
+                emit(vs.len());
+            },
+        );
+        let inputs: Vec<(usize, u32)> = (0..100u32).map(|v| (v as usize, v)).collect();
+        let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
+        assert_eq!(out.records, vec![50]);
+        assert_eq!(counters.get("even_records"), 50);
+        assert_eq!(counters.get("odd_records_dropped"), 50);
+        assert_eq!(counters.get("reduce_groups"), 1);
+    }
+}

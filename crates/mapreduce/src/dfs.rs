@@ -1,0 +1,283 @@
+//! In-memory replicated block store — the HDFS/S3 stand-in.
+//!
+//! The paper stages everything through storage: input data and the
+//! per-bucket intermediate files live on S3/HDFS between the LSH stage
+//! and the clustering stage. This module reproduces the storage-layer
+//! semantics that matter to the experiments: block splitting, replicated
+//! placement across nodes, and per-node usage accounting.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::config::ClusterConfig;
+
+/// Errors from DFS operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path not present in the namespace.
+    NotFound(String),
+    /// Path already exists (HDFS files are write-once).
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs: path not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "dfs: path already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[derive(Clone, Debug)]
+struct BlockInfo {
+    /// Nodes holding a replica of this block.
+    replicas: Vec<usize>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct FileEntry {
+    data: Vec<u8>,
+    blocks: Vec<BlockInfo>,
+}
+
+#[derive(Default, Debug)]
+struct Namespace {
+    files: HashMap<String, FileEntry>,
+    /// Bytes stored per node (including replicas).
+    node_bytes: Vec<usize>,
+    /// Round-robin cursor for block placement.
+    cursor: usize,
+}
+
+/// A miniature write-once distributed file system.
+///
+/// Thread-safe: mappers and reducers may write concurrently.
+pub struct Dfs {
+    config: ClusterConfig,
+    ns: RwLock<Namespace>,
+}
+
+impl Dfs {
+    /// Create an empty DFS for the given cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes = config.nodes;
+        Self {
+            config,
+            ns: RwLock::new(Namespace {
+                files: HashMap::new(),
+                node_bytes: vec![0; nodes],
+                cursor: 0,
+            }),
+        }
+    }
+
+    /// Write a file. Fails if the path already exists (write-once).
+    pub fn put(&self, path: &str, data: Vec<u8>) -> Result<(), DfsError> {
+        let mut ns = self.ns.write();
+        if ns.files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        let block_size = self.config.block_size.max(1);
+        let replication = self.config.replication.max(1).min(self.config.nodes);
+        let mut blocks = Vec::new();
+        let mut remaining = data.len();
+        // Empty files still get one empty block so every file has
+        // placement metadata.
+        loop {
+            let len = remaining.min(block_size);
+            let start = ns.cursor;
+            let replicas: Vec<usize> = (0..replication)
+                .map(|r| (start + r) % self.config.nodes)
+                .collect();
+            ns.cursor = (ns.cursor + 1) % self.config.nodes;
+            for &node in &replicas {
+                ns.node_bytes[node] += len;
+            }
+            blocks.push(BlockInfo { replicas, len });
+            remaining -= len;
+            if remaining == 0 {
+                break;
+            }
+        }
+        ns.files.insert(path.to_string(), FileEntry { data, blocks });
+        Ok(())
+    }
+
+    /// Read a file's full contents.
+    pub fn get(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let ns = self.ns.read();
+        ns.files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Delete a file, releasing its replica space.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let mut ns = self.ns.write();
+        let entry = ns
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        for b in &entry.blocks {
+            for &node in &b.replicas {
+                ns.node_bytes[node] -= b.len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.ns.read().files.contains_key(path)
+    }
+
+    /// Paths under a prefix, sorted (the `ls` used to enumerate bucket
+    /// files between stages).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let ns = self.ns.read();
+        let mut v: Vec<String> = ns
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of blocks a file occupies.
+    pub fn block_count(&self, path: &str) -> Result<usize, DfsError> {
+        let ns = self.ns.read();
+        ns.files
+            .get(path)
+            .map(|f| f.blocks.len())
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    /// Bytes stored on each node, replicas included.
+    pub fn node_usage(&self) -> Vec<usize> {
+        self.ns.read().node_bytes.clone()
+    }
+
+    /// Total stored bytes across the cluster (replicas included).
+    pub fn total_stored_bytes(&self) -> usize {
+        self.ns.read().node_bytes.iter().sum()
+    }
+
+    /// Logical bytes (each file counted once, no replication).
+    pub fn logical_bytes(&self) -> usize {
+        self.ns.read().files.values().map(|f| f.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterConfig {
+        let mut c = ClusterConfig::emr(4);
+        c.block_size = 10;
+        c
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dfs = Dfs::new(small_cluster());
+        dfs.put("/data/in", b"hello world".to_vec()).unwrap();
+        assert_eq!(dfs.get("/data/in").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn write_once_semantics() {
+        let dfs = Dfs::new(small_cluster());
+        dfs.put("/a", vec![1]).unwrap();
+        assert_eq!(
+            dfs.put("/a", vec![2]),
+            Err(DfsError::AlreadyExists("/a".into()))
+        );
+    }
+
+    #[test]
+    fn missing_path_errors() {
+        let dfs = Dfs::new(small_cluster());
+        assert_eq!(dfs.get("/nope"), Err(DfsError::NotFound("/nope".into())));
+        assert_eq!(dfs.delete("/nope"), Err(DfsError::NotFound("/nope".into())));
+    }
+
+    #[test]
+    fn blocks_split_at_block_size() {
+        let dfs = Dfs::new(small_cluster());
+        dfs.put("/big", vec![0u8; 25]).unwrap();
+        assert_eq!(dfs.block_count("/big").unwrap(), 3);
+        dfs.put("/exact", vec![0u8; 10]).unwrap();
+        assert_eq!(dfs.block_count("/exact").unwrap(), 1);
+        dfs.put("/empty", vec![]).unwrap();
+        assert_eq!(dfs.block_count("/empty").unwrap(), 1);
+    }
+
+    #[test]
+    fn replication_multiplies_storage() {
+        let dfs = Dfs::new(small_cluster()); // replication = 3
+        dfs.put("/f", vec![0u8; 10]).unwrap();
+        assert_eq!(dfs.logical_bytes(), 10);
+        assert_eq!(dfs.total_stored_bytes(), 30);
+    }
+
+    #[test]
+    fn delete_releases_space() {
+        let dfs = Dfs::new(small_cluster());
+        dfs.put("/f", vec![0u8; 20]).unwrap();
+        assert!(dfs.total_stored_bytes() > 0);
+        dfs.delete("/f").unwrap();
+        assert_eq!(dfs.total_stored_bytes(), 0);
+        assert!(!dfs.exists("/f"));
+    }
+
+    #[test]
+    fn placement_spreads_across_nodes() {
+        let dfs = Dfs::new(small_cluster());
+        for i in 0..8 {
+            dfs.put(&format!("/f{i}"), vec![0u8; 10]).unwrap();
+        }
+        let usage = dfs.node_usage();
+        assert_eq!(usage.len(), 4);
+        // Round-robin placement with replication 3 on 4 nodes: all nodes used.
+        assert!(usage.iter().all(|&b| b > 0), "unbalanced: {usage:?}");
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let dfs = Dfs::new(small_cluster());
+        dfs.put("/buckets/b2", vec![]).unwrap();
+        dfs.put("/buckets/b1", vec![]).unwrap();
+        dfs.put("/out/x", vec![]).unwrap();
+        assert_eq!(
+            dfs.list("/buckets/"),
+            vec!["/buckets/b1".to_string(), "/buckets/b2".to_string()]
+        );
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let dfs = std::sync::Arc::new(Dfs::new(small_cluster()));
+        crossbeam::thread::scope(|s| {
+            for t in 0..8 {
+                let dfs = dfs.clone();
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        dfs.put(&format!("/t{t}/f{i}"), vec![0u8; 5]).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(dfs.list("/t").len(), 400);
+        assert_eq!(dfs.logical_bytes(), 400 * 5);
+    }
+}

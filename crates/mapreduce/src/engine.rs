@@ -1,0 +1,574 @@
+//! Job execution: map → shuffle (partition + sort + group) → reduce.
+//!
+//! Concurrency is bounded by the cluster's slot totals, mirroring how
+//! Hadoop task trackers cap concurrent tasks. Output order is
+//! deterministic: partitions are emitted in index order and each
+//! partition's groups in key order; value order within a group follows
+//! (map-task index, emission order) thanks to the stable shuffle sort.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::config::ClusterConfig;
+use crate::job::{Mapper, Reducer};
+use crate::partition::hash_partition;
+use crate::stats::JobStats;
+
+/// A split queue entry: `(task index, records)`.
+type SplitQueue<K, V> = Mutex<VecDeque<(usize, Vec<(K, V)>)>>;
+/// Collected task results: `(task index, duration, emitted records)`.
+type TaskResults<R> = Mutex<Vec<(usize, Duration, Vec<R>)>>;
+/// The reduce-phase work queue: `(task index, (key, values))`.
+type GroupQueue<K, V> = Mutex<VecDeque<(usize, (K, Vec<V>))>>;
+
+/// Result of a job: the output records plus execution statistics.
+#[derive(Clone, Debug)]
+pub struct JobOutput<O> {
+    /// Output records in deterministic (partition, key) order.
+    pub records: Vec<O>,
+    /// Execution statistics (task durations, record counts).
+    pub stats: JobStats,
+}
+
+/// Run a full map → shuffle → reduce job on the given cluster.
+pub fn run_job<M, R>(
+    mapper: &M,
+    reducer: &R,
+    inputs: Vec<(M::InKey, M::InValue)>,
+    config: &ClusterConfig,
+) -> JobOutput<R::Out>
+where
+    M: Mapper,
+    M::InKey: Clone,
+    M::InValue: Clone,
+    M::OutValue: Clone,
+    R: Reducer<Key = M::OutKey, Value = M::OutValue>,
+{
+    let grouped = run_map_only(mapper, inputs, config);
+    let map_stats = grouped.stats;
+    let mut out = reduce_groups(reducer, grouped.records, config);
+    let reduce_stats = std::mem::take(&mut out.stats);
+    out.stats = JobStats {
+        map_task_durations: map_stats.map_task_durations,
+        reduce_task_durations: reduce_stats.reduce_task_durations,
+        input_records: map_stats.input_records,
+        shuffled_records: map_stats.shuffled_records,
+        distinct_keys: reduce_stats.distinct_keys,
+        output_records: reduce_stats.output_records,
+        task_retries: map_stats.task_retries + reduce_stats.task_retries,
+        wall_time: map_stats.wall_time + reduce_stats.wall_time,
+    };
+    out
+}
+
+/// Run only the map phase plus shuffle, returning key groups.
+///
+/// DASC needs this split: bucket merging (the P-similar-signature rule)
+/// happens *between* the shuffle and the reducer, exactly as described in
+/// Section 3.3 of the paper ("this step is performed before applying the
+/// reducer").
+pub fn run_map_only<M>(
+    mapper: &M,
+    inputs: Vec<(M::InKey, M::InValue)>,
+    config: &ClusterConfig,
+) -> JobOutput<(M::OutKey, Vec<M::OutValue>)>
+where
+    M: Mapper,
+    M::InKey: Clone,
+    M::InValue: Clone,
+{
+    // Identity combiner.
+    run_map_combine(mapper, |_k: &M::OutKey, vs| vs, inputs, config)
+}
+
+/// Map + local combine + shuffle.
+///
+/// The combiner runs once per map task over that task's locally-grouped
+/// output, exactly like Hadoop's combiner: it must be associative and
+/// produce values of the intermediate type (e.g. partial sums), shrinking
+/// shuffle volume without changing reducer results.
+pub fn run_map_combine<M, C>(
+    mapper: &M,
+    combiner: C,
+    inputs: Vec<(M::InKey, M::InValue)>,
+    config: &ClusterConfig,
+) -> JobOutput<(M::OutKey, Vec<M::OutValue>)>
+where
+    M: Mapper,
+    M::InKey: Clone,
+    M::InValue: Clone,
+    C: Fn(&M::OutKey, Vec<M::OutValue>) -> Vec<M::OutValue> + Sync,
+{
+    let start = Instant::now();
+    let input_records = inputs.len();
+
+    // --- Split phase: carve the input into map tasks. ---
+    let num_splits = desired_splits(
+        input_records,
+        config.total_map_slots(),
+        config.records_per_split,
+    );
+    let splits = make_splits(inputs, num_splits);
+    let num_map_tasks = splits.len();
+
+    // --- Map phase: bounded worker pool over the split queue. ---
+    let queue: SplitQueue<M::InKey, M::InValue> =
+        Mutex::new(splits.into_iter().enumerate().collect());
+    let results: TaskResults<(M::OutKey, M::OutValue)> =
+        Mutex::new(Vec::with_capacity(num_map_tasks));
+    let retries = std::sync::atomic::AtomicUsize::new(0);
+
+    let workers = config.effective_threads(config.total_map_slots());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let task = queue.lock().pop_front();
+                let Some((idx, records)) = task else { break };
+                let t0 = Instant::now();
+                // Hadoop-style attempts: a panicking task is retried with
+                // the same input up to the configured attempt budget.
+                let emitted = run_attempts(
+                    config.max_task_attempts,
+                    &retries,
+                    &format!("map task {idx}"),
+                    || {
+                        let mut out = Vec::new();
+                        for (k, v) in records.clone() {
+                            mapper.map(k, v, &mut |ok, ov| out.push((ok, ov)));
+                        }
+                        // Local combine: group this task's output by key
+                        // and let the combiner shrink each group.
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                        let mut combined = Vec::with_capacity(out.len());
+                        let mut it = out.into_iter().peekable();
+                        while let Some((k, v)) = it.next() {
+                            let mut vs = vec![v];
+                            while it.peek().is_some_and(|(nk, _)| *nk == k) {
+                                vs.push(it.next().expect("peeked").1);
+                            }
+                            for cv in combiner(&k, vs) {
+                                combined.push((k.clone(), cv));
+                            }
+                        }
+                        combined
+                    },
+                );
+                results.lock().push((idx, t0.elapsed(), emitted));
+            });
+        }
+    })
+    .expect("map worker panicked");
+    let map_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(idx, _, _)| *idx);
+    let map_task_durations: Vec<Duration> =
+        results.iter().map(|(_, d, _)| *d).collect();
+
+    // --- Shuffle: partition, stable-sort by key, group. ---
+    let num_partitions = config.default_num_reducers();
+    let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+        (0..num_partitions).map(|_| Vec::new()).collect();
+    let mut shuffled_records = 0usize;
+    for (_, _, emitted) in results {
+        for (k, v) in emitted {
+            shuffled_records += 1;
+            let p = hash_partition(&k, num_partitions);
+            partitions[p].push((k, v));
+        }
+    }
+
+    let mut groups: Vec<(M::OutKey, Vec<M::OutValue>)> = Vec::new();
+    for part in &mut partitions {
+        part.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut it = std::mem::take(part).into_iter().peekable();
+        while let Some((k, v)) = it.next() {
+            let mut vs = vec![v];
+            while let Some((nk, _)) = it.peek() {
+                if *nk == k {
+                    vs.push(it.next().expect("peeked").1);
+                } else {
+                    break;
+                }
+            }
+            groups.push((k, vs));
+        }
+    }
+
+    let stats = JobStats {
+        map_task_durations,
+        reduce_task_durations: Vec::new(),
+        input_records,
+        shuffled_records,
+        distinct_keys: groups.len(),
+        output_records: groups.len(),
+        task_retries: map_retries,
+        wall_time: start.elapsed(),
+    };
+    JobOutput { records: groups, stats }
+}
+
+/// Execute a task closure with Hadoop-style retry-on-panic semantics.
+///
+/// # Panics
+/// Re-raises the final failure once the attempt budget is exhausted.
+fn run_attempts<T>(
+    max_attempts: usize,
+    retries: &std::sync::atomic::AtomicUsize,
+    what: &str,
+    f: impl Fn() -> T,
+) -> T {
+    let budget = max_attempts.max(1);
+    for attempt in 1..=budget {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f)) {
+            Ok(v) => return v,
+            Err(payload) => {
+                if attempt == budget {
+                    panic!(
+                        "{what} failed after {budget} attempts: {}",
+                        panic_message(&payload)
+                    );
+                }
+                retries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+    unreachable!("attempt loop returns or panics")
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run only the reduce phase over pre-formed key groups.
+pub fn reduce_groups<R>(
+    reducer: &R,
+    groups: Vec<(R::Key, Vec<R::Value>)>,
+    config: &ClusterConfig,
+) -> JobOutput<R::Out>
+where
+    R: Reducer,
+    R::Key: Clone,
+    R::Value: Clone,
+{
+    let start = Instant::now();
+    let distinct_keys = groups.len();
+    // One reduce "task" per key group: DASC's reducer cost is dominated
+    // by per-bucket similarity-matrix work (O(Nᵢ²)), so bucket-level task
+    // granularity is both faithful and gives the simulator the resolution
+    // it needs to re-schedule onto other cluster sizes.
+    let queue: GroupQueue<R::Key, R::Value> =
+        Mutex::new(groups.into_iter().enumerate().collect());
+    let results: TaskResults<R::Out> =
+        Mutex::new(Vec::with_capacity(distinct_keys));
+
+    let retries = std::sync::atomic::AtomicUsize::new(0);
+    let workers = config.effective_threads(config.total_reduce_slots());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let task = queue.lock().pop_front();
+                let Some((idx, (key, values))) = task else { break };
+                let t0 = Instant::now();
+                let emitted = run_attempts(
+                    config.max_task_attempts,
+                    &retries,
+                    &format!("reduce task {idx}"),
+                    || {
+                        let mut out = Vec::new();
+                        reducer.reduce(key.clone(), values.clone(), &mut |o| {
+                            out.push(o)
+                        });
+                        out
+                    },
+                );
+                results.lock().push((idx, t0.elapsed(), emitted));
+            });
+        }
+    })
+    .expect("reduce worker panicked");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(idx, _, _)| *idx);
+    let reduce_task_durations: Vec<Duration> =
+        results.iter().map(|(_, d, _)| *d).collect();
+    let records: Vec<R::Out> = results
+        .into_iter()
+        .flat_map(|(_, _, out)| out)
+        .collect();
+
+    let stats = JobStats {
+        map_task_durations: Vec::new(),
+        reduce_task_durations,
+        input_records: distinct_keys,
+        shuffled_records: 0,
+        distinct_keys,
+        output_records: records.len(),
+        task_retries: retries.load(std::sync::atomic::Ordering::Relaxed),
+        wall_time: start.elapsed(),
+    };
+    JobOutput { records, stats }
+}
+
+/// Pick a split count: data-proportional (one task per
+/// `records_per_split` records, Hadoop's block-driven sizing) with a
+/// floor of two waves per slot, never more tasks than records.
+fn desired_splits(records: usize, map_slots: usize, records_per_split: usize) -> usize {
+    if records == 0 {
+        return 0;
+    }
+    let by_data = records.div_ceil(records_per_split.max(1));
+    let by_slots = (map_slots * 2).min(records);
+    by_data.max(by_slots).clamp(1, records)
+}
+
+fn make_splits<T>(inputs: Vec<T>, num_splits: usize) -> Vec<Vec<T>> {
+    if num_splits == 0 {
+        return Vec::new();
+    }
+    let n = inputs.len();
+    let base = n / num_splits;
+    let extra = n % num_splits;
+    let mut splits = Vec::with_capacity(num_splits);
+    let mut it = inputs.into_iter();
+    for s in 0..num_splits {
+        let take = base + usize::from(s < extra);
+        splits.push(it.by_ref().take(take).collect());
+    }
+    splits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{FnMapper, FnReducer};
+
+    fn word_count(
+        words: Vec<&'static str>,
+        config: &ClusterConfig,
+    ) -> Vec<(String, usize)> {
+        let mapper = FnMapper::new(
+            |_k: usize, w: &'static str, emit: &mut dyn FnMut(String, usize)| {
+                emit(w.to_string(), 1);
+            },
+        );
+        let reducer = FnReducer::new(
+            |k: String, vs: Vec<usize>, emit: &mut dyn FnMut((String, usize))| {
+                emit((k, vs.len()));
+            },
+        );
+        let inputs: Vec<(usize, &'static str)> =
+            words.into_iter().enumerate().collect();
+        let mut out = run_job(&mapper, &reducer, inputs, config).records;
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let out = word_count(
+            vec!["a", "b", "a", "c", "b", "a"],
+            &ClusterConfig::single_node(),
+        );
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn same_answer_on_any_cluster_size() {
+        let words = vec!["x", "y", "x", "z", "z", "z", "w"];
+        let a = word_count(words.clone(), &ClusterConfig::single_node());
+        let b = word_count(words.clone(), &ClusterConfig::emr(16));
+        let c = word_count(words, &ClusterConfig::emr(64));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let out = word_count(vec![], &ClusterConfig::emr(4));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mapper = FnMapper::new(
+            |k: usize, v: u64, emit: &mut dyn FnMut(u64, u64)| {
+                emit(v % 3, k as u64);
+            },
+        );
+        let reducer = FnReducer::new(
+            |k: u64, vs: Vec<u64>, emit: &mut dyn FnMut((u64, u64))| {
+                emit((k, vs.iter().sum()));
+            },
+        );
+        let inputs: Vec<(usize, u64)> = (0..100u64).map(|v| (v as usize, v)).collect();
+        let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
+        assert_eq!(out.stats.input_records, 100);
+        assert_eq!(out.stats.shuffled_records, 100);
+        assert_eq!(out.stats.distinct_keys, 3);
+        assert_eq!(out.stats.output_records, 3);
+        assert!(out.stats.num_map_tasks() >= 1);
+        assert_eq!(out.stats.num_reduce_tasks(), 3);
+    }
+
+    #[test]
+    fn value_order_within_group_is_stable() {
+        // Values must arrive in (map-task, emission) order so reducers
+        // relying on input order are deterministic.
+        let mapper = FnMapper::new(
+            |k: usize, _v: (), emit: &mut dyn FnMut(u8, usize)| {
+                emit(0, k);
+            },
+        );
+        let inputs: Vec<(usize, ())> = (0..57).map(|k| (k, ())).collect();
+        let grouped =
+            run_map_only(&mapper, inputs, &ClusterConfig::emr(8)).records;
+        assert_eq!(grouped.len(), 1);
+        let expected: Vec<usize> = (0..57).collect();
+        assert_eq!(grouped[0].1, expected);
+    }
+
+    #[test]
+    fn run_map_only_groups_by_key() {
+        let mapper = FnMapper::new(
+            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+                emit(v / 10, v);
+            },
+        );
+        let inputs: Vec<(usize, u32)> =
+            vec![(0, 5), (1, 15), (2, 7), (3, 12)];
+        let mut groups =
+            run_map_only(&mapper, inputs, &ClusterConfig::single_node()).records;
+        groups.sort_by_key(|(k, _)| *k);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (0, vec![5, 7]));
+        assert_eq!(groups[1], (1, vec![15, 12]));
+    }
+
+    #[test]
+    fn splits_cover_all_records() {
+        let splits = make_splits((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(splits.len(), 3);
+        let total: Vec<i32> = splits.into_iter().flatten().collect();
+        assert_eq!(total, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_without_changing_results() {
+        // Word-count with a summing combiner: shuffle volume drops to at
+        // most (tasks × distinct keys) records, totals are unchanged.
+        let mapper = FnMapper::new(
+            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u64)| {
+                emit(v % 3, 1);
+            },
+        );
+        let inputs: Vec<(usize, u32)> = (0..300u32).map(|v| (v as usize, v)).collect();
+
+        let plain = run_map_only(&mapper, inputs.clone(), &ClusterConfig::single_node());
+        let combined = run_map_combine(
+            &mapper,
+            |_k: &u32, vs: Vec<u64>| vec![vs.iter().sum()],
+            inputs,
+            &ClusterConfig::single_node(),
+        );
+
+        assert_eq!(plain.stats.shuffled_records, 300);
+        assert!(
+            combined.stats.shuffled_records < 300,
+            "combiner did not shrink shuffle: {}",
+            combined.stats.shuffled_records
+        );
+
+        // Totals per key identical.
+        let total = |groups: &[(u32, Vec<u64>)], key: u32| -> u64 {
+            groups
+                .iter()
+                .filter(|(k, _)| *k == key)
+                .flat_map(|(_, vs)| vs.iter())
+                .sum()
+        };
+        for key in 0..3 {
+            assert_eq!(
+                total(&plain.records, key),
+                total(&combined.records, key),
+                "key {key} total changed"
+            );
+        }
+    }
+
+    #[test]
+    fn flaky_mapper_is_retried_to_success() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Silence the expected panic messages from injected failures.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let attempts = AtomicUsize::new(0);
+        let mapper = FnMapper::new(
+            |k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+                // The record with value 13 fails its first two attempts.
+                if v == 13 && attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("injected map failure");
+                }
+                emit(v % 2, k as u32);
+            },
+        );
+        let reducer = FnReducer::new(
+            |k: u32, vs: Vec<u32>, emit: &mut dyn FnMut((u32, usize))| {
+                emit((k, vs.len()));
+            },
+        );
+        let inputs: Vec<(usize, u32)> = (0..20u32).map(|v| (v as usize, v)).collect();
+        let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
+        std::panic::set_hook(prev);
+
+        assert!(out.stats.task_retries >= 1, "no retries recorded");
+        let mut records = out.records;
+        records.sort();
+        assert_eq!(records, vec![(0, 10), (1, 10)]);
+    }
+
+    #[test]
+    fn permanently_failing_task_fails_the_job() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mapper = FnMapper::new(
+            |_k: usize, v: u32, _emit: &mut dyn FnMut(u32, u32)| {
+                if v == 3 {
+                    panic!("always fails");
+                }
+            },
+        );
+        let inputs: Vec<(usize, u32)> = (0..8u32).map(|v| (v as usize, v)).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_map_only(&mapper, inputs, &ClusterConfig::single_node())
+        });
+        std::panic::set_hook(prev);
+        assert!(result.is_err(), "job should fail after attempt budget");
+    }
+
+    #[test]
+    fn desired_splits_bounds() {
+        assert_eq!(desired_splits(0, 4, 1024), 0);
+        assert_eq!(desired_splits(3, 64, 1024), 3);
+        assert_eq!(desired_splits(1_000, 4, 1024), 8);
+        // Data-proportional once records exceed splits × slots.
+        assert_eq!(desired_splits(8_192, 4, 16), 512);
+        assert_eq!(desired_splits(8_192, 4, 0), 8_192);
+    }
+}

@@ -1,0 +1,149 @@
+//! Mapper / reducer abstractions, mirroring Hadoop's `Mapper` and
+//! `Reducer` interfaces (Algorithms 1 and 2 in the paper implement these
+//! for the LSH signature stage).
+
+use std::hash::Hash;
+
+/// Emits intermediate `(key, value)` pairs from one input record.
+///
+/// A mapper must be `Sync`: the engine shares one instance across map
+/// tasks, exactly as one Hadoop mapper class is instantiated per JVM.
+pub trait Mapper: Sync {
+    /// Input key type (e.g. the point index).
+    type InKey: Send;
+    /// Input value type (e.g. the feature vector).
+    type InValue: Send;
+    /// Intermediate key (e.g. the LSH signature).
+    type OutKey: Clone + Ord + Hash + Send;
+    /// Intermediate value (e.g. the point index).
+    type OutValue: Send;
+
+    /// Process one record, emitting any number of intermediate pairs.
+    fn map(
+        &self,
+        key: Self::InKey,
+        value: Self::InValue,
+        emit: &mut dyn FnMut(Self::OutKey, Self::OutValue),
+    );
+}
+
+/// Folds all values that share one intermediate key into output records.
+pub trait Reducer: Sync {
+    /// Intermediate key type (matches the mapper's `OutKey`).
+    type Key: Send;
+    /// Intermediate value type (matches the mapper's `OutValue`).
+    type Value: Send;
+    /// Final output record type.
+    type Out: Send;
+
+    /// Process one key group.
+    fn reduce(
+        &self,
+        key: Self::Key,
+        values: Vec<Self::Value>,
+        emit: &mut dyn FnMut(Self::Out),
+    );
+}
+
+/// Adapter turning a closure into a [`Mapper`].
+///
+/// ```
+/// use dasc_mapreduce::{FnMapper, Mapper};
+/// let m = FnMapper::new(|k: usize, v: f64, emit: &mut dyn FnMut(usize, f64)| {
+///     emit(k % 2, v);
+/// });
+/// let mut out = Vec::new();
+/// m.map(3, 1.5, &mut |k, v| out.push((k, v)));
+/// assert_eq!(out, vec![(1, 1.5)]);
+/// ```
+pub struct FnMapper<F, IK, IV, OK, OV> {
+    f: F,
+    #[allow(clippy::type_complexity)] // zero-sized variance marker
+    _marker: std::marker::PhantomData<fn(IK, IV) -> (OK, OV)>,
+}
+
+impl<F, IK, IV, OK, OV> FnMapper<F, IK, IV, OK, OV>
+where
+    F: Fn(IK, IV, &mut dyn FnMut(OK, OV)) + Sync,
+{
+    /// Wrap a closure as a mapper.
+    pub fn new(f: F) -> Self {
+        Self { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<F, IK, IV, OK, OV> Mapper for FnMapper<F, IK, IV, OK, OV>
+where
+    F: Fn(IK, IV, &mut dyn FnMut(OK, OV)) + Sync,
+    IK: Send,
+    IV: Send,
+    OK: Clone + Ord + Hash + Send,
+    OV: Send,
+{
+    type InKey = IK;
+    type InValue = IV;
+    type OutKey = OK;
+    type OutValue = OV;
+
+    fn map(&self, key: IK, value: IV, emit: &mut dyn FnMut(OK, OV)) {
+        (self.f)(key, value, emit)
+    }
+}
+
+/// Adapter turning a closure into a [`Reducer`].
+pub struct FnReducer<F, K, V, O> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(K, V) -> O>,
+}
+
+impl<F, K, V, O> FnReducer<F, K, V, O>
+where
+    F: Fn(K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    /// Wrap a closure as a reducer.
+    pub fn new(f: F) -> Self {
+        Self { f, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<F, K, V, O> Reducer for FnReducer<F, K, V, O>
+where
+    F: Fn(K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+    K: Send,
+    V: Send,
+    O: Send,
+{
+    type Key = K;
+    type Value = V;
+    type Out = O;
+
+    fn reduce(&self, key: K, values: Vec<V>, emit: &mut dyn FnMut(O)) {
+        (self.f)(key, values, emit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_mapper_emits_multiple() {
+        let m = FnMapper::new(|_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+            emit(v, v);
+            emit(v + 1, v);
+        });
+        let mut out = Vec::new();
+        m.map(0, 9, &mut |k, v| out.push((k, v)));
+        assert_eq!(out, vec![(9, 9), (10, 9)]);
+    }
+
+    #[test]
+    fn fn_reducer_folds_group() {
+        let r = FnReducer::new(|k: String, vs: Vec<u32>, emit: &mut dyn FnMut((String, u32))| {
+            emit((k, vs.iter().sum()));
+        });
+        let mut out = Vec::new();
+        r.reduce("a".into(), vec![1, 2, 3], &mut |o| out.push(o));
+        assert_eq!(out, vec![("a".to_string(), 6)]);
+    }
+}

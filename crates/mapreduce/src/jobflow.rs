@@ -1,0 +1,148 @@
+//! EMR-style job flows.
+//!
+//! The paper runs DASC as an Elastic MapReduce *job flow*: "a collection
+//! of processing steps that EMR runs on a specified dataset … Our job
+//! flow is comprised of several steps", with intermediate results staged
+//! on S3 between steps. [`JobFlow`] reproduces that structure: named
+//! steps execute in order against a shared [`Dfs`] and cluster
+//! configuration, and each step's [`JobStats`] is retained so the whole
+//! flow can be replayed on other cluster sizes.
+
+use std::time::Duration;
+
+use crate::config::ClusterConfig;
+use crate::dfs::Dfs;
+use crate::sim::simulate_on_cluster;
+use crate::stats::JobStats;
+
+/// Statistics of one completed step.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Step name (shown in reports).
+    pub name: String,
+    /// The step's job statistics.
+    pub stats: JobStats,
+}
+
+/// An ordered sequence of MapReduce steps sharing storage and cluster.
+pub struct JobFlow {
+    dfs: Dfs,
+    cluster: ClusterConfig,
+    steps: Vec<StepReport>,
+}
+
+impl JobFlow {
+    /// Start a flow on a fresh DFS for the given cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        Self { dfs: Dfs::new(cluster.clone()), cluster, steps: Vec::new() }
+    }
+
+    /// The flow's storage layer (the S3 stand-in).
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// The cluster the flow executes on.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// Execute one named step. The closure receives the shared DFS and
+    /// cluster configuration and returns its output value plus the
+    /// step's [`JobStats`].
+    pub fn step<T>(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&Dfs, &ClusterConfig) -> (T, JobStats),
+    ) -> T {
+        let (out, stats) = f(&self.dfs, &self.cluster);
+        self.steps.push(StepReport { name: name.into(), stats });
+        out
+    }
+
+    /// Reports for the steps executed so far, in order.
+    pub fn reports(&self) -> &[StepReport] {
+        &self.steps
+    }
+
+    /// Sum of the steps' measured wall times.
+    pub fn total_wall_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.stats.wall_time).sum()
+    }
+
+    /// Replay every step's task bag on another cluster size (steps are
+    /// serialized, as EMR steps are).
+    pub fn simulate_total(&self, cluster: &ClusterConfig) -> Duration {
+        self.steps
+            .iter()
+            .map(|s| simulate_on_cluster(&s.stats, cluster).total)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_job, FnMapper, FnReducer};
+
+    fn word_count_stats(cluster: &ClusterConfig, words: Vec<&'static str>) -> JobStats {
+        let mapper = FnMapper::new(
+            |_k: usize, w: &'static str, emit: &mut dyn FnMut(String, usize)| {
+                emit(w.to_string(), 1);
+            },
+        );
+        let reducer = FnReducer::new(
+            |k: String, vs: Vec<usize>, emit: &mut dyn FnMut((String, usize))| {
+                emit((k, vs.len()));
+            },
+        );
+        let inputs: Vec<(usize, &'static str)> = words.into_iter().enumerate().collect();
+        run_job(&mapper, &reducer, inputs, cluster).stats
+    }
+
+    #[test]
+    fn steps_run_in_order_and_share_the_dfs() {
+        let mut flow = JobFlow::new(ClusterConfig::single_node());
+
+        let n = flow.step("ingest", |dfs, _cluster| {
+            dfs.put("/in/data", vec![1, 2, 3]).unwrap();
+            (3usize, JobStats::default())
+        });
+        assert_eq!(n, 3);
+
+        let read_back = flow.step("process", |dfs, cluster| {
+            let data = dfs.get("/in/data").unwrap();
+            let stats = word_count_stats(cluster, vec!["a", "b", "a"]);
+            dfs.put("/out/result", data).unwrap();
+            (dfs.list("/").len(), stats)
+        });
+        assert_eq!(read_back, 2);
+
+        assert_eq!(flow.reports().len(), 2);
+        assert_eq!(flow.reports()[0].name, "ingest");
+        assert_eq!(flow.reports()[1].name, "process");
+        assert!(flow.dfs().exists("/out/result"));
+    }
+
+    #[test]
+    fn simulation_aggregates_all_steps() {
+        let mut flow = JobFlow::new(ClusterConfig::emr(2));
+        for i in 0..3 {
+            flow.step(format!("step-{i}"), |_dfs, cluster| {
+                ((), word_count_stats(cluster, vec!["x", "y", "z", "x"]))
+            });
+        }
+        let t1 = flow.simulate_total(&ClusterConfig::emr(1));
+        let t64 = flow.simulate_total(&ClusterConfig::emr(64));
+        assert!(t64 <= t1);
+        assert!(flow.total_wall_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_flow_is_trivial() {
+        let flow = JobFlow::new(ClusterConfig::single_node());
+        assert!(flow.reports().is_empty());
+        assert_eq!(flow.total_wall_time(), Duration::ZERO);
+        assert_eq!(flow.simulate_total(&ClusterConfig::emr(4)), Duration::ZERO);
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic hash partitioner.
+//!
+//! Hadoop's default `HashPartitioner` routes a key to
+//! `hash(key) mod numReduceTasks`. Rust's `DefaultHasher` is not
+//! guaranteed stable across releases, so we fix an FNV-1a based hasher:
+//! shuffle placement — and therefore reduce-task contents — is identical
+//! across runs and toolchains.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a streaming hasher (stable across platforms and releases).
+#[derive(Clone, Debug)]
+pub struct Fnv1aHasher(u64);
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Partition `key` into one of `num_partitions` buckets.
+///
+/// # Panics
+/// Panics if `num_partitions == 0`.
+pub fn hash_partition<K: Hash>(key: &K, num_partitions: usize) -> usize {
+    assert!(num_partitions > 0, "hash_partition: zero partitions");
+    let mut h = Fnv1aHasher::default();
+    key.hash(&mut h);
+    // Mix the high bits down; FNV is weak in the low bits for short keys.
+    let x = h.finish();
+    let mixed = x ^ (x >> 32);
+    (mixed % num_partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_calls() {
+        assert_eq!(hash_partition(&42u64, 7), hash_partition(&42u64, 7));
+        assert_eq!(hash_partition(&"sig", 5), hash_partition(&"sig", 5));
+    }
+
+    #[test]
+    fn in_range() {
+        for k in 0..1000u32 {
+            let p = hash_partition(&k, 13);
+            assert!(p < 13);
+        }
+    }
+
+    #[test]
+    fn single_partition_catches_all() {
+        for k in 0..50u32 {
+            assert_eq!(hash_partition(&k, 1), 0);
+        }
+    }
+
+    #[test]
+    fn spreads_keys_reasonably() {
+        let parts = 8;
+        let mut counts = vec![0usize; parts];
+        for k in 0..8000u32 {
+            counts[hash_partition(&k, parts)] += 1;
+        }
+        // Each partition should get within 3x of the fair share.
+        for &c in &counts {
+            assert!(c > 8000 / parts / 3, "partition starved: {counts:?}");
+            assert!(c < 8000 / parts * 3, "partition overloaded: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn zero_partitions_panics() {
+        hash_partition(&1u8, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Ground-truth clustering accuracy (the paper's first metric:
+//! "the ratio of correctly clustered number of points to the total
+//! number of points").
+
+use crate::hungarian::hungarian_min_assignment;
+
+/// Build the contingency table `counts[pred][truth]`.
+///
+/// Label values may be arbitrary (non-contiguous) `usize`s; they are
+/// compacted internally. Returns `(counts, pred_labels, true_labels)`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn confusion_matrix(
+    predicted: &[usize],
+    truth: &[usize],
+) -> (Vec<Vec<usize>>, Vec<usize>, Vec<usize>) {
+    assert_eq!(predicted.len(), truth.len(), "accuracy: length mismatch");
+    assert!(!predicted.is_empty(), "accuracy: empty labelling");
+    let mut pred_labels: Vec<usize> = predicted.to_vec();
+    pred_labels.sort_unstable();
+    pred_labels.dedup();
+    let mut true_labels: Vec<usize> = truth.to_vec();
+    true_labels.sort_unstable();
+    true_labels.dedup();
+
+    let pred_of = |l: usize| pred_labels.binary_search(&l).expect("known label");
+    let true_of = |l: usize| true_labels.binary_search(&l).expect("known label");
+
+    let mut counts = vec![vec![0usize; true_labels.len()]; pred_labels.len()];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        counts[pred_of(p)][true_of(t)] += 1;
+    }
+    (counts, pred_labels, true_labels)
+}
+
+/// Clustering accuracy under the optimal one-to-one label matching.
+///
+/// Pads the contingency table to square, solves the max-agreement
+/// assignment via the Hungarian algorithm, and returns
+/// `matched / N ∈ [0, 1]`.
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    let (counts, pred_labels, true_labels) = confusion_matrix(predicted, truth);
+    let n: usize = predicted.len();
+    let k = pred_labels.len().max(true_labels.len());
+
+    // Maximize agreement == minimize (max_count − count) over a padded
+    // square matrix.
+    let max_count = counts
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0) as f64;
+    let cost: Vec<Vec<f64>> = (0..k)
+        .map(|p| {
+            (0..k)
+                .map(|t| {
+                    let c = counts
+                        .get(p)
+                        .and_then(|r| r.get(t))
+                        .copied()
+                        .unwrap_or(0);
+                    max_count - c as f64
+                })
+                .collect()
+        })
+        .collect();
+    let assign = hungarian_min_assignment(&cost);
+
+    let matched: usize = assign
+        .iter()
+        .enumerate()
+        .map(|(p, &t)| {
+            counts
+                .get(p)
+                .and_then(|r| r.get(t))
+                .copied()
+                .unwrap_or(0)
+        })
+        .sum();
+    matched as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        assert_eq!(accuracy(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn permuted_labels_still_perfect() {
+        assert_eq!(accuracy(&[1, 1, 0, 0], &[0, 0, 1, 1]), 1.0);
+        assert_eq!(accuracy(&[5, 5, 9, 9], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn one_mistake() {
+        assert_eq!(accuracy(&[0, 0, 1, 0], &[0, 0, 1, 1]), 0.75);
+    }
+
+    #[test]
+    fn all_one_cluster_gets_majority_class() {
+        // Predicting a single cluster matches the largest class: 3/5.
+        assert_eq!(accuracy(&[0; 5], &[1, 1, 1, 2, 2]), 0.6);
+    }
+
+    #[test]
+    fn more_predicted_than_true_clusters() {
+        // Over-segmentation: each true class split in two → best match
+        // keeps one sub-cluster per class.
+        let pred = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        assert_eq!(accuracy(&pred, &truth), 0.5);
+    }
+
+    #[test]
+    fn fewer_predicted_than_true_clusters() {
+        let pred = vec![0, 0, 0, 0];
+        let truth = vec![0, 1, 2, 3];
+        assert_eq!(accuracy(&pred, &truth), 0.25);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let (m, pl, tl) = confusion_matrix(&[0, 0, 1, 1, 1], &[7, 7, 7, 9, 9]);
+        assert_eq!(pl, vec![0, 1]);
+        assert_eq!(tl, vec![7, 9]);
+        assert_eq!(m, vec![vec![2, 0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn accuracy_is_symmetric_under_label_renaming() {
+        let pred = vec![2, 2, 0, 1, 1, 0];
+        let truth = vec![0, 0, 1, 2, 2, 1];
+        assert_eq!(accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        accuracy(&[], &[]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Average squared error (Eq. 21) — the K-means objective normalized by
+//! dataset size; smaller means tighter clusters.
+
+use dasc_linalg::vector;
+
+/// `ASE = (1/N) Σ_k Σ_{x ∈ k} ‖x − c_k‖²`.
+///
+/// # Panics
+/// Panics on length mismatch or out-of-range assignments.
+pub fn ase(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "ase: length mismatch");
+    assert!(
+        assignments.iter().all(|&a| a < k),
+        "ase: assignment out of range"
+    );
+    if points.is_empty() {
+        return 0.0;
+    }
+    let d = points[0].len();
+    let mut centroids = vec![vec![0.0; d]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        vector::axpy(1.0, p, &mut centroids[a]);
+        counts[a] += 1;
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            vector::scale(1.0 / n as f64, c);
+        }
+    }
+    let total: f64 = points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
+        .sum();
+    total / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clusters_zero_error() {
+        let points = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        assert_eq!(ase(&points, &[0, 0, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // Cluster {0, 2}: centroid 1, each point 1 away → squared 1 each.
+        let points = vec![vec![0.0], vec![2.0]];
+        assert_eq!(ase(&points, &[0, 0], 1), 1.0);
+    }
+
+    #[test]
+    fn better_clustering_scores_lower() {
+        let points = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+        let good = ase(&points, &[0, 0, 1, 1], 2);
+        let bad = ase(&points, &[0, 1, 0, 1], 2);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(ase(&[], &[], 3), 0.0);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_optimal_ase() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let k2 = ase(&points, &[0, 0, 1, 1], 2);
+        let k4 = ase(&points, &[0, 1, 2, 3], 4);
+        assert!(k4 <= k2);
+        assert_eq!(k4, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        ase(&[vec![0.0]], &[0, 1], 2);
+    }
+}

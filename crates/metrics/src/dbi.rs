@@ -1,0 +1,143 @@
+//! Davies–Bouldin index (Eq. 20).
+//!
+//! `DBI = (1/C) Σᵢ maxⱼ≠ᵢ (σᵢ + σⱼ) / d(cᵢ, cⱼ)` — the ratio of
+//! within-cluster scatter to between-cluster separation; smaller is
+//! better.
+
+use dasc_linalg::vector;
+
+/// Compute the DBI of a clustering.
+///
+/// Clusters that are empty are ignored; if fewer than two non-empty
+/// clusters exist, the index is defined as `0.0` (no pair to compare).
+///
+/// # Panics
+/// Panics if `points` and `assignments` differ in length or any
+/// assignment is `>= k`.
+pub fn davies_bouldin(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "dbi: length mismatch");
+    assert!(
+        assignments.iter().all(|&a| a < k),
+        "dbi: assignment out of range"
+    );
+    if points.is_empty() {
+        return 0.0;
+    }
+    let d = points[0].len();
+
+    // Centroids and within-cluster mean distances σ.
+    let mut centroids = vec![vec![0.0; d]; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        vector::axpy(1.0, p, &mut centroids[a]);
+        counts[a] += 1;
+    }
+    for (c, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            vector::scale(1.0 / n as f64, c);
+        }
+    }
+    let mut sigma = vec![0.0; k];
+    for (p, &a) in points.iter().zip(assignments) {
+        sigma[a] += vector::dist(p, &centroids[a]);
+    }
+    for (s, &n) in sigma.iter_mut().zip(&counts) {
+        if n > 0 {
+            *s /= n as f64;
+        }
+    }
+
+    let live: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &i in &live {
+        let mut worst = 0.0f64;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let sep = vector::dist(&centroids[i], &centroids[j]);
+            let r = if sep > 0.0 {
+                (sigma[i] + sigma[j]) / sep
+            } else {
+                f64::INFINITY
+            };
+            worst = worst.max(r);
+        }
+        total += worst;
+    }
+    total / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_separated_clusters_score_low() {
+        // Two tight blobs far apart.
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ];
+        let dbi = davies_bouldin(&points, &[0, 0, 1, 1], 2);
+        assert!(dbi < 0.05, "dbi {dbi} should be near zero");
+    }
+
+    #[test]
+    fn bad_split_scores_higher() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ];
+        let good = davies_bouldin(&points, &[0, 0, 1, 1], 2);
+        // Split across the blobs: huge scatter, same separation.
+        let bad = davies_bouldin(&points, &[0, 1, 0, 1], 2);
+        assert!(bad > good * 10.0, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(davies_bouldin(&points, &[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn empty_clusters_ignored() {
+        let points = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+        // k = 4 but only clusters 0 and 3 used.
+        let dbi = davies_bouldin(&points, &[0, 0, 3, 3], 4);
+        assert!(dbi.is_finite() && dbi > 0.0);
+    }
+
+    #[test]
+    fn coincident_centroids_give_infinite_ratio() {
+        // Two interleaved clusters with identical centroids.
+        let points = vec![vec![0.0], vec![2.0], vec![0.0], vec![2.0]];
+        let dbi = davies_bouldin(&points, &[0, 0, 1, 1], 2);
+        assert!(dbi.is_infinite());
+    }
+
+    #[test]
+    fn scale_invariance_of_ratio_ordering() {
+        // Scaling all points scales σ and separations equally: DBI fixed.
+        let points = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let scaled: Vec<Vec<f64>> =
+            points.iter().map(|p| vec![p[0] * 3.0]).collect();
+        let a = davies_bouldin(&points, &[0, 0, 1, 1], 2);
+        let b = davies_bouldin(&scaled, &[0, 0, 1, 1], 2);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_panics() {
+        davies_bouldin(&[vec![0.0]], &[1], 1);
+    }
+}

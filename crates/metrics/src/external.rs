@@ -1,0 +1,185 @@
+//! External clustering metrics beyond the paper: purity and normalized
+//! mutual information. Used by the ablation benches as additional,
+//! permutation-free views of clustering quality.
+
+use crate::accuracy::confusion_matrix;
+
+/// Purity: each predicted cluster is credited with its majority class;
+/// `purity = Σ_p max_t n_pt / N`. Always ≥ accuracy's matched fraction.
+pub fn purity(predicted: &[usize], truth: &[usize]) -> f64 {
+    let (counts, _, _) = confusion_matrix(predicted, truth);
+    let n = predicted.len() as f64;
+    let matched: usize = counts
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    matched as f64 / n
+}
+
+/// Normalized mutual information
+/// `NMI = 2 I(P; T) / (H(P) + H(T)) ∈ [0, 1]`.
+///
+/// Returns `1.0` when both partitions are single-cluster (degenerate but
+/// identical structure).
+pub fn nmi(predicted: &[usize], truth: &[usize]) -> f64 {
+    let (counts, pred_labels, true_labels) = confusion_matrix(predicted, truth);
+    let n = predicted.len() as f64;
+
+    let row_sums: Vec<f64> = counts
+        .iter()
+        .map(|r| r.iter().sum::<usize>() as f64)
+        .collect();
+    let col_sums: Vec<f64> = (0..true_labels.len())
+        .map(|t| counts.iter().map(|r| r[t]).sum::<usize>() as f64)
+        .collect();
+
+    let mut mi = 0.0;
+    for (p, row) in counts.iter().enumerate() {
+        for (t, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let c = c as f64;
+            mi += (c / n) * ((n * c) / (row_sums[p] * col_sums[t])).ln();
+        }
+    }
+    let h = |sums: &[f64]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| -(s / n) * (s / n).ln())
+            .sum()
+    };
+    let hp = h(&row_sums);
+    let ht = h(&col_sums);
+    if hp + ht == 0.0 {
+        // Both partitions trivial (one cluster each): identical.
+        let _ = pred_labels;
+        return 1.0;
+    }
+    (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand index: pair-counting agreement corrected for chance,
+/// `ARI = (RI − E[RI]) / (max RI − E[RI])`. 1 for identical partitions,
+/// ≈ 0 for independent ones; can be negative for adversarial ones.
+pub fn adjusted_rand_index(predicted: &[usize], truth: &[usize]) -> f64 {
+    let (counts, _, _) = confusion_matrix(predicted, truth);
+    let n = predicted.len();
+    let choose2 = |x: usize| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+
+    let sum_cells: f64 = counts
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_rows: f64 = counts
+        .iter()
+        .map(|row| choose2(row.iter().sum::<usize>()))
+        .sum();
+    let sum_cols: f64 = (0..counts[0].len())
+        .map(|t| choose2(counts.iter().map(|r| r[t]).sum::<usize>()))
+        .sum();
+    let total = choose2(n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions trivial (all-one-cluster or all-singletons and
+        // identical structure): define as perfect agreement.
+        return 1.0;
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_perfect_and_permuted() {
+        let t = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&t, &t) - 1.0).abs() < 1e-12);
+        let p = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_independent_near_zero() {
+        // Orthogonal split of a 2x2 grid of groups.
+        let p = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let t = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let ari = adjusted_rand_index(&p, &t);
+        assert!(ari.abs() < 0.3, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_known_sklearn_value() {
+        // sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) = 0.571428…
+        let ari = adjusted_rand_index(&[0, 0, 1, 2], &[0, 0, 1, 1]);
+        assert!((ari - 0.5714285714285714).abs() < 1e-12, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_symmetric() {
+        let p = vec![0, 0, 1, 1, 1, 2];
+        let t = vec![1, 1, 0, 0, 2, 2];
+        assert!(
+            (adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn ari_trivial_partitions() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]), 1.0);
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        let p = vec![0, 0, 1, 1, 2, 2];
+        let t = vec![5, 5, 7, 7, 9, 9];
+        assert!((nmi(&p, &t) - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn independent_partition_scores_near_zero() {
+        // Prediction splits orthogonally to truth.
+        let p = vec![0, 1, 0, 1];
+        let t = vec![0, 0, 1, 1];
+        assert!(nmi(&p, &t) < 1e-9);
+        assert_eq!(purity(&p, &t), 0.5);
+    }
+
+    #[test]
+    fn purity_rewards_oversegmentation() {
+        // Singleton clusters: purity = 1 even though useless.
+        let p = vec![0, 1, 2, 3];
+        let t = vec![0, 0, 1, 1];
+        assert_eq!(purity(&p, &t), 1.0);
+        // ...but NMI penalizes it.
+        assert!(nmi(&p, &t) < 1.0);
+    }
+
+    #[test]
+    fn both_trivial_partitions() {
+        assert_eq!(nmi(&[0, 0, 0], &[4, 4, 4]), 1.0);
+        assert_eq!(purity(&[0, 0, 0], &[4, 4, 4]), 1.0);
+    }
+
+    #[test]
+    fn nmi_symmetric() {
+        let p = vec![0, 0, 1, 1, 1, 2];
+        let t = vec![1, 1, 0, 0, 2, 2];
+        assert!((nmi(&p, &t) - nmi(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_in_unit_interval() {
+        let p = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let t = vec![0, 0, 0, 1, 1, 1, 2, 2];
+        let v = nmi(&p, &t);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

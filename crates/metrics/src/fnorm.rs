@@ -1,0 +1,60 @@
+//! Frobenius-norm ratio between an approximated and an exact matrix
+//! (Eqs. 22–24): by unitary invariance the ratio compares singular-value
+//! mass, so values near 1 mean the approximation kept the spectrum.
+
+use dasc_linalg::Matrix;
+
+/// `‖approx‖_F / ‖exact‖_F`.
+///
+/// Returns `1.0` when both norms are zero and `0.0` when only the exact
+/// matrix is non-zero... i.e. degenerate cases degrade gracefully.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn fnorm_ratio(approx: &Matrix, exact: &Matrix) -> f64 {
+    assert_eq!(approx.shape(), exact.shape(), "fnorm_ratio: shape mismatch");
+    let e = exact.frobenius_norm();
+    let a = approx.frobenius_norm();
+    if e == 0.0 {
+        return if a == 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    a / e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_ratio_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(fnorm_ratio(&m, &m), 1.0);
+    }
+
+    #[test]
+    fn zeroed_offdiagonal_drops_ratio() {
+        let exact = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let approx = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let r = fnorm_ratio(&approx, &exact);
+        assert!((r - (2.0f64).sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exact_zero_approx() {
+        let z = Matrix::zeros(3, 3);
+        assert_eq!(fnorm_ratio(&z, &z), 1.0);
+    }
+
+    #[test]
+    fn zero_exact_nonzero_approx_is_infinite() {
+        let z = Matrix::zeros(2, 2);
+        let a = Matrix::identity(2);
+        assert!(fnorm_ratio(&a, &z).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        fnorm_ratio(&Matrix::zeros(2, 2), &Matrix::zeros(3, 3));
+    }
+}

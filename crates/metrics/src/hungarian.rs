@@ -1,0 +1,185 @@
+//! Hungarian (Kuhn–Munkres) assignment, O(n³) shortest-augmenting-path
+//! formulation with potentials.
+//!
+//! Clustering labels are arbitrary permutations of the ground truth;
+//! the accuracy metric needs the permutation that maximizes agreement,
+//! which is an assignment problem on the confusion matrix.
+
+/// Solve the minimum-cost assignment for a `rows × cols` cost matrix
+/// with `rows <= cols`.
+///
+/// Returns `assign` where `assign[r]` is the column matched to row `r`;
+/// all assigned columns are distinct.
+///
+/// # Panics
+/// Panics if `cost` is empty, ragged, or has more rows than columns.
+pub fn hungarian_min_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "hungarian: empty cost matrix");
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|r| r.len() == m),
+        "hungarian: ragged cost matrix"
+    );
+    assert!(n <= m, "hungarian: requires rows <= cols");
+
+    // 1-indexed potentials and matching, following the classic
+    // formulation (e-maxx): p[j] = row matched to column j.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(cost: &[Vec<f64>], assign: &[usize]) -> f64 {
+        assign.iter().enumerate().map(|(r, &c)| cost[r][c]).sum()
+    }
+
+    #[test]
+    fn identity_optimal() {
+        let cost = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        assert_eq!(hungarian_min_assignment(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn antidiagonal_optimal() {
+        let cost = vec![
+            vec![9.0, 9.0, 1.0],
+            vec![9.0, 1.0, 9.0],
+            vec![1.0, 9.0, 9.0],
+        ];
+        assert_eq!(hungarian_min_assignment(&cost), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn known_3x3_value() {
+        // Classic example: optimal total is 5 (1+2+2 via perm (1,0,2)).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian_min_assignment(&cost);
+        assert_eq!(total(&cost, &a), 5.0);
+    }
+
+    #[test]
+    fn rectangular_rows_less_than_cols() {
+        let cost = vec![
+            vec![5.0, 1.0, 9.0, 4.0],
+            vec![7.0, 8.0, 2.0, 6.0],
+        ];
+        let a = hungarian_min_assignment(&cost);
+        assert_eq!(a, vec![1, 2]);
+        // Distinct columns.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn single_cell() {
+        assert_eq!(hungarian_min_assignment(&[vec![7.0]]), vec![0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_4x4() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let cost: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..4).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let a = hungarian_min_assignment(&cost);
+            let got = total(&cost, &a);
+            // Brute force over all 24 permutations.
+            let perms = [
+                [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1],
+                [0, 3, 1, 2], [0, 3, 2, 1], [1, 0, 2, 3], [1, 0, 3, 2],
+                [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
+                [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0],
+                [2, 3, 0, 1], [2, 3, 1, 0], [3, 0, 1, 2], [3, 0, 2, 1],
+                [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+            ];
+            let best = perms
+                .iter()
+                .map(|p| total(&cost, p))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got - best).abs() < 1e-9, "hungarian {got} vs brute {best}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn tall_matrix_panics() {
+        hungarian_min_assignment(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        hungarian_min_assignment(&[]);
+    }
+}

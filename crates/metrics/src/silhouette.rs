@@ -1,0 +1,130 @@
+//! Silhouette coefficient — a standard internal quality metric beyond
+//! the paper's DBI/ASE, used by the ablation benches as a third view.
+//!
+//! For each point: `s = (b − a) / max(a, b)` where `a` is the mean
+//! distance to its own cluster and `b` the mean distance to the nearest
+//! other cluster. Scores lie in `[-1, 1]`; higher is better.
+
+use dasc_linalg::vector;
+
+/// Mean silhouette over all points (O(N²); intended for evaluation
+/// sizes).
+///
+/// Points in singleton clusters contribute `0.0` (the usual convention).
+/// Returns `0.0` when fewer than two non-empty clusters exist.
+///
+/// # Panics
+/// Panics on length mismatch or out-of-range assignments.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "silhouette: length mismatch");
+    assert!(
+        assignments.iter().all(|&a| a < k),
+        "silhouette: assignment out of range"
+    );
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; k];
+    for &a in assignments {
+        counts[a] += 1;
+    }
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if counts[own] <= 1 {
+            continue; // singleton: s = 0
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += vector::dist(&points[i], &points[j]);
+        }
+        let a = sums[own] / (counts[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64]);
+            labels.push(0);
+            pts.push(vec![10.0 + 0.01 * i as f64]);
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (pts, labels) = two_blobs();
+        let s = silhouette(&pts, &labels, 2);
+        assert!(s > 0.95, "silhouette {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        // Points interleave blob A/B by index, so "first half vs second
+        // half" mixes both blobs into each cluster.
+        let (pts, _) = two_blobs();
+        let bad: Vec<usize> = (0..20).map(|i| usize::from(i < 10)).collect();
+        let s = silhouette(&pts, &bad, 2);
+        assert!(s < 0.2, "bad clustering scored {s}");
+        let (_, good) = two_blobs();
+        assert!(s < silhouette(&pts, &good, 2));
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let (pts, _) = two_blobs();
+        assert_eq!(silhouette(&pts, &[0; 20], 1), 0.0);
+    }
+
+    #[test]
+    fn score_in_range() {
+        let (pts, labels) = two_blobs();
+        for ls in [labels.clone(), vec![0; 20], (0..20).map(|i| i % 2).collect()] {
+            let s = silhouette(&pts, &ls, 2);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        // Two points far apart, each its own cluster: both singletons.
+        let pts = vec![vec![0.0], vec![9.0]];
+        assert_eq!(silhouette(&pts, &[0, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(silhouette(&[], &[], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_panics() {
+        silhouette(&[vec![0.0]], &[2], 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Kernel classification on the DASC approximation — the paper's own
+//! motivating use case (its introduction cites an SVM pedestrian
+//! detector whose error halves when the training set doubles, which is
+//! exactly when the O(N²) kernel matrix becomes the bottleneck).
+//!
+//! An LS-SVM (one-vs-rest) is trained on the exact Gram matrix and on
+//! the DASC block-diagonal approximation; held-out accuracy and memory
+//! are compared.
+//!
+//! ```text
+//! cargo run --release --example classification
+//! ```
+
+use dasc::core::{Dasc, DascConfig};
+use dasc::kernel::KernelClassifier;
+use dasc::prelude::*;
+
+fn main() {
+    let dataset = SyntheticConfig::blobs(1_200, 16, 6).seed(99).generate();
+    let (train, test) = dataset.split(0.8, 7);
+    let train_labels = train.labels.as_ref().expect("labelled");
+    let test_labels = test.labels.as_ref().expect("labelled");
+    let kernel = Kernel::gaussian_median_heuristic(&train.points);
+
+    println!(
+        "train {} / test {} points, {} classes\n",
+        train.len(),
+        test.len(),
+        dataset.num_classes().unwrap()
+    );
+
+    // Exact LS-SVM: one global (K + I/γ)α = y solve per class.
+    let exact = KernelClassifier::fit_exact(&train.points, train_labels, kernel, 50.0);
+    let exact_acc = exact.accuracy(&test.points, test_labels, &train.points);
+    let exact_kb = 4 * train.len() * train.len() / 1024;
+    println!("exact LS-SVM   : accuracy {exact_acc:.3}, gram {exact_kb} KB");
+
+    // DASC-approximated LS-SVM: independent per-bucket solves.
+    let dasc = Dasc::new(
+        DascConfig::for_dataset(train.len(), 6)
+            .kernel(kernel)
+            .lsh(LshConfig::with_bits(4)),
+    );
+    let gram = dasc.approximate_gram(&train.points);
+    let blocked = KernelClassifier::fit_blocks(&gram, train_labels, kernel, 50.0);
+    let blocked_acc = blocked.accuracy(&test.points, test_labels, &train.points);
+    println!(
+        "DASC LS-SVM    : accuracy {blocked_acc:.3}, gram {} KB across {} buckets",
+        gram.memory_bytes() / 1024,
+        gram.blocks().len()
+    );
+
+    println!(
+        "\nThe block-diagonal solve costs O(Σ Nᵢ³) instead of O(N³) and \
+         stores {:.1}x less kernel matrix, at {} accuracy cost.",
+        (4 * train.len() * train.len()) as f64 / gram.memory_bytes().max(1) as f64,
+        if (exact_acc - blocked_acc).abs() < 0.02 {
+            "negligible".to_string()
+        } else {
+            format!("{:.3}", exact_acc - blocked_acc)
+        }
+    );
+}

@@ -1,0 +1,72 @@
+//! Document clustering: the paper's motivating workload.
+//!
+//! Generates a Wikipedia-like corpus (tf-idf vectors over the top
+//! F = 11 terms, category counts per the paper's Table 1 fit), then
+//! compares DASC against exact spectral clustering and the PSC/NYST
+//! baselines on accuracy, NMI and memory.
+//!
+//! ```text
+//! cargo run --release --example document_clustering
+//! ```
+
+use dasc::core::{
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
+    SpectralClustering, SpectralConfig,
+};
+use dasc::kernel::gram_memory_bytes;
+use dasc::metrics::nmi;
+use dasc::prelude::*;
+
+fn main() {
+    let n = 2_048usize;
+    let corpus = WikiCorpusConfig::new(n).seed(7).generate();
+    let truth = corpus.labels.as_ref().expect("labelled corpus");
+    let k = corpus.num_classes().expect("labelled corpus");
+    let kernel = Kernel::gaussian_median_heuristic(&corpus.points);
+    println!("corpus: {n} documents, {k} categories, {} dims\n", corpus.dims());
+
+    println!(
+        "{:<8} {:>9} {:>7} {:>12}",
+        "method", "accuracy", "NMI", "memory (KB)"
+    );
+
+    let dasc = Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel))
+        .run(&corpus.points);
+    report(
+        "DASC",
+        &dasc.clustering.assignments,
+        truth,
+        dasc.approx_gram_bytes,
+    );
+
+    let sc = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
+        .run(&corpus.points);
+    report("SC", &sc.clustering.assignments, truth, gram_memory_bytes(n));
+
+    let psc = ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40))
+        .run(&corpus.points);
+    report(
+        "PSC",
+        &psc.clustering.assignments,
+        truth,
+        psc.sparse_memory_bytes,
+    );
+
+    let nyst = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&corpus.points);
+    report(
+        "NYST",
+        &nyst.clustering.assignments,
+        truth,
+        nyst.memory_bytes,
+    );
+}
+
+fn report(name: &str, predicted: &[usize], truth: &[usize], bytes: usize) {
+    println!(
+        "{:<8} {:>9.3} {:>7.3} {:>12}",
+        name,
+        accuracy(predicted, truth),
+        nmi(predicted, truth),
+        bytes / 1024
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: cluster a synthetic dataset with DASC and inspect the
+//! result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dasc::prelude::*;
+
+fn main() {
+    // 2,000 points in 8 Gaussian blobs, 64 dimensions, values in [0, 1]
+    // (the paper's synthetic setup).
+    let dataset = SyntheticConfig::paper_default(2_000, 8).seed(42).generate();
+    let truth = dataset.labels.as_ref().expect("generator labels its output");
+
+    // DASC with paper defaults: M = ⌈log₂N⌉/2 − 1 signature bits,
+    // P = M − 1 bucket merging, Gaussian kernel.
+    let config = DascConfig::for_dataset(dataset.points.len(), 8)
+        .kernel(Kernel::gaussian_median_heuristic(&dataset.points));
+    let result = Dasc::new(config).run(&dataset.points);
+
+    println!("points        : {}", dataset.points.len());
+    println!("buckets       : {}", result.buckets.len());
+    println!("bucket sizes  : {:?}", result.buckets.sizes());
+    println!("clusters      : {}", result.clustering.num_clusters);
+    println!(
+        "approx gram   : {} KB (full would be {} KB)",
+        result.approx_gram_bytes / 1024,
+        4 * dataset.points.len() * dataset.points.len() / 1024
+    );
+    println!(
+        "accuracy      : {:.3}",
+        accuracy(&result.clustering.assignments, truth)
+    );
+    println!(
+        "DBI / ASE     : {:.3} / {:.3}",
+        davies_bouldin(
+            &dataset.points,
+            &result.clustering.assignments,
+            result.clustering.num_clusters
+        ),
+        ase(
+            &dataset.points,
+            &result.clustering.assignments,
+            result.clustering.num_clusters
+        )
+    );
+    println!(
+        "stage times   : lsh {:?}, bucketing {:?}, gram {:?}, clustering {:?}",
+        result.times.lsh,
+        result.times.bucketing,
+        result.times.gram,
+        result.times.clustering
+    );
+}

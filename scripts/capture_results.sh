@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of the paper at the default (quick) scale
+# and store the outputs under results/. Pass --full for paper-scale runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_FLAG="${1:-}"
+mkdir -p results
+
+BINS=(
+  fig1_scalability
+  fig2_collision
+  table1_categories
+  fig3_accuracy_wiki
+  fig4_dbi_ase
+  fig5_fnorm
+  fig6_time_memory
+  table3_elasticity
+  fterm_selection
+  ablation_quality
+  scalability_sweep
+)
+
+cargo build --release -p dasc-bench
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  # shellcheck disable=SC2086
+  "target/release/$bin" $SCALE_FLAG 2>/dev/null | tee "results/$bin.txt"
+done
+
+echo "results captured under results/"
