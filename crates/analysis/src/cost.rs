@@ -25,7 +25,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { beta: 50e-6, machines: 1024.0 }
+        Self {
+            beta: 50e-6,
+            machines: 1024.0,
+        }
     }
 }
 
@@ -72,12 +75,7 @@ pub fn time_reduction_ratio(n: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `bucket_sizes` and `bucket_ks` differ in length.
-pub fn dasc_operations_general(
-    n: f64,
-    m: f64,
-    bucket_sizes: &[f64],
-    bucket_ks: &[f64],
-) -> f64 {
+pub fn dasc_operations_general(n: f64, m: f64, bucket_sizes: &[f64], bucket_ks: &[f64]) -> f64 {
     assert_eq!(
         bucket_sizes.len(),
         bucket_ks.len(),
@@ -158,8 +156,7 @@ mod tests {
         // quadratic factor SC shows.
         let model = CostModel::default();
         let n = (1u64 << 24) as f64;
-        let dasc_factor =
-            dasc_time_seconds(2.0 * n, &model) / dasc_time_seconds(n, &model);
+        let dasc_factor = dasc_time_seconds(2.0 * n, &model) / dasc_time_seconds(n, &model);
         let sc_factor = sc_time_seconds(2.0 * n, &model) / sc_time_seconds(n, &model);
         assert!(sc_factor > 3.9, "sc factor {sc_factor}");
         assert!(dasc_factor < 3.5, "dasc factor {dasc_factor}");

@@ -23,10 +23,9 @@ pub mod cost;
 
 pub use collision::{collision_p1, collision_p2, wiki_collision_probability};
 pub use cost::{
-    dasc_memory_bytes, dasc_memory_bytes_general, dasc_operations_general,
-    dasc_time_seconds, default_buckets, sc_memory_bytes, sc_operations,
-    sc_time_seconds, space_reduction_ratio, time_reduction_ratio,
-    time_reduction_ratio_general, CostModel,
+    dasc_memory_bytes, dasc_memory_bytes_general, dasc_operations_general, dasc_time_seconds,
+    default_buckets, sc_memory_bytes, sc_operations, sc_time_seconds, space_reduction_ratio,
+    time_reduction_ratio, time_reduction_ratio_general, CostModel,
 };
 
 /// Eq. 15: the Wikipedia category fit `K = 17(log₂N − 9)`, clamped to at

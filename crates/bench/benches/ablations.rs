@@ -9,8 +9,8 @@ use dasc_core::{Dasc, DascConfig};
 use dasc_data::SyntheticConfig;
 use dasc_kernel::Kernel;
 use dasc_lsh::{
-    LshConfig, MergeStrategy, MinHash, PStableLsh, PcaHash,
-    SignRandomProjection, SignatureModel, ThresholdRule,
+    LshConfig, MergeStrategy, MinHash, PStableLsh, PcaHash, SignRandomProjection, SignatureModel,
+    ThresholdRule,
 };
 
 fn dataset(n: usize) -> dasc_data::Dataset {

@@ -21,12 +21,7 @@ fn bench_signatures(c: &mut Criterion) {
             b.iter(|| black_box(model.hash_all(&ds.points)))
         });
         g.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(SignatureModel::fit(
-                    &ds.points,
-                    &LshConfig::for_dataset(n),
-                ))
-            })
+            b.iter(|| black_box(SignatureModel::fit(&ds.points, &LshConfig::for_dataset(n))))
         });
     }
     g.finish();
@@ -63,9 +58,7 @@ fn bench_gram(c: &mut Criterion) {
         let model = SignatureModel::fit(&ds.points, &cfg);
         let buckets = BucketSet::from_signatures(&model.hash_all(&ds.points));
         g.bench_with_input(BenchmarkId::new("block_diagonal", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(ApproximateGram::from_buckets(&ds.points, &buckets, &kernel))
-            })
+            b.iter(|| black_box(ApproximateGram::from_buckets(&ds.points, &buckets, &kernel)))
         });
     }
     g.finish();
@@ -75,9 +68,7 @@ fn bench_eigensolvers(c: &mut Criterion) {
     let mut g = c.benchmark_group("eigen");
     g.sample_size(10);
     for &n in &[64usize, 128, 256] {
-        let a = Matrix::from_fn(n, n, |i, j| {
-            (-((i as f64 - j as f64) / 16.0).powi(2)).exp()
-        });
+        let a = Matrix::from_fn(n, n, |i, j| (-((i as f64 - j as f64) / 16.0).powi(2)).exp());
         g.bench_with_input(BenchmarkId::new("dense_full", n), &n, |b, _| {
             b.iter(|| black_box(symmetric_eigen(&a)))
         });
@@ -180,11 +171,7 @@ fn bench_kdtree(c: &mut Criterion) {
                 .enumerate()
                 .filter(|(i, _)| *i != 17)
                 .map(|(i, p)| {
-                    let d: f64 = p
-                        .iter()
-                        .zip(q)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum();
+                    let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
                     (i, d)
                 })
                 .collect();

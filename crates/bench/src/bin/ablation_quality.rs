@@ -41,8 +41,12 @@ fn main() {
         &["merge P", "accuracy", "buckets", "gram bytes"],
     );
     for (label, p) in [("M-1 (paper)", m_default - 1), ("M (off)", m_default)] {
-        let (acc, buckets, bytes) =
-            run_with(&ds.points, truth, k, LshConfig::with_bits(m_default).merge_p(p));
+        let (acc, buckets, bytes) = run_with(
+            &ds.points,
+            truth,
+            k,
+            LshConfig::with_bits(m_default).merge_p(p),
+        );
         print_row(&[
             label.to_string(),
             format!("{acc:.3}"),
@@ -57,8 +61,7 @@ fn main() {
         &["M", "accuracy", "buckets", "gram bytes"],
     );
     for m in [2usize, 3, 4, 5, 6, 8] {
-        let (acc, buckets, bytes) =
-            run_with(&ds.points, truth, k, LshConfig::with_bits(m));
+        let (acc, buckets, bytes) = run_with(&ds.points, truth, k, LshConfig::with_bits(m));
         print_row(&[
             m.to_string(),
             format!("{acc:.3}"),
@@ -76,8 +79,7 @@ fn main() {
         ("top-span+valley", LshConfig::with_bits(m_default)),
         (
             "weighted+valley",
-            LshConfig::with_bits(m_default)
-                .selection(DimensionSelection::SpanWeighted { seed: 7 }),
+            LshConfig::with_bits(m_default).selection(DimensionSelection::SpanWeighted { seed: 7 }),
         ),
         (
             "top-span+median",
@@ -107,7 +109,10 @@ fn main() {
         .generate();
     let m_wiki = 6usize;
     print_header(
-        &format!("Ablation: bucket balance on skewed data (N = {}, M = {m_wiki})", wiki.points.len()),
+        &format!(
+            "Ablation: bucket balance on skewed data (N = {}, M = {m_wiki})",
+            wiki.points.len()
+        ),
         &["family", "buckets", "largest", "gini-ish"],
     );
     let families: Vec<(&str, Vec<dasc_lsh::Signature>)> = vec![
@@ -126,8 +131,7 @@ fn main() {
         ),
         (
             "sign-random-proj",
-            dasc_lsh::SignRandomProjection::new(m_wiki, wiki.dims(), 5)
-                .hash_all(&wiki.points),
+            dasc_lsh::SignRandomProjection::new(m_wiki, wiki.dims(), 5).hash_all(&wiki.points),
         ),
         (
             "p-stable",

@@ -5,8 +5,7 @@
 //! machines — exactly the constants the paper plots.
 
 use dasc_analysis::{
-    dasc_memory_bytes, dasc_time_seconds, sc_memory_bytes, sc_time_seconds,
-    CostModel,
+    dasc_memory_bytes, dasc_time_seconds, sc_memory_bytes, sc_time_seconds, CostModel,
 };
 use dasc_bench::{print_header, print_row};
 
@@ -42,7 +41,5 @@ fn main() {
         ]);
     }
 
-    println!(
-        "\nShape check: SC grows ~2 log2/step (quadratic); DASC sub-quadratic."
-    );
+    println!("\nShape check: SC grows ~2 log2/step (quadratic); DASC sub-quadratic.");
 }

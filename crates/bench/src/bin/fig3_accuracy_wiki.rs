@@ -8,8 +8,8 @@
 
 use dasc_bench::{print_header, print_row, time_it, Scale};
 use dasc_core::{
-    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
-    SpectralClustering, SpectralConfig,
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig, SpectralClustering,
+    SpectralConfig,
 };
 use dasc_data::WikiCorpusConfig;
 use dasc_kernel::Kernel;
@@ -33,24 +33,21 @@ fn main() {
         let k = ds.num_classes().expect("labelled corpus");
         let kernel = Kernel::gaussian_median_heuristic(&ds.points);
 
-        let (dasc_res, _) = time_it(|| {
-            Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points)
-        });
+        let (dasc_res, _) =
+            time_it(|| Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points));
         let dasc_acc = accuracy(&dasc_res.clustering.assignments, truth);
 
         let sc_acc = if n <= sc_cap {
-            let res = SpectralClustering::new(
-                SpectralConfig::new(k).kernel(kernel),
-            )
-            .run(&ds.points);
+            let res =
+                SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&ds.points);
             format!("{:.3}", accuracy(&res.clustering.assignments, truth))
         } else {
             "-".to_string()
         };
 
         let psc_acc = if n <= psc_cap {
-            let res =
-                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points);
+            let res = ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40))
+                .run(&ds.points);
             format!("{:.3}", accuracy(&res.clustering.assignments, truth))
         } else {
             "-".to_string()

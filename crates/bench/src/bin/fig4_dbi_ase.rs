@@ -3,8 +3,8 @@
 
 use dasc_bench::{print_header, print_row, Scale};
 use dasc_core::{
-    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
-    SpectralClustering, SpectralConfig,
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig, SpectralClustering,
+    SpectralConfig,
 };
 use dasc_data::SyntheticConfig;
 use dasc_kernel::Kernel;
@@ -31,7 +31,13 @@ fn main() {
 
     print_header(
         "Figure 4(a)+(b): DBI and ASE vs dataset size (synthetic, d=64)",
-        &["log2(N)", "DASC dbi/ase", "SC dbi/ase", "PSC dbi/ase", "NYST dbi/ase"],
+        &[
+            "log2(N)",
+            "DASC dbi/ase",
+            "SC dbi/ase",
+            "PSC dbi/ase",
+            "NYST dbi/ase",
+        ],
     );
 
     for e in exps {
@@ -39,13 +45,12 @@ fn main() {
         let ds = SyntheticConfig::paper_default(n, k)
             .spread(0.08)
             .noise_fraction(0.1)
-            .seed(0xF1_64)
+            .seed(0xF164)
             .generate();
         let kernel = Kernel::gaussian_median_heuristic(&ds.points);
 
         let dasc = {
-            let res =
-                Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points);
+            let res = Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&ds.points);
             let q = quality(
                 &ds.points,
                 &res.clustering.assignments,
@@ -55,8 +60,8 @@ fn main() {
         };
 
         let sc = if n <= sc_cap {
-            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
-                .run(&ds.points);
+            let res =
+                SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&ds.points);
             let q = quality(&ds.points, &res.clustering.assignments, k);
             format!("{:.2}/{:.2}", q.dbi, q.ase)
         } else {
@@ -64,8 +69,8 @@ fn main() {
         };
 
         let psc = if n <= psc_cap {
-            let res =
-                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points);
+            let res = ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40))
+                .run(&ds.points);
             let q = quality(&ds.points, &res.clustering.assignments, k);
             format!("{:.2}/{:.2}", q.dbi, q.ase)
         } else {
@@ -73,8 +78,7 @@ fn main() {
         };
 
         let nyst = {
-            let res =
-                Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&ds.points);
+            let res = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&ds.points);
             let q = quality(&ds.points, &res.clustering.assignments, k);
             format!("{:.2}/{:.2}", q.dbi, q.ase)
         };

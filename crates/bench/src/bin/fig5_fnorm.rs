@@ -59,8 +59,7 @@ fn main() {
                 .buckets()
                 .iter()
                 .map(|b| {
-                    let sub: Vec<Vec<f64>> =
-                        b.members.iter().map(|&i| points[i].clone()).collect();
+                    let sub: Vec<Vec<f64>> = b.members.iter().map(|&i| points[i].clone()).collect();
                     let f = full_gram_fnorm_streaming(&sub, &kernel);
                     f * f
                 })

@@ -9,8 +9,7 @@
 
 use dasc_bench::{kb, print_header, print_row, secs, time_it, Scale};
 use dasc_core::{
-    Dasc, DascConfig, ParallelSpectral, PscConfig, SpectralClustering,
-    SpectralConfig,
+    Dasc, DascConfig, ParallelSpectral, PscConfig, SpectralClustering, SpectralConfig,
 };
 use dasc_data::WikiCorpusConfig;
 use dasc_kernel::{gram_memory_bytes, Kernel};
@@ -40,20 +39,17 @@ fn main() {
         let m = default_signature_bits(n) + 3;
         let (dasc_res, dasc_t) = time_it(|| {
             Dasc::new(
-                DascConfig::for_dataset(n, k).kernel(kernel).lsh(
-                    LshConfig::with_bits(m)
-                        .threshold_rule(ThresholdRule::Median),
-                ),
+                DascConfig::for_dataset(n, k)
+                    .kernel(kernel)
+                    .lsh(LshConfig::with_bits(m).threshold_rule(ThresholdRule::Median)),
             )
             .run(&ds.points)
         });
-        let dasc_cell =
-            format!("{}/{}", secs(dasc_t), kb(dasc_res.approx_gram_bytes));
+        let dasc_cell = format!("{}/{}", secs(dasc_t), kb(dasc_res.approx_gram_bytes));
 
         let sc_cell = if n <= sc_cap {
             let (_, t) = time_it(|| {
-                SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
-                    .run(&ds.points)
+                SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&ds.points)
             });
             format!("{}/{}", secs(t), kb(gram_memory_bytes(n)))
         } else {
@@ -62,7 +58,8 @@ fn main() {
 
         let psc_cell = if n <= psc_cap {
             let (res, t) = time_it(|| {
-                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&ds.points)
+                ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40))
+                    .run(&ds.points)
             });
             format!("{}/{}", secs(t), kb(res.sparse_memory_bytes))
         } else {

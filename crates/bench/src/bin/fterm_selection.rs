@@ -20,8 +20,7 @@ fn main() {
         let truth = ds.labels.as_ref().expect("labelled corpus");
         let k = ds.num_classes().expect("labelled corpus");
         let kernel = Kernel::gaussian_median_heuristic(&ds.points);
-        let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
-            .run(&ds.points);
+        let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&ds.points);
         let acc = accuracy(&res.clustering.assignments, truth);
         print_row(&[f.to_string(), format!("{acc:.3}")]);
     }

@@ -21,11 +21,12 @@ fn main() {
     let mut prev: Option<(f64, usize)> = None;
     for e in exps {
         let n = 1usize << e;
-        let ds = SyntheticConfig::paper_default(n, 16).seed(0x5CA1E).generate();
+        let ds = SyntheticConfig::paper_default(n, 16)
+            .seed(0x5CA1E)
+            .generate();
         let kernel = Kernel::gaussian_median_heuristic(&ds.points);
-        let (res, t) = time_it(|| {
-            Dasc::new(DascConfig::for_dataset(n, 16).kernel(kernel)).run(&ds.points)
-        });
+        let (res, t) =
+            time_it(|| Dasc::new(DascConfig::for_dataset(n, 16).kernel(kernel)).run(&ds.points));
         let secs = t.as_secs_f64();
         let (t_factor, m_factor) = match prev {
             Some((pt, pm)) => (

@@ -1,0 +1,82 @@
+//! Online-serving throughput: single-point assignments/sec and latency
+//! percentiles for a frozen DASC model (ISSUE acceptance target:
+//! ≥ 100k single-point assignments/sec at d = 16, K = 8, release).
+//!
+//! Measures the in-process [`AssignmentEngine`] hot path — hashing,
+//! signature lookup, Eq. 6 neighbor probes, centroid scans — which is
+//! exactly what an HTTP worker runs per request, minus socket I/O.
+//! Output is a single JSON object so CI can scrape it.
+
+use std::time::Instant;
+
+use dasc_core::{Dasc, DascConfig};
+use dasc_data::SyntheticConfig;
+use dasc_kernel::Kernel;
+use dasc_lsh::LshConfig;
+use dasc_serve::{AssignmentEngine, LatencyRecorder, ModelArtifact};
+
+const DIMS: usize = 16;
+const CLUSTERS: usize = 8;
+const TRAIN_POINTS: usize = 4_000;
+const WARMUP: usize = 10_000;
+const MEASURED: usize = 200_000;
+
+fn main() {
+    let ds = SyntheticConfig::blobs(TRAIN_POINTS, DIMS, CLUSTERS)
+        .seed(42)
+        .generate();
+    let cfg = DascConfig::for_dataset(ds.points.len(), CLUSTERS)
+        .kernel(Kernel::gaussian_median_heuristic(&ds.points))
+        .lsh(LshConfig::with_bits(12))
+        .seed(42);
+    let train_start = Instant::now();
+    let trained = Dasc::new(cfg).train(&ds.points);
+    let artifact = ModelArtifact::from_trained(&trained, &ds.points);
+    let train_secs = train_start.elapsed().as_secs_f64();
+    let engine = AssignmentEngine::new(&artifact);
+
+    // Probe stream: the training points plus jittered copies, cycled.
+    // Jitter keeps some probes off the exact tier so the bench also
+    // exercises the neighbor/fallback paths.
+    let mut probes: Vec<Vec<f64>> = ds.points.clone();
+    for (i, p) in ds.points.iter().enumerate().take(TRAIN_POINTS / 2) {
+        let mut q = p.clone();
+        q[i % DIMS] += 2.5;
+        probes.push(q);
+    }
+
+    for p in probes.iter().cycle().take(WARMUP) {
+        std::hint::black_box(engine.assign(p));
+    }
+
+    let latency = LatencyRecorder::new();
+    let run_start = Instant::now();
+    for p in probes.iter().cycle().take(MEASURED) {
+        let t = Instant::now();
+        std::hint::black_box(engine.assign(p));
+        latency.record_micros(t.elapsed().as_micros() as u64);
+    }
+    let elapsed = run_start.elapsed().as_secs_f64();
+    let per_sec = MEASURED as f64 / elapsed;
+    let counts = engine.routing_counts();
+
+    println!(
+        "{{\"bench\":\"serve_throughput\",\"dims\":{DIMS},\"clusters\":{CLUSTERS},\
+         \"train_points\":{TRAIN_POINTS},\"train_seconds\":{train_secs:.3},\
+         \"measured_assignments\":{MEASURED},\"elapsed_seconds\":{elapsed:.4},\
+         \"assignments_per_sec\":{per_sec:.0},\
+         \"p50_us\":{},\"p99_us\":{},\"mean_us\":{:.3},\
+         \"routing\":{{\"exact\":{},\"one_bit_neighbor\":{},\"global_fallback\":{}}}}}",
+        latency.percentile_micros(0.50),
+        latency.percentile_micros(0.99),
+        latency.mean_micros(),
+        counts.exact,
+        counts.one_bit_neighbor,
+        counts.global_fallback,
+    );
+
+    if per_sec < 100_000.0 {
+        eprintln!("WARN: below the 100k assignments/sec acceptance target");
+        std::process::exit(1);
+    }
+}

@@ -70,16 +70,18 @@ fn main() {
     // Bonus (beyond the paper): the same task bag under a straggler
     // model, with and without Hadoop-style speculative execution.
     use dasc_mapreduce::{simulate_with_stragglers, StragglerModel};
-    let model = StragglerModel { fraction: 0.1, slowdown: 6.0, seed: 0x57A6 };
+    let model = StragglerModel {
+        fraction: 0.1,
+        slowdown: 6.0,
+        seed: 0x57A6,
+    };
     print_header(
         "Bonus: stragglers (10% of tasks, 6x slower) on 32 nodes",
         &["mode", "sim time (s)"],
     );
     let reduce_slots = ClusterConfig::emr(32).total_reduce_slots();
-    let clean = dasc_mapreduce::simulate_makespan(
-        &result.stage2.reduce_task_durations,
-        reduce_slots,
-    );
+    let clean =
+        dasc_mapreduce::simulate_makespan(&result.stage2.reduce_task_durations, reduce_slots);
     let slow = simulate_with_stragglers(
         &result.stage2.reduce_task_durations,
         reduce_slots,
@@ -92,7 +94,11 @@ fn main() {
         &model,
         true,
     );
-    for (label, t) in [("no stragglers", clean), ("stragglers", slow), ("+speculation", spec)] {
+    for (label, t) in [
+        ("no stragglers", clean),
+        ("stragglers", slow),
+        ("+speculation", spec),
+    ] {
         print_row(&[label.to_string(), format!("{:.4}", t.as_secs_f64())]);
     }
 

@@ -13,8 +13,14 @@ fn main() {
         ("fig6_time_memory", "Figure 6  — measured time + memory"),
         ("table3_elasticity", "Table 3   — 16/32/64-node elasticity"),
         ("fterm_selection", "Sec. 5.2  — tf-idf term-count pilot"),
-        ("ablation_quality", "DESIGN §5 — merge/M/hash-rule ablations"),
-        ("scalability_sweep", "Fig. 1 (measured) — growth per doubling"),
+        (
+            "ablation_quality",
+            "DESIGN §5 — merge/M/hash-rule ablations",
+        ),
+        (
+            "scalability_sweep",
+            "Fig. 1 (measured) — growth per doubling",
+        ),
     ] {
         println!("  cargo run --release -p dasc-bench --bin {bin:<22} # {what}");
     }

@@ -6,6 +6,12 @@
 //!               [--bits M] [--labels-last-column] [--output out.csv]
 //! dasc generate --kind blobs|wiki|grid --n 1000 [--d 64] [--k 8]
 //!               [--seed 42] --output pts.csv
+//! dasc train    --input pts.csv --k 8 --model-out m.dasc [--sigma 0.2]
+//!               [--bits M] [--seed 42] [--labels-last-column]
+//! dasc serve    --model m.dasc [--port 7878] [--addr 127.0.0.1]
+//!               [--workers N]
+//! dasc assign   --model m.dasc --input new.csv [--output out.csv]
+//!               [--labels-last-column]
 //! ```
 
 use std::fmt;
@@ -74,6 +80,45 @@ pub enum Command {
         /// Output CSV path.
         output: String,
     },
+    /// Train a DASC model and persist it as a serving artifact.
+    Train {
+        /// Input CSV path.
+        input: String,
+        /// Artifact output path.
+        model_out: String,
+        /// Number of clusters.
+        k: usize,
+        /// Gaussian bandwidth; `None` = median heuristic.
+        sigma: Option<f64>,
+        /// LSH signature bits; `None` = paper default.
+        bits: Option<usize>,
+        /// RNG seed; `None` = config default.
+        seed: Option<u64>,
+        /// Strip a trailing ground-truth column and report accuracy/NMI.
+        labels_last_column: bool,
+    },
+    /// Serve a persisted model over HTTP.
+    Serve {
+        /// Artifact path.
+        model: String,
+        /// Bind host.
+        addr: String,
+        /// Bind port.
+        port: u16,
+        /// Worker threads; `None` = available parallelism.
+        workers: Option<usize>,
+    },
+    /// Batch-assign a CSV of points with a persisted model.
+    Assign {
+        /// Artifact path.
+        model: String,
+        /// Input CSV path.
+        input: String,
+        /// Output CSV path (`-` or empty = stdout).
+        output: Option<String>,
+        /// Strip a trailing ground-truth column and report accuracy/NMI.
+        labels_last_column: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -108,6 +153,11 @@ USAGE:
                 [--output <csv>]
   dasc generate --kind blobs|wiki|grid --n <N> [--d <D>] [--k <K>]
                 [--seed <S>] --output <csv>
+  dasc train    --input <csv> --k <K> --model-out <path> [--sigma <f>]
+                [--bits <M>] [--seed <S>] [--labels-last-column]
+  dasc serve    --model <path> [--port <P>] [--addr <host>] [--workers <N>]
+  dasc assign   --model <path> --input <csv> [--output <csv>]
+                [--labels-last-column]
   dasc help
 ";
 
@@ -119,6 +169,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "cluster" => parse_cluster(&argv[1..]),
         "generate" => parse_generate(&argv[1..]),
+        "train" => parse_train(&argv[1..]),
+        "serve" => parse_serve(&argv[1..]),
+        "assign" => parse_assign(&argv[1..]),
         other => Err(ParseError::Invalid(format!("unknown command '{other}'"))),
     }
 }
@@ -164,9 +217,10 @@ impl<'a> Flags<'a> {
     fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, ParseError> {
         match self.get(flag) {
             None => Ok(None),
-            Some(v) => v.parse::<T>().map(Some).map_err(|_| {
-                ParseError::Invalid(format!("bad value '{v}' for {flag}"))
-            }),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| ParseError::Invalid(format!("bad value '{v}' for {flag}"))),
         }
     }
 }
@@ -209,6 +263,56 @@ fn parse_generate(argv: &[String]) -> Result<Command, ParseError> {
             .get("--output")
             .ok_or(ParseError::Missing("--output"))?
             .to_string(),
+    })
+}
+
+fn parse_train(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    Ok(Command::Train {
+        input: flags
+            .get("--input")
+            .ok_or(ParseError::Missing("--input"))?
+            .to_string(),
+        model_out: flags
+            .get("--model-out")
+            .ok_or(ParseError::Missing("--model-out"))?
+            .to_string(),
+        k: flags
+            .parsed::<usize>("--k")?
+            .ok_or(ParseError::Missing("--k"))?,
+        sigma: flags.parsed::<f64>("--sigma")?,
+        bits: flags.parsed::<usize>("--bits")?,
+        seed: flags.parsed::<u64>("--seed")?,
+        labels_last_column: flags.has("--labels-last-column"),
+    })
+}
+
+fn parse_serve(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::Serve {
+        model: flags
+            .get("--model")
+            .ok_or(ParseError::Missing("--model"))?
+            .to_string(),
+        addr: flags.get("--addr").unwrap_or("127.0.0.1").to_string(),
+        port: flags.parsed::<u16>("--port")?.unwrap_or(7878),
+        workers: flags.parsed::<usize>("--workers")?,
+    })
+}
+
+fn parse_assign(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    Ok(Command::Assign {
+        model: flags
+            .get("--model")
+            .ok_or(ParseError::Missing("--model"))?
+            .to_string(),
+        input: flags
+            .get("--input")
+            .ok_or(ParseError::Missing("--input"))?
+            .to_string(),
+        output: flags.get("--output").map(str::to_string),
+        labels_last_column: flags.has("--labels-last-column"),
     })
 }
 
@@ -257,7 +361,14 @@ mod tests {
         ]))
         .unwrap();
         match c {
-            Command::Cluster { algorithm, sigma, bits, labels_last_column, output, .. } => {
+            Command::Cluster {
+                algorithm,
+                sigma,
+                bits,
+                labels_last_column,
+                output,
+                ..
+            } => {
                 assert_eq!(algorithm, Algorithm::Psc);
                 assert_eq!(sigma, Some(0.5));
                 assert_eq!(bits, Some(6));
@@ -309,7 +420,13 @@ mod tests {
     #[test]
     fn unknown_algorithm() {
         let e = parse(&sv(&[
-            "cluster", "--input", "a", "--k", "2", "--algorithm", "magic",
+            "cluster",
+            "--input",
+            "a",
+            "--k",
+            "2",
+            "--algorithm",
+            "magic",
         ]))
         .unwrap_err();
         assert!(e.to_string().contains("unknown algorithm"));
@@ -318,6 +435,105 @@ mod tests {
     #[test]
     fn unknown_command() {
         assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_train() {
+        let c = parse(&sv(&[
+            "train",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--model-out",
+            "m.dasc",
+            "--bits",
+            "10",
+            "--seed",
+            "9",
+            "--labels-last-column",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Train {
+                input: "a.csv".into(),
+                model_out: "m.dasc".into(),
+                k: 4,
+                sigma: None,
+                bits: Some(10),
+                seed: Some(9),
+                labels_last_column: true,
+            }
+        );
+    }
+
+    #[test]
+    fn train_requires_model_out() {
+        let e = parse(&sv(&["train", "--input", "a.csv", "--k", "4"])).unwrap_err();
+        assert_eq!(e, ParseError::Missing("--model-out"));
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse(&sv(&["serve", "--model", "m.dasc"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                model: "m.dasc".into(),
+                addr: "127.0.0.1".into(),
+                port: 7878,
+                workers: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_serve_overrides() {
+        let c = parse(&sv(&[
+            "serve",
+            "--model",
+            "m",
+            "--port",
+            "9000",
+            "--addr",
+            "0.0.0.0",
+            "--workers",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                model: "m".into(),
+                addr: "0.0.0.0".into(),
+                port: 9000,
+                workers: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_assign() {
+        let c = parse(&sv(&[
+            "assign", "--model", "m.dasc", "--input", "new.csv", "--output", "o.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Assign {
+                model: "m.dasc".into(),
+                input: "new.csv".into(),
+                output: Some("o.csv".into()),
+                labels_last_column: false,
+            }
+        );
+    }
+
+    #[test]
+    fn assign_requires_model() {
+        let e = parse(&sv(&["assign", "--input", "new.csv"])).unwrap_err();
+        assert_eq!(e, ParseError::Missing("--model"));
     }
 
     #[test]

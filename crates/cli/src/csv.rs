@@ -70,9 +70,7 @@ pub fn read_points(
         }
         match width {
             None => width = Some(row.len()),
-            Some(w) if w != row.len() => {
-                return Err(CsvError::Ragged { line: line_no })
-            }
+            Some(w) if w != row.len() => return Err(CsvError::Ragged { line: line_no }),
             _ => {}
         }
         if labels_last_column {
@@ -144,7 +142,13 @@ mod tests {
     fn bad_number_reports_line() {
         let data = "1.0\nbad\n";
         let err = read_points(Cursor::new(data), false).unwrap_err();
-        assert_eq!(err, CsvError::BadNumber { line: 2, cell: "bad".into() });
+        assert_eq!(
+            err,
+            CsvError::BadNumber {
+                line: 2,
+                cell: "bad".into()
+            }
+        );
     }
 
     #[test]
@@ -166,8 +170,7 @@ mod tests {
         let labels = vec![3usize, 1];
         let mut buf = Vec::new();
         write_points(&mut buf, &pts, Some(&labels)).unwrap();
-        let (rpts, rlabels) =
-            read_points(Cursor::new(buf), true).unwrap();
+        let (rpts, rlabels) = read_points(Cursor::new(buf), true).unwrap();
         assert_eq!(rpts, pts);
         assert_eq!(rlabels, Some(labels));
     }

@@ -5,13 +5,14 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
 use dasc_core::{
-    local_scaling_similarity, Dasc, DascConfig, Nystrom, NystromConfig,
-    ParallelSpectral, PscConfig, SpectralClustering, SpectralConfig,
+    local_scaling_similarity, Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral,
+    PscConfig, SpectralClustering, SpectralConfig,
 };
 use dasc_data::{SyntheticConfig, WikiCorpusConfig};
 use dasc_kernel::Kernel;
 use dasc_lsh::LshConfig;
 use dasc_metrics::{accuracy, nmi};
+use dasc_serve::{AssignmentEngine, ModelArtifact, Server, ServerConfig};
 
 use crate::args::{Algorithm, Command, USAGE};
 use crate::csv;
@@ -21,9 +22,14 @@ use crate::csv;
 pub fn run(cmd: &Command) -> Result<String, String> {
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Generate { kind, n, d, k, seed, output } => {
-            generate(kind, *n, *d, *k, *seed, output)
-        }
+        Command::Generate {
+            kind,
+            n,
+            d,
+            k,
+            seed,
+            output,
+        } => generate(kind, *n, *d, *k, *seed, output),
         Command::Cluster {
             input,
             output,
@@ -41,6 +47,35 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             *bits,
             *labels_last_column,
         ),
+        Command::Train {
+            input,
+            model_out,
+            k,
+            sigma,
+            bits,
+            seed,
+            labels_last_column,
+        } => train(
+            input,
+            model_out,
+            *k,
+            *sigma,
+            *bits,
+            *seed,
+            *labels_last_column,
+        ),
+        Command::Serve {
+            model,
+            addr,
+            port,
+            workers,
+        } => serve(model, addr, *port, *workers),
+        Command::Assign {
+            model,
+            input,
+            output,
+            labels_last_column,
+        } => assign(model, input, output.as_deref(), *labels_last_column),
     }
 }
 
@@ -56,9 +91,14 @@ fn generate(
         "blobs" => SyntheticConfig::blobs(n, d, k).seed(seed).generate(),
         "grid" => {
             let bits = (k.max(2) as f64).log2().ceil() as usize;
-            SyntheticConfig::grid(n, d.max(bits), bits).seed(seed).generate()
+            SyntheticConfig::grid(n, d.max(bits), bits)
+                .seed(seed)
+                .generate()
         }
-        "wiki" => WikiCorpusConfig::new(n).categories(k.max(1)).seed(seed).generate(),
+        "wiki" => WikiCorpusConfig::new(n)
+            .categories(k.max(1))
+            .seed(seed)
+            .generate(),
         other => return Err(format!("unknown dataset kind '{other}'")),
     };
     let file = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
@@ -115,8 +155,7 @@ fn cluster(
             )
         }
         Algorithm::Sc => {
-            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
-                .run(&points);
+            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&points);
             (
                 res.clustering.assignments,
                 format!("sc: full gram {} KB", res.gram_memory_bytes / 1024),
@@ -171,8 +210,7 @@ fn cluster(
             // "-"; otherwise just the report.
             if output == Some("-") {
                 let mut buf = Vec::new();
-                csv::write_assignments(&mut buf, &assignments)
-                    .map_err(|e| e.to_string())?;
+                csv::write_assignments(&mut buf, &assignments).map_err(|e| e.to_string())?;
                 report.push('\n');
                 report.push_str(&String::from_utf8_lossy(&buf));
             }
@@ -181,6 +219,157 @@ fn cluster(
             let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
             let mut w = BufWriter::new(file);
             csv::write_assignments(&mut w, &assignments)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            report.push_str(&format!("\nassignments written to {path}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Train a DASC model and persist the serving artifact.
+fn train(
+    input: &str,
+    model_out: &str,
+    k: usize,
+    sigma: Option<f64>,
+    bits: Option<usize>,
+    seed: Option<u64>,
+    labels_last_column: bool,
+) -> Result<String, String> {
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let n = points.len();
+    let kernel = match sigma {
+        Some(s) if s > 0.0 => Kernel::gaussian(s),
+        Some(s) => return Err(format!("--sigma must be positive, got {s}")),
+        None => Kernel::gaussian_median_heuristic(&points),
+    };
+    let mut cfg = DascConfig::for_dataset(n, k).kernel(kernel);
+    if let Some(m) = bits {
+        cfg = cfg.lsh(LshConfig::with_bits(m));
+    }
+    if let Some(s) = seed {
+        cfg = cfg.seed(s);
+    }
+
+    let trained = Dasc::new(cfg).train(&points);
+    let artifact = ModelArtifact::from_trained(&trained, &points);
+    artifact
+        .save(model_out)
+        .map_err(|e| format!("save {model_out}: {e}"))?;
+    let bytes = std::fs::metadata(model_out).map(|m| m.len()).unwrap_or(0);
+
+    let mut report = format!(
+        "trained on {n} points ({} dims) into k={k}\n\
+         model: {} signatures, {} buckets, {} bit hashes\n\
+         artifact written to {model_out} ({bytes} bytes)",
+        artifact.dimension,
+        artifact.signature_table.len(),
+        artifact.buckets.len(),
+        artifact.planes.len(),
+    );
+    if let Some(truth) = &labels {
+        let assignments = &trained.result.clustering.assignments;
+        report.push_str(&format!(
+            "\ntraining accuracy: {:.4}\ntraining nmi: {:.4}",
+            accuracy(assignments, truth),
+            nmi(assignments, truth)
+        ));
+    }
+    Ok(report)
+}
+
+/// Serve a persisted model over HTTP until the process is killed.
+fn serve(model: &str, addr: &str, port: u16, workers: Option<usize>) -> Result<String, String> {
+    let artifact = ModelArtifact::load(model).map_err(|e| format!("load {model}: {e}"))?;
+    let engine = AssignmentEngine::new(&artifact);
+    let mut config = ServerConfig {
+        addr: format!("{addr}:{port}"),
+        ..ServerConfig::default()
+    };
+    if let Some(w) = workers {
+        config.workers = w.max(1);
+    }
+    let workers = config.workers;
+    let handle = Server::new(engine, config)
+        .start()
+        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    // Print (and flush) the ready line before blocking so callers — the
+    // smoke script included — can wait for it.
+    println!(
+        "serving {model} on http://{} ({} dims, k={}, {workers} workers)",
+        handle.addr(),
+        artifact.dimension,
+        artifact.num_clusters,
+    );
+    std::io::stdout().flush().ok();
+    handle.wait();
+    Ok("server stopped".to_string())
+}
+
+/// Batch-assign a CSV of points against a persisted model.
+fn assign(
+    model: &str,
+    input: &str,
+    output: Option<&str>,
+    labels_last_column: bool,
+) -> Result<String, String> {
+    let artifact = ModelArtifact::load(model).map_err(|e| format!("load {model}: {e}"))?;
+    let engine = AssignmentEngine::new(&artifact);
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    if let Some(p) = points.iter().find(|p| p.len() != engine.dimension()) {
+        return Err(format!(
+            "{input}: points have {} dimensions but the model expects {}",
+            p.len(),
+            engine.dimension()
+        ));
+    }
+
+    let assignments = engine.assign_batch(&points);
+    let counts = engine.routing_counts();
+    let mut report = format!(
+        "assigned {} points with model {model}\n\
+         routing: {} exact, {} one-bit neighbor, {} global fallback",
+        assignments.len(),
+        counts.exact,
+        counts.one_bit_neighbor,
+        counts.global_fallback,
+    );
+    if let Some(truth) = &labels {
+        let clusters: Vec<usize> = assignments.iter().map(|a| a.cluster).collect();
+        report.push_str(&format!(
+            "\naccuracy: {:.4}\nnmi: {:.4}",
+            accuracy(&clusters, truth),
+            nmi(&clusters, truth)
+        ));
+    }
+
+    let render = |w: &mut dyn Write| -> std::io::Result<()> {
+        writeln!(w, "# index,cluster,route")?;
+        for (i, a) in assignments.iter().enumerate() {
+            writeln!(w, "{i},{},{}", a.cluster, a.route.as_str())?;
+        }
+        Ok(())
+    };
+    match output {
+        Some("-") => {
+            let mut buf = Vec::new();
+            render(&mut buf).map_err(|e| e.to_string())?;
+            report.push('\n');
+            report.push_str(&String::from_utf8_lossy(&buf));
+        }
+        None => {}
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            render(&mut w)
                 .and_then(|()| w.flush())
                 .map_err(|e| format!("write {path}: {e}"))?;
             report.push_str(&format!("\nassignments written to {path}"));
@@ -209,8 +398,7 @@ mod tests {
         let data = tmp("pts.csv");
         let out = tmp("assign.csv");
         let r = run(&args::parse(&sv(&[
-            "generate", "--kind", "blobs", "--n", "120", "--d", "8", "--k", "3",
-            "--output", &data,
+            "generate", "--kind", "blobs", "--n", "120", "--d", "8", "--k", "3", "--output", &data,
         ]))
         .unwrap())
         .unwrap();
@@ -250,8 +438,7 @@ mod tests {
     fn all_algorithms_run() {
         let data = tmp("pts2.csv");
         run(&args::parse(&sv(&[
-            "generate", "--kind", "blobs", "--n", "80", "--d", "4", "--k", "2",
-            "--output", &data,
+            "generate", "--kind", "blobs", "--n", "80", "--d", "4", "--k", "2", "--output", &data,
         ]))
         .unwrap())
         .unwrap();
@@ -290,7 +477,11 @@ mod tests {
     #[test]
     fn missing_input_is_an_error() {
         let e = run(&args::parse(&sv(&[
-            "cluster", "--input", "/nonexistent/nope.csv", "--k", "2",
+            "cluster",
+            "--input",
+            "/nonexistent/nope.csv",
+            "--k",
+            "2",
         ]))
         .unwrap())
         .unwrap_err();
@@ -301,8 +492,7 @@ mod tests {
     fn bad_sigma_rejected() {
         let data = tmp("pts3.csv");
         run(&args::parse(&sv(&[
-            "generate", "--kind", "blobs", "--n", "10", "--d", "2", "--k", "2",
-            "--output", &data,
+            "generate", "--kind", "blobs", "--n", "10", "--d", "2", "--k", "2", "--output", &data,
         ]))
         .unwrap())
         .unwrap();
@@ -318,5 +508,114 @@ mod tests {
     #[test]
     fn help_returns_usage() {
         assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn train_then_assign_roundtrip() {
+        let data = tmp("train-pts.csv");
+        let model = tmp("model.dasc");
+        let out = tmp("assign-out.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "120", "--d", "8", "--k", "3", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let r = run(&args::parse(&sv(&[
+            "train",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--model-out",
+            &model,
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("artifact written to"), "{r}");
+        assert!(r.contains("training accuracy"), "{r}");
+
+        // Assigning the training set back through the frozen model hits
+        // the exact tier for every point and matches the labels well.
+        let r = run(&args::parse(&sv(&[
+            "assign",
+            "--model",
+            &model,
+            "--input",
+            &data,
+            "--output",
+            &out,
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("assigned 120 points"), "{r}");
+        assert!(r.contains("routing:"), "{r}");
+        let acc: f64 = r
+            .lines()
+            .find(|l| l.starts_with("accuracy:"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("accuracy line");
+        assert!(acc > 0.9, "accuracy {acc}\n{r}");
+
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.starts_with("# index,cluster,route"));
+        assert_eq!(written.lines().count(), 121);
+
+        for f in [&data, &model, &out] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn assign_rejects_dimension_mismatch() {
+        let data = tmp("dim-pts.csv");
+        let wrong = tmp("dim-wrong.csv");
+        let model = tmp("dim-model.dasc");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "60", "--d", "4", "--k", "2", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&args::parse(&sv(&[
+            "train",
+            "--input",
+            &data,
+            "--k",
+            "2",
+            "--model-out",
+            &model,
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "10", "--d", "7", "--k", "2", "--output", &wrong,
+        ]))
+        .unwrap())
+        .unwrap();
+        let e = run(&args::parse(&sv(&[
+            "assign",
+            "--model",
+            &model,
+            "--input",
+            &wrong,
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(e.contains("dimensions"), "{e}");
+        for f in [&data, &wrong, &model] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn serve_rejects_missing_model() {
+        let e = run(&args::parse(&sv(&["serve", "--model", "/nonexistent/m.dasc"])).unwrap())
+            .unwrap_err();
+        assert!(e.contains("load"), "{e}");
     }
 }

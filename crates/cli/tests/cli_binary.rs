@@ -45,12 +45,16 @@ fn generate_and_cluster_end_to_end() {
 
     let out = Command::new(dasc_bin())
         .args([
-            "generate", "--kind", "blobs", "--n", "150", "--d", "8", "--k",
-            "3", "--seed", "7", "--output", &data,
+            "generate", "--kind", "blobs", "--n", "150", "--d", "8", "--k", "3", "--seed", "7",
+            "--output", &data,
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = Command::new(dasc_bin())
         .args([
@@ -65,7 +69,11 @@ fn generate_and_cluster_end_to_end() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8_lossy(&out.stdout);
     assert!(report.contains("accuracy:"), "report: {report}");
 

@@ -8,8 +8,7 @@ use std::time::{Duration, Instant};
 use dasc_kernel::{ApproximateGram, Kernel};
 use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
 use dasc_mapreduce::{
-    reduce_groups, run_map_only, simulate_on_cluster, ClusterConfig, FnMapper,
-    FnReducer, JobStats,
+    reduce_groups, run_map_only, simulate_on_cluster, ClusterConfig, FnMapper, FnReducer, JobStats,
 };
 use rayon::prelude::*;
 
@@ -133,6 +132,40 @@ impl DascDistributedResult {
     }
 }
 
+/// A fully trained DASC pipeline: the clustering result together with
+/// the fitted LSH model and the per-point signatures that produced it.
+///
+/// This is the unit of export for online serving: the signature model
+/// freezes the hash function, the signatures (with
+/// [`DascResult::buckets`]) recover every constituent signature of each
+/// merged bucket, and the clustering pins the global cluster ids.
+#[derive(Clone, Debug)]
+pub struct DascTrained {
+    /// The clustering result (assignments, buckets, timings).
+    pub result: DascResult,
+    /// The frozen LSH signature model used to hash the training set.
+    pub model: SignatureModel,
+    /// Per-point signatures, parallel to the training points.
+    pub signatures: Vec<Signature>,
+    /// The configuration that produced the run (provenance).
+    pub config: DascConfig,
+}
+
+/// Distributed counterpart of [`DascTrained`].
+#[derive(Clone, Debug)]
+pub struct DascTrainedDistributed {
+    /// The distributed run result (clustering + MapReduce statistics).
+    pub result: DascDistributedResult,
+    /// The frozen LSH signature model.
+    pub model: SignatureModel,
+    /// Per-point signatures reconstructed from the stage-1 shuffle.
+    pub signatures: Vec<Signature>,
+    /// The merged bucket structure (stage-2 reduce groups).
+    pub buckets: BucketSet,
+    /// The configuration that produced the run (provenance).
+    pub config: DascConfig,
+}
+
 /// The DASC clusterer.
 #[derive(Clone, Debug)]
 pub struct Dasc {
@@ -156,9 +189,8 @@ impl Dasc {
     pub fn partition(&self, points: &[Vec<f64>]) -> (SignatureModel, BucketSet) {
         let model = SignatureModel::fit(points, &self.config.lsh);
         let sigs = model.hash_all(points);
-        let buckets =
-            BucketSet::from_signatures(&sigs)
-                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        let buckets = BucketSet::from_signatures(&sigs)
+            .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
         (model, buckets)
     }
 
@@ -175,6 +207,16 @@ impl Dasc {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn run(&self, points: &[Vec<f64>]) -> DascResult {
+        self.train(points).result
+    }
+
+    /// Run the full pipeline and keep the fitted signature model and
+    /// per-point signatures alongside the result — the inputs a serving
+    /// artifact needs (see `dasc-serve`).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(&self, points: &[Vec<f64>]) -> DascTrained {
         assert!(!points.is_empty(), "DASC: empty dataset");
         let t0 = Instant::now();
         let model = SignatureModel::fit(points, &self.config.lsh);
@@ -182,7 +224,12 @@ impl Dasc {
         let lsh_time = t0.elapsed();
         let mut result = self.run_with_signatures(points, &sigs);
         result.times.lsh = lsh_time;
-        result
+        DascTrained {
+            result,
+            model,
+            signatures: sigs,
+            config: self.config.clone(),
+        }
     }
 
     /// Run the pipeline from pre-computed signatures — the hook for
@@ -198,20 +245,15 @@ impl Dasc {
     /// # Panics
     /// Panics if `signatures` does not match `points` in length, or the
     /// dataset is empty.
-    pub fn run_with_signatures(
-        &self,
-        points: &[Vec<f64>],
-        sigs: &[Signature],
-    ) -> DascResult {
+    pub fn run_with_signatures(&self, points: &[Vec<f64>], sigs: &[Signature]) -> DascResult {
         assert!(!points.is_empty(), "DASC: empty dataset");
         assert_eq!(points.len(), sigs.len(), "DASC: signature count mismatch");
         let n = points.len();
         let mut times = DascStageTimes::default();
 
         let t0 = Instant::now();
-        let buckets =
-            BucketSet::from_signatures(sigs)
-                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        let buckets = BucketSet::from_signatures(sigs)
+            .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
         times.bucketing = t0.elapsed();
 
         let t0 = Instant::now();
@@ -226,9 +268,7 @@ impl Dasc {
             .enumerate()
             .map(|(bi, block)| {
                 let ki = bucket_cluster_count(self.config.k, block.members.len(), n);
-                let sc = SpectralClustering::new(
-                    self.spectral_config(ki, bi as u64),
-                );
+                let sc = SpectralClustering::new(self.spectral_config(ki, bi as u64));
                 let c = sc.run_on_similarity(&block.matrix);
                 (block.members.clone(), c)
             })
@@ -241,7 +281,12 @@ impl Dasc {
         } else {
             stitched
         };
-        DascResult { clustering, buckets, approx_gram_bytes, times }
+        DascResult {
+            clustering,
+            buckets,
+            approx_gram_bytes,
+            times,
+        }
     }
 
     /// Run DASC as the paper's two MapReduce stages.
@@ -256,6 +301,19 @@ impl Dasc {
         points: &[Vec<f64>],
         cluster: &ClusterConfig,
     ) -> DascDistributedResult {
+        self.train_distributed(points, cluster).result
+    }
+
+    /// [`Dasc::run_distributed`], keeping the fitted signature model,
+    /// per-point signatures, and merged buckets for artifact export.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train_distributed(
+        &self,
+        points: &[Vec<f64>],
+        cluster: &ClusterConfig,
+    ) -> DascTrainedDistributed {
         assert!(!points.is_empty(), "DASC: empty dataset");
         let n = points.len();
 
@@ -266,8 +324,7 @@ impl Dasc {
                 emit(model.hash(&point).bits(), index);
             },
         );
-        let inputs: Vec<(usize, Vec<f64>)> =
-            points.iter().cloned().enumerate().collect();
+        let inputs: Vec<(usize, Vec<f64>)> = points.iter().cloned().enumerate().collect();
         let grouped = run_map_only(&mapper, inputs, cluster);
         let stage1 = grouped.stats.clone();
 
@@ -281,9 +338,8 @@ impl Dasc {
                 sigs[i] = s;
             }
         }
-        let buckets =
-            BucketSet::from_signatures(&sigs)
-                .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
+        let buckets = BucketSet::from_signatures(&sigs)
+            .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
         let approx_gram_bytes = 4 * buckets.approx_gram_entries();
 
         // Stage 2: one reduce task per merged bucket.
@@ -295,8 +351,7 @@ impl Dasc {
             move |bucket_id: usize,
                   members: Vec<usize>,
                   emit: &mut dyn FnMut((usize, usize, usize))| {
-                let sub: Vec<Vec<f64>> =
-                    members.iter().map(|&i| points[i].clone()).collect();
+                let sub: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
                 let ki = bucket_cluster_count(k_total, members.len(), n);
                 let mut cfg = SpectralConfig::new(ki)
                     .kernel(kernel)
@@ -339,12 +394,19 @@ impl Dasc {
             stitched
         };
 
-        DascDistributedResult {
+        let result = DascDistributedResult {
             clustering,
             num_buckets: buckets.len(),
             approx_gram_bytes,
             stage1,
             stage2,
+        };
+        DascTrainedDistributed {
+            result,
+            model,
+            signatures: sigs,
+            buckets,
+            config: self.config.clone(),
         }
     }
 
@@ -430,9 +492,7 @@ pub(crate) fn weighted_kmeans(
 
     // Weighted k-means++ seeding.
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
-    let first = (0..n).max_by(|&a, &b| {
-        weights[a].partial_cmp(&weights[b]).expect("NaN weight")
-    });
+    let first = (0..n).max_by(|&a, &b| weights[a].partial_cmp(&weights[b]).expect("NaN weight"));
     centers.push(points[first.expect("nonempty")].clone());
     let mut d2: Vec<f64> = points
         .iter()
@@ -561,8 +621,7 @@ mod tests {
         // 2-bit cube and collapses everything into one bucket (full
         // Gram); disable merging to observe the block-diagonal saving.
         let (pts, _) = four_blobs(25);
-        let cfg = DascConfig::for_dataset(pts.len(), 4)
-            .lsh(LshConfig::with_bits(2).merge_p(2));
+        let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2).merge_p(2));
         let res = Dasc::new(cfg).run(&pts);
         let full = 4 * 100 * 100;
         assert!(
@@ -576,9 +635,7 @@ mod tests {
     #[test]
     fn partition_and_approximate_gram_agree() {
         let (pts, _) = four_blobs(10);
-        let dasc = Dasc::new(
-            DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2)),
-        );
+        let dasc = Dasc::new(DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2)));
         let (_, buckets) = dasc.partition(&pts);
         let gram = dasc.approximate_gram(&pts);
         assert_eq!(gram.blocks().len(), buckets.len());
@@ -592,10 +649,8 @@ mod tests {
             .kernel(Kernel::gaussian(0.15))
             .lsh(LshConfig::with_bits(2));
         let serial = Dasc::new(cfg.clone()).run(&pts);
-        let dist = Dasc::new(cfg)
-            .run_distributed(&pts, &ClusterConfig::single_node());
-        let acc_serial =
-            dasc_metrics::accuracy(&serial.clustering.assignments, &truth);
+        let dist = Dasc::new(cfg).run_distributed(&pts, &ClusterConfig::single_node());
+        let acc_serial = dasc_metrics::accuracy(&serial.clustering.assignments, &truth);
         let acc_dist = dasc_metrics::accuracy(&dist.clustering.assignments, &truth);
         assert!((acc_serial - acc_dist).abs() < 1e-9);
         assert_eq!(dist.num_buckets, serial.buckets.len());
@@ -606,8 +661,7 @@ mod tests {
     fn distributed_stats_capture_both_stages() {
         let (pts, _) = four_blobs(10);
         let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2));
-        let dist =
-            Dasc::new(cfg).run_distributed(&pts, &ClusterConfig::single_node());
+        let dist = Dasc::new(cfg).run_distributed(&pts, &ClusterConfig::single_node());
         assert!(dist.stage1.num_map_tasks() >= 1);
         assert_eq!(dist.stage2.num_reduce_tasks(), dist.num_buckets);
         // Simulated time shrinks (weakly) with more nodes.

@@ -66,18 +66,14 @@ pub fn distributed_kmeans(
         // Map: point → (nearest centroid, (sum, count)).
         let centroids_ref = &centroids;
         let mapper = FnMapper::new(
-            move |_idx: usize,
-                  point: Vec<f64>,
-                  emit: &mut dyn FnMut(usize, (Vec<f64>, usize))| {
+            move |_idx: usize, point: Vec<f64>, emit: &mut dyn FnMut(usize, (Vec<f64>, usize))| {
                 let c = nearest(&point, centroids_ref);
                 emit(c, (point, 1));
             },
         );
         // Reduce: average the partial sums into the new centroid.
         let reducer = FnReducer::new(
-            |cid: usize,
-             parts: Vec<(Vec<f64>, usize)>,
-             emit: &mut dyn FnMut((usize, Vec<f64>))| {
+            |cid: usize, parts: Vec<(Vec<f64>, usize)>, emit: &mut dyn FnMut((usize, Vec<f64>))| {
                 let mut total = vec![0.0; parts[0].0.len()];
                 let mut count = 0usize;
                 for (sum, c) in parts {
@@ -88,8 +84,7 @@ pub fn distributed_kmeans(
                 emit((cid, total));
             },
         );
-        let inputs: Vec<(usize, Vec<f64>)> =
-            points.iter().cloned().enumerate().collect();
+        let inputs: Vec<(usize, Vec<f64>)> = points.iter().cloned().enumerate().collect();
         // Combiner: sum partial (point-sum, count) pairs per map task —
         // Mahout's combiner, shrinking the shuffle from N records to at
         // most (tasks × k).
@@ -125,8 +120,7 @@ pub fn distributed_kmeans(
 
     // Final assignment (a map-only pass in Mahout; computed driver-side
     // here since assignments must come back anyway).
-    let assignments: Vec<usize> =
-        points.iter().map(|p| nearest(p, &centroids)).collect();
+    let assignments: Vec<usize> = points.iter().map(|p| nearest(p, &centroids)).collect();
     let inertia = points
         .iter()
         .zip(&assignments)
@@ -209,7 +203,10 @@ mod tests {
         let b = res.clustering.assignments[1];
         assert_ne!(a, b);
         for i in 0..60 {
-            assert_eq!(res.clustering.assignments[i], if i % 2 == 0 { a } else { b });
+            assert_eq!(
+                res.clustering.assignments[i],
+                if i % 2 == 0 { a } else { b }
+            );
         }
         assert!(res.iterations >= 1);
         assert!(res.stats.num_map_tasks() >= res.iterations);

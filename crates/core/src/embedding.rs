@@ -36,12 +36,7 @@ pub fn normalized_laplacian(s: &Matrix) -> Matrix {
 /// Uses the full Householder+QL decomposition below `lanczos_threshold`
 /// and Lanczos above it (the crossover the paper's tridiagonalization
 /// discussion motivates).
-pub fn top_eigenvectors(
-    l: &Matrix,
-    k: usize,
-    lanczos_threshold: usize,
-    seed: u64,
-) -> Matrix {
+pub fn top_eigenvectors(l: &Matrix, k: usize, lanczos_threshold: usize, seed: u64) -> Matrix {
     let n = l.nrows();
     let k = k.min(n).max(1);
     if n <= lanczos_threshold {
@@ -94,11 +89,7 @@ mod tests {
     fn laplacian_top_eigenvalue_at_most_one() {
         // For any similarity matrix with non-negative entries, the
         // normalized Laplacian's spectrum lies in [-1, 1].
-        let s = Matrix::from_rows(&[
-            &[1.0, 0.5, 0.1],
-            &[0.5, 1.0, 0.2],
-            &[0.1, 0.2, 1.0],
-        ]);
+        let s = Matrix::from_rows(&[&[1.0, 0.5, 0.1], &[0.5, 1.0, 0.2], &[0.1, 0.2, 1.0]]);
         let l = normalized_laplacian(&s);
         let eig = symmetric_eigen(&l);
         for &v in &eig.eigenvalues {
@@ -159,7 +150,11 @@ mod tests {
             let a = dense.col(c);
             let b = lz.col(c);
             let dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-            assert!(dot.abs() > 0.99, "column {c} mismatch (|dot| = {})", dot.abs());
+            assert!(
+                dot.abs() > 0.99,
+                "column {c} mismatch (|dot| = {})",
+                dot.abs()
+            );
         }
     }
 

@@ -28,7 +28,13 @@ impl KMeansConfig {
     /// Defaults: 100 iterations, 1e-6 tolerance, 8 restarts, fixed seed.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k-means needs k >= 1");
-        Self { k, max_iters: 100, tol: 1e-6, seed: 0xC1A55E5, restarts: 8 }
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0xC1A55E5,
+            restarts: 8,
+        }
     }
 
     /// Builder: RNG seed.
@@ -163,7 +169,12 @@ impl KMeans {
             .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
             .sum();
 
-        KMeansResult { assignments, centroids, inertia, iterations }
+        KMeansResult {
+            assignments,
+            centroids,
+            inertia,
+            iterations,
+        }
     }
 }
 
@@ -181,11 +192,7 @@ fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 /// k-means++ seeding: first centroid uniform, each next centroid drawn
 /// with probability proportional to squared distance from the nearest
 /// chosen centroid.
-fn kmeanspp_init(
-    points: &[Vec<f64>],
-    k: usize,
-    rng: &mut ChaCha8Rng,
-) -> Vec<Vec<f64>> {
+fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
     let n = points.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)].clone());

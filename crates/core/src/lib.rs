@@ -33,14 +33,19 @@ pub mod regression;
 pub mod spectral;
 pub mod streaming;
 
-pub use dasc::{bucket_cluster_count, Dasc, DascConfig, DascDistributedResult, DascResult};
+pub use dasc::{
+    bucket_cluster_count, Dasc, DascConfig, DascDistributedResult, DascResult, DascTrained,
+    DascTrainedDistributed,
+};
 pub use distributed_kmeans::{distributed_kmeans, DistributedKMeansResult};
 pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
 pub use local_scaling::{local_scales, local_scaling_similarity};
 pub use nystrom_sc::{Nystrom, NystromConfig, NystromResult};
 pub use psc::{ParallelSpectral, PscConfig, PscResult};
 pub use regression::DascRegressor;
-pub use spectral::{EigenBackend, LaplacianKind, SpectralClustering, SpectralConfig, SpectralResult};
+pub use spectral::{
+    EigenBackend, LaplacianKind, SpectralClustering, SpectralConfig, SpectralResult,
+};
 pub use streaming::StreamingDasc;
 
 /// A cluster assignment over `n` points.
@@ -62,7 +67,10 @@ impl Clustering {
             assignments.iter().all(|&a| a < num_clusters.max(1)),
             "Clustering: assignment out of range"
         );
-        Self { assignments, num_clusters }
+        Self {
+            assignments,
+            num_clusters,
+        }
     }
 
     /// Number of points.

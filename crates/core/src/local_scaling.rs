@@ -83,7 +83,10 @@ mod tests {
             labels.push(0);
         }
         for i in 0..30 {
-            pts.push(vec![3.0 + 0.15 * (i % 6) as f64, 2.0 + 0.15 * (i / 6) as f64]);
+            pts.push(vec![
+                3.0 + 0.15 * (i % 6) as f64,
+                2.0 + 0.15 * (i / 6) as f64,
+            ]);
             labels.push(1);
         }
         (pts, labels)
@@ -132,11 +135,10 @@ mod tests {
         // internal similarities vanish and it shatters; local scaling
         // does not have a single σ to mis-tune.
         let (pts, truth) = mixed_density();
-        let bad_sigma = SpectralClustering::new(
-            SpectralConfig::new(2).kernel(Kernel::gaussian(0.01)),
-        )
-        .run(&pts)
-        .clustering;
+        let bad_sigma =
+            SpectralClustering::new(SpectralConfig::new(2).kernel(Kernel::gaussian(0.01)))
+                .run(&pts)
+                .clustering;
         let local = SpectralClustering::new(SpectralConfig::new(2))
             .run_on_similarity(&local_scaling_similarity(&pts, 7));
         let acc_bad = accuracy(&bad_sigma.assignments, &truth);

@@ -35,7 +35,12 @@ impl NystromConfig {
     /// Defaults: Gaussian σ = 0.2, automatic landmark count.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "NYST needs k >= 1");
-        Self { k, kernel: Kernel::gaussian(0.2), landmarks: None, seed: 0x2757 }
+        Self {
+            k,
+            kernel: Kernel::gaussian(0.2),
+            landmarks: None,
+            seed: 0x2757,
+        }
     }
 
     /// Builder: kernel.
@@ -59,7 +64,9 @@ impl NystromConfig {
 
     fn effective_landmarks(&self, n: usize) -> usize {
         let auto = (8 * self.k).max((n as f64).sqrt().ceil() as usize);
-        self.landmarks.unwrap_or(auto).clamp(self.k.min(n).max(1), n)
+        self.landmarks
+            .unwrap_or(auto)
+            .clamp(self.k.min(n).max(1), n)
     }
 }
 
@@ -132,12 +139,7 @@ impl Nystrom {
 
         // Approximate degrees d ≈ K̃·1 = C W⁺ (Cᵀ·1).
         let eig_w = symmetric_eigen(&w);
-        let cutoff = eig_w
-            .eigenvalues
-            .last()
-            .map(|v| v.abs())
-            .unwrap_or(0.0)
-            * 1e-12;
+        let cutoff = eig_w.eigenvalues.last().map(|v| v.abs()).unwrap_or(0.0) * 1e-12;
         let ct1: Vec<f64> = (0..m).map(|b| c.col(b).iter().sum()).collect();
         // W⁺ ct1 = U diag(1/λ) Uᵀ ct1 with small-λ cutoff.
         let mut ut_ct1 = vec![0.0; m];
@@ -160,7 +162,10 @@ impl Nystrom {
         }
         let mut d = vec![0.0; n];
         for i in 0..n {
-            d[i] = (0..m).map(|b| c[(i, b)] * wp_ct1[b]).sum::<f64>().max(1e-12);
+            d[i] = (0..m)
+                .map(|b| c[(i, b)] * wp_ct1[b])
+                .sum::<f64>()
+                .max(1e-12);
         }
         let dm: Vec<f64> = landmarks.iter().map(|&i| d[i]).collect();
 

@@ -34,7 +34,12 @@ impl PscConfig {
     /// Defaults: Gaussian σ = 0.2, t = 10.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "PSC needs k >= 1");
-        Self { k, kernel: Kernel::gaussian(0.2), t: 10, seed: 0x95C }
+        Self {
+            k,
+            kernel: Kernel::gaussian(0.2),
+            t: 10,
+            seed: 0x95C,
+        }
     }
 
     /// Builder: kernel.
@@ -94,8 +99,7 @@ impl ParallelSpectral {
         // Only the Gaussian kernel is exactly monotone in Euclidean
         // distance (the Laplacian ranks by L1, so it stays on the exact
         // brute-force path).
-        let distance_monotone =
-            matches!(kernel, dasc_kernel::Kernel::Gaussian { .. });
+        let distance_monotone = matches!(kernel, dasc_kernel::Kernel::Gaussian { .. });
 
         let neighbor_lists: Vec<Vec<(usize, f64)>> =
             if distance_monotone && d > 0 && d <= 16 && n > 256 {
@@ -192,8 +196,7 @@ impl ParallelSpectral {
             let ki = if num_comps >= k {
                 1
             } else {
-                ((k as f64 * group.len() as f64 / n as f64).round() as usize)
-                    .clamp(1, group.len())
+                ((k as f64 * group.len() as f64 / n as f64).round() as usize).clamp(1, group.len())
             };
             if ki == 1 || group.len() == 1 {
                 for &i in group {

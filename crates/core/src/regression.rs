@@ -28,14 +28,13 @@ impl DascRegressor {
     ///
     /// # Panics
     /// Panics on empty data, mismatched targets, or `lambda <= 0`.
-    pub fn fit(
-        config: &DascConfig,
-        points: &[Vec<f64>],
-        targets: &[f64],
-        lambda: f64,
-    ) -> Self {
+    pub fn fit(config: &DascConfig, points: &[Vec<f64>], targets: &[f64], lambda: f64) -> Self {
         assert!(!points.is_empty(), "DascRegressor: empty dataset");
-        assert_eq!(points.len(), targets.len(), "DascRegressor: target mismatch");
+        assert_eq!(
+            points.len(),
+            targets.len(),
+            "DascRegressor: target mismatch"
+        );
         let dasc = Dasc::new(config.clone());
         let (model, buckets) = dasc.partition(points);
         let gram = ApproximateGram::from_buckets(points, &buckets, &config.kernel);
@@ -154,10 +153,7 @@ mod tests {
         let q = [0.12, 0.1];
         let fast = reg.predict(&q);
         let full = reg.predict_full(&q);
-        assert!(
-            (fast - full).abs() < 0.05,
-            "fast {fast} vs full {full}"
-        );
+        assert!((fast - full).abs() < 0.05, "fast {fast} vs full {full}");
     }
 
     #[test]

@@ -246,19 +246,12 @@ mod tests {
             pts.push(vec![0.1 + 0.002 * i as f64, 0.2]);
             pts.push(vec![0.8 + 0.002 * i as f64, 0.9]);
         }
-        let dense = SpectralClustering::new(
-            SpectralConfig::new(2).backend(EigenBackend::Dense),
-        )
-        .run(&pts);
-        let lz = SpectralClustering::new(
-            SpectralConfig::new(2).backend(EigenBackend::Lanczos),
-        )
-        .run(&pts);
+        let dense =
+            SpectralClustering::new(SpectralConfig::new(2).backend(EigenBackend::Dense)).run(&pts);
+        let lz = SpectralClustering::new(SpectralConfig::new(2).backend(EigenBackend::Lanczos))
+            .run(&pts);
         assert_eq!(
-            agreement(
-                &dense.clustering.assignments,
-                &lz.clustering.assignments
-            ),
+            agreement(&dense.clustering.assignments, &lz.clustering.assignments),
             1.0
         );
     }
@@ -273,10 +266,9 @@ mod tests {
             pts.push(vec![0.8 + 0.002 * i as f64, 0.9]);
             truth.push(1);
         }
-        let rw = SpectralClustering::new(
-            SpectralConfig::new(2).laplacian(LaplacianKind::RandomWalk),
-        )
-        .run(&pts);
+        let rw =
+            SpectralClustering::new(SpectralConfig::new(2).laplacian(LaplacianKind::RandomWalk))
+                .run(&pts);
         assert_eq!(agreement(&rw.clustering.assignments, &truth), 1.0);
         let sym = SpectralClustering::new(SpectralConfig::new(2)).run(&pts);
         assert_eq!(
@@ -298,7 +290,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (pts, _) = two_rings_free();
-        let cfg = SpectralConfig::new(2).kernel(Kernel::gaussian(0.05)).seed(3);
+        let cfg = SpectralConfig::new(2)
+            .kernel(Kernel::gaussian(0.05))
+            .seed(3);
         let a = SpectralClustering::new(cfg.clone()).run(&pts);
         let b = SpectralClustering::new(cfg).run(&pts);
         assert_eq!(a.clustering.assignments, b.clustering.assignments);

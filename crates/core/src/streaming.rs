@@ -13,7 +13,7 @@
 //! members back from storage, one bucket at a time.
 
 use dasc_kernel::full_gram;
-use dasc_lsh::{BucketSet, SignatureModel, Signature};
+use dasc_lsh::{BucketSet, Signature, SignatureModel};
 use dasc_mapreduce::{ClusterConfig, Dfs};
 
 use crate::dasc::{bucket_cluster_count, DascConfig};
@@ -114,13 +114,10 @@ impl StreamingDasc {
         for (bi, bucket) in buckets.buckets().iter().enumerate() {
             // Fetch members chunk by chunk (each chunk read at most once
             // per bucket).
-            let mut members_points: Vec<Vec<f64>> =
-                Vec::with_capacity(bucket.members.len());
+            let mut members_points: Vec<Vec<f64>> = Vec::with_capacity(bucket.members.len());
             let mut cursor = 0usize;
             while cursor < bucket.members.len() {
-                let chunk_id = offsets
-                    .partition_point(|&o| o <= bucket.members[cursor])
-                    - 1;
+                let chunk_id = offsets.partition_point(|&o| o <= bucket.members[cursor]) - 1;
                 let bytes = self
                     .dfs
                     .get(&format!("/stream/chunk-{chunk_id:06}"))
@@ -129,8 +126,7 @@ impl StreamingDasc {
                 while cursor < bucket.members.len()
                     && bucket.members[cursor] < offsets[chunk_id + 1]
                 {
-                    members_points
-                        .push(chunk[bucket.members[cursor] - offsets[chunk_id]].clone());
+                    members_points.push(chunk[bucket.members[cursor] - offsets[chunk_id]].clone());
                     cursor += 1;
                 }
             }
@@ -148,10 +144,7 @@ impl StreamingDasc {
             cluster_offset += c.num_clusters;
         }
 
-        (
-            Clustering::new(assignments, cluster_offset.max(1)),
-            buckets,
-        )
+        (Clustering::new(assignments, cluster_offset.max(1)), buckets)
     }
 }
 
@@ -221,11 +214,7 @@ mod tests {
 
         // Stream in 7 uneven chunks, fitting on the full set so the
         // model matches the batch run.
-        let mut s = StreamingDasc::new(
-            cfg.consolidate(false),
-            ClusterConfig::single_node(),
-            &pts,
-        );
+        let mut s = StreamingDasc::new(cfg.consolidate(false), ClusterConfig::single_node(), &pts);
         for chunk in pts.chunks(17) {
             s.push_chunk(chunk);
         }
@@ -243,11 +232,7 @@ mod tests {
     #[test]
     fn empty_chunks_are_ignored() {
         let (pts, _) = four_blobs(5);
-        let mut s = StreamingDasc::new(
-            config(pts.len()),
-            ClusterConfig::single_node(),
-            &pts,
-        );
+        let mut s = StreamingDasc::new(config(pts.len()), ClusterConfig::single_node(), &pts);
         s.push_chunk(&[]);
         assert!(s.is_empty());
         s.push_chunk(&pts);
@@ -259,11 +244,7 @@ mod tests {
         // The session holds one Signature (16 B) per point; point data
         // lives in the DFS.
         let (pts, _) = four_blobs(50);
-        let mut s = StreamingDasc::new(
-            config(pts.len()),
-            ClusterConfig::single_node(),
-            &pts[..40],
-        );
+        let mut s = StreamingDasc::new(config(pts.len()), ClusterConfig::single_node(), &pts[..40]);
         for chunk in pts.chunks(40) {
             s.push_chunk(chunk);
         }
@@ -275,11 +256,7 @@ mod tests {
     #[should_panic(expected = "dimensionality mismatch")]
     fn wrong_dims_panics() {
         let (pts, _) = four_blobs(5);
-        let mut s = StreamingDasc::new(
-            config(pts.len()),
-            ClusterConfig::single_node(),
-            &pts,
-        );
+        let mut s = StreamingDasc::new(config(pts.len()), ClusterConfig::single_node(), &pts);
         s.push_chunk(&[vec![0.0]]);
     }
 

@@ -30,7 +30,11 @@ impl Dataset {
         if let Some(l) = &labels {
             assert_eq!(l.len(), points.len(), "Dataset: label count mismatch");
         }
-        Self { points, labels, name: name.into() }
+        Self {
+            points,
+            labels,
+            name: name.into(),
+        }
     }
 
     /// Number of points `N`.
@@ -86,10 +90,7 @@ impl Dataset {
     /// # Panics
     /// Panics unless `frac ∈ (0, 1)`.
     pub fn split(&self, frac: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!(
-            frac > 0.0 && frac < 1.0,
-            "split fraction must be in (0, 1)"
-        );
+        assert!(frac > 0.0 && frac < 1.0, "split fraction must be in (0, 1)");
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let mut idx: Vec<usize> = (0..self.len()).collect();

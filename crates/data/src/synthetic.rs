@@ -121,8 +121,7 @@ impl SyntheticConfig {
         for i in 0..self.n {
             let is_noise = rng.gen_range(0.0..1.0) < self.noise_fraction;
             if is_noise {
-                let p: Vec<f64> =
-                    (0..self.d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let p: Vec<f64> = (0..self.d).map(|_| rng.gen_range(0.0..1.0)).collect();
                 labels.push(nearest_centroid(&p, &centroids));
                 points.push(p);
             } else {
@@ -131,10 +130,7 @@ impl SyntheticConfig {
                 let c = i % self.k;
                 let p: Vec<f64> = centroids[c]
                     .iter()
-                    .map(|&mu| {
-                        (mu + self.spread * standard_normal(&mut rng))
-                            .clamp(0.0, 1.0)
-                    })
+                    .map(|&mu| (mu + self.spread * standard_normal(&mut rng)).clamp(0.0, 1.0))
                     .collect();
                 labels.push(c);
                 points.push(p);
@@ -153,9 +149,7 @@ fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
     centroids
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("NaN")
-        })
+        .min_by(|(_, a), (_, b)| sq_dist(p, a).partial_cmp(&sq_dist(p, b)).expect("NaN"))
         .map(|(i, _)| i)
         .expect("at least one centroid")
 }
@@ -222,7 +216,10 @@ mod tests {
         }
         let w = within.0 / within.1 as f64;
         let a = across.0 / across.1 as f64;
-        assert!(w * 2.0 < a, "clusters not separated: within {w}, across {a}");
+        assert!(
+            w * 2.0 < a,
+            "clusters not separated: within {w}, across {a}"
+        );
     }
 
     #[test]
@@ -251,9 +248,9 @@ mod tests {
         // Along grid dim j, a point's side of 0.5 encodes bit j of its
         // cluster id (spread 0.04 keeps samples well inside each half).
         for (p, &c) in ds.points.iter().zip(labels) {
-            for j in 0..3 {
+            for (j, &v) in p.iter().enumerate().take(3) {
                 let expect_high = (c >> j) & 1 == 1;
-                assert_eq!(p[j] > 0.5, expect_high, "cluster {c} dim {j}: {}", p[j]);
+                assert_eq!(v > 0.5, expect_high, "cluster {c} dim {j}: {v}");
             }
         }
     }

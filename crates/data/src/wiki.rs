@@ -151,8 +151,7 @@ impl WikiCorpusConfig {
                     .into_iter()
                     .enumerate()
                     .map(|(t, o)| {
-                        let weight =
-                            0.5f64.powi(t as i32 / 2) * rng.gen_range(0.7..1.3);
+                        let weight = 0.5f64.powi(t as i32 / 2) * rng.gen_range(0.7..1.3);
                         ((base + o) % vocab, weight)
                     })
                     .collect()
@@ -204,7 +203,9 @@ impl WikiCorpusConfig {
                     })
                     .collect();
                 weighted.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("NaN tfidf").then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .expect("NaN tfidf")
+                        .then(a.0.cmp(&b.0))
                 });
                 weighted.truncate(self.f);
                 let mut v = vec![0.0; self.f];
@@ -305,7 +306,7 @@ mod tests {
         assert_eq!(wiki_num_categories(1024), 17);
         assert_eq!(wiki_num_categories(2048), 34); // table: 31
         assert_eq!(wiki_num_categories(4096), 51); // table: 61
-        // Monotone non-decreasing and never below 1 across Table 1 sizes.
+                                                   // Monotone non-decreasing and never below 1 across Table 1 sizes.
         let mut last = 0;
         for &(n, _) in &TABLE1_SIZES {
             let k_fit = wiki_num_categories(n);
@@ -349,9 +350,15 @@ mod tests {
 
     #[test]
     fn f_terms_changes_dimensionality() {
-        let ds = WikiCorpusConfig::new(64).categories(4).f_terms(6).generate();
+        let ds = WikiCorpusConfig::new(64)
+            .categories(4)
+            .f_terms(6)
+            .generate();
         assert_eq!(ds.dims(), 6);
-        let ds = WikiCorpusConfig::new(64).categories(4).f_terms(16).generate();
+        let ds = WikiCorpusConfig::new(64)
+            .categories(4)
+            .f_terms(16)
+            .generate();
         assert_eq!(ds.dims(), 16);
     }
 
@@ -378,7 +385,10 @@ mod tests {
         }
         let w = within.0 / within.1 as f64;
         let a = across.0 / across.1 as f64;
-        assert!(w < a, "topic structure not recoverable: within {w} vs across {a}");
+        assert!(
+            w < a,
+            "topic structure not recoverable: within {w} vs across {a}"
+        );
     }
 
     #[test]

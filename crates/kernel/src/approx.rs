@@ -31,11 +31,7 @@ pub struct ApproximateGram {
 
 impl ApproximateGram {
     /// Build the approximation from LSH buckets (bucket-parallel).
-    pub fn from_buckets(
-        points: &[Vec<f64>],
-        buckets: &BucketSet,
-        kernel: &Kernel,
-    ) -> Self {
+    pub fn from_buckets(points: &[Vec<f64>], buckets: &BucketSet, kernel: &Kernel) -> Self {
         assert_eq!(
             buckets.num_points(),
             points.len(),
@@ -45,33 +41,36 @@ impl ApproximateGram {
             .buckets()
             .par_iter()
             .map(|b| {
-                let sub: Vec<Vec<f64>> =
-                    b.members.iter().map(|&i| points[i].clone()).collect();
+                let sub: Vec<Vec<f64>> = b.members.iter().map(|&i| points[i].clone()).collect();
                 GramBlock {
                     members: b.members.clone(),
                     matrix: full_gram(&sub, kernel),
                 }
             })
             .collect();
-        Self { n: points.len(), blocks }
+        Self {
+            n: points.len(),
+            blocks,
+        }
     }
 
     /// Build directly from explicit member groups (used by tests and by
     /// the MapReduce reducer path, where groups arrive from the shuffle).
-    pub fn from_groups(
-        points: &[Vec<f64>],
-        groups: Vec<Vec<usize>>,
-        kernel: &Kernel,
-    ) -> Self {
+    pub fn from_groups(points: &[Vec<f64>], groups: Vec<Vec<usize>>, kernel: &Kernel) -> Self {
         let blocks: Vec<GramBlock> = groups
             .into_par_iter()
             .map(|members| {
-                let sub: Vec<Vec<f64>> =
-                    members.iter().map(|&i| points[i].clone()).collect();
-                GramBlock { members, matrix: full_gram(&sub, kernel) }
+                let sub: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
+                GramBlock {
+                    members,
+                    matrix: full_gram(&sub, kernel),
+                }
             })
             .collect();
-        Self { n: points.len(), blocks }
+        Self {
+            n: points.len(),
+            blocks,
+        }
     }
 
     /// Total number of points `N`.
@@ -238,34 +237,22 @@ mod tests {
         // Figure 5's trend: splitting finer loses more mass.
         let k = Kernel::gaussian(1.0);
         let p = pts();
-        let coarse = ApproximateGram::from_groups(
-            &p,
-            vec![vec![0, 1], vec![2, 3]],
-            &k,
-        );
-        let fine = ApproximateGram::from_groups(
-            &p,
-            vec![vec![0], vec![1], vec![2], vec![3]],
-            &k,
-        );
-        assert!(
-            fine.fnorm_ratio_to_full(&p, &k) < coarse.fnorm_ratio_to_full(&p, &k)
-        );
+        let coarse = ApproximateGram::from_groups(&p, vec![vec![0, 1], vec![2, 3]], &k);
+        let fine = ApproximateGram::from_groups(&p, vec![vec![0], vec![1], vec![2], vec![3]], &k);
+        assert!(fine.fnorm_ratio_to_full(&p, &k) < coarse.fnorm_ratio_to_full(&p, &k));
     }
 
     #[test]
     fn memory_far_below_full_for_many_buckets() {
         let n = 64;
         let p: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
-        let groups: Vec<Vec<usize>> =
-            (0..8).map(|g| (0..8).map(|i| g * 8 + i).collect()).collect();
+        let groups: Vec<Vec<usize>> = (0..8)
+            .map(|g| (0..8).map(|i| g * 8 + i).collect())
+            .collect();
         let ag = ApproximateGram::from_groups(&p, groups, &Kernel::gaussian(1.0));
         // 8 blocks of 8² vs full 64²: exactly the 1/B reduction of Eq. 10.
         assert_eq!(ag.stored_entries(), 8 * 64);
-        assert_eq!(
-            ag.memory_bytes() * 8,
-            crate::gram::gram_memory_bytes(n)
-        );
+        assert_eq!(ag.memory_bytes() * 8, crate::gram::gram_memory_bytes(n));
     }
 
     #[test]

@@ -34,12 +34,7 @@ impl KernelClassifier {
     ///
     /// # Panics
     /// Panics on mismatched labels, empty data, or `gamma <= 0`.
-    pub fn fit_exact(
-        points: &[Vec<f64>],
-        labels: &[usize],
-        kernel: Kernel,
-        gamma: f64,
-    ) -> Self {
+    pub fn fit_exact(points: &[Vec<f64>], labels: &[usize], kernel: Kernel, gamma: f64) -> Self {
         assert!(gamma > 0.0, "classifier: gamma must be positive");
         assert_eq!(points.len(), labels.len(), "classifier: label mismatch");
         assert!(!points.is_empty(), "classifier: empty dataset");
@@ -104,12 +99,7 @@ impl KernelClassifier {
     }
 
     /// Fraction of correct predictions over a labelled set.
-    pub fn accuracy(
-        &self,
-        xs: &[Vec<f64>],
-        labels: &[usize],
-        train_points: &[Vec<f64>],
-    ) -> f64 {
+    pub fn accuracy(&self, xs: &[Vec<f64>], labels: &[usize], train_points: &[Vec<f64>]) -> f64 {
         assert_eq!(xs.len(), labels.len(), "accuracy: label mismatch");
         let correct = xs
             .iter()
@@ -181,11 +171,7 @@ mod tests {
             .iter()
             .map(|p| Signature::from_bits((p[0] * 3.0) as u64, 2))
             .collect();
-        let gram = ApproximateGram::from_buckets(
-            &xs,
-            &BucketSet::from_signatures(&sigs),
-            &kernel,
-        );
+        let gram = ApproximateGram::from_buckets(&xs, &BucketSet::from_signatures(&sigs), &kernel);
         let blocked = KernelClassifier::fit_blocks(&gram, &ys, kernel, 100.0);
         assert_eq!(blocked.accuracy(&xs, &ys, &xs), 1.0);
     }

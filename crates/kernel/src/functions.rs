@@ -48,13 +48,9 @@ impl Kernel {
     pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
         assert_eq!(x.len(), y.len(), "kernel eval: dimension mismatch");
         match *self {
-            Kernel::Gaussian { sigma } => {
-                (-vector::sq_dist(x, y) / (2.0 * sigma * sigma)).exp()
-            }
+            Kernel::Gaussian { sigma } => (-vector::sq_dist(x, y) / (2.0 * sigma * sigma)).exp(),
             Kernel::Linear => vector::dot(x, y),
-            Kernel::Polynomial { degree, c } => {
-                (vector::dot(x, y) + c).powi(degree as i32)
-            }
+            Kernel::Polynomial { degree, c } => (vector::dot(x, y) + c).powi(degree as i32),
             Kernel::Laplacian { gamma } => {
                 let l1: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
                 (-gamma * l1).exp()
@@ -139,8 +135,7 @@ mod tests {
     #[test]
     fn median_heuristic_positive_sigma() {
         let pts: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
-        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts)
-        else {
+        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts) else {
             panic!("expected gaussian")
         };
         assert!(sigma > 0.0 && sigma < 1.0);
@@ -149,8 +144,7 @@ mod tests {
     #[test]
     fn median_heuristic_degenerate_data() {
         let pts: Vec<Vec<f64>> = (0..10).map(|_| vec![0.5]).collect();
-        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts)
-        else {
+        let Kernel::Gaussian { sigma } = Kernel::gaussian_median_heuristic(&pts) else {
             panic!("expected gaussian")
         };
         assert_eq!(sigma, 1.0);

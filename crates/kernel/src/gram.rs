@@ -78,8 +78,9 @@ mod tests {
     #[test]
     fn gaussian_gram_is_psd() {
         // All eigenvalues of a Gaussian Gram matrix are non-negative.
-        let pts: Vec<Vec<f64>> =
-            (0..12).map(|i| vec![(i as f64) / 12.0, ((i * 7) % 12) as f64 / 12.0]).collect();
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64) / 12.0, ((i * 7) % 12) as f64 / 12.0])
+            .collect();
         let g = full_gram(&pts, &Kernel::gaussian(0.4));
         let eig = dasc_linalg::symmetric_eigen(&g);
         for &v in &eig.eigenvalues {

@@ -38,8 +38,7 @@ pub fn center_gram(k: &Matrix) -> Matrix {
         return k.clone();
     }
     let nf = n as f64;
-    let row_means: Vec<f64> =
-        (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
+    let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / nf).collect();
     let grand = row_means.iter().sum::<f64>() / nf;
     let mut c = Matrix::zeros(n, n);
     for i in 0..n {
@@ -77,7 +76,10 @@ pub fn kernel_pca(points: &[Vec<f64>], kernel: &Kernel, dims: usize) -> KpcaEmbe
     assert!(!points.is_empty(), "kpca: empty dataset");
     let k = full_gram(points, kernel);
     let (embedding, eigenvalues) = embed(&k, dims);
-    KpcaEmbedding { embedding, eigenvalues }
+    KpcaEmbedding {
+        embedding,
+        eigenvalues,
+    }
 }
 
 /// Per-bucket kernel PCA over an [`ApproximateGram`] (bucket-parallel).
@@ -103,8 +105,7 @@ mod tests {
 
     #[test]
     fn centered_gram_has_zero_row_sums() {
-        let pts: Vec<Vec<f64>> =
-            (0..8).map(|i| vec![i as f64, (i * i % 5) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i * i % 5) as f64]).collect();
         let k = full_gram(&pts, &Kernel::gaussian(1.0));
         let c = center_gram(&k);
         for s in c.row_sums() {
@@ -132,8 +133,9 @@ mod tests {
     #[test]
     fn embedding_gram_matches_centered_kernel() {
         // With all components kept, Y·Yᵀ reconstructs the centered Gram.
-        let pts: Vec<Vec<f64>> =
-            (0..6).map(|i| vec![(i as f64).sin(), (i as f64).cos()]).collect();
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![(i as f64).sin(), (i as f64).cos()])
+            .collect();
         let k = full_gram(&pts, &Kernel::gaussian(0.8));
         let res = kernel_pca(&pts, &Kernel::gaussian(0.8), 6);
         let rec = res.embedding.matmul(&res.embedding.transpose());

@@ -41,7 +41,10 @@ pub fn nystrom_eigen(
     seed: u64,
 ) -> NystromEigen {
     assert!(k > 0, "nystrom: k must be positive");
-    assert!(m >= k, "nystrom: need at least as many landmarks as eigenpairs");
+    assert!(
+        m >= k,
+        "nystrom: need at least as many landmarks as eigenpairs"
+    );
     let n = points.len();
     let m = m.min(n);
     let k = k.min(m);
@@ -97,7 +100,11 @@ pub fn nystrom_eigen(
     // re-orthonormalize (thin QR) as the NYST implementations do.
     let vectors = if n >= k { qr(&vectors).q } else { vectors };
 
-    NystromEigen { eigenvalues: values, eigenvectors: vectors, landmarks }
+    NystromEigen {
+        eigenvalues: values,
+        eigenvectors: vectors,
+        landmarks,
+    }
 }
 
 #[cfg(test)]

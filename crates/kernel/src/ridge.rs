@@ -36,12 +36,7 @@ impl RidgeModel {
     ///
     /// # Panics
     /// Panics if `targets` mismatches `points`, or `lambda <= 0`.
-    pub fn fit_exact(
-        points: &[Vec<f64>],
-        targets: &[f64],
-        kernel: Kernel,
-        lambda: f64,
-    ) -> Self {
+    pub fn fit_exact(points: &[Vec<f64>], targets: &[f64], kernel: Kernel, lambda: f64) -> Self {
         assert_eq!(points.len(), targets.len(), "ridge: target mismatch");
         assert!(lambda > 0.0, "ridge: lambda must be positive");
         let mut k = full_gram(points, &kernel);
@@ -84,7 +79,10 @@ impl RidgeModel {
                 }
                 let y: Vec<f64> = b.members.iter().map(|&i| targets[i]).collect();
                 let ch = Cholesky::new(&k).expect("block + λI is SPD");
-                RidgeBlock { members: b.members.clone(), alphas: ch.solve(&y) }
+                RidgeBlock {
+                    members: b.members.clone(),
+                    alphas: ch.solve(&y),
+                }
             })
             .collect();
         Self { kernel, blocks }
@@ -100,12 +98,7 @@ impl RidgeModel {
     ///
     /// # Panics
     /// Panics if `block` is out of range.
-    pub fn predict_in_block(
-        &self,
-        block: usize,
-        x: &[f64],
-        train_points: &[Vec<f64>],
-    ) -> f64 {
+    pub fn predict_in_block(&self, block: usize, x: &[f64], train_points: &[Vec<f64>]) -> f64 {
         let b = &self.blocks[block];
         b.members
             .iter()
@@ -127,12 +120,7 @@ impl RidgeModel {
     }
 
     /// Mean squared error over a labelled set.
-    pub fn mse(
-        &self,
-        xs: &[Vec<f64>],
-        ys: &[f64],
-        train_points: &[Vec<f64>],
-    ) -> f64 {
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64], train_points: &[Vec<f64>]) -> f64 {
         assert_eq!(xs.len(), ys.len(), "mse: target mismatch");
         xs.iter()
             .zip(ys)
@@ -152,8 +140,7 @@ mod tests {
 
     /// y = sin(2πx) sampled on a grid.
     fn wave(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let xs: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
         let ys: Vec<f64> = xs
             .iter()
             .map(|x| (x[0] * std::f64::consts::TAU).sin())
@@ -164,8 +151,7 @@ mod tests {
     #[test]
     fn exact_fit_interpolates_smooth_function() {
         let (xs, ys) = wave(50);
-        let model =
-            RidgeModel::fit_exact(&xs, &ys, Kernel::gaussian(0.1), 1e-6);
+        let model = RidgeModel::fit_exact(&xs, &ys, Kernel::gaussian(0.1), 1e-6);
         let mse = model.mse(&xs, &ys, &xs);
         assert!(mse < 1e-4, "training mse {mse}");
         // Generalizes between grid points.

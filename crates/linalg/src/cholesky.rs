@@ -107,11 +107,7 @@ mod tests {
     use super::*;
 
     fn spd_example() -> Matrix {
-        Matrix::from_rows(&[
-            &[4.0, 2.0, 0.6],
-            &[2.0, 5.0, 1.5],
-            &[0.6, 1.5, 3.0],
-        ])
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.5], &[0.6, 1.5, 3.0]])
     }
 
     #[test]

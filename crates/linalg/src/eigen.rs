@@ -74,7 +74,10 @@ pub fn tridiagonal_eigen(tri: &Tridiagonal) -> SymmetricEigen {
     let mut z = tri.q.clone();
 
     if n <= 1 {
-        return SymmetricEigen { eigenvalues: d, eigenvectors: z };
+        return SymmetricEigen {
+            eigenvalues: d,
+            eigenvectors: z,
+        };
     }
 
     // Shift the off-diagonal so e[i] couples i and i+1.
@@ -157,7 +160,10 @@ pub fn tridiagonal_eigen(tri: &Tridiagonal) -> SymmetricEigen {
         }
     }
 
-    SymmetricEigen { eigenvalues, eigenvectors }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
 }
 
 /// Full eigendecomposition of a dense symmetric matrix.
@@ -195,11 +201,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
         let eig = symmetric_eigen(&a);
         assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
         assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-12);
@@ -240,11 +242,7 @@ mod tests {
 
     #[test]
     fn top_k_orders_descending() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
         let eig = symmetric_eigen(&a);
         let (vals, vecs) = eig.top_k(2);
         assert!((vals[0] - 3.0).abs() < 1e-12);

@@ -35,7 +35,12 @@ pub struct LanczosOptions {
 impl LanczosOptions {
     /// Options for the `k` largest eigenpairs with default knobs.
     pub fn top(k: usize) -> Self {
-        Self { k, max_subspace: None, tol: 1e-10, seed: 0x5ca1ab1e }
+        Self {
+            k,
+            max_subspace: None,
+            tol: 1e-10,
+            seed: 0x5ca1ab1e,
+        }
     }
 }
 
@@ -270,9 +275,7 @@ mod tests {
     #[test]
     fn eigenvectors_are_orthonormal() {
         let n = 15;
-        let a = Matrix::from_fn(n, n, |i, j| {
-            1.0 / (1.0 + (i as f64 - j as f64).abs())
-        });
+        let a = Matrix::from_fn(n, n, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
         let res = lanczos(&a, &LanczosOptions::top(4));
         let v = &res.eigenvectors;
         let g = v.transpose().matmul(v);

@@ -104,7 +104,10 @@ mod tests {
         assert!(d.q.matmul(&d.r).max_abs_diff(a) < tol, "A != QR");
         // Qᵀ Q = I.
         let g = d.q.transpose().matmul(&d.q);
-        assert!(g.max_abs_diff(&Matrix::identity(n)) < tol, "Q not orthonormal");
+        assert!(
+            g.max_abs_diff(&Matrix::identity(n)) < tol,
+            "Q not orthonormal"
+        );
         // R upper triangular.
         for i in 0..n {
             for j in 0..i {
@@ -125,12 +128,7 @@ mod tests {
 
     #[test]
     fn tall_matrix() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 8.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
         check_qr(&a, 1e-10);
     }
 
@@ -149,11 +147,7 @@ mod tests {
     #[test]
     fn rank_deficient_column() {
         // Second column is a multiple of the first; QR still reconstructs.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[2.0, 4.0],
-            &[3.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
         let d = qr(&a);
         assert!(d.q.matmul(&d.r).max_abs_diff(&a) < 1e-10);
     }

@@ -23,7 +23,11 @@ pub struct CooBuilder {
 impl CooBuilder {
     /// Start building a `rows × cols` sparse matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Add `value` at `(i, j)`. Zero values are skipped.
@@ -31,7 +35,10 @@ impl CooBuilder {
     /// # Panics
     /// Panics if the position is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, value: f64) {
-        assert!(i < self.rows && j < self.cols, "CooBuilder: entry out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "CooBuilder: entry out of bounds"
+        );
         if value != 0.0 {
             self.entries.push((i, j, value));
         }
@@ -79,7 +86,13 @@ impl CooBuilder {
         for i in 0..self.rows {
             row_ptr[i + 1] += row_ptr[i];
         }
-        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 

@@ -59,11 +59,7 @@ mod tests {
     #[test]
     fn eq24_frobenius_identity() {
         // ‖A‖²_F = Σ σ² (the paper's unitary-invariance argument).
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 0.5],
-            &[-1.0, 0.3, 2.2],
-            &[0.7, 0.7, -0.9],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[-1.0, 0.3, 2.2], &[0.7, 0.7, -0.9]]);
         let fro2 = a.frobenius_norm().powi(2);
         let sum2: f64 = singular_values(&a).iter().map(|v| v * v).sum();
         assert!((fro2 - sum2).abs() < 1e-9, "{fro2} vs {sum2}");
@@ -82,8 +78,9 @@ mod tests {
     fn rbf_gram_energy_concentrates() {
         // The motivating observation: an RBF Gram matrix's spectrum
         // decays fast, so few components carry most of the energy.
-        let pts: Vec<Vec<f64>> =
-            (0..24).map(|i| vec![(i % 6) as f64 / 6.0, (i / 6) as f64 / 4.0]).collect();
+        let pts: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 6) as f64 / 6.0, (i / 6) as f64 / 4.0])
+            .collect();
         let g = Matrix::from_fn(24, 24, |i, j| {
             let d2: f64 = pts[i]
                 .iter()

@@ -55,12 +55,20 @@ pub fn tridiagonalize(a: &Matrix) -> Tridiagonal {
     let mut e = vec![0.0; n];
 
     if n == 0 {
-        return Tridiagonal { diagonal: d, off_diagonal: e, q: z };
+        return Tridiagonal {
+            diagonal: d,
+            off_diagonal: e,
+            q: z,
+        };
     }
     if n == 1 {
         d[0] = z[(0, 0)];
         z[(0, 0)] = 1.0;
-        return Tridiagonal { diagonal: d, off_diagonal: e, q: z };
+        return Tridiagonal {
+            diagonal: d,
+            off_diagonal: e,
+            q: z,
+        };
     }
 
     // Householder reduction, working from the last row upwards.
@@ -138,7 +146,11 @@ pub fn tridiagonalize(a: &Matrix) -> Tridiagonal {
         }
     }
 
-    Tridiagonal { diagonal: d, off_diagonal: e, q: z }
+    Tridiagonal {
+        diagonal: d,
+        off_diagonal: e,
+        q: z,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +158,9 @@ mod tests {
     use super::*;
 
     fn orthogonality_error(q: &Matrix) -> f64 {
-        q.transpose().matmul(q).max_abs_diff(&Matrix::identity(q.nrows()))
+        q.transpose()
+            .matmul(q)
+            .max_abs_diff(&Matrix::identity(q.nrows()))
     }
 
     #[test]
@@ -160,11 +174,7 @@ mod tests {
 
     #[test]
     fn already_tridiagonal_is_preserved_up_to_sign() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 2.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 2.0, 1.0], &[0.0, 1.0, 2.0]]);
         let t = tridiagonalize(&a);
         // Reconstruction must hold regardless of sign conventions.
         let rec = t.q.matmul(&t.to_dense()).matmul(&t.q.transpose());

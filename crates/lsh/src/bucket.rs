@@ -43,7 +43,10 @@ impl BucketSet {
             .map(|(signature, members)| Bucket { signature, members })
             .collect();
         buckets.sort_by_key(|b| b.signature);
-        Self { buckets, num_points: signatures.len() }
+        Self {
+            buckets,
+            num_points: signatures.len(),
+        }
     }
 
     /// Merge buckets whose signatures share at least `p` bits, closing
@@ -105,7 +108,10 @@ impl BucketSet {
             b.members.sort_unstable();
         }
         buckets.sort_by_key(|b| b.signature);
-        BucketSet { buckets, num_points: self.num_points }
+        BucketSet {
+            buckets,
+            num_points: self.num_points,
+        }
     }
 
     /// Merge buckets in greedy disjoint **pairs**: scanning buckets in
@@ -161,7 +167,10 @@ impl BucketSet {
             merged.members.sort_unstable();
             buckets.push(merged);
         }
-        BucketSet { buckets, num_points: self.num_points }
+        BucketSet {
+            buckets,
+            num_points: self.num_points,
+        }
     }
 
     /// Apply a [`MergeStrategy`] with threshold `p`.

@@ -135,7 +135,10 @@ impl LshConfig {
     /// # Panics
     /// Panics unless `f ∈ [0, 0.5]`.
     pub fn balance_fraction(mut self, f: f64) -> Self {
-        assert!((0.0..=0.5).contains(&f), "balance fraction must be in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&f),
+            "balance fraction must be in [0, 0.5]"
+        );
         self.balance_fraction = f;
         self
     }

@@ -118,9 +118,7 @@ impl MinHash {
             .iter()
             .enumerate()
             .filter(|(_, &v)| v > 0.0)
-            .map(|(j, _)| {
-                (a.wrapping_mul(j as u64 + 1).wrapping_add(b)) % MINHASH_PRIME
-            })
+            .map(|(j, _)| (a.wrapping_mul(j as u64 + 1).wrapping_add(b)) % MINHASH_PRIME)
             .min()
             .unwrap_or(MINHASH_PRIME)
     }
@@ -182,7 +180,11 @@ impl PStableLsh {
             .map(|_| (0..d).map(|_| standard_normal(&mut rng)).collect())
             .collect();
         let offsets: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..r)).collect();
-        Self { directions, offsets, width: r }
+        Self {
+            directions,
+            offsets,
+            width: r,
+        }
     }
 
     /// Signature width.
@@ -281,8 +283,7 @@ impl PcaHash {
         // Top-m principal directions (cycled if m > d).
         let eig = dasc_linalg::symmetric_eigen(&cov);
         let (_, vecs) = eig.top_k(m.min(d));
-        let directions: Vec<Vec<f64>> =
-            (0..m).map(|i| vecs.col(i % m.min(d))).collect();
+        let directions: Vec<Vec<f64>> = (0..m).map(|i| vecs.col(i % m.min(d))).collect();
 
         // Median thresholds → balanced bits.
         let thresholds: Vec<f64> = directions
@@ -303,7 +304,11 @@ impl PcaHash {
             })
             .collect();
 
-        Self { mean, directions, thresholds }
+        Self {
+            mean,
+            directions,
+            thresholds,
+        }
     }
 
     /// Signature width.
@@ -399,12 +404,8 @@ mod tests {
         // Sets {0..10} and {0..8} ∪ {20,21}: Jaccard = 8/12 ≈ 0.67.
         let mut a = vec![0.0; 30];
         let mut b = vec![0.0; 30];
-        for j in 0..10 {
-            a[j] = 1.0;
-        }
-        for j in 0..8 {
-            b[j] = 1.0;
-        }
+        a[..10].fill(1.0);
+        b[..8].fill(1.0);
         b[20] = 1.0;
         b[21] = 1.0;
         let est = mh.jaccard_estimate(&a, &b);
@@ -451,8 +452,7 @@ mod tests {
     fn pca_hash_bits_are_balanced() {
         // Skewed data: 90% mass near zero — exactly where the paper's
         // valley rule degenerates; PCA-median bits stay balanced.
-        let mut pts: Vec<Vec<f64>> =
-            (0..90).map(|i| vec![0.001 * i as f64, 0.0]).collect();
+        let mut pts: Vec<Vec<f64>> = (0..90).map(|i| vec![0.001 * i as f64, 0.0]).collect();
         pts.extend((0..10).map(|i| vec![0.9 + 0.001 * i as f64, 1.0]));
         let ph = PcaHash::fit(&pts, 2);
         let sigs = ph.hash_all(&pts);
@@ -479,8 +479,9 @@ mod tests {
 
     #[test]
     fn pca_hash_deterministic() {
-        let pts: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
         let a = PcaHash::fit(&pts, 4);
         let b = PcaHash::fit(&pts, 4);
         assert_eq!(a.hash_all(&pts), b.hash_all(&pts));

@@ -94,16 +94,10 @@ impl KdTree {
         let n = &self.nodes[node];
         let p = &points[n.point];
         if exclude != Some(n.point) {
-            let d2: f64 = p
-                .iter()
-                .zip(query)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f64 = p.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
             let entry = (d2, n.point);
             let pos = best
-                .binary_search_by(|probe| {
-                    probe.partial_cmp(&entry).expect("NaN distance")
-                })
+                .binary_search_by(|probe| probe.partial_cmp(&entry).expect("NaN distance"))
                 .unwrap_or_else(|e| e);
             best.insert(pos, entry);
             best.truncate(k);
@@ -120,9 +114,8 @@ impl KdTree {
         }
         // Prune the far side unless the splitting plane is closer than
         // the current k-th best.
-        let need_far = best.len() < k
-            || delta * delta
-                < best.last().map(|&(d, _)| d).unwrap_or(f64::INFINITY);
+        let need_far =
+            best.len() < k || delta * delta < best.last().map(|&(d, _)| d).unwrap_or(f64::INFINITY);
         if far != NONE && need_far {
             self.search(points, query, far, k, exclude, best);
         }
@@ -146,7 +139,12 @@ fn build_recursive(
     });
     let point = idx[mid];
     let me = nodes.len();
-    nodes.push(Node { point, dim, left: NONE, right: NONE });
+    nodes.push(Node {
+        point,
+        dim,
+        left: NONE,
+        right: NONE,
+    });
 
     // Split the slice around the median; recurse.
     let (lo, rest) = idx.split_at_mut(mid);
@@ -186,9 +184,7 @@ mod tests {
                 (i, d)
             })
             .collect();
-        all.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).expect("NaN").then(a.0.cmp(&b.0))
-        });
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN").then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
     }

@@ -43,7 +43,7 @@ pub use bucket::BucketSet;
 pub use config::{DimensionSelection, LshConfig, MergeStrategy, ThresholdRule};
 pub use family::{MinHash, PStableLsh, PcaHash, SignRandomProjection};
 pub use kdtree::KdTree;
-pub use model::SignatureModel;
+pub use model::{HashPlane, SignatureModel};
 pub use signature::Signature;
 pub use wide::WideSignature;
 

@@ -83,6 +83,22 @@ impl SignatureModel {
         Self { planes }
     }
 
+    /// Reassemble a model from trained planes (bit 0 first) — the
+    /// deserialization path for persisted models.
+    ///
+    /// # Panics
+    /// Panics if `planes` is empty or wider than
+    /// [`Signature::MAX_BITS`](crate::Signature::MAX_BITS).
+    pub fn from_planes(planes: Vec<HashPlane>) -> Self {
+        assert!(!planes.is_empty(), "SignatureModel: no planes");
+        assert!(
+            planes.len() <= Signature::MAX_BITS,
+            "SignatureModel: more than {} planes",
+            Signature::MAX_BITS
+        );
+        Self { planes }
+    }
+
     /// The trained hash planes, bit 0 first.
     pub fn planes(&self) -> &[HashPlane] {
         &self.planes
@@ -114,11 +130,7 @@ impl SignatureModel {
 }
 
 /// Eq. 4 / top-span dimension selection.
-fn select_dimensions(
-    spans: &[f64],
-    m: usize,
-    selection: DimensionSelection,
-) -> Vec<usize> {
+fn select_dimensions(spans: &[f64], m: usize, selection: DimensionSelection) -> Vec<usize> {
     let d = spans.len();
     match selection {
         DimensionSelection::TopSpan => {
@@ -259,12 +271,10 @@ mod tests {
 
     #[test]
     fn m_larger_than_d_cycles_dimensions() {
-        let pts: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 7) as f64]).collect();
         let model = SignatureModel::fit(&pts, &LshConfig::with_bits(5));
         assert_eq!(model.num_bits(), 5);
-        let dims: Vec<usize> =
-            model.planes().iter().map(|p| p.dimension).collect();
+        let dims: Vec<usize> = model.planes().iter().map(|p| p.dimension).collect();
         assert_eq!(dims, vec![0, 1, 0, 1, 0]);
     }
 
@@ -273,8 +283,7 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![i as f64, (50 - i) as f64, 0.0])
             .collect();
-        let cfg = LshConfig::with_bits(6)
-            .selection(DimensionSelection::SpanWeighted { seed: 9 });
+        let cfg = LshConfig::with_bits(6).selection(DimensionSelection::SpanWeighted { seed: 9 });
         let a = SignatureModel::fit(&pts, &cfg);
         let b = SignatureModel::fit(&pts, &cfg);
         assert_eq!(a.planes(), b.planes());
@@ -336,10 +345,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_dataset_panics() {
-        SignatureModel::fit(
-            &[vec![1.0], vec![1.0, 2.0]],
-            &LshConfig::with_bits(2),
-        );
+        SignatureModel::fit(&[vec![1.0], vec![1.0, 2.0]], &LshConfig::with_bits(2));
     }
 
     #[test]

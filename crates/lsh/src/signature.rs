@@ -27,7 +27,10 @@ impl Signature {
             (1..=Self::MAX_BITS).contains(&len),
             "signature length must be in 1..=64, got {len}"
         );
-        Self { bits: 0, len: len as u8 }
+        Self {
+            bits: 0,
+            len: len as u8,
+        }
     }
 
     /// Create from a raw bit pattern (low `len` bits are kept).
@@ -182,7 +185,10 @@ mod tests {
         let two_off = Signature::from_bits(0b1001, 4);
         assert!(a.differs_by_one(&one_off));
         assert!(!a.differs_by_one(&two_off));
-        assert!(!a.differs_by_one(&a), "identical signatures differ in 0 bits");
+        assert!(
+            !a.differs_by_one(&a),
+            "identical signatures differ in 0 bits"
+        );
     }
 
     #[test]

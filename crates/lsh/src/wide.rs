@@ -40,7 +40,10 @@ impl WideSignature {
     /// Panics if `len == 0`.
     pub fn zero(len: usize) -> Self {
         assert!(len > 0, "signature length must be positive");
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of bits.

@@ -116,22 +116,18 @@ mod tests {
     fn usable_from_a_mapreduce_job() {
         use crate::{run_job, ClusterConfig, FnMapper, FnReducer};
         let counters = Counters::new();
-        let mapper = FnMapper::new(
-            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
-                if v.is_multiple_of(2) {
-                    counters.inc("even_records", 1);
-                    emit(0, v);
-                } else {
-                    counters.inc("odd_records_dropped", 1);
-                }
-            },
-        );
-        let reducer = FnReducer::new(
-            |_k: u32, vs: Vec<u32>, emit: &mut dyn FnMut(usize)| {
-                counters.inc("reduce_groups", 1);
-                emit(vs.len());
-            },
-        );
+        let mapper = FnMapper::new(|_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+            if v.is_multiple_of(2) {
+                counters.inc("even_records", 1);
+                emit(0, v);
+            } else {
+                counters.inc("odd_records_dropped", 1);
+            }
+        });
+        let reducer = FnReducer::new(|_k: u32, vs: Vec<u32>, emit: &mut dyn FnMut(usize)| {
+            counters.inc("reduce_groups", 1);
+            emit(vs.len());
+        });
         let inputs: Vec<(usize, u32)> = (0..100u32).map(|v| (v as usize, v)).collect();
         let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
         assert_eq!(out.records, vec![50]);

@@ -104,7 +104,8 @@ impl Dfs {
                 break;
             }
         }
-        ns.files.insert(path.to_string(), FileEntry { data, blocks });
+        ns.files
+            .insert(path.to_string(), FileEntry { data, blocks });
         Ok(())
     }
 

@@ -164,8 +164,7 @@ where
 
     let mut results = results.into_inner();
     results.sort_by_key(|(idx, _, _)| *idx);
-    let map_task_durations: Vec<Duration> =
-        results.iter().map(|(_, d, _)| *d).collect();
+    let map_task_durations: Vec<Duration> = results.iter().map(|(_, d, _)| *d).collect();
 
     // --- Shuffle: partition, stable-sort by key, group. ---
     let num_partitions = config.default_num_reducers();
@@ -207,7 +206,10 @@ where
         task_retries: map_retries,
         wall_time: start.elapsed(),
     };
-    JobOutput { records: groups, stats }
+    JobOutput {
+        records: groups,
+        stats,
+    }
 }
 
 /// Execute a task closure with Hadoop-style retry-on-panic semantics.
@@ -265,10 +267,8 @@ where
     // by per-bucket similarity-matrix work (O(Nᵢ²)), so bucket-level task
     // granularity is both faithful and gives the simulator the resolution
     // it needs to re-schedule onto other cluster sizes.
-    let queue: GroupQueue<R::Key, R::Value> =
-        Mutex::new(groups.into_iter().enumerate().collect());
-    let results: TaskResults<R::Out> =
-        Mutex::new(Vec::with_capacity(distinct_keys));
+    let queue: GroupQueue<R::Key, R::Value> = Mutex::new(groups.into_iter().enumerate().collect());
+    let results: TaskResults<R::Out> = Mutex::new(Vec::with_capacity(distinct_keys));
 
     let retries = std::sync::atomic::AtomicUsize::new(0);
     let workers = config.effective_threads(config.total_reduce_slots());
@@ -276,7 +276,9 @@ where
         for _ in 0..workers {
             scope.spawn(|_| loop {
                 let task = queue.lock().pop_front();
-                let Some((idx, (key, values))) = task else { break };
+                let Some((idx, (key, values))) = task else {
+                    break;
+                };
                 let t0 = Instant::now();
                 let emitted = run_attempts(
                     config.max_task_attempts,
@@ -284,9 +286,7 @@ where
                     &format!("reduce task {idx}"),
                     || {
                         let mut out = Vec::new();
-                        reducer.reduce(key.clone(), values.clone(), &mut |o| {
-                            out.push(o)
-                        });
+                        reducer.reduce(key.clone(), values.clone(), &mut |o| out.push(o));
                         out
                     },
                 );
@@ -298,12 +298,8 @@ where
 
     let mut results = results.into_inner();
     results.sort_by_key(|(idx, _, _)| *idx);
-    let reduce_task_durations: Vec<Duration> =
-        results.iter().map(|(_, d, _)| *d).collect();
-    let records: Vec<R::Out> = results
-        .into_iter()
-        .flat_map(|(_, _, out)| out)
-        .collect();
+    let reduce_task_durations: Vec<Duration> = results.iter().map(|(_, d, _)| *d).collect();
+    let records: Vec<R::Out> = results.into_iter().flat_map(|(_, _, out)| out).collect();
 
     let stats = JobStats {
         map_task_durations: Vec::new(),
@@ -351,10 +347,7 @@ mod tests {
     use super::*;
     use crate::job::{FnMapper, FnReducer};
 
-    fn word_count(
-        words: Vec<&'static str>,
-        config: &ClusterConfig,
-    ) -> Vec<(String, usize)> {
+    fn word_count(words: Vec<&'static str>, config: &ClusterConfig) -> Vec<(String, usize)> {
         let mapper = FnMapper::new(
             |_k: usize, w: &'static str, emit: &mut dyn FnMut(String, usize)| {
                 emit(w.to_string(), 1);
@@ -365,8 +358,7 @@ mod tests {
                 emit((k, vs.len()));
             },
         );
-        let inputs: Vec<(usize, &'static str)> =
-            words.into_iter().enumerate().collect();
+        let inputs: Vec<(usize, &'static str)> = words.into_iter().enumerate().collect();
         let mut out = run_job(&mapper, &reducer, inputs, config).records;
         out.sort();
         out
@@ -406,16 +398,12 @@ mod tests {
 
     #[test]
     fn stats_are_recorded() {
-        let mapper = FnMapper::new(
-            |k: usize, v: u64, emit: &mut dyn FnMut(u64, u64)| {
-                emit(v % 3, k as u64);
-            },
-        );
-        let reducer = FnReducer::new(
-            |k: u64, vs: Vec<u64>, emit: &mut dyn FnMut((u64, u64))| {
-                emit((k, vs.iter().sum()));
-            },
-        );
+        let mapper = FnMapper::new(|k: usize, v: u64, emit: &mut dyn FnMut(u64, u64)| {
+            emit(v % 3, k as u64);
+        });
+        let reducer = FnReducer::new(|k: u64, vs: Vec<u64>, emit: &mut dyn FnMut((u64, u64))| {
+            emit((k, vs.iter().sum()));
+        });
         let inputs: Vec<(usize, u64)> = (0..100u64).map(|v| (v as usize, v)).collect();
         let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
         assert_eq!(out.stats.input_records, 100);
@@ -430,14 +418,11 @@ mod tests {
     fn value_order_within_group_is_stable() {
         // Values must arrive in (map-task, emission) order so reducers
         // relying on input order are deterministic.
-        let mapper = FnMapper::new(
-            |k: usize, _v: (), emit: &mut dyn FnMut(u8, usize)| {
-                emit(0, k);
-            },
-        );
+        let mapper = FnMapper::new(|k: usize, _v: (), emit: &mut dyn FnMut(u8, usize)| {
+            emit(0, k);
+        });
         let inputs: Vec<(usize, ())> = (0..57).map(|k| (k, ())).collect();
-        let grouped =
-            run_map_only(&mapper, inputs, &ClusterConfig::emr(8)).records;
+        let grouped = run_map_only(&mapper, inputs, &ClusterConfig::emr(8)).records;
         assert_eq!(grouped.len(), 1);
         let expected: Vec<usize> = (0..57).collect();
         assert_eq!(grouped[0].1, expected);
@@ -445,15 +430,11 @@ mod tests {
 
     #[test]
     fn run_map_only_groups_by_key() {
-        let mapper = FnMapper::new(
-            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
-                emit(v / 10, v);
-            },
-        );
-        let inputs: Vec<(usize, u32)> =
-            vec![(0, 5), (1, 15), (2, 7), (3, 12)];
-        let mut groups =
-            run_map_only(&mapper, inputs, &ClusterConfig::single_node()).records;
+        let mapper = FnMapper::new(|_k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+            emit(v / 10, v);
+        });
+        let inputs: Vec<(usize, u32)> = vec![(0, 5), (1, 15), (2, 7), (3, 12)];
+        let mut groups = run_map_only(&mapper, inputs, &ClusterConfig::single_node()).records;
         groups.sort_by_key(|(k, _)| *k);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0], (0, vec![5, 7]));
@@ -472,11 +453,9 @@ mod tests {
     fn combiner_shrinks_shuffle_without_changing_results() {
         // Word-count with a summing combiner: shuffle volume drops to at
         // most (tasks × distinct keys) records, totals are unchanged.
-        let mapper = FnMapper::new(
-            |_k: usize, v: u32, emit: &mut dyn FnMut(u32, u64)| {
-                emit(v % 3, 1);
-            },
-        );
+        let mapper = FnMapper::new(|_k: usize, v: u32, emit: &mut dyn FnMut(u32, u64)| {
+            emit(v % 3, 1);
+        });
         let inputs: Vec<(usize, u32)> = (0..300u32).map(|v| (v as usize, v)).collect();
 
         let plain = run_map_only(&mapper, inputs.clone(), &ClusterConfig::single_node());
@@ -519,20 +498,16 @@ mod tests {
         std::panic::set_hook(Box::new(|_| {}));
 
         let attempts = AtomicUsize::new(0);
-        let mapper = FnMapper::new(
-            |k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
-                // The record with value 13 fails its first two attempts.
-                if v == 13 && attempts.fetch_add(1, Ordering::SeqCst) < 2 {
-                    panic!("injected map failure");
-                }
-                emit(v % 2, k as u32);
-            },
-        );
-        let reducer = FnReducer::new(
-            |k: u32, vs: Vec<u32>, emit: &mut dyn FnMut((u32, usize))| {
-                emit((k, vs.len()));
-            },
-        );
+        let mapper = FnMapper::new(|k: usize, v: u32, emit: &mut dyn FnMut(u32, u32)| {
+            // The record with value 13 fails its first two attempts.
+            if v == 13 && attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("injected map failure");
+            }
+            emit(v % 2, k as u32);
+        });
+        let reducer = FnReducer::new(|k: u32, vs: Vec<u32>, emit: &mut dyn FnMut((u32, usize))| {
+            emit((k, vs.len()));
+        });
         let inputs: Vec<(usize, u32)> = (0..20u32).map(|v| (v as usize, v)).collect();
         let out = run_job(&mapper, &reducer, inputs, &ClusterConfig::single_node());
         std::panic::set_hook(prev);
@@ -547,13 +522,11 @@ mod tests {
     fn permanently_failing_task_fails_the_job() {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let mapper = FnMapper::new(
-            |_k: usize, v: u32, _emit: &mut dyn FnMut(u32, u32)| {
-                if v == 3 {
-                    panic!("always fails");
-                }
-            },
-        );
+        let mapper = FnMapper::new(|_k: usize, v: u32, _emit: &mut dyn FnMut(u32, u32)| {
+            if v == 3 {
+                panic!("always fails");
+            }
+        });
         let inputs: Vec<(usize, u32)> = (0..8u32).map(|v| (v as usize, v)).collect();
         let result = std::panic::catch_unwind(|| {
             run_map_only(&mapper, inputs, &ClusterConfig::single_node())

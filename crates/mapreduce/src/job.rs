@@ -37,12 +37,7 @@ pub trait Reducer: Sync {
     type Out: Send;
 
     /// Process one key group.
-    fn reduce(
-        &self,
-        key: Self::Key,
-        values: Vec<Self::Value>,
-        emit: &mut dyn FnMut(Self::Out),
-    );
+    fn reduce(&self, key: Self::Key, values: Vec<Self::Value>, emit: &mut dyn FnMut(Self::Out));
 }
 
 /// Adapter turning a closure into a [`Mapper`].
@@ -68,7 +63,10 @@ where
 {
     /// Wrap a closure as a mapper.
     pub fn new(f: F) -> Self {
-        Self { f, _marker: std::marker::PhantomData }
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -102,7 +100,10 @@ where
 {
     /// Wrap a closure as a reducer.
     pub fn new(f: F) -> Self {
-        Self { f, _marker: std::marker::PhantomData }
+        Self {
+            f,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -139,9 +140,11 @@ mod tests {
 
     #[test]
     fn fn_reducer_folds_group() {
-        let r = FnReducer::new(|k: String, vs: Vec<u32>, emit: &mut dyn FnMut((String, u32))| {
-            emit((k, vs.iter().sum()));
-        });
+        let r = FnReducer::new(
+            |k: String, vs: Vec<u32>, emit: &mut dyn FnMut((String, u32))| {
+                emit((k, vs.iter().sum()));
+            },
+        );
         let mut out = Vec::new();
         r.reduce("a".into(), vec![1, 2, 3], &mut |o| out.push(o));
         assert_eq!(out, vec![("a".to_string(), 6)]);

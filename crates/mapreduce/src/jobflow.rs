@@ -34,7 +34,11 @@ pub struct JobFlow {
 impl JobFlow {
     /// Start a flow on a fresh DFS for the given cluster.
     pub fn new(cluster: ClusterConfig) -> Self {
-        Self { dfs: Dfs::new(cluster.clone()), cluster, steps: Vec::new() }
+        Self {
+            dfs: Dfs::new(cluster.clone()),
+            cluster,
+            steps: Vec::new(),
+        }
     }
 
     /// The flow's storage layer (the S3 stand-in).
@@ -56,7 +60,10 @@ impl JobFlow {
         f: impl FnOnce(&Dfs, &ClusterConfig) -> (T, JobStats),
     ) -> T {
         let (out, stats) = f(&self.dfs, &self.cluster);
-        self.steps.push(StepReport { name: name.into(), stats });
+        self.steps.push(StepReport {
+            name: name.into(),
+            stats,
+        });
         out
     }
 

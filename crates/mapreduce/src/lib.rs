@@ -34,5 +34,8 @@ pub use engine::{reduce_groups, run_job, run_map_combine, run_map_only, JobOutpu
 pub use job::{FnMapper, FnReducer, Mapper, Reducer};
 pub use jobflow::{JobFlow, StepReport};
 pub use partition::hash_partition;
-pub use sim::{simulate_makespan, simulate_on_cluster, simulate_with_stragglers, ScheduleReport, StragglerModel};
+pub use sim::{
+    simulate_makespan, simulate_on_cluster, simulate_with_stragglers, ScheduleReport,
+    StragglerModel,
+};
 pub use stats::JobStats;

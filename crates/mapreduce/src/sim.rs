@@ -41,13 +41,17 @@ pub fn simulate_makespan(durations: &[Duration], slots: usize) -> Duration {
     let mut sorted: Vec<Duration> = durations.to_vec();
     sorted.sort_unstable_by_key(|d| Reverse(*d));
     // Min-heap of slot finish times.
-    let mut heap: BinaryHeap<Reverse<Duration>> =
-        (0..slots.min(sorted.len())).map(|_| Reverse(Duration::ZERO)).collect();
+    let mut heap: BinaryHeap<Reverse<Duration>> = (0..slots.min(sorted.len()))
+        .map(|_| Reverse(Duration::ZERO))
+        .collect();
     for d in sorted {
         let Reverse(earliest) = heap.pop().expect("heap nonempty");
         heap.push(Reverse(earliest + d));
     }
-    heap.into_iter().map(|Reverse(t)| t).max().unwrap_or(Duration::ZERO)
+    heap.into_iter()
+        .map(|Reverse(t)| t)
+        .max()
+        .unwrap_or(Duration::ZERO)
 }
 
 /// First-order straggler model for the simulator.
@@ -122,12 +126,9 @@ pub fn simulate_with_stragglers(
 
 /// Replay the task bag recorded in `stats` on `config`'s slot counts.
 pub fn simulate_on_cluster(stats: &JobStats, config: &ClusterConfig) -> ScheduleReport {
-    let map_makespan =
-        simulate_makespan(&stats.map_task_durations, config.total_map_slots());
-    let reduce_makespan = simulate_makespan(
-        &stats.reduce_task_durations,
-        config.total_reduce_slots(),
-    );
+    let map_makespan = simulate_makespan(&stats.map_task_durations, config.total_map_slots());
+    let reduce_makespan =
+        simulate_makespan(&stats.reduce_task_durations, config.total_reduce_slots());
     ScheduleReport {
         map_makespan,
         reduce_makespan,
@@ -210,7 +211,11 @@ mod tests {
     fn stragglers_inflate_makespan() {
         let bag: Vec<Duration> = (0..64).map(|_| ms(10)).collect();
         let clean = simulate_makespan(&bag, 8);
-        let model = StragglerModel { fraction: 0.2, slowdown: 10.0, seed: 1 };
+        let model = StragglerModel {
+            fraction: 0.2,
+            slowdown: 10.0,
+            seed: 1,
+        };
         let slow = simulate_with_stragglers(&bag, 8, &model, false);
         assert!(slow > clean, "stragglers had no effect");
     }
@@ -218,7 +223,11 @@ mod tests {
     #[test]
     fn speculation_bounds_straggler_damage() {
         let bag: Vec<Duration> = (0..64).map(|_| ms(10)).collect();
-        let model = StragglerModel { fraction: 0.2, slowdown: 10.0, seed: 1 };
+        let model = StragglerModel {
+            fraction: 0.2,
+            slowdown: 10.0,
+            seed: 1,
+        };
         let without = simulate_with_stragglers(&bag, 8, &model, false);
         let with = simulate_with_stragglers(&bag, 8, &model, true);
         assert!(with < without, "speculation did not help");
@@ -231,7 +240,11 @@ mod tests {
     #[test]
     fn zero_fraction_is_a_noop() {
         let bag: Vec<Duration> = (1..20).map(ms).collect();
-        let model = StragglerModel { fraction: 0.0, slowdown: 100.0, seed: 3 };
+        let model = StragglerModel {
+            fraction: 0.0,
+            slowdown: 100.0,
+            seed: 3,
+        };
         assert_eq!(
             simulate_with_stragglers(&bag, 4, &model, false),
             simulate_makespan(&bag, 4)
@@ -245,7 +258,11 @@ mod tests {
     #[test]
     fn straggler_selection_is_deterministic() {
         let bag: Vec<Duration> = (0..50).map(|_| ms(7)).collect();
-        let model = StragglerModel { fraction: 0.3, slowdown: 4.0, seed: 9 };
+        let model = StragglerModel {
+            fraction: 0.3,
+            slowdown: 4.0,
+            seed: 9,
+        };
         let a = simulate_with_stragglers(&bag, 5, &model, true);
         let b = simulate_with_stragglers(&bag, 5, &model, true);
         assert_eq!(a, b);
@@ -254,7 +271,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "slowdown")]
     fn sub_one_slowdown_panics() {
-        let model = StragglerModel { fraction: 0.1, slowdown: 0.5, seed: 0 };
+        let model = StragglerModel {
+            fraction: 0.1,
+            slowdown: 0.5,
+            seed: 0,
+        };
         simulate_with_stragglers(&[ms(1)], 1, &model, false);
     }
 

@@ -56,11 +56,7 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
         .map(|p| {
             (0..k)
                 .map(|t| {
-                    let c = counts
-                        .get(p)
-                        .and_then(|r| r.get(t))
-                        .copied()
-                        .unwrap_or(0);
+                    let c = counts.get(p).and_then(|r| r.get(t)).copied().unwrap_or(0);
                     max_count - c as f64
                 })
                 .collect()
@@ -71,13 +67,7 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
     let matched: usize = assign
         .iter()
         .enumerate()
-        .map(|(p, &t)| {
-            counts
-                .get(p)
-                .and_then(|r| r.get(t))
-                .copied()
-                .unwrap_or(0)
-        })
+        .map(|(p, &t)| counts.get(p).and_then(|r| r.get(t)).copied().unwrap_or(0))
         .sum();
     matched as f64 / n as f64
 }

@@ -128,8 +128,7 @@ mod tests {
     fn scale_invariance_of_ratio_ordering() {
         // Scaling all points scales σ and separations equally: DBI fixed.
         let points = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
-        let scaled: Vec<Vec<f64>> =
-            points.iter().map(|p| vec![p[0] * 3.0]).collect();
+        let scaled: Vec<Vec<f64>> = points.iter().map(|p| vec![p[0] * 3.0]).collect();
         let a = davies_bouldin(&points, &[0, 0, 1, 1], 2);
         let b = davies_bouldin(&scaled, &[0, 0, 1, 1], 2);
         assert!((a - b).abs() < 1e-12);

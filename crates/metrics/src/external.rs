@@ -125,9 +125,7 @@ mod tests {
     fn ari_symmetric() {
         let p = vec![0, 0, 1, 1, 1, 2];
         let t = vec![1, 1, 0, 0, 2, 2];
-        assert!(
-            (adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&p, &t) - adjusted_rand_index(&t, &p)).abs() < 1e-12);
     }
 
     #[test]

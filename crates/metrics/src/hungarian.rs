@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn rectangular_rows_less_than_cols() {
-        let cost = vec![
-            vec![5.0, 1.0, 9.0, 4.0],
-            vec![7.0, 8.0, 2.0, 6.0],
-        ];
+        let cost = vec![vec![5.0, 1.0, 9.0, 4.0], vec![7.0, 8.0, 2.0, 6.0]];
         let a = hungarian_min_assignment(&cost);
         assert_eq!(a, vec![1, 2]);
         // Distinct columns.
@@ -156,12 +153,30 @@ mod tests {
             let got = total(&cost, &a);
             // Brute force over all 24 permutations.
             let perms = [
-                [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1],
-                [0, 3, 1, 2], [0, 3, 2, 1], [1, 0, 2, 3], [1, 0, 3, 2],
-                [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
-                [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0],
-                [2, 3, 0, 1], [2, 3, 1, 0], [3, 0, 1, 2], [3, 0, 2, 1],
-                [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+                [0, 1, 2, 3],
+                [0, 1, 3, 2],
+                [0, 2, 1, 3],
+                [0, 2, 3, 1],
+                [0, 3, 1, 2],
+                [0, 3, 2, 1],
+                [1, 0, 2, 3],
+                [1, 0, 3, 2],
+                [1, 2, 0, 3],
+                [1, 2, 3, 0],
+                [1, 3, 0, 2],
+                [1, 3, 2, 0],
+                [2, 0, 1, 3],
+                [2, 0, 3, 1],
+                [2, 1, 0, 3],
+                [2, 1, 3, 0],
+                [2, 3, 0, 1],
+                [2, 3, 1, 0],
+                [3, 0, 1, 2],
+                [3, 0, 2, 1],
+                [3, 1, 0, 2],
+                [3, 1, 2, 0],
+                [3, 2, 0, 1],
+                [3, 2, 1, 0],
             ];
             let best = perms
                 .iter()

@@ -16,7 +16,11 @@ use dasc_linalg::vector;
 /// # Panics
 /// Panics on length mismatch or out-of-range assignments.
 pub fn silhouette(points: &[Vec<f64>], assignments: &[usize], k: usize) -> f64 {
-    assert_eq!(points.len(), assignments.len(), "silhouette: length mismatch");
+    assert_eq!(
+        points.len(),
+        assignments.len(),
+        "silhouette: length mismatch"
+    );
     assert!(
         assignments.iter().all(|&a| a < k),
         "silhouette: assignment out of range"
@@ -104,7 +108,11 @@ mod tests {
     #[test]
     fn score_in_range() {
         let (pts, labels) = two_blobs();
-        for ls in [labels.clone(), vec![0; 20], (0..20).map(|i| i % 2).collect()] {
+        for ls in [
+            labels.clone(),
+            vec![0; 20],
+            (0..20).map(|i| i % 2).collect(),
+        ] {
             let s = silhouette(&pts, &ls, 2);
             assert!((-1.0..=1.0).contains(&s));
         }

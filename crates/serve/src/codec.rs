@@ -1,0 +1,177 @@
+//! Little-endian binary reader/writer for the artifact format.
+//!
+//! The format is deliberately primitive — fixed-width little-endian
+//! scalars with explicit length prefixes — so it has no external
+//! dependencies and the on-disk layout is auditable byte by byte.
+
+use std::io::{self, Read, Write};
+
+/// Buffered little-endian writer.
+pub struct Encoder<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Encoder<W> {
+    /// Wrap a sink.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn bytes(&mut self, b: &[u8]) -> io::Result<()> {
+        self.inner.write_all(b)
+    }
+
+    /// `u8`.
+    pub fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.inner.write_all(&[v])
+    }
+
+    /// `u32`, little endian.
+    pub fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+
+    /// `u64`, little endian.
+    pub fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+
+    /// `f64`, little-endian IEEE 754 bits.
+    pub fn f64(&mut self, v: f64) -> io::Result<()> {
+        self.inner.write_all(&v.to_le_bytes())
+    }
+
+    /// Length-prefixed (`u64`) slice of `f64`.
+    pub fn f64_slice(&mut self, v: &[f64]) -> io::Result<()> {
+        self.u64(v.len() as u64)?;
+        for &x in v {
+            self.f64(x)?;
+        }
+        Ok(())
+    }
+
+    /// Flush and recover the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reader with truncation-aware errors.
+pub struct Decoder<R: Read> {
+    inner: R,
+}
+
+/// Decoding failure: the stream ended early or I/O failed.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Stream ended mid-value.
+    Truncated,
+    /// Underlying I/O error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            DecodeError::Truncated
+        } else {
+            DecodeError::Io(e)
+        }
+    }
+}
+
+impl<R: Read> Decoder<R> {
+    /// Wrap a source.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    fn exact<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let mut buf = [0u8; N];
+        self.inner.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Raw bytes into `buf`.
+    pub fn bytes(&mut self, buf: &mut [u8]) -> Result<(), DecodeError> {
+        self.inner.read_exact(buf)?;
+        Ok(())
+    }
+
+    /// `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.exact::<1>()?[0])
+    }
+
+    /// `u32`, little endian.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.exact::<4>()?))
+    }
+
+    /// `u64`, little endian.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.exact::<8>()?))
+    }
+
+    /// `f64`, little-endian IEEE 754 bits.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.exact::<8>()?))
+    }
+
+    /// Length-prefixed (`u64`) vector of `f64`, capped at `max_len`
+    /// elements so a corrupt prefix can't trigger a huge allocation.
+    pub fn f64_vec(&mut self, max_len: usize) -> Result<Vec<f64>, DecodeError> {
+        let len = self.u64()? as usize;
+        if len > max_len {
+            return Err(DecodeError::Truncated);
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u8(7).unwrap();
+        enc.u32(0xDEAD_BEEF).unwrap();
+        enc.u64(u64::MAX - 3).unwrap();
+        enc.f64(-1.5e300).unwrap();
+        enc.f64_slice(&[0.0, 1.25, -2.5]).unwrap();
+        let buf = enc.finish().unwrap();
+
+        let mut dec = Decoder::new(&buf[..]);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(dec.f64().unwrap(), -1.5e300);
+        assert_eq!(dec.f64_vec(16).unwrap(), vec![0.0, 1.25, -2.5]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u64(42).unwrap();
+        let buf = enc.finish().unwrap();
+        let mut dec = Decoder::new(&buf[..4]);
+        assert!(matches!(dec.u64(), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_vec_prefix_rejected() {
+        let mut enc = Encoder::new(Vec::new());
+        enc.u64(1 << 40).unwrap(); // absurd length claim
+        let buf = enc.finish().unwrap();
+        let mut dec = Decoder::new(&buf[..]);
+        assert!(matches!(dec.f64_vec(1024), Err(DecodeError::Truncated)));
+    }
+}

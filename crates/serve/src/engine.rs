@@ -1,0 +1,333 @@
+//! Online assignment: route a new point to a trained cluster.
+//!
+//! Mirrors the offline pipeline's data flow, one point at a time:
+//!
+//! 1. **Hash** with the frozen signature model — `O(M)`.
+//! 2. **Exact route**: the signature was observed in training → the
+//!    point belongs to that bucket; assign to the nearest of the
+//!    bucket's cluster centroids.
+//! 3. **Neighbor route**: otherwise probe the `M` signatures at Hamming
+//!    distance 1 (the paper's Eq. 6 `P = M − 1` similarity, evaluated
+//!    by flipping each bit), collect the buckets they map to, and take
+//!    the nearest centroid across them.
+//! 4. **Global route**: no neighbor known either → nearest global
+//!    centroid.
+//!
+//! Total cost is `O(M + K·d)` per point. Every stage bumps an atomic
+//! counter, so operators can see how much traffic falls off the fast
+//! path (a drift signal: rising global-route share means the serving
+//! distribution has left the trained signature space).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dasc_lsh::SignatureModel;
+
+use crate::artifact::{BucketClusters, ModelArtifact};
+
+/// Which routing tier produced an assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Signature seen in training; assigned within its bucket.
+    Exact,
+    /// Routed through a one-bit-differs neighbor signature (Eq. 6).
+    OneBitNeighbor,
+    /// Fell through to the global centroid table.
+    GlobalFallback,
+}
+
+impl Route {
+    /// Stable lower-snake name (used by the JSON API).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Route::Exact => "exact",
+            Route::OneBitNeighbor => "one_bit_neighbor",
+            Route::GlobalFallback => "global_fallback",
+        }
+    }
+}
+
+/// One assignment decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Assignment {
+    /// Global cluster id.
+    pub cluster: usize,
+    /// Routing tier that produced it.
+    pub route: Route,
+    /// Squared distance to the winning centroid.
+    pub sq_dist: f64,
+}
+
+/// Snapshot of the per-tier routing counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingCounts {
+    /// Assignments routed by exact signature match.
+    pub exact: u64,
+    /// Assignments routed via a one-bit neighbor.
+    pub one_bit_neighbor: u64,
+    /// Assignments that used the global fallback.
+    pub global_fallback: u64,
+}
+
+impl RoutingCounts {
+    /// Total assignments served.
+    pub fn total(&self) -> u64 {
+        self.exact + self.one_bit_neighbor + self.global_fallback
+    }
+}
+
+#[derive(Default)]
+struct RoutingCounters {
+    exact: AtomicU64,
+    one_bit_neighbor: AtomicU64,
+    global_fallback: AtomicU64,
+}
+
+/// Immutable online assignment engine built from a [`ModelArtifact`].
+///
+/// All state is read-only after construction except the atomic
+/// counters, so a single engine can be shared across threads behind an
+/// `Arc` with no locking on the assignment path.
+pub struct AssignmentEngine {
+    model: SignatureModel,
+    num_bits: usize,
+    dimension: usize,
+    num_clusters: usize,
+    /// Sorted `(signature bits, bucket)` pairs; binary-searched.
+    table: Vec<(u64, u32)>,
+    buckets: Vec<BucketClusters>,
+    global: Vec<(u32, Vec<f64>)>,
+    counters: RoutingCounters,
+}
+
+impl AssignmentEngine {
+    /// Build from a loaded artifact.
+    ///
+    /// # Panics
+    /// Panics if the artifact has no planes or no global centroids
+    /// (both impossible for an artifact that passed load validation).
+    pub fn new(artifact: &ModelArtifact) -> Self {
+        let model = artifact.signature_model();
+        let mut table = artifact.signature_table.clone();
+        table.sort_unstable();
+        Self {
+            num_bits: model.num_bits(),
+            dimension: artifact.dimension,
+            num_clusters: artifact.num_clusters,
+            model,
+            table,
+            buckets: artifact.buckets.clone(),
+            global: artifact.global_centroids.clone(),
+            counters: RoutingCounters::default(),
+        }
+    }
+
+    /// Input dimensionality the engine expects.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of global clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Signature width `M`.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Assign one point.
+    ///
+    /// # Panics
+    /// Panics if `point` does not match the trained dimensionality.
+    pub fn assign(&self, point: &[f64]) -> Assignment {
+        assert_eq!(
+            point.len(),
+            self.dimension,
+            "assign: expected {} dimensions, got {}",
+            self.dimension,
+            point.len()
+        );
+        let bits = self.model.hash(point).bits();
+
+        // Tier 1: exact signature match.
+        if let Some(bucket) = self.lookup(bits) {
+            if let Some((cluster, sq_dist)) =
+                nearest(&self.buckets[bucket as usize].clusters, point)
+            {
+                self.counters.exact.fetch_add(1, Ordering::Relaxed);
+                return Assignment {
+                    cluster,
+                    route: Route::Exact,
+                    sq_dist,
+                };
+            }
+        }
+
+        // Tier 2: Eq. 6 — probe the M signatures that differ in exactly
+        // one bit, taking the best centroid across every known
+        // neighbor bucket.
+        let mut best: Option<(usize, f64)> = None;
+        for bit in 0..self.num_bits {
+            let neighbor = bits ^ (1u64 << bit);
+            if let Some(bucket) = self.lookup(neighbor) {
+                if let Some((cluster, sq)) = nearest(&self.buckets[bucket as usize].clusters, point)
+                {
+                    if best.is_none_or(|(_, b)| sq < b) {
+                        best = Some((cluster, sq));
+                    }
+                }
+            }
+        }
+        if let Some((cluster, sq_dist)) = best {
+            self.counters
+                .one_bit_neighbor
+                .fetch_add(1, Ordering::Relaxed);
+            return Assignment {
+                cluster,
+                route: Route::OneBitNeighbor,
+                sq_dist,
+            };
+        }
+
+        // Tier 3: global nearest centroid.
+        let (cluster, sq_dist) =
+            nearest(&self.global, point).expect("artifact has global centroids");
+        self.counters
+            .global_fallback
+            .fetch_add(1, Ordering::Relaxed);
+        Assignment {
+            cluster,
+            route: Route::GlobalFallback,
+            sq_dist,
+        }
+    }
+
+    /// Assign a batch of points sequentially on the calling thread.
+    /// (The server fans batches out across its worker pool.)
+    pub fn assign_batch(&self, points: &[Vec<f64>]) -> Vec<Assignment> {
+        points.iter().map(|p| self.assign(p)).collect()
+    }
+
+    /// Snapshot the routing counters.
+    pub fn routing_counts(&self) -> RoutingCounts {
+        RoutingCounts {
+            exact: self.counters.exact.load(Ordering::Relaxed),
+            one_bit_neighbor: self.counters.one_bit_neighbor.load(Ordering::Relaxed),
+            global_fallback: self.counters.global_fallback.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup(&self, bits: u64) -> Option<u32> {
+        self.table
+            .binary_search_by_key(&bits, |&(b, _)| b)
+            .ok()
+            .map(|i| self.table[i].1)
+    }
+}
+
+/// Nearest centroid in a `(cluster id, centroid)` list; `None` when the
+/// list is empty.
+fn nearest(centroids: &[(u32, Vec<f64>)], point: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (id, c) in centroids {
+        let sq: f64 = c
+            .iter()
+            .zip(point)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        if best.is_none_or(|(_, b)| sq < b) {
+            best = Some((*id as usize, sq));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasc_core::{Dasc, DascConfig};
+    use dasc_kernel::Kernel;
+    use dasc_lsh::LshConfig;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for i in 0..25 {
+                pts.push(vec![
+                    c[0] + (i % 7) as f64 * 0.004,
+                    c[1] + (i % 5) as f64 * 0.004,
+                ]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+
+    fn trained_engine() -> (AssignmentEngine, Vec<Vec<f64>>, Vec<usize>) {
+        let (pts, labels) = blobs();
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2));
+        let trained = Dasc::new(cfg).train(&pts);
+        let artifact = ModelArtifact::from_trained(&trained, &pts);
+        (AssignmentEngine::new(&artifact), pts, labels)
+    }
+
+    #[test]
+    fn training_points_reassign_consistently() {
+        let (engine, pts, _) = trained_engine();
+        // Training points hash to observed signatures → exact route.
+        for p in &pts {
+            let a = engine.assign(p);
+            assert_eq!(a.route, Route::Exact);
+            assert!(a.cluster < engine.num_clusters());
+        }
+        let counts = engine.routing_counts();
+        assert_eq!(counts.exact, pts.len() as u64);
+        assert_eq!(counts.total(), pts.len() as u64);
+    }
+
+    #[test]
+    fn same_blob_points_land_in_same_cluster() {
+        let (engine, pts, labels) = trained_engine();
+        // New points near each blob center must agree with the blob's
+        // training assignments.
+        let reference: Vec<usize> = pts.iter().map(|p| engine.assign(p).cluster).collect();
+        for (ci, center) in [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]]
+            .iter()
+            .enumerate()
+        {
+            let probe = vec![center[0] + 0.002, center[1] + 0.002];
+            let assigned = engine.assign(&probe).cluster;
+            let expected = reference
+                .iter()
+                .zip(&labels)
+                .find(|&(_, &l)| l == ci)
+                .map(|(&c, _)| c)
+                .unwrap();
+            assert_eq!(assigned, expected, "blob {ci}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 dimensions")]
+    fn wrong_dimension_panics() {
+        let (engine, _, _) = trained_engine();
+        engine.assign(&[0.5]);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (engine, pts, _) = trained_engine();
+        let batch = engine.assign_batch(&pts);
+        for (p, a) in pts.iter().zip(&batch) {
+            assert_eq!(engine.assign(p), *a);
+        }
+    }
+}

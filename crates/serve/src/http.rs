@@ -1,0 +1,249 @@
+//! Hand-rolled HTTP/1.1 framing — just enough for a JSON API server:
+//! request-line + header parsing with a `Content-Length` body, and
+//! response serialization. No chunked encoding, no TLS, no HTTP/2.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request body (8 MiB) — bounds memory per
+/// connection.
+pub const MAX_BODY: usize = 8 << 20;
+/// Maximum accepted header section (64 KiB).
+pub const MAX_HEADER: usize = 64 << 10;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, uppercase as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query string not split off).
+    pub path: String,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to keep the connection open
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Peer closed the connection before a full request arrived.
+    ConnectionClosed,
+    /// The bytes on the wire are not valid HTTP/1.1.
+    Malformed(&'static str),
+    /// The request exceeds [`MAX_BODY`] or [`MAX_HEADER`].
+    TooLarge,
+    /// Underlying socket error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from a buffered stream.
+///
+/// Returns `ConnectionClosed` when the stream ends cleanly before any
+/// byte of a new request (the keep-alive idle case).
+pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Request, HttpError> {
+    let request_line = read_line(stream, true)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line(stream, false)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER {
+            return Err(HttpError::TooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            HttpError::Malformed("body shorter than content-length")
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or LF-) terminated line; `at_start` distinguishes a
+/// clean close from a mid-request close.
+fn read_line<R: BufRead>(stream: &mut R, at_start: bool) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                if at_start && line.is_empty() {
+                    return Err(HttpError::ConnectionClosed);
+                }
+                return Err(HttpError::Malformed("connection closed mid-line"));
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header line"));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_HEADER {
+            return Err(HttpError::TooLarge);
+        }
+    }
+}
+
+/// Serialize and send a response with a JSON (or plain) body.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /assign HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"point\":[1,2]}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/assign");
+        assert_eq!(req.body, b"{\"point\":[1,2]}");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_close_is_distinguished() {
+        assert!(matches!(parse(""), Err(HttpError::ConnectionClosed)));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHos"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn short_body_is_malformed() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn response_roundtrips_through_parser() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

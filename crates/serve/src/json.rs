@@ -1,0 +1,475 @@
+//! Minimal JSON parser and writer (no external dependencies).
+//!
+//! Supports the full JSON value grammar with the restrictions the
+//! serving API needs: numbers are `f64`, strings accept the standard
+//! escapes (`\" \\ \/ \b \f \n \r \t \uXXXX`, no surrogate pairing),
+//! and parse depth is bounded to keep hostile payloads from blowing
+//! the stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (sorted keys — deterministic output).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+/// Parse failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+const MAX_DEPTH: usize = 64;
+
+impl JsonValue {
+    /// Parse a complete JSON document (rejects trailing garbage).
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Borrow the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Interpret as a numeric vector (`[1, 2.5, …]`).
+    pub fn as_point(&self) -> Option<Vec<f64>> {
+        self.as_array()?.iter().map(JsonValue::as_f64).collect()
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(n) => write_number(*n, out),
+            JsonValue::String(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Number(v as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Number(v as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Build a [`JsonValue::Object`] from `(key, value)` pairs.
+pub fn object<const N: usize>(pairs: [(&str, JsonValue); N]) -> JsonValue {
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the conventional degradation.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte 0x{b:02x}"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("short \\u escape"));
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(char::from_u32(code).unwrap_or(char::REPLACEMENT_CHARACTER));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_document() {
+        let src = r#"{"point":[0.5,-1.25,3e2],"k":8,"ok":true,"tag":"a\"b","none":null}"#;
+        let v = JsonValue::parse(src).unwrap();
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(8.0));
+        assert_eq!(
+            v.get("point").unwrap().as_point(),
+            Some(vec![0.5, -1.25, 300.0])
+        );
+        assert_eq!(v.get("tag").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        // Serialize → parse → identical value.
+        let again = JsonValue::parse(&v.to_json()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(JsonValue::parse(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(JsonValue::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn object_builder_and_integers() {
+        let v = object([
+            ("cluster", 3usize.into()),
+            ("route", "exact".into()),
+            ("qps", 12345.678.into()),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"cluster":3,"qps":12345.678,"route":"exact"}"#
+        );
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let v = JsonValue::parse(r#""café → naïve""#).unwrap();
+        assert_eq!(v.as_str(), Some("café → naïve"));
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
+    }
+}

@@ -1,0 +1,666 @@
+//! Concurrent HTTP serving of an [`AssignmentEngine`].
+//!
+//! Shape: one acceptor thread hands connections to a fixed pool of
+//! worker threads over an `mpsc` channel; each worker owns a
+//! connection for its keep-alive lifetime. The engine is immutable
+//! behind an `Arc`, so request handling takes no locks — the only
+//! shared mutable state is atomic counters.
+//!
+//! Endpoints (JSON in, JSON out):
+//!
+//! | method | path            | body                      | reply |
+//! |--------|-----------------|---------------------------|-------|
+//! | POST   | `/assign`       | `{"point": [..]}`         | `{"cluster", "route", "sq_dist"}` |
+//! | POST   | `/assign_batch` | `{"points": [[..], ..]}`  | `{"clusters": [..], "routes": [..], "count"}` |
+//! | GET    | `/healthz`      | —                         | `{"status": "ok"}` |
+//! | GET    | `/stats`        | —                         | uptime, per-endpoint latency/QPS, routing tiers |
+//!
+//! Shutdown is graceful: [`ServerHandle::shutdown`] stops the
+//! acceptor, lets every worker finish its in-flight request, and joins
+//! all threads.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::engine::AssignmentEngine;
+use crate::http::{self, HttpError, Request};
+use crate::json::{object, JsonValue};
+use crate::stats::EndpointStats;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Points per scoped-thread chunk when fanning out `/assign_batch`.
+    pub batch_chunk: usize,
+    /// Idle read timeout per connection; also bounds shutdown latency,
+    /// since parked workers re-check the shutdown flag on timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: thread::available_parallelism().map_or(4, |n| n.get()),
+            batch_chunk: 1024,
+            read_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// An assignment service ready to bind.
+pub struct Server {
+    engine: Arc<AssignmentEngine>,
+    config: ServerConfig,
+}
+
+struct Shared {
+    engine: Arc<AssignmentEngine>,
+    started: Instant,
+    shutdown: AtomicBool,
+    assign: EndpointStats,
+    assign_batch: EndpointStats,
+    healthz: EndpointStats,
+    stats: EndpointStats,
+    batch_chunk: usize,
+}
+
+/// A running server: address + graceful-shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Wrap an engine with the given tuning.
+    pub fn new(engine: AssignmentEngine, config: ServerConfig) -> Self {
+        Self {
+            engine: Arc::new(engine),
+            config,
+        }
+    }
+
+    /// Bind, spawn the acceptor and worker pool, and return a handle.
+    /// Serving begins immediately.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&self.config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: self.engine,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            assign: EndpointStats::new(),
+            assign_batch: EndpointStats::new(),
+            healthz: EndpointStats::new(),
+            stats: EndpointStats::new(),
+            batch_chunk: self.config.batch_chunk.max(1),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let read_timeout = self.config.read_timeout;
+
+        let workers: Vec<JoinHandle<()>> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || loop {
+                    // Holding the lock only while receiving keeps the
+                    // pool work-stealing: any idle worker takes the
+                    // next connection.
+                    let conn = rx.lock().expect("worker rx lock").recv();
+                    match conn {
+                        Ok(stream) => serve_connection(&shared, stream, read_timeout),
+                        Err(_) => return, // acceptor gone: drain done
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the engine's routing counters.
+    pub fn routing_counts(&self) -> crate::engine::RoutingCounts {
+        self.shared.engine.routing_counts()
+    }
+
+    /// Block the calling thread until the server stops on its own
+    /// (acceptor exits, e.g. on a fatal listener error). Used by the
+    /// CLI `serve` command, which runs until the process is killed.
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stop accepting, finish in-flight requests, join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept with a self-connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serve one connection for its keep-alive lifetime.
+fn serve_connection(shared: &Shared, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed) => return,
+            Err(HttpError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive wait: drop the connection if the
+                // server is shutting down, otherwise keep waiting.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(HttpError::TooLarge) => {
+                let body = error_json("request too large");
+                let _ = http::write_response(
+                    &mut writer,
+                    413,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+            Err(_) => {
+                let body = error_json("malformed HTTP request");
+                let _ = http::write_response(
+                    &mut writer,
+                    400,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+                return;
+            }
+        };
+
+        let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        let (status, body) = route(shared, &request);
+        if http::write_response(
+            &mut writer,
+            status,
+            "application/json",
+            body.as_bytes(),
+            keep_alive,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
+}
+
+/// Dispatch a request, recording per-endpoint stats.
+fn route(shared: &Shared, request: &Request) -> (u16, String) {
+    let start = Instant::now();
+    let (stats, outcome) = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/assign") => (&shared.assign, handle_assign(shared, request)),
+        ("POST", "/assign_batch") => (&shared.assign_batch, handle_assign_batch(shared, request)),
+        ("GET", "/healthz") => (
+            &shared.healthz,
+            Ok(object([("status", "ok".into())]).to_json()),
+        ),
+        ("GET", "/stats") => (&shared.stats, Ok(stats_json(shared))),
+        (_, "/assign" | "/assign_batch" | "/healthz" | "/stats") => {
+            return (405, error_json("method not allowed"));
+        }
+        _ => return (404, error_json("no such endpoint")),
+    };
+    match outcome {
+        Ok(body) => {
+            stats.record_ok(start);
+            (200, body)
+        }
+        Err(msg) => {
+            stats.record_error();
+            (400, error_json(&msg))
+        }
+    }
+}
+
+fn parse_body(request: &Request) -> Result<JsonValue, String> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| "body is not UTF-8".to_string())?;
+    JsonValue::parse(text).map_err(|e| e.to_string())
+}
+
+fn extract_point(v: &JsonValue, key: &str, dim: usize) -> Result<Vec<f64>, String> {
+    let point = v
+        .get(key)
+        .ok_or_else(|| format!("missing \"{key}\""))?
+        .as_point()
+        .ok_or_else(|| format!("\"{key}\" must be a numeric array"))?;
+    if point.len() != dim {
+        return Err(format!("expected {dim} dimensions, got {}", point.len()));
+    }
+    Ok(point)
+}
+
+fn handle_assign(shared: &Shared, request: &Request) -> Result<String, String> {
+    let v = parse_body(request)?;
+    let point = extract_point(&v, "point", shared.engine.dimension())?;
+    let a = shared.engine.assign(&point);
+    Ok(object([
+        ("cluster", a.cluster.into()),
+        ("route", a.route.as_str().into()),
+        ("sq_dist", a.sq_dist.into()),
+    ])
+    .to_json())
+}
+
+fn handle_assign_batch(shared: &Shared, request: &Request) -> Result<String, String> {
+    let v = parse_body(request)?;
+    let dim = shared.engine.dimension();
+    let points: Vec<Vec<f64>> = v
+        .get("points")
+        .ok_or("missing \"points\"")?
+        .as_array()
+        .ok_or("\"points\" must be an array")?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let p = item
+                .as_point()
+                .ok_or_else(|| format!("points[{i}] is not a numeric array"))?;
+            if p.len() != dim {
+                return Err(format!(
+                    "points[{i}]: expected {dim} dimensions, got {}",
+                    p.len()
+                ));
+            }
+            Ok(p)
+        })
+        .collect::<Result<_, String>>()?;
+
+    // Fan large batches out over scoped threads; chunk boundaries keep
+    // the output order stable.
+    let engine = &shared.engine;
+    let assignments: Vec<crate::engine::Assignment> = if points.len() <= shared.batch_chunk {
+        engine.assign_batch(&points)
+    } else {
+        let chunks: Vec<&[Vec<f64>]> = points.chunks(shared.batch_chunk).collect();
+        let results: Vec<Vec<crate::engine::Assignment>> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || engine.assign_batch(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    };
+
+    let clusters: Vec<JsonValue> = assignments.iter().map(|a| a.cluster.into()).collect();
+    let routes: Vec<JsonValue> = assignments
+        .iter()
+        .map(|a| a.route.as_str().into())
+        .collect();
+    Ok(object([
+        ("clusters", JsonValue::Array(clusters)),
+        ("routes", JsonValue::Array(routes)),
+        ("count", assignments.len().into()),
+    ])
+    .to_json())
+}
+
+fn endpoint_json(stats: &EndpointStats, uptime_secs: f64) -> JsonValue {
+    let requests = stats.requests();
+    let qps = if uptime_secs > 0.0 {
+        requests as f64 / uptime_secs
+    } else {
+        0.0
+    };
+    object([
+        ("requests", requests.into()),
+        ("errors", stats.errors().into()),
+        ("mean_us", stats.latency.mean_micros().into()),
+        ("p50_us", stats.latency.percentile_micros(0.50).into()),
+        ("p99_us", stats.latency.percentile_micros(0.99).into()),
+        ("qps", qps.into()),
+    ])
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let uptime = shared.started.elapsed().as_secs_f64();
+    let routing = shared.engine.routing_counts();
+    object([
+        ("uptime_seconds", uptime.into()),
+        (
+            "endpoints",
+            object([
+                ("assign", endpoint_json(&shared.assign, uptime)),
+                ("assign_batch", endpoint_json(&shared.assign_batch, uptime)),
+                ("healthz", endpoint_json(&shared.healthz, uptime)),
+                ("stats", endpoint_json(&shared.stats, uptime)),
+            ]),
+        ),
+        (
+            "routing",
+            object([
+                ("exact", routing.exact.into()),
+                ("one_bit_neighbor", routing.one_bit_neighbor.into()),
+                ("global_fallback", routing.global_fallback.into()),
+                ("total", routing.total().into()),
+            ]),
+        ),
+        (
+            "model",
+            object([
+                ("dimension", shared.engine.dimension().into()),
+                ("num_clusters", shared.engine.num_clusters().into()),
+                ("num_bits", shared.engine.num_bits().into()),
+            ]),
+        ),
+    ])
+    .to_json()
+}
+
+fn error_json(message: &str) -> String {
+    object([("error", message.into())]).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::ModelArtifact;
+    use dasc_core::{Dasc, DascConfig};
+    use dasc_kernel::Kernel;
+    use dasc_lsh::LshConfig;
+    use std::io::{Read, Write};
+
+    fn test_engine() -> AssignmentEngine {
+        let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
+        let mut pts = Vec::new();
+        for c in &centers {
+            for i in 0..25 {
+                pts.push(vec![
+                    c[0] + (i % 7) as f64 * 0.004,
+                    c[1] + (i % 5) as f64 * 0.004,
+                ]);
+            }
+        }
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .kernel(Kernel::gaussian(0.15))
+            .lsh(LshConfig::with_bits(2));
+        let trained = Dasc::new(cfg).train(&pts);
+        AssignmentEngine::new(&ModelArtifact::from_trained(&trained, &pts))
+    }
+
+    fn start_test_server() -> ServerHandle {
+        Server::new(
+            test_engine(),
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .start()
+        .expect("bind test server")
+    }
+
+    /// Send one raw HTTP request over a fresh connection; return
+    /// (status, body).
+    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("recv");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status")
+            .parse()
+            .expect("numeric status");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        roundtrip(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn healthz_and_stats_respond() {
+        let server = start_test_server();
+        let (status, body) = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"status":"ok"}"#);
+
+        let (status, body) = roundtrip(
+            server.addr(),
+            "GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert!(v.get("uptime_seconds").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(
+            v.get("model").unwrap().get("dimension").unwrap().as_f64(),
+            Some(2.0)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn assign_endpoint_clusters_points() {
+        let server = start_test_server();
+        let (status, body) = post(server.addr(), "/assign", r#"{"point":[0.1,0.1]}"#);
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert!(v.get("cluster").unwrap().as_f64().unwrap() >= 0.0);
+        assert_eq!(v.get("route").unwrap().as_str(), Some("exact"));
+        assert_eq!(server.routing_counts().total(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_endpoint_preserves_order() {
+        let server = start_test_server();
+        let (status, body) = post(
+            server.addr(),
+            "/assign_batch",
+            r#"{"points":[[0.1,0.1],[0.9,0.9],[0.1,0.1]]}"#,
+        );
+        assert_eq!(status, 200);
+        let v = JsonValue::parse(&body).unwrap();
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(3.0));
+        let clusters = v.get("clusters").unwrap().as_array().unwrap();
+        assert_eq!(clusters.len(), 3);
+        assert_eq!(clusters[0], clusters[2]);
+        assert_ne!(clusters[0], clusters[1]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_400s_not_crashes() {
+        let server = start_test_server();
+        for (path, body) in [
+            ("/assign", "not json"),
+            ("/assign", r#"{"point":"nope"}"#),
+            ("/assign", r#"{"point":[1,2,3]}"#), // wrong dimension
+            ("/assign_batch", r#"{"points":[[1],[2,3]]}"#),
+            ("/assign_batch", r#"{}"#),
+        ] {
+            let (status, reply) = post(server.addr(), path, body);
+            assert_eq!(status, 400, "{path} {body} → {reply}");
+            assert!(reply.contains("error"), "{reply}");
+        }
+        // Server still healthy afterwards.
+        let (status, _) = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let server = start_test_server();
+        let (status, _) = roundtrip(
+            server.addr(),
+            "GET /nope HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(
+            server.addr(),
+            "GET /assign HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = start_test_server();
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        for _ in 0..3 {
+            let body = r#"{"point":[0.9,0.9]}"#;
+            conn.write_all(
+                format!(
+                    "POST /assign HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+            // Read exactly one response (headers + fixed-length body).
+            let mut buf = Vec::new();
+            let mut byte = [0u8; 1];
+            while !buf.ends_with(b"\r\n\r\n") {
+                conn.read_exact(&mut byte).expect("headers");
+                buf.push(byte[0]);
+            }
+            let text = String::from_utf8_lossy(&buf);
+            let len: usize = text
+                .lines()
+                .find(|l| l.to_ascii_lowercase().starts_with("content-length:"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("content-length");
+            let mut body_buf = vec![0u8; len];
+            conn.read_exact(&mut body_buf).expect("body");
+            assert!(String::from_utf8_lossy(&body_buf).contains("cluster"));
+        }
+        drop(conn);
+        assert_eq!(server.routing_counts().total(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_isolated() {
+        let server = start_test_server();
+        let addr = server.addr();
+        thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let (status, body) = post(
+                            addr,
+                            "/assign",
+                            &format!(r#"{{"point":[0.{},0.1]}}"#, (t % 9) + 1),
+                        );
+                        assert_eq!(status, 200, "{body}");
+                    }
+                });
+            }
+        });
+        assert_eq!(server.routing_counts().total(), 40);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_quickly() {
+        let server = start_test_server();
+        // Leave a keep-alive connection idle to exercise the timeout
+        // wake-up path.
+        let _idle = TcpStream::connect(server.addr()).expect("connect");
+        let begin = Instant::now();
+        server.shutdown();
+        assert!(
+            begin.elapsed() < Duration::from_secs(5),
+            "shutdown took {:?}",
+            begin.elapsed()
+        );
+    }
+}

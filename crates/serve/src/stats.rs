@@ -1,0 +1,163 @@
+//! Lock-free serving statistics: per-endpoint request counts, QPS, and
+//! latency percentiles.
+//!
+//! Latencies land in a fixed log₂ histogram of `AtomicU64` buckets
+//! (bucket `i` covers `[2^i, 2^(i+1))` microseconds), so recording is a
+//! couple of atomic increments on the hot path and percentile queries
+//! walk 40 buckets. Percentiles are therefore resolved to a factor of
+//! two — the right trade for an embedded server with no dependencies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days; plenty.
+
+/// Concurrent log₂ latency histogram with total-count and total-time
+/// counters.
+pub struct LatencyRecorder {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            histogram: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl LatencyRecorder {
+    /// New, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_micros.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`) in microseconds: the
+    /// upper edge of the histogram bucket containing the q-quantile.
+    pub fn percentile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.histogram.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Counters for one HTTP endpoint.
+#[derive(Default)]
+pub struct EndpointStats {
+    /// Latency of successful requests.
+    pub latency: LatencyRecorder,
+    errors: AtomicU64,
+}
+
+impl EndpointStats {
+    /// New, empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful request's duration.
+    pub fn record_ok(&self, start: Instant) {
+        self.latency
+            .record_micros(start.elapsed().as_micros() as u64);
+    }
+
+    /// Record a failed request.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful requests served.
+    pub fn requests(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Failed requests.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let r = LatencyRecorder::new();
+        // 99 fast observations (~8 µs) and one slow (~8192 µs).
+        for _ in 0..99 {
+            r.record_micros(8);
+        }
+        r.record_micros(8192);
+        assert_eq!(r.count(), 100);
+        let p50 = r.percentile_micros(0.50);
+        let p99 = r.percentile_micros(0.99);
+        let p100 = r.percentile_micros(1.0);
+        assert!(p50 <= 16, "p50 {p50}");
+        assert!(p99 <= 16, "p99 {p99}");
+        assert!(p100 >= 8192, "p100 {p100}");
+        assert!((r.mean_micros() - (99.0 * 8.0 + 8192.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.percentile_micros(0.99), 0);
+        assert_eq!(r.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn zero_micros_lands_in_first_bucket() {
+        let r = LatencyRecorder::new();
+        r.record_micros(0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.percentile_micros(1.0), 2);
+    }
+
+    #[test]
+    fn endpoint_stats_count_errors_separately() {
+        let s = EndpointStats::new();
+        s.record_ok(Instant::now());
+        s.record_error();
+        s.record_error();
+        assert_eq!(s.requests(), 1);
+        assert_eq!(s.errors(), 2);
+    }
+}

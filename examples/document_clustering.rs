@@ -10,8 +10,8 @@
 //! ```
 
 use dasc::core::{
-    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
-    SpectralClustering, SpectralConfig,
+    Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig, SpectralClustering,
+    SpectralConfig,
 };
 use dasc::kernel::gram_memory_bytes;
 use dasc::metrics::nmi;
@@ -23,15 +23,17 @@ fn main() {
     let truth = corpus.labels.as_ref().expect("labelled corpus");
     let k = corpus.num_classes().expect("labelled corpus");
     let kernel = Kernel::gaussian_median_heuristic(&corpus.points);
-    println!("corpus: {n} documents, {k} categories, {} dims\n", corpus.dims());
+    println!(
+        "corpus: {n} documents, {k} categories, {} dims\n",
+        corpus.dims()
+    );
 
     println!(
         "{:<8} {:>9} {:>7} {:>12}",
         "method", "accuracy", "NMI", "memory (KB)"
     );
 
-    let dasc = Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel))
-        .run(&corpus.points);
+    let dasc = Dasc::new(DascConfig::for_dataset(n, k).kernel(kernel)).run(&corpus.points);
     report(
         "DASC",
         &dasc.clustering.assignments,
@@ -39,12 +41,16 @@ fn main() {
         dasc.approx_gram_bytes,
     );
 
-    let sc = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel))
-        .run(&corpus.points);
-    report("SC", &sc.clustering.assignments, truth, gram_memory_bytes(n));
+    let sc = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&corpus.points);
+    report(
+        "SC",
+        &sc.clustering.assignments,
+        truth,
+        gram_memory_bytes(n),
+    );
 
-    let psc = ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40))
-        .run(&corpus.points);
+    let psc =
+        ParallelSpectral::new(PscConfig::new(k).kernel(kernel).neighbors(40)).run(&corpus.points);
     report(
         "PSC",
         &psc.clustering.assignments,

@@ -32,7 +32,10 @@ fn main() {
         ("gaussian(sigma=0.5)", Kernel::gaussian(0.5)),
         ("gaussian(sigma=1.5)", Kernel::gaussian(1.5)),
         ("laplacian(gamma=1.0)", Kernel::Laplacian { gamma: 1.0 }),
-        ("polynomial(2, c=1)", Kernel::Polynomial { degree: 2, c: 1.0 }),
+        (
+            "polynomial(2, c=1)",
+            Kernel::Polynomial { degree: 2, c: 1.0 },
+        ),
         ("linear", Kernel::Linear),
     ] {
         let dasc = Dasc::new(

@@ -39,7 +39,10 @@ fn main() {
 
     // Compare against the exact (full-Gram) solve.
     let exact = RidgeModel::fit_exact(&xs, &ys, Kernel::gaussian(0.05), 1e-5);
-    println!("training MSE (exact)        : {:.6}", exact.mse(&xs, &ys, &xs));
+    println!(
+        "training MSE (exact)        : {:.6}",
+        exact.mse(&xs, &ys, &xs)
+    );
 
     println!("\nquery                 fast-path   exact   truth");
     for (q, truth) in [

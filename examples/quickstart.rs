@@ -11,7 +11,10 @@ fn main() {
     // 2,000 points in 8 Gaussian blobs, 64 dimensions, values in [0, 1]
     // (the paper's synthetic setup).
     let dataset = SyntheticConfig::paper_default(2_000, 8).seed(42).generate();
-    let truth = dataset.labels.as_ref().expect("generator labels its output");
+    let truth = dataset
+        .labels
+        .as_ref()
+        .expect("generator labels its output");
 
     // DASC with paper defaults: M = ⌈log₂N⌉/2 − 1 signature bits,
     // P = M − 1 bucket merging, Gaussian kernel.
@@ -47,9 +50,6 @@ fn main() {
     );
     println!(
         "stage times   : lsh {:?}, bucketing {:?}, gram {:?}, clustering {:?}",
-        result.times.lsh,
-        result.times.bucketing,
-        result.times.gram,
-        result.times.clustering
+        result.times.lsh, result.times.bucketing, result.times.gram, result.times.clustering
     );
 }

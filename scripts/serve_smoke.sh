@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem:
+#   generate synthetic blobs → train + persist a model → start the
+#   HTTP server → query /healthz, /assign, /assign_batch, /stats →
+#   verify sane responses → shut down.
+#
+# Needs only cargo and standard POSIX tools; uses curl when present
+# and falls back to a bash /dev/tcp client otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-17878}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/dasc-smoke.XXXXXX")"
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "SMOKE FAIL: $*" >&2; exit 1; }
+
+# Minimal HTTP POST/GET returning the response body, so the script
+# also works on boxes without curl.
+request() { # method path [json-body]
+    local method="$1" path="$2" body="${3:-}"
+    if command -v curl >/dev/null 2>&1; then
+        if [ "$method" = POST ]; then
+            curl -sf -X POST -H 'Content-Type: application/json' \
+                -d "$body" "http://127.0.0.1:$PORT$path"
+        else
+            curl -sf "http://127.0.0.1:$PORT$path"
+        fi
+    else
+        exec 3<>"/dev/tcp/127.0.0.1/$PORT" || return 1
+        {
+            printf '%s %s HTTP/1.1\r\n' "$method" "$path"
+            printf 'Host: localhost\r\nConnection: close\r\n'
+            printf 'Content-Length: %s\r\n\r\n%s' "${#body}" "$body"
+        } >&3
+        # Body = everything after the blank line.
+        tr -d '\r' <&3 | sed -n '/^$/,$p' | tail -n +2
+        exec 3<&- 3>&-
+    fi
+}
+
+echo "== build =="
+cargo build --release -q -p dasc-cli
+
+DASC=target/release/dasc
+
+echo "== train =="
+"$DASC" generate --kind blobs --n 600 --d 8 --k 4 --seed 11 \
+    --output "$WORK/train.csv"
+"$DASC" train --input "$WORK/train.csv" --k 4 --labels-last-column \
+    --seed 11 --model-out "$WORK/model.dasc" | tee "$WORK/train.log"
+grep -q 'artifact written to' "$WORK/train.log" || fail "train produced no artifact"
+
+echo "== serve =="
+"$DASC" serve --model "$WORK/model.dasc" --port "$PORT" >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 50); do
+    if request GET /healthz >/dev/null 2>&1; then break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log" >&2; fail "server died"; }
+    sleep 0.2
+done
+
+echo "== query =="
+HEALTH="$(request GET /healthz)"
+echo "healthz: $HEALTH"
+[ "$HEALTH" = '{"status":"ok"}' ] || fail "unexpected /healthz reply: $HEALTH"
+
+# A point from the first training blob must come back with a cluster id
+# and a routing tier.
+POINT="$(head -2 "$WORK/train.csv" | tail -1 | rev | cut -d, -f2- | rev)"
+ASSIGN="$(request POST /assign "{\"point\":[$POINT]}")"
+echo "assign: $ASSIGN"
+case "$ASSIGN" in
+    *'"cluster":'*'"route":'*) ;;
+    *) fail "unexpected /assign reply: $ASSIGN" ;;
+esac
+
+BATCH="$(request POST /assign_batch "{\"points\":[[$POINT],[$POINT]]}")"
+echo "assign_batch: $BATCH"
+case "$BATCH" in
+    *'"count":2'*) ;;
+    *) fail "unexpected /assign_batch reply: $BATCH" ;;
+esac
+
+STATS="$(request GET /stats)"
+echo "stats: $STATS"
+case "$STATS" in
+    *'"routing":'*'"total":3'*) ;;
+    *) fail "stats did not count 3 routed assignments: $STATS" ;;
+esac
+
+echo "== offline assign =="
+"$DASC" assign --model "$WORK/model.dasc" --input "$WORK/train.csv" \
+    --labels-last-column --output "$WORK/assign.csv" | tee "$WORK/assign.log"
+grep -q 'routing:' "$WORK/assign.log" || fail "assign reported no routing counts"
+[ "$(tail -n +2 "$WORK/assign.csv" | wc -l)" -eq 600 ] || fail "assign wrote wrong row count"
+
+echo "SMOKE PASS"

@@ -23,17 +23,18 @@ pub use dasc_linalg as linalg;
 pub use dasc_lsh as lsh;
 pub use dasc_mapreduce as mapreduce;
 pub use dasc_metrics as metrics;
+pub use dasc_serve as serve;
 
 /// Commonly used items, re-exported for `use dasc::prelude::*`.
 pub mod prelude {
     pub use dasc_core::{
-        distributed_kmeans, Dasc, DascConfig, DascRegressor, KMeans,
-        KMeansConfig, Nystrom, NystromConfig, ParallelSpectral, PscConfig,
-        SpectralClustering, SpectralConfig,
+        distributed_kmeans, Dasc, DascConfig, DascRegressor, DascTrained, KMeans, KMeansConfig,
+        Nystrom, NystromConfig, ParallelSpectral, PscConfig, SpectralClustering, SpectralConfig,
     };
     pub use dasc_data::{Dataset, SyntheticConfig, WikiCorpusConfig};
     pub use dasc_kernel::{ApproximateGram, Kernel, RidgeModel};
     pub use dasc_lsh::{LshConfig, MergeStrategy, SignatureModel, ThresholdRule};
     pub use dasc_mapreduce::ClusterConfig;
     pub use dasc_metrics::{accuracy, ase, davies_bouldin, fnorm_ratio, nmi};
+    pub use dasc_serve::{AssignmentEngine, ModelArtifact, Route, Server, ServerConfig};
 }

@@ -3,11 +3,9 @@
 
 use std::time::Duration;
 
-use dasc::mapreduce::{
-    run_job, simulate_makespan, ClusterConfig, Dfs, FnMapper, FnReducer,
-};
-use dasc::prelude::*;
 use dasc::core::{Dasc, DascConfig};
+use dasc::mapreduce::{run_job, simulate_makespan, ClusterConfig, Dfs, FnMapper, FnReducer};
+use dasc::prelude::*;
 
 #[test]
 fn engine_output_is_identical_across_cluster_sizes() {
@@ -29,7 +27,13 @@ fn engine_output_is_identical_across_cluster_sizes() {
     // Output *order* follows partition layout (reducer count), exactly
     // as Hadoop's part-files do; the record *set* — including the value
     // order inside each key group — must be identical.
-    let mut a = run_job(&mapper, &reducer, inputs.clone(), &ClusterConfig::single_node()).records;
+    let mut a = run_job(
+        &mapper,
+        &reducer,
+        inputs.clone(),
+        &ClusterConfig::single_node(),
+    )
+    .records;
     let mut b = run_job(&mapper, &reducer, inputs.clone(), &ClusterConfig::emr(16)).records;
     let mut c = run_job(&mapper, &reducer, inputs, &ClusterConfig::emr(64)).records;
     a.sort();

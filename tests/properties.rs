@@ -10,14 +10,8 @@ use dasc::metrics::{accuracy, fnorm_ratio, nmi, purity};
 use dasc::prelude::*;
 
 /// Strategy: a small dataset of d-dimensional points in [0, 1].
-fn points_strategy(
-    max_n: usize,
-    d: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..1.0, d..=d),
-        2..max_n,
-    )
+fn points_strategy(max_n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..1.0, d..=d), 2..max_n)
 }
 
 proptest! {

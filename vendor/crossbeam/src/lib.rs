@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate, backed by
+//! `std::thread::scope`.
+//!
+//! Only the scoped-thread API the workspace uses is provided:
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); ... })`, returning
+//! `Ok(..)` like the real crate. Unlike crossbeam, a panic in a spawned
+//! thread propagates when the scope joins (std semantics) instead of
+//! being collected into the `Err` arm — every call site in this
+//! workspace treats that case as fatal anyway.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// Scope handle passed to [`scope`] closures; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing [`scope`] call. The
+        /// closure receives the scope itself (crossbeam convention),
+        /// allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&child)) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 1);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|_| 7u32);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the `par_iter`-family entry points the workspace uses and returns
+//! **ordinary sequential `std` iterators**. Every adaptor and terminal
+//! operation (`map`, `enumerate`, `for_each`, `collect`, `sum`, …)
+//! then comes from `std::iter::Iterator`, so call sites compile and
+//! behave identically — minus the parallelism.
+//!
+//! Rationale: correctness and determinism first. The paper-reproduction
+//! pipelines treat rayon as an accelerator, not a semantic dependency,
+//! and results are defined to be independent of the thread count.
+//! Subsystems that need real concurrency on hot paths (e.g. the
+//! `dasc-serve` bulk-assignment engine) use explicit `std::thread`
+//! pools instead of this shim. Swapping the real rayon back in later is
+//! a one-line change in the workspace manifest.
+
+/// Number of "threads" the shim runs — always 1 (sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential iterator standing in for the parallel one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
+    pub trait ParallelSlice<T> {
+        /// Sequential `iter()` standing in for `par_iter()`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential `chunks()` standing in for `par_chunks()`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable counterparts on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential `iter_mut()` standing in for `par_iter_mut()`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential `chunks_mut()` standing in for `par_chunks_mut()`.
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_chunks_mut_for_each() {
+        let mut data = vec![0u32; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut y = vec![0.0f64; 4];
+        y.par_iter_mut().enumerate().for_each(|(i, v)| *v = i as f64);
+        assert_eq!(y, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}
