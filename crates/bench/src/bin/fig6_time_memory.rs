@@ -6,6 +6,13 @@
 //! the paper's 4-byte convention. Expect the paper's *shape*: DASC far
 //! below PSC, PSC far below SC, with the baselines dropping out as N
 //! grows.
+//!
+//! DASC timings come from the `dasc-obs` stage tracer: the run's span
+//! tree yields both the total and the per-stage breakdown printed under
+//! each row, so the bench reports the same numbers a `--trace-out`
+//! capture would show.
+
+use std::time::Duration;
 
 use dasc_bench::{kb, print_header, print_row, secs, time_it, Scale};
 use dasc_core::{
@@ -37,14 +44,19 @@ fn main() {
         // full matrix and PSC's t-NN storage. The paper itself prescribes
         // data-dependent balanced hashing for skewed (tf-idf) marginals.
         let m = default_signature_bits(n) + 3;
-        let (dasc_res, dasc_t) = time_it(|| {
-            Dasc::new(
-                DascConfig::for_dataset(n, k)
-                    .kernel(kernel)
-                    .lsh(LshConfig::with_bits(m).threshold_rule(ThresholdRule::Median)),
-            )
-            .run(&ds.points)
-        });
+        let tracer = dasc_obs::tracer();
+        tracer.enable();
+        let run_span = tracer.span("bench.dasc.run");
+        let dasc_res = Dasc::new(
+            DascConfig::for_dataset(n, k)
+                .kernel(kernel)
+                .lsh(LshConfig::with_bits(m).threshold_rule(ThresholdRule::Median)),
+        )
+        .run(&ds.points);
+        let dasc_t = run_span.finish();
+        let spans = tracer.drain();
+        tracer.disable();
+        let stage_totals = dasc_obs::stage_totals(&spans);
         let dasc_cell = format!("{}/{}", secs(dasc_t), kb(dasc_res.approx_gram_bytes));
 
         let sc_cell = if n <= sc_cap {
@@ -67,6 +79,27 @@ fn main() {
         };
 
         print_row(&[e.to_string(), dasc_cell, sc_cell, psc_cell]);
+
+        // Per-stage DASC breakdown from the traced spans (top-level
+        // pipeline stages only; dasc.cluster includes its per-bucket
+        // children).
+        let stage = |name: &str| -> String {
+            stage_totals
+                .get(name)
+                .map_or_else(|| "-".to_string(), |(_, d)| secs(*d))
+        };
+        let accounted: Duration = ["dasc.lsh", "dasc.bucket", "dasc.gram", "dasc.cluster"]
+            .iter()
+            .filter_map(|s| stage_totals.get(*s).map(|(_, d)| *d))
+            .sum();
+        println!(
+            "         dasc stages: lsh {} | bucket {} | gram {} | cluster {} (accounted {})",
+            stage("dasc.lsh"),
+            stage("dasc.bucket"),
+            stage("dasc.gram"),
+            stage("dasc.cluster"),
+            secs(accounted),
+        );
     }
 
     println!(

@@ -6,6 +6,10 @@
 //! signature lookup, Eq. 6 neighbor probes, centroid scans — which is
 //! exactly what an HTTP worker runs per request, minus socket I/O.
 //! Output is a single JSON object so CI can scrape it.
+//!
+//! Latency percentiles come from the obs-backed [`LatencyRecorder`]'s
+//! log₂ histogram and report the geometric midpoint of the winning
+//! bucket (within √2 of the true quantile).
 
 use std::time::Instant;
 

@@ -64,6 +64,10 @@ pub enum Command {
         /// Treat the last CSV column as a ground-truth label and report
         /// accuracy/NMI.
         labels_last_column: bool,
+        /// Print a per-stage wall-time table after the run.
+        stage_timings: bool,
+        /// Write a Chrome trace-event JSON of the run's stage spans.
+        trace_out: Option<String>,
     },
     /// Generate a demo dataset as CSV.
     Generate {
@@ -96,6 +100,10 @@ pub enum Command {
         seed: Option<u64>,
         /// Strip a trailing ground-truth column and report accuracy/NMI.
         labels_last_column: bool,
+        /// Print a per-stage wall-time table after the run.
+        stage_timings: bool,
+        /// Write a Chrome trace-event JSON of the run's stage spans.
+        trace_out: Option<String>,
     },
     /// Serve a persisted model over HTTP.
     Serve {
@@ -150,11 +158,12 @@ dasc — distributed approximate spectral clustering
 USAGE:
   dasc cluster  --input <csv> --k <K> [--algorithm dasc|sc|psc|nyst|stsc]
                 [--sigma <f>] [--bits <M>] [--labels-last-column]
-                [--output <csv>]
+                [--output <csv>] [--stage-timings] [--trace-out <json>]
   dasc generate --kind blobs|wiki|grid --n <N> [--d <D>] [--k <K>]
                 [--seed <S>] --output <csv>
   dasc train    --input <csv> --k <K> --model-out <path> [--sigma <f>]
                 [--bits <M>] [--seed <S>] [--labels-last-column]
+                [--stage-timings] [--trace-out <json>]
   dasc serve    --model <path> [--port <P>] [--addr <host>] [--workers <N>]
   dasc assign   --model <path> --input <csv> [--output <csv>]
                 [--labels-last-column]
@@ -226,7 +235,7 @@ impl<'a> Flags<'a> {
 }
 
 fn parse_cluster(argv: &[String]) -> Result<Command, ParseError> {
-    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    let flags = Flags::scan(argv, &["--labels-last-column", "--stage-timings"])?;
     Ok(Command::Cluster {
         input: flags
             .get("--input")
@@ -243,6 +252,8 @@ fn parse_cluster(argv: &[String]) -> Result<Command, ParseError> {
         sigma: flags.parsed::<f64>("--sigma")?,
         bits: flags.parsed::<usize>("--bits")?,
         labels_last_column: flags.has("--labels-last-column"),
+        stage_timings: flags.has("--stage-timings"),
+        trace_out: flags.get("--trace-out").map(str::to_string),
     })
 }
 
@@ -267,7 +278,7 @@ fn parse_generate(argv: &[String]) -> Result<Command, ParseError> {
 }
 
 fn parse_train(argv: &[String]) -> Result<Command, ParseError> {
-    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    let flags = Flags::scan(argv, &["--labels-last-column", "--stage-timings"])?;
     Ok(Command::Train {
         input: flags
             .get("--input")
@@ -284,6 +295,8 @@ fn parse_train(argv: &[String]) -> Result<Command, ParseError> {
         bits: flags.parsed::<usize>("--bits")?,
         seed: flags.parsed::<u64>("--seed")?,
         labels_last_column: flags.has("--labels-last-column"),
+        stage_timings: flags.has("--stage-timings"),
+        trace_out: flags.get("--trace-out").map(str::to_string),
     })
 }
 
@@ -337,6 +350,8 @@ mod tests {
                 sigma: None,
                 bits: None,
                 labels_last_column: false,
+                stage_timings: false,
+                trace_out: None,
             }
         );
     }
@@ -464,8 +479,60 @@ mod tests {
                 bits: Some(10),
                 seed: Some(9),
                 labels_last_column: true,
+                stage_timings: false,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let c = parse(&sv(&[
+            "train",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--model-out",
+            "m.dasc",
+            "--stage-timings",
+            "--trace-out",
+            "trace.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Train {
+                stage_timings,
+                trace_out,
+                ..
+            } => {
+                assert!(stage_timings);
+                assert_eq!(trace_out.as_deref(), Some("trace.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+
+        let c = parse(&sv(&[
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "2",
+            "--trace-out",
+            "t.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Cluster {
+                stage_timings,
+                trace_out,
+                ..
+            } => {
+                assert!(!stage_timings);
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+            }
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             sigma,
             bits,
             labels_last_column,
+            stage_timings,
+            trace_out,
         } => cluster(
             input,
             output.as_deref(),
@@ -46,6 +48,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             *sigma,
             *bits,
             *labels_last_column,
+            *stage_timings,
+            trace_out.as_deref(),
         ),
         Command::Train {
             input,
@@ -55,6 +59,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             bits,
             seed,
             labels_last_column,
+            stage_timings,
+            trace_out,
         } => train(
             input,
             model_out,
@@ -63,6 +69,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             *bits,
             *seed,
             *labels_last_column,
+            *stage_timings,
+            trace_out.as_deref(),
         ),
         Command::Serve {
             model,
@@ -114,6 +122,40 @@ fn generate(
     ))
 }
 
+/// Run `f` with the global stage tracer enabled when either
+/// observability flag asks for it. Returns `f`'s output plus report
+/// text: a pointer to the written Chrome trace and/or the rendered
+/// per-stage wall-time table.
+fn with_tracing<T>(
+    stage_timings: bool,
+    trace_out: Option<&str>,
+    f: impl FnOnce() -> T,
+) -> Result<(T, String), String> {
+    if !stage_timings && trace_out.is_none() {
+        return Ok((f(), String::new()));
+    }
+    let tracer = dasc_obs::tracer();
+    tracer.enable();
+    let out = f();
+    let spans = tracer.drain();
+    tracer.disable();
+
+    let mut extra = String::new();
+    if let Some(path) = trace_out {
+        let json = dasc_obs::chrome_trace_json(&spans);
+        std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+        extra.push_str(&format!(
+            "\ntrace of {} spans written to {path} (open in chrome://tracing or Perfetto)",
+            spans.len()
+        ));
+    }
+    if stage_timings {
+        extra.push_str("\nstage timings:\n");
+        extra.push_str(&dasc_obs::stage_table(&spans));
+    }
+    Ok((out, extra))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn cluster(
     input: &str,
@@ -123,6 +165,8 @@ fn cluster(
     sigma: Option<f64>,
     bits: Option<usize>,
     labels_last_column: bool,
+    stage_timings: bool,
+    trace_out: Option<&str>,
 ) -> Result<String, String> {
     if k == 0 {
         return Err("--k must be at least 1".to_string());
@@ -137,65 +181,69 @@ fn cluster(
         None => Kernel::gaussian_median_heuristic(&points),
     };
 
-    let (assignments, detail) = match algorithm {
-        Algorithm::Dasc => {
-            let mut cfg = DascConfig::for_dataset(n, k).kernel(kernel);
-            if let Some(m) = bits {
-                cfg = cfg.lsh(LshConfig::with_bits(m));
+    let ((assignments, detail), trace_report) = with_tracing(stage_timings, trace_out, || {
+        match algorithm {
+            Algorithm::Dasc => {
+                let mut cfg = DascConfig::for_dataset(n, k).kernel(kernel);
+                if let Some(m) = bits {
+                    cfg = cfg.lsh(LshConfig::with_bits(m));
+                }
+                let res = Dasc::new(cfg).run(&points);
+                (
+                    res.clustering.assignments,
+                    format!(
+                        "dasc: {} buckets, approx gram {} KB (full {} KB)",
+                        res.buckets.len(),
+                        res.approx_gram_bytes / 1024,
+                        4 * n * n / 1024
+                    ),
+                )
             }
-            let res = Dasc::new(cfg).run(&points);
-            (
-                res.clustering.assignments,
-                format!(
-                    "dasc: {} buckets, approx gram {} KB (full {} KB)",
-                    res.buckets.len(),
-                    res.approx_gram_bytes / 1024,
-                    4 * n * n / 1024
-                ),
-            )
+            Algorithm::Sc => {
+                let res =
+                    SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&points);
+                (
+                    res.clustering.assignments,
+                    format!("sc: full gram {} KB", res.gram_memory_bytes / 1024),
+                )
+            }
+            Algorithm::Psc => {
+                let res = ParallelSpectral::new(PscConfig::new(k).kernel(kernel)).run(&points);
+                (
+                    res.clustering.assignments,
+                    format!(
+                        "psc: {} nnz, sparse {} KB",
+                        res.nnz,
+                        res.sparse_memory_bytes / 1024
+                    ),
+                )
+            }
+            Algorithm::Nyst => {
+                let res = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&points);
+                (
+                    res.clustering.assignments,
+                    format!(
+                        "nyst: {} landmarks, {} KB",
+                        res.landmarks,
+                        res.memory_bytes / 1024
+                    ),
+                )
+            }
+            Algorithm::Stsc => {
+                // Self-tuning: per-point bandwidths (r = 7), so --sigma is
+                // ignored by construction.
+                let s = local_scaling_similarity(&points, 7);
+                let c = SpectralClustering::new(SpectralConfig::new(k)).run_on_similarity(&s);
+                (
+                    c.assignments,
+                    "stsc: local scaling (r = 7), full similarity matrix".to_string(),
+                )
+            }
         }
-        Algorithm::Sc => {
-            let res = SpectralClustering::new(SpectralConfig::new(k).kernel(kernel)).run(&points);
-            (
-                res.clustering.assignments,
-                format!("sc: full gram {} KB", res.gram_memory_bytes / 1024),
-            )
-        }
-        Algorithm::Psc => {
-            let res = ParallelSpectral::new(PscConfig::new(k).kernel(kernel)).run(&points);
-            (
-                res.clustering.assignments,
-                format!(
-                    "psc: {} nnz, sparse {} KB",
-                    res.nnz,
-                    res.sparse_memory_bytes / 1024
-                ),
-            )
-        }
-        Algorithm::Nyst => {
-            let res = Nystrom::new(NystromConfig::new(k).kernel(kernel)).run(&points);
-            (
-                res.clustering.assignments,
-                format!(
-                    "nyst: {} landmarks, {} KB",
-                    res.landmarks,
-                    res.memory_bytes / 1024
-                ),
-            )
-        }
-        Algorithm::Stsc => {
-            // Self-tuning: per-point bandwidths (r = 7), so --sigma is
-            // ignored by construction.
-            let s = local_scaling_similarity(&points, 7);
-            let c = SpectralClustering::new(SpectralConfig::new(k)).run_on_similarity(&s);
-            (
-                c.assignments,
-                "stsc: local scaling (r = 7), full similarity matrix".to_string(),
-            )
-        }
-    };
+    })?;
 
     let mut report = format!("clustered {n} points into k={k}\n{detail}");
+    report.push_str(&trace_report);
     if let Some(truth) = &labels {
         report.push_str(&format!(
             "\naccuracy: {:.4}\nnmi: {:.4}",
@@ -228,6 +276,7 @@ fn cluster(
 }
 
 /// Train a DASC model and persist the serving artifact.
+#[allow(clippy::too_many_arguments)]
 fn train(
     input: &str,
     model_out: &str,
@@ -236,6 +285,8 @@ fn train(
     bits: Option<usize>,
     seed: Option<u64>,
     labels_last_column: bool,
+    stage_timings: bool,
+    trace_out: Option<&str>,
 ) -> Result<String, String> {
     if k == 0 {
         return Err("--k must be at least 1".to_string());
@@ -257,7 +308,8 @@ fn train(
         cfg = cfg.seed(s);
     }
 
-    let trained = Dasc::new(cfg).train(&points);
+    let (trained, trace_report) =
+        with_tracing(stage_timings, trace_out, || Dasc::new(cfg).train(&points))?;
     let artifact = ModelArtifact::from_trained(&trained, &points);
     artifact
         .save(model_out)
@@ -273,6 +325,7 @@ fn train(
         artifact.buckets.len(),
         artifact.planes.len(),
     );
+    report.push_str(&trace_report);
     if let Some(truth) = &labels {
         let assignments = &trained.result.clustering.assignments;
         report.push_str(&format!(
@@ -608,6 +661,48 @@ mod tests {
         .unwrap_err();
         assert!(e.contains("dimensions"), "{e}");
         for f in [&data, &wrong, &model] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn train_with_tracing_writes_chrome_json_and_stage_table() {
+        let data = tmp("obs-pts.csv");
+        let model = tmp("obs-model.dasc");
+        let trace = tmp("obs-trace.json");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "90", "--d", "6", "--k", "3", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let r = run(&args::parse(&sv(&[
+            "train",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--model-out",
+            &model,
+            "--stage-timings",
+            "--trace-out",
+            &trace,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("stage timings:"), "{r}");
+        assert!(r.contains("dasc.lsh"), "{r}");
+        assert!(r.contains(&format!("written to {trace}")), "{r}");
+
+        let json = std::fs::read_to_string(&trace).unwrap();
+        let parsed = dasc_serve::JsonValue::parse(&json).expect("trace parses");
+        let events = parsed.as_array().expect("array of events");
+        assert!(events.len() >= 5, "only {} events", events.len());
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("dasc.cluster")));
+
+        for f in [&data, &model, &trace] {
             let _ = std::fs::remove_file(f);
         }
     }

@@ -2,8 +2,18 @@
 //! per-bucket approximate kernel blocks, per-bucket spectral clustering —
 //! runnable serially (rayon over buckets) or as the paper's two
 //! MapReduce stages on the `dasc-mapreduce` substrate.
+//!
+//! Every stage is traced with `dasc-obs` spans (`dasc.lsh`,
+//! `dasc.bucket`, `dasc.gram`, `dasc.cluster`, `dasc.consolidate`, and
+//! the `dasc.stage1`/`dasc.stage2` distributed counterparts); the same
+//! guards produce [`DascStageTimes`], so the struct and a trace of the
+//! run can never disagree. Run-level totals land in the global metrics
+//! registry (`dasc_runs_total`, `dasc_points_total`,
+//! `dasc_buckets_total`).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use dasc_obs::span;
 
 use dasc_kernel::{ApproximateGram, Kernel};
 use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
@@ -218,10 +228,14 @@ impl Dasc {
     /// Panics on an empty dataset.
     pub fn train(&self, points: &[Vec<f64>]) -> DascTrained {
         assert!(!points.is_empty(), "DASC: empty dataset");
-        let t0 = Instant::now();
+        let lsh_span = span!("dasc.lsh");
+        let fit_span = span!("dasc.lsh.fit");
         let model = SignatureModel::fit(points, &self.config.lsh);
+        fit_span.finish();
+        let sign_span = span!("dasc.lsh.sign");
         let sigs = model.hash_all(points);
-        let lsh_time = t0.elapsed();
+        sign_span.finish();
+        let lsh_time = lsh_span.finish();
         let mut result = self.run_with_signatures(points, &sigs);
         result.times.lsh = lsh_time;
         DascTrained {
@@ -251,36 +265,39 @@ impl Dasc {
         let n = points.len();
         let mut times = DascStageTimes::default();
 
-        let t0 = Instant::now();
+        let bucket_span = span!("dasc.bucket");
         let buckets = BucketSet::from_signatures(sigs)
             .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
-        times.bucketing = t0.elapsed();
+        times.bucketing = bucket_span.finish();
 
-        let t0 = Instant::now();
+        let gram_span = span!("dasc.gram");
         let gram = ApproximateGram::from_buckets(points, &buckets, &self.config.kernel);
-        times.gram = t0.elapsed();
+        times.gram = gram_span.finish();
         let approx_gram_bytes = gram.memory_bytes();
 
-        let t0 = Instant::now();
+        let cluster_span = span!("dasc.cluster");
         let per_bucket: Vec<(Vec<usize>, Clustering)> = gram
             .blocks()
             .par_iter()
             .enumerate()
             .map(|(bi, block)| {
+                let _bucket_span = span!("dasc.cluster.bucket");
                 let ki = bucket_cluster_count(self.config.k, block.members.len(), n);
                 let sc = SpectralClustering::new(self.spectral_config(ki, bi as u64));
                 let c = sc.run_on_similarity(&block.matrix);
                 (block.members.clone(), c)
             })
             .collect();
-        times.clustering = t0.elapsed();
+        times.clustering = cluster_span.finish();
 
         let stitched = stitch_global(n, &per_bucket);
         let clustering = if self.config.consolidate {
+            let _consolidate_span = span!("dasc.consolidate");
             consolidate_fragments(points, &stitched, self.config.k, self.config.seed)
         } else {
             stitched
         };
+        record_run_metrics(n, buckets.len(), approx_gram_bytes);
         DascResult {
             clustering,
             buckets,
@@ -318,6 +335,7 @@ impl Dasc {
         let n = points.len();
 
         // Stage 1: LSH signatures via MapReduce.
+        let stage1_span = span!("dasc.stage1.lsh_map");
         let model = SignatureModel::fit(points, &self.config.lsh);
         let mapper = FnMapper::new(
             |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
@@ -327,9 +345,11 @@ impl Dasc {
         let inputs: Vec<(usize, Vec<f64>)> = points.iter().cloned().enumerate().collect();
         let grouped = run_map_only(&mapper, inputs, cluster);
         let stage1 = grouped.stats.clone();
+        stage1_span.finish();
 
         // Between-stage merge: reconstruct per-point signatures from the
         // shuffle groups and apply the P-similar rule.
+        let merge_span = span!("dasc.bucket.merge");
         let m = self.config.lsh.num_bits;
         let mut sigs = vec![Signature::zero(m); n];
         for (bits, members) in &grouped.records {
@@ -341,6 +361,7 @@ impl Dasc {
         let buckets = BucketSet::from_signatures(&sigs)
             .merge_with(self.config.lsh.merge_strategy, self.config.lsh.merge_p);
         let approx_gram_bytes = 4 * buckets.approx_gram_entries();
+        merge_span.finish();
 
         // Stage 2: one reduce task per merged bucket.
         let k_total = self.config.k;
@@ -364,6 +385,7 @@ impl Dasc {
                 }
             },
         );
+        let stage2_span = span!("dasc.stage2.cluster_reduce");
         let groups: Vec<(usize, Vec<usize>)> = buckets
             .buckets()
             .iter()
@@ -372,8 +394,10 @@ impl Dasc {
             .collect();
         let reduced = reduce_groups(&reducer, groups, cluster);
         let stage2 = reduced.stats.clone();
+        stage2_span.finish();
 
         // Stitch bucket-local cluster ids into a global id space.
+        let stitch_span = span!("dasc.stitch");
         let ki_per_bucket: Vec<usize> = buckets
             .sizes()
             .iter()
@@ -388,11 +412,14 @@ impl Dasc {
             assignments[point] = offsets[bucket_id] + local.min(ki_per_bucket[bucket_id] - 1);
         }
         let stitched = Clustering::new(assignments, *offsets.last().expect("nonempty"));
+        stitch_span.finish();
         let clustering = if self.config.consolidate {
+            let _consolidate_span = span!("dasc.consolidate");
             consolidate_fragments(points, &stitched, self.config.k, self.config.seed)
         } else {
             stitched
         };
+        record_run_metrics(n, buckets.len(), approx_gram_bytes);
 
         let result = DascDistributedResult {
             clustering,
@@ -417,6 +444,18 @@ impl Dasc {
         cfg.lanczos_threshold = self.config.lanczos_threshold;
         cfg
     }
+}
+
+/// Run-level totals for the global metrics registry, recorded once per
+/// completed DASC run (serial or distributed).
+fn record_run_metrics(points: usize, buckets: usize, approx_gram_bytes: usize) {
+    let registry = dasc_obs::global();
+    registry.inc("dasc_runs_total", 1);
+    registry.inc("dasc_points_total", points as u64);
+    registry.inc("dasc_buckets_total", buckets as u64);
+    registry
+        .gauge("dasc_approx_gram_bytes")
+        .set(approx_gram_bytes as i64);
 }
 
 /// `Kᵢ = clamp(round(K · Nᵢ / N), 1, Nᵢ)`: clusters are apportioned to
@@ -735,5 +774,53 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_panics() {
         Dasc::new(DascConfig::for_dataset(1, 1)).run(&[]);
+    }
+
+    #[test]
+    fn train_emits_stage_spans_and_run_metrics() {
+        // The global tracer is shared with any test running
+        // concurrently, so every assertion here is monotone (presence,
+        // >=, membership) rather than an exact count.
+        let (pts, _) = four_blobs(15);
+        let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2));
+        let runs_before = dasc_obs::global().counter_value("dasc_runs_total");
+
+        let tracer = dasc_obs::tracer();
+        tracer.enable();
+        let res = Dasc::new(cfg).run(&pts);
+        let spans = tracer.drain();
+        tracer.disable();
+
+        let names: std::collections::BTreeSet<&str> =
+            spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "dasc.lsh",
+            "dasc.lsh.fit",
+            "dasc.lsh.sign",
+            "dasc.bucket",
+            "dasc.gram",
+            "dasc.cluster",
+            "dasc.cluster.bucket",
+        ] {
+            assert!(names.contains(stage), "missing span {stage}: {names:?}");
+        }
+        // lsh.fit/lsh.sign nest under some dasc.lsh span.
+        let lsh_ids: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == "dasc.lsh")
+            .map(|s| s.id)
+            .collect();
+        assert!(spans
+            .iter()
+            .filter(|s| s.name.starts_with("dasc.lsh."))
+            .all(|s| s.parent.is_some_and(|p| lsh_ids.contains(&p))));
+        // At least one bucket-cluster span per bucket of our run.
+        let per_bucket = spans
+            .iter()
+            .filter(|s| s.name == "dasc.cluster.bucket")
+            .count();
+        assert!(per_bucket >= res.buckets.len());
+
+        assert!(dasc_obs::global().counter_value("dasc_runs_total") > runs_before);
     }
 }

@@ -5,65 +5,79 @@
 //! seen …) alongside the engine's built-in [`crate::JobStats`]. A
 //! [`Counters`] value is `Sync`; capture a reference in the mapper or
 //! reducer closure.
+//!
+//! Since the unified observability layer landed, `Counters` is a thin
+//! wrapper over a [`dasc_obs::Registry`]: [`Counters::new`] owns a
+//! private registry (job-scoped, isolated), while [`Counters::global`]
+//! delegates to the process-wide [`dasc_obs::global`] registry so job
+//! counters show up on the `/metrics` endpoint alongside everything
+//! else.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use dasc_obs::Registry;
 
 /// A set of named monotone counters, cheap to increment concurrently.
-#[derive(Default)]
 pub struct Counters {
-    inner: RwLock<BTreeMap<String, AtomicU64>>,
+    /// `Some` for a job-private counter set; `None` delegates to the
+    /// process-wide registry.
+    local: Option<Registry>,
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Counters {
-    /// Create an empty counter set.
+    /// Create an empty, job-private counter set.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            local: Some(Registry::new()),
+        }
+    }
+
+    /// A counter set backed by the process-wide observability registry.
+    ///
+    /// Increments are visible to every other reader of
+    /// [`dasc_obs::global`] — in particular the serve subsystem's
+    /// `/metrics` endpoint. Note that [`Counters::snapshot`] then also
+    /// reflects counters recorded by *other* subsystems.
+    pub fn global() -> Self {
+        Self { local: None }
+    }
+
+    fn registry(&self) -> &Registry {
+        match &self.local {
+            Some(r) => r,
+            None => dasc_obs::global(),
+        }
     }
 
     /// Add `by` to the counter `name`, creating it at zero on first use.
     pub fn inc(&self, name: &str, by: u64) {
-        {
-            let map = self.inner.read();
-            if let Some(c) = map.get(name) {
-                c.fetch_add(by, Ordering::Relaxed);
-                return;
-            }
-        }
-        let mut map = self.inner.write();
-        map.entry(name.to_string())
-            .or_insert_with(|| AtomicU64::new(0))
-            .fetch_add(by, Ordering::Relaxed);
+        self.registry().inc(name, by);
     }
 
     /// Current value of `name` (0 if never incremented).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner
-            .read()
-            .get(name)
-            .map(|c| c.load(Ordering::Relaxed))
-            .unwrap_or(0)
+        self.registry().counter_value(name)
     }
 
     /// Snapshot of every counter, sorted by name.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
-            .collect()
+        self.registry().snapshot().counters
     }
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.snapshot().len()
     }
 
     /// True when no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 }
 
@@ -110,6 +124,26 @@ mod tests {
         })
         .unwrap();
         assert_eq!(c.get("hits"), 8000);
+    }
+
+    #[test]
+    fn private_sets_are_isolated() {
+        let a = Counters::new();
+        let b = Counters::new();
+        a.inc("shared_name", 7);
+        assert_eq!(b.get("shared_name"), 0);
+    }
+
+    #[test]
+    fn global_counters_hit_the_process_registry() {
+        let c = Counters::global();
+        let before = dasc_obs::global().counter_value("mr_counters_global_test");
+        c.inc("mr_counters_global_test", 2);
+        assert_eq!(
+            dasc_obs::global().counter_value("mr_counters_global_test"),
+            before + 2
+        );
+        assert_eq!(c.get("mr_counters_global_test"), before + 2);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
+use dasc_obs::span;
 use parking_lot::Mutex;
 
 use crate::config::ClusterConfig;
@@ -120,6 +121,7 @@ where
         Mutex::new(Vec::with_capacity(num_map_tasks));
     let retries = std::sync::atomic::AtomicUsize::new(0);
 
+    let map_span = span!("mr.map");
     let workers = config.effective_threads(config.total_map_slots());
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
@@ -160,6 +162,7 @@ where
         }
     })
     .expect("map worker panicked");
+    map_span.finish();
     let map_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
 
     let mut results = results.into_inner();
@@ -167,6 +170,7 @@ where
     let map_task_durations: Vec<Duration> = results.iter().map(|(_, d, _)| *d).collect();
 
     // --- Shuffle: partition, stable-sort by key, group. ---
+    let shuffle_span = span!("mr.shuffle");
     let num_partitions = config.default_num_reducers();
     let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
         (0..num_partitions).map(|_| Vec::new()).collect();
@@ -195,6 +199,12 @@ where
             groups.push((k, vs));
         }
     }
+    shuffle_span.finish();
+
+    let registry = dasc_obs::global();
+    registry.inc("dasc_mr_map_tasks_total", num_map_tasks as u64);
+    registry.inc("dasc_mr_shuffled_records_total", shuffled_records as u64);
+    registry.inc("dasc_mr_task_retries_total", map_retries as u64);
 
     let stats = JobStats {
         map_task_durations,
@@ -270,6 +280,7 @@ where
     let queue: GroupQueue<R::Key, R::Value> = Mutex::new(groups.into_iter().enumerate().collect());
     let results: TaskResults<R::Out> = Mutex::new(Vec::with_capacity(distinct_keys));
 
+    let reduce_span = span!("mr.reduce");
     let retries = std::sync::atomic::AtomicUsize::new(0);
     let workers = config.effective_threads(config.total_reduce_slots());
     crossbeam::thread::scope(|scope| {
@@ -295,6 +306,12 @@ where
         }
     })
     .expect("reduce worker panicked");
+    reduce_span.finish();
+    let reduce_retries = retries.load(std::sync::atomic::Ordering::Relaxed);
+
+    let registry = dasc_obs::global();
+    registry.inc("dasc_mr_reduce_tasks_total", distinct_keys as u64);
+    registry.inc("dasc_mr_task_retries_total", reduce_retries as u64);
 
     let mut results = results.into_inner();
     results.sort_by_key(|(idx, _, _)| *idx);
@@ -308,7 +325,7 @@ where
         shuffled_records: 0,
         distinct_keys,
         output_records: records.len(),
-        task_retries: retries.load(std::sync::atomic::Ordering::Relaxed),
+        task_retries: reduce_retries,
         wall_time: start.elapsed(),
     };
     JobOutput { records, stats }

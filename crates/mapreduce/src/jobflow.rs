@@ -59,11 +59,11 @@ impl JobFlow {
         name: impl Into<String>,
         f: impl FnOnce(&Dfs, &ClusterConfig) -> (T, JobStats),
     ) -> T {
+        let name = name.into();
+        let step_span = dasc_obs::tracer().span(&format!("mr.step.{name}"));
         let (out, stats) = f(&self.dfs, &self.cluster);
-        self.steps.push(StepReport {
-            name: name.into(),
-            stats,
-        });
+        step_span.finish();
+        self.steps.push(StepReport { name, stats });
         out
     }
 

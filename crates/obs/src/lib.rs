@@ -1,0 +1,33 @@
+//! Unified observability for the DASC workspace: one metrics registry,
+//! one span tracer, one exposition format.
+//!
+//! The paper's evaluation (Figs. 1, 6; Table 3) is about *where time
+//! and memory go* — per-stage runtime of LSH signing, bucketing and
+//! merging, per-bucket eigensolves, and k-means. This crate is the
+//! single instrumentation layer behind those numbers:
+//!
+//! * [`metrics`] — a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   log₂ [`Histogram`]s with lock-free hot-path recording and a
+//!   point-in-time [`MetricsSnapshot`]. A process-wide registry is at
+//!   [`metrics::global`]; subsystems needing isolation own their own.
+//! * [`trace`] — `span!("lsh.sign")`-style RAII stage spans with
+//!   parent/child nesting and thread ids, exportable as Chrome
+//!   trace-event JSON ([`trace::chrome_trace_json`]) or a
+//!   human-readable stage table ([`trace::stage_table`]).
+//! * [`prometheus`] — text exposition of a snapshot, served by
+//!   `dasc-serve` at `GET /metrics`.
+//!
+//! Dependency-free by design (std only): every other crate in the
+//! workspace can instrument itself without pulling anything in.
+
+pub mod metrics;
+pub mod prometheus;
+pub mod trace;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    chrome_trace_json, stage_table, stage_totals, tracer, SpanGuard, SpanRecord, Tracer,
+};

@@ -1,0 +1,462 @@
+//! The metrics registry: named counters, gauges, and log₂ histograms.
+//!
+//! Hot-path recording is lock-free: callers resolve a metric once
+//! (`registry.counter("name")` returns an `Arc` handle) and then
+//! increment plain atomics. The registry map itself is only locked at
+//! registration and snapshot time. Names may carry a Prometheus-style
+//! label block (`requests_total{endpoint="assign"}`); the exposition
+//! layer ([`crate::prometheus`]) keeps labels intact and groups series
+//! by base name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of log₂ histogram buckets: bucket `i` covers `[2^i, 2^(i+1))`
+/// (values of 0 land in bucket 0). `2^39` µs ≈ 6.4 days when recording
+/// microseconds; plenty for any latency or size distribution we track.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotone counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by`.
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, bytes held).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Concurrent log₂ histogram with count and sum, generalizing the
+/// latency recorder that used to live in `dasc-serve`.
+///
+/// Recording is two atomic adds plus one atomic increment; percentile
+/// queries walk the 40 buckets. Values are unit-agnostic (we record
+/// microseconds, bytes, and record counts with the same type).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a value: `floor(log2(max(v, 1)))`, clamped to the
+/// last bucket.
+pub fn bucket_index(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive-exclusive upper edge of bucket `i` (`2^(i+1)`).
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+/// Geometric midpoint of bucket `i`: `2^(i+0.5)`, the unbiased point
+/// estimate for a log₂ bucket (the upper edge overestimates by √2 on
+/// average).
+pub fn bucket_geometric_mid(i: usize) -> u64 {
+    ((1u64 << i) as f64 * std::f64::consts::SQRT_2).round() as u64
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / n as f64
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`): the geometric midpoint
+    /// of the histogram bucket containing the q-quantile, so reported
+    /// percentiles are unbiased within a factor of √2 rather than
+    /// systematically high by up to 2× as an upper-edge estimate is.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_geometric_mid(i);
+            }
+        }
+        bucket_geometric_mid(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Point-in-time copy of the full distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Frozen copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Cumulative count of observations `< 2^(i+1)` for each bucket —
+    /// the Prometheus `le` series.
+    pub fn cumulative(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut cum = self.buckets;
+        for i in 1..HISTOGRAM_BUCKETS {
+            cum[i] += cum[i - 1];
+        }
+        cum
+    }
+}
+
+/// Point-in-time copy of every metric in a registry.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merge another snapshot into this one. On a name collision the
+    /// other snapshot's entry wins (callers merge the more specific
+    /// registry last).
+    pub fn merge(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self
+    }
+
+    /// True when no metric is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A named-metric registry. Cheap to create; one global instance
+/// ([`global`]) collects process-wide pipeline metrics, while
+/// subsystems that need isolation (e.g. one HTTP server per test) hold
+/// their own.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Get-or-register in one of the registry's maps: read-lock fast path,
+/// write lock only on first registration.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(m) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(m);
+    }
+    let mut w = map.write().expect("registry lock");
+    Arc::clone(
+        w.entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    /// New, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`. The returned handle records
+    /// without touching the registry again.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Convenience: add `by` to counter `name` (read-lock fast path).
+    pub fn inc(&self, name: &str, by: u64) {
+        self.counter(name).add(by);
+    }
+
+    /// Convenience: record `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Current value of counter `name` (0 if never registered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry. Pipeline stages (DASC, MapReduce, the
+/// serving engine) record here; exporters merge it into their output.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter_value("hits"), 5);
+        assert_eq!(r.counter_value("misses"), 0);
+
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn handles_are_interned() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_edge(0), 2);
+        assert_eq!(bucket_geometric_mid(0), 1);
+        assert_eq!(bucket_geometric_mid(3), 11); // [8,16) → 11.3
+        assert_eq!(bucket_geometric_mid(13), 11585); // [8192,16384)
+    }
+
+    #[test]
+    fn percentile_uses_geometric_midpoint() {
+        let h = Histogram::new();
+        // 99 fast (~8) and one slow (~8192) observation.
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(8192);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.50), 11);
+        assert_eq!(h.percentile(0.99), 11);
+        assert_eq!(h.percentile(1.0), 11585);
+        assert!((h.mean() - (99.0 * 8.0 + 8192.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_histogram_hammer_preserves_invariants() {
+        // Multi-thread hammer: every recorded observation must be
+        // accounted for in count, sum, and the bucket totals.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Mix of magnitudes across threads.
+                        h.record((i % 1000) + t);
+                    }
+                });
+            }
+        });
+        let n = THREADS * PER_THREAD;
+        assert_eq!(h.count(), n);
+        let expected_sum: u64 = (0..THREADS)
+            .map(|t| (0..PER_THREAD).map(|i| (i % 1000) + t).sum::<u64>())
+            .sum();
+        assert_eq!(h.sum(), expected_sum);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+        assert_eq!(snap.cumulative()[HISTOGRAM_BUCKETS - 1], n);
+        // p100 must sit in the bucket of the largest value (1006).
+        assert_eq!(h.percentile(1.0), bucket_geometric_mid(bucket_index(1006)));
+    }
+
+    #[test]
+    fn concurrent_registry_registration() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.inc("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter_value("hits"), 8000);
+    }
+
+    #[test]
+    fn snapshot_merge_prefers_other() {
+        let a = Registry::new();
+        a.inc("shared", 1);
+        a.inc("only_a", 2);
+        let b = Registry::new();
+        b.inc("shared", 10);
+        b.observe("lat", 5);
+        let merged = a.snapshot().merge(b.snapshot());
+        assert_eq!(merged.counters["shared"], 10);
+        assert_eq!(merged.counters["only_a"], 2);
+        assert_eq!(merged.histograms["lat"].count, 1);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().inc("obs.test.global_counter", 3);
+        assert!(global().counter_value("obs.test.global_counter") >= 3);
+    }
+}

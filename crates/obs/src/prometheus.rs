@@ -1,0 +1,171 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! Registry names may embed a label block
+//! (`requests_total{endpoint="assign"}`): series sharing a base name
+//! are grouped under one `# TYPE` line, and histogram `le` labels are
+//! appended to the user's labels. Base names are sanitized to the
+//! Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`); dots become
+//! underscores, so dotted registry names stay readable.
+
+use crate::metrics::{bucket_upper_edge, HistogramSnapshot, MetricsSnapshot};
+
+/// Split a registry name into (sanitized base, label block without
+/// braces).
+fn split_name(name: &str) -> (String, &str) {
+    let (base, labels) = match name.split_once('{') {
+        Some((b, rest)) => (b, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    };
+    let mut clean = String::with_capacity(base.len());
+    for (i, c) in base.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            clean.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            clean.push('_');
+            clean.push(c);
+        } else {
+            clean.push('_');
+        }
+    }
+    if clean.is_empty() {
+        clean.push('_');
+    }
+    (clean, labels)
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn type_line(out: &mut String, emitted: &mut Vec<String>, base: &str, kind: &str) {
+    if !emitted.iter().any(|b| b == base) {
+        out.push_str(&format!("# TYPE {base} {kind}\n"));
+        emitted.push(base.to_string());
+    }
+}
+
+fn render_histogram(out: &mut String, base: &str, labels: &str, h: &HistogramSnapshot) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let cum = h.cumulative();
+    // Buckets up to the highest populated one keep the output compact;
+    // `+Inf` always closes the series.
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| i + 1)
+        .min(h.buckets.len() - 1);
+    for (i, &c) in cum.iter().enumerate().take(last + 1) {
+        out.push_str(&format!(
+            "{base}_bucket{{{labels}{sep}le=\"{}\"}} {c}\n",
+            bucket_upper_edge(i)
+        ));
+    }
+    out.push_str(&format!(
+        "{base}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        h.count
+    ));
+    let lb = braced(labels);
+    out.push_str(&format!("{base}_sum{lb} {}\n", h.sum));
+    out.push_str(&format!("{base}_count{lb} {}\n", h.count));
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut emitted: Vec<String> = Vec::new();
+    for (name, value) in &snapshot.counters {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, &mut emitted, &base, "counter");
+        out.push_str(&format!("{base}{} {value}\n", braced(labels)));
+    }
+    for (name, value) in &snapshot.gauges {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, &mut emitted, &base, "gauge");
+        out.push_str(&format!("{base}{} {value}\n", braced(labels)));
+    }
+    for (name, h) in &snapshot.histograms {
+        let (base, labels) = split_name(name);
+        type_line(&mut out, &mut emitted, &base, "histogram");
+        render_histogram(&mut out, &base, labels, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn sanitizes_base_names() {
+        assert_eq!(split_name("dasc.lsh.sign").0, "dasc_lsh_sign");
+        assert_eq!(split_name("9lives").0, "_9lives");
+        assert_eq!(split_name("ok_name:sub").0, "ok_name:sub");
+    }
+
+    #[test]
+    fn splits_label_blocks() {
+        let (base, labels) = split_name("req_total{endpoint=\"assign\"}");
+        assert_eq!(base, "req_total");
+        assert_eq!(labels, "endpoint=\"assign\"");
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.inc("runs_total", 2);
+        r.gauge("depth").set(-3);
+        let h = r.histogram("lat_us{endpoint=\"assign\"}");
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let text = render(&r.snapshot());
+
+        assert!(text.contains("# TYPE runs_total counter"));
+        assert!(text.contains("runs_total 2"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -3"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+        // Cumulative buckets: 1 obs < 2, 3 obs < 4.
+        assert!(text.contains("lat_us_bucket{endpoint=\"assign\",le=\"2\"} 1"));
+        assert!(text.contains("lat_us_bucket{endpoint=\"assign\",le=\"4\"} 3"));
+        assert!(text.contains("lat_us_bucket{endpoint=\"assign\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_us_sum{endpoint=\"assign\"} 7"));
+        assert!(text.contains("lat_us_count{endpoint=\"assign\"} 3"));
+    }
+
+    #[test]
+    fn type_line_emitted_once_per_base() {
+        let r = Registry::new();
+        r.inc("route_total{tier=\"exact\"}", 1);
+        r.inc("route_total{tier=\"global\"}", 2);
+        let text = render(&r.snapshot());
+        assert_eq!(text.matches("# TYPE route_total counter").count(), 1);
+        assert!(text.contains("route_total{tier=\"exact\"} 1"));
+        assert!(text.contains("route_total{tier=\"global\"} 2"));
+    }
+
+    #[test]
+    fn every_line_is_wellformed() {
+        let r = Registry::new();
+        r.inc("a.b-c/total", 1);
+        r.observe("h", 100);
+        let text = render(&r.snapshot());
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ")
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(series, v)| !series.is_empty() && v.parse::<f64>().is_ok()),
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -18,8 +18,9 @@
 //!   `O(M + K·d)` with per-stage routing counters.
 //! * [`Server`] — a thread-per-worker HTTP/1.1 JSON service over an
 //!   immutable engine shared behind `Arc`, with batched bulk
-//!   assignment, per-endpoint latency/QPS counters, and graceful
-//!   shutdown. No external dependencies: framing and JSON are
+//!   assignment, per-endpoint latency/QPS counters, a Prometheus-style
+//!   `GET /metrics` endpoint (backed by the `dasc-obs` registry), and
+//!   graceful shutdown. No external dependencies: framing and JSON are
 //!   hand-rolled in [`http`] and [`json`].
 //!
 //! [`DascConfig`]: dasc_core::DascConfig

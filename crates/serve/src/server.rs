@@ -14,6 +14,7 @@
 //! | POST   | `/assign_batch` | `{"points": [[..], ..]}`  | `{"clusters": [..], "routes": [..], "count"}` |
 //! | GET    | `/healthz`      | —                         | `{"status": "ok"}` |
 //! | GET    | `/stats`        | —                         | uptime, per-endpoint latency/QPS, routing tiers |
+//! | GET    | `/metrics`      | —                         | Prometheus text exposition (per-endpoint latency histograms, routing-tier counters, process-wide registry) |
 //!
 //! Shutdown is graceful: [`ServerHandle::shutdown`] stops the
 //! acceptor, lets every worker finish its in-flight request, and joins
@@ -25,6 +26,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+use dasc_obs::Registry;
 
 use crate::engine::AssignmentEngine;
 use crate::http::{self, HttpError, Request};
@@ -64,12 +67,17 @@ pub struct Server {
 
 struct Shared {
     engine: Arc<AssignmentEngine>,
+    /// Per-server metrics registry backing the endpoint stats; merged
+    /// with the process-wide [`dasc_obs::global`] registry on
+    /// `/metrics` scrapes.
+    registry: Registry,
     started: Instant,
     shutdown: AtomicBool,
     assign: EndpointStats,
     assign_batch: EndpointStats,
     healthz: EndpointStats,
     stats: EndpointStats,
+    metrics: EndpointStats,
     batch_chunk: usize,
 }
 
@@ -95,14 +103,17 @@ impl Server {
     pub fn start(self) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&self.config.addr)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new();
         let shared = Arc::new(Shared {
             engine: self.engine,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
-            assign: EndpointStats::new(),
-            assign_batch: EndpointStats::new(),
-            healthz: EndpointStats::new(),
-            stats: EndpointStats::new(),
+            assign: EndpointStats::registered(&registry, "assign"),
+            assign_batch: EndpointStats::registered(&registry, "assign_batch"),
+            healthz: EndpointStats::registered(&registry, "healthz"),
+            stats: EndpointStats::registered(&registry, "stats"),
+            metrics: EndpointStats::registered(&registry, "metrics"),
+            registry,
             batch_chunk: self.config.batch_chunk.max(1),
         });
 
@@ -242,11 +253,11 @@ fn serve_connection(shared: &Shared, stream: TcpStream, read_timeout: Duration) 
         };
 
         let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-        let (status, body) = route(shared, &request);
+        let (status, content_type, body) = route(shared, &request);
         if http::write_response(
             &mut writer,
             status,
-            "application/json",
+            content_type,
             body.as_bytes(),
             keep_alive,
         )
@@ -258,30 +269,40 @@ fn serve_connection(shared: &Shared, stream: TcpStream, read_timeout: Duration) 
     }
 }
 
+const JSON_TYPE: &str = "application/json";
+/// Prometheus text exposition format version.
+const METRICS_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Dispatch a request, recording per-endpoint stats.
-fn route(shared: &Shared, request: &Request) -> (u16, String) {
+fn route(shared: &Shared, request: &Request) -> (u16, &'static str, String) {
     let start = Instant::now();
-    let (stats, outcome) = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/assign") => (&shared.assign, handle_assign(shared, request)),
-        ("POST", "/assign_batch") => (&shared.assign_batch, handle_assign_batch(shared, request)),
+    let (stats, content_type, outcome) = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/assign") => (&shared.assign, JSON_TYPE, handle_assign(shared, request)),
+        ("POST", "/assign_batch") => (
+            &shared.assign_batch,
+            JSON_TYPE,
+            handle_assign_batch(shared, request),
+        ),
         ("GET", "/healthz") => (
             &shared.healthz,
+            JSON_TYPE,
             Ok(object([("status", "ok".into())]).to_json()),
         ),
-        ("GET", "/stats") => (&shared.stats, Ok(stats_json(shared))),
-        (_, "/assign" | "/assign_batch" | "/healthz" | "/stats") => {
-            return (405, error_json("method not allowed"));
+        ("GET", "/stats") => (&shared.stats, JSON_TYPE, Ok(stats_json(shared))),
+        ("GET", "/metrics") => (&shared.metrics, METRICS_TYPE, Ok(metrics_text(shared))),
+        (_, "/assign" | "/assign_batch" | "/healthz" | "/stats" | "/metrics") => {
+            return (405, JSON_TYPE, error_json("method not allowed"));
         }
-        _ => return (404, error_json("no such endpoint")),
+        _ => return (404, JSON_TYPE, error_json("no such endpoint")),
     };
     match outcome {
         Ok(body) => {
             stats.record_ok(start);
-            (200, body)
+            (200, content_type, body)
         }
         Err(msg) => {
             stats.record_error();
-            (400, error_json(&msg))
+            (400, JSON_TYPE, error_json(&msg))
         }
     }
 }
@@ -401,6 +422,7 @@ fn stats_json(shared: &Shared) -> String {
                 ("assign_batch", endpoint_json(&shared.assign_batch, uptime)),
                 ("healthz", endpoint_json(&shared.healthz, uptime)),
                 ("stats", endpoint_json(&shared.stats, uptime)),
+                ("metrics", endpoint_json(&shared.metrics, uptime)),
             ]),
         ),
         (
@@ -422,6 +444,32 @@ fn stats_json(shared: &Shared) -> String {
         ),
     ])
     .to_json()
+}
+
+/// Prometheus exposition of the merged process-wide + per-server
+/// snapshot.
+///
+/// Routing-tier counters and the uptime gauge are inserted at scrape
+/// time from the engine's existing atomics rather than mirrored on the
+/// assignment hot path, so `/metrics` adds zero per-request overhead.
+fn metrics_text(shared: &Shared) -> String {
+    let mut snap = dasc_obs::global()
+        .snapshot()
+        .merge(shared.registry.snapshot());
+    let routing = shared.engine.routing_counts();
+    for (tier, count) in [
+        ("exact", routing.exact),
+        ("one_bit_neighbor", routing.one_bit_neighbor),
+        ("global_fallback", routing.global_fallback),
+    ] {
+        snap.counters
+            .insert(format!("dasc_serve_route_total{{tier=\"{tier}\"}}"), count);
+    }
+    snap.gauges.insert(
+        "dasc_serve_uptime_seconds".to_string(),
+        shared.started.elapsed().as_secs() as i64,
+    );
+    dasc_obs::prometheus::render(&snap)
 }
 
 fn error_json(message: &str) -> String {
@@ -517,6 +565,58 @@ mod tests {
         assert_eq!(
             v.get("model").unwrap().get("dimension").unwrap().as_f64(),
             Some(2.0)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_exposes_prometheus_series() {
+        let server = start_test_server();
+        let addr = server.addr();
+        // Traffic: two successes and one error on /assign.
+        for _ in 0..2 {
+            let (status, _) = post(addr, "/assign", r#"{"point":[0.1,0.1]}"#);
+            assert_eq!(status, 200);
+        }
+        let (status, _) = post(addr, "/assign", "not json");
+        assert_eq!(status, 400);
+
+        let (status, body) = roundtrip(
+            addr,
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        // Per-endpoint latency histogram series.
+        assert!(
+            body.contains("# TYPE dasc_serve_request_duration_us histogram"),
+            "{body}"
+        );
+        assert!(body.contains("dasc_serve_request_duration_us_bucket{endpoint=\"assign\""));
+        assert!(body.contains("dasc_serve_request_duration_us_count{endpoint=\"assign\"} 2"));
+        // Error counter.
+        assert!(body.contains("dasc_serve_request_errors_total{endpoint=\"assign\"} 1"));
+        // Routing tiers inserted at scrape time from the engine.
+        assert!(body.contains("dasc_serve_route_total{tier=\"exact\"} 2"));
+        assert!(body.contains("dasc_serve_route_total{tier=\"global_fallback\"} 0"));
+        // Uptime gauge and process-wide registry counters (training in
+        // this process bumped dasc_runs_total).
+        assert!(body.contains("dasc_serve_uptime_seconds"));
+        assert!(body.contains("dasc_runs_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_response_is_plaintext() {
+        let server = start_test_server();
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("recv");
+        let headers = response.split("\r\n\r\n").next().unwrap_or_default();
+        assert!(
+            headers.to_ascii_lowercase().contains("text/plain"),
+            "{headers}"
         );
         server.shutdown();
     }

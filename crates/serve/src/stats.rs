@@ -1,94 +1,92 @@
-//! Lock-free serving statistics: per-endpoint request counts, QPS, and
-//! latency percentiles.
+//! Serving statistics on the unified observability layer.
 //!
-//! Latencies land in a fixed log₂ histogram of `AtomicU64` buckets
-//! (bucket `i` covers `[2^i, 2^(i+1))` microseconds), so recording is a
-//! couple of atomic increments on the hot path and percentile queries
-//! walk 40 buckets. Percentiles are therefore resolved to a factor of
-//! two — the right trade for an embedded server with no dependencies.
+//! [`LatencyRecorder`] is a thin handle over a [`dasc_obs::Histogram`]:
+//! recording is two atomic increments on the hot path, percentile
+//! queries walk 40 log₂ buckets and return the *geometric midpoint* of
+//! the winning bucket, so reported quantiles are within a factor of √2
+//! of the truth rather than the upper edge's factor of two.
+//!
+//! [`EndpointStats::registered`] binds the recorder and error counter
+//! to named series in a [`dasc_obs::Registry`]
+//! (`dasc_serve_request_duration_us{endpoint="…"}`,
+//! `dasc_serve_request_errors_total{endpoint="…"}`), which is how the
+//! server's `/metrics` endpoint sees per-endpoint latency histograms
+//! without any extra bookkeeping.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-const BUCKETS: usize = 40; // 2^39 µs ≈ 6.4 days; plenty.
+use dasc_obs::{Counter, Histogram, Registry};
 
 /// Concurrent log₂ latency histogram with total-count and total-time
 /// counters.
+#[derive(Clone, Default)]
 pub struct LatencyRecorder {
-    count: AtomicU64,
-    total_micros: AtomicU64,
-    histogram: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyRecorder {
-    fn default() -> Self {
-        Self {
-            count: AtomicU64::new(0),
-            total_micros: AtomicU64::new(0),
-            histogram: [const { AtomicU64::new(0) }; BUCKETS],
-        }
-    }
+    inner: Arc<Histogram>,
 }
 
 impl LatencyRecorder {
-    /// New, empty recorder.
+    /// New, empty recorder (not attached to any registry).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A recorder backed by the named histogram of `registry`.
+    pub fn registered(registry: &Registry, name: &str) -> Self {
+        Self {
+            inner: registry.histogram(name),
+        }
     }
 
     /// Record one observation in microseconds.
     pub fn record_micros(&self, micros: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
-        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.record(micros);
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.inner.count()
     }
 
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_micros(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
-        }
-        self.total_micros.load(Ordering::Relaxed) as f64 / n as f64
+        self.inner.mean()
     }
 
     /// Approximate percentile (`q` in `[0, 1]`) in microseconds: the
-    /// upper edge of the histogram bucket containing the q-quantile.
+    /// geometric midpoint of the histogram bucket containing the
+    /// q-quantile (within √2 of the true value).
     pub fn percentile_micros(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.histogram.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << BUCKETS
+        self.inner.percentile(q)
     }
 }
 
 /// Counters for one HTTP endpoint.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct EndpointStats {
     /// Latency of successful requests.
     pub latency: LatencyRecorder,
-    errors: AtomicU64,
+    errors: Arc<Counter>,
 }
 
 impl EndpointStats {
-    /// New, empty stats.
+    /// New, empty stats (not attached to any registry).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stats backed by named series of `registry`, so they appear in
+    /// Prometheus exposition of that registry's snapshot.
+    pub fn registered(registry: &Registry, endpoint: &str) -> Self {
+        Self {
+            latency: LatencyRecorder::registered(
+                registry,
+                &format!("dasc_serve_request_duration_us{{endpoint=\"{endpoint}\"}}"),
+            ),
+            errors: registry.counter(&format!(
+                "dasc_serve_request_errors_total{{endpoint=\"{endpoint}\"}}"
+            )),
+        }
     }
 
     /// Record a successful request's duration.
@@ -99,7 +97,7 @@ impl EndpointStats {
 
     /// Record a failed request.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Successful requests served.
@@ -109,7 +107,7 @@ impl EndpointStats {
 
     /// Failed requests.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 }
 
@@ -136,6 +134,18 @@ mod tests {
     }
 
     #[test]
+    fn percentile_is_geometric_midpoint_not_upper_edge() {
+        let r = LatencyRecorder::new();
+        // All observations in bucket 3 ([8, 16)): upper edge would say
+        // 16, the geometric midpoint √(8·16) ≈ 11 is within √2.
+        for _ in 0..10 {
+            r.record_micros(9);
+        }
+        assert_eq!(r.percentile_micros(0.5), 11);
+        assert_eq!(r.percentile_micros(1.0), 11);
+    }
+
+    #[test]
     fn empty_recorder_is_zero() {
         let r = LatencyRecorder::new();
         assert_eq!(r.count(), 0);
@@ -148,7 +158,8 @@ mod tests {
         let r = LatencyRecorder::new();
         r.record_micros(0);
         assert_eq!(r.count(), 1);
-        assert_eq!(r.percentile_micros(1.0), 2);
+        // Geometric midpoint of bucket 0 ([1, 2)).
+        assert_eq!(r.percentile_micros(1.0), 1);
     }
 
     #[test]
@@ -159,5 +170,25 @@ mod tests {
         s.record_error();
         assert_eq!(s.requests(), 1);
         assert_eq!(s.errors(), 2);
+    }
+
+    #[test]
+    fn registered_stats_surface_in_registry_snapshot() {
+        let registry = Registry::new();
+        let s = EndpointStats::registered(&registry, "assign");
+        s.latency.record_micros(5);
+        s.record_error();
+
+        let snap = registry.snapshot();
+        let h = snap
+            .histograms
+            .get("dasc_serve_request_duration_us{endpoint=\"assign\"}")
+            .expect("histogram series");
+        assert_eq!(h.count, 1);
+        assert_eq!(
+            snap.counters
+                .get("dasc_serve_request_errors_total{endpoint=\"assign\"}"),
+            Some(&1)
+        );
     }
 }

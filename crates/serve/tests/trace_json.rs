@@ -1,0 +1,52 @@
+//! Round-trip: the obs tracer's Chrome trace-event export must be
+//! well-formed JSON as judged by this crate's own parser, and a real
+//! pipeline run must produce the documented stage spans.
+
+use dasc_core::{Dasc, DascConfig};
+use dasc_lsh::LshConfig;
+use dasc_serve::JsonValue;
+
+#[test]
+fn chrome_trace_of_a_training_run_parses_back() {
+    let pts: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            let c = (i % 4) as f64;
+            vec![c + (i % 7) as f64 * 0.01, c + (i % 5) as f64 * 0.01]
+        })
+        .collect();
+    let cfg = DascConfig::for_dataset(pts.len(), 4).lsh(LshConfig::with_bits(2));
+
+    let tracer = dasc_obs::tracer();
+    tracer.enable();
+    let _trained = Dasc::new(cfg).train(&pts);
+    let spans = tracer.drain();
+    tracer.disable();
+
+    let json = dasc_obs::chrome_trace_json(&spans);
+    let parsed = JsonValue::parse(&json).expect("chrome trace is valid JSON");
+    let events = parsed.as_array().expect("top level is an array");
+    assert_eq!(events.len(), spans.len());
+
+    // Every event is a complete ("X") duration event with the fields
+    // chrome://tracing requires.
+    let mut names = std::collections::BTreeSet::new();
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(ev.get("cat").and_then(|v| v.as_str()), Some("dasc"));
+        assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+        assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+        assert!(ev.get("tid").and_then(|v| v.as_f64()).is_some());
+        let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+        if name.starts_with("dasc.") {
+            names.insert(name.to_string());
+        }
+    }
+    // The documented pipeline stages all show up (≥5 distinct).
+    assert!(
+        names.len() >= 5,
+        "expected ≥5 distinct dasc.* stages, got {names:?}"
+    );
+    for stage in ["dasc.lsh", "dasc.bucket", "dasc.gram", "dasc.cluster"] {
+        assert!(names.contains(stage), "missing {stage} in {names:?}");
+    }
+}

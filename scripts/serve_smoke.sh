@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the serving subsystem:
 #   generate synthetic blobs → train + persist a model → start the
-#   HTTP server → query /healthz, /assign, /assign_batch, /stats →
-#   verify sane responses → shut down.
+#   HTTP server → query /healthz, /assign, /assign_batch, /stats,
+#   /metrics → verify sane responses → shut down.
 #
 # Needs only cargo and standard POSIX tools; uses curl when present
 # and falls back to a bash /dev/tcp client otherwise.
@@ -97,6 +97,23 @@ case "$STATS" in
     *'"routing":'*'"total":3'*) ;;
     *) fail "stats did not count 3 routed assignments: $STATS" ;;
 esac
+
+echo "== metrics =="
+METRICS="$(request GET /metrics)"
+echo "$METRICS" | head -5
+for series in \
+    'dasc_serve_request_duration_us_bucket{endpoint="assign"' \
+    'dasc_serve_request_errors_total{endpoint="assign"}' \
+    'dasc_serve_route_total{tier="exact"}' \
+    'dasc_serve_uptime_seconds'; do
+    case "$METRICS" in
+        *"$series"*) ;;
+        *) fail "/metrics missing series $series" ;;
+    esac
+done
+# Well-formed exposition: every line is a comment or "name value".
+echo "$METRICS" | grep -vE '^(# .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.+eE-]+)$' \
+    | grep -q . && fail "/metrics has malformed lines" || true
 
 echo "== offline assign =="
 "$DASC" assign --model "$WORK/model.dasc" --input "$WORK/train.csv" \
