@@ -1,0 +1,139 @@
+//! End-to-end pipeline benchmark with machine-readable output.
+//!
+//! Runs the full DASC pipeline (LSH → bucket → Gram → cluster) on
+//! synthetic blobs at two or three sizes, once pinned to a single
+//! thread and once on the configured pool, and writes
+//! `BENCH_pipeline.json`: per-stage wall-clock (from the same obs span
+//! guards that fill [`dasc_core::DascStageTimes`]), threads used,
+//! points/s, and the per-size parallel speedup.
+//!
+//! Usage: `bench_pipeline [--full] [--out PATH]`. Sizes default to the
+//! quick set; `--full`/`DASC_SCALE=full` switches to paper-adjacent
+//! sizes (20k+). The parallel run uses `DASC_NUM_THREADS` (default:
+//! available cores), so `DASC_NUM_THREADS=4 bench_pipeline --full`
+//! reproduces the 4-thread acceptance measurement.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dasc_bench::Scale;
+use dasc_core::{Dasc, DascConfig, DascResult};
+use dasc_data::SyntheticConfig;
+
+struct Run {
+    n: usize,
+    threads: usize,
+    total_s: f64,
+    points_per_s: f64,
+    result: DascResult,
+}
+
+fn run_once(points: &[Vec<f64>], k: usize, threads: usize) -> Run {
+    let cfg = DascConfig::for_dataset(points.len(), k).seed(0xBE7C);
+    let pool = dasc_pool::Pool::new(threads);
+    let t0 = Instant::now();
+    let result = pool.install(|| Dasc::new(cfg).run(points));
+    let total_s = t0.elapsed().as_secs_f64();
+    Run {
+        n: points.len(),
+        threads,
+        total_s,
+        points_per_s: points.len() as f64 / total_s,
+        result,
+    }
+}
+
+fn json_run(out: &mut String, run: &Run) {
+    let t = &run.result.times;
+    write!(
+        out,
+        concat!(
+            "{{\"n\": {}, \"threads\": {}, \"total_s\": {:.6}, ",
+            "\"points_per_s\": {:.1}, \"buckets\": {}, ",
+            "\"approx_gram_bytes\": {}, \"stages_s\": {{",
+            "\"lsh\": {:.6}, \"bucketing\": {:.6}, ",
+            "\"gram\": {:.6}, \"clustering\": {:.6}}}}}"
+        ),
+        run.n,
+        run.threads,
+        run.total_s,
+        run.points_per_s,
+        run.result.buckets.len(),
+        run.result.approx_gram_bytes,
+        t.lsh.as_secs_f64(),
+        t.bucketing.as_secs_f64(),
+        t.gram.as_secs_f64(),
+        t.clustering.as_secs_f64(),
+    )
+    .expect("write to string");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_pipeline.json".to_string())
+    };
+    let sizes: &[usize] = scale.pick(&[1_000, 4_000][..], &[5_000, 20_000, 50_000][..]);
+    let k = 16usize;
+    let par_threads = dasc_pool::configured_threads();
+
+    let mut runs: Vec<(Run, Run)> = Vec::new();
+    for &n in sizes {
+        let ds = SyntheticConfig::paper_default(n, k).seed(0xDA7A).generate();
+        eprintln!("n={n}: sequential run...");
+        let seq = run_once(&ds.points, k, 1);
+        eprintln!(
+            "n={n}: parallel run ({par_threads} thread{})...",
+            if par_threads == 1 { "" } else { "s" }
+        );
+        let par = run_once(&ds.points, k, par_threads);
+        assert_eq!(
+            seq.result.clustering.assignments, par.result.clustering.assignments,
+            "clustering must be thread-count independent"
+        );
+        eprintln!(
+            "n={n}: seq {:.3}s, par {:.3}s, speedup {:.2}x",
+            seq.total_s,
+            par.total_s,
+            seq.total_s / par.total_s
+        );
+        runs.push((seq, par));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pipeline\",\n");
+    write!(
+        json,
+        "  \"parallel_threads\": {par_threads},\n  \"runs\": [\n"
+    )
+    .expect("write to string");
+    for (i, (seq, par)) in runs.iter().enumerate() {
+        for (j, run) in [seq, par].into_iter().enumerate() {
+            json.push_str("    ");
+            json_run(&mut json, run);
+            if i + 1 < runs.len() || j == 0 {
+                json.push(',');
+            }
+            json.push('\n');
+        }
+    }
+    json.push_str("  ],\n  \"speedup\": [\n");
+    for (i, (seq, par)) in runs.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"n\": {}, \"speedup\": {:.3}}}{}",
+            seq.n,
+            seq.total_s / par.total_s,
+            if i + 1 < runs.len() { "," } else { "" }
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

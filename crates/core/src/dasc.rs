@@ -276,17 +276,33 @@ impl Dasc {
         let approx_gram_bytes = gram.memory_bytes();
 
         let cluster_span = span!("dasc.cluster");
-        let per_bucket: Vec<(Vec<usize>, Clustering)> = gram
-            .blocks()
+        // Schedule the biggest buckets first: per-bucket spectral cost
+        // grows superlinearly with Nᵢ, so a large bucket started last
+        // would finish alone while the rest of the pool idles. Spectral
+        // seeds key on the *original* bucket index and results are
+        // scattered back to input order, so the clustering is identical
+        // to an in-order run.
+        let blocks = gram.blocks();
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(blocks[b].members.len()));
+        let computed: Vec<(usize, Clustering)> = order
             .par_iter()
-            .enumerate()
-            .map(|(bi, block)| {
+            .map(|&bi| {
+                let block = &blocks[bi];
                 let _bucket_span = span!("dasc.cluster.bucket");
                 let ki = bucket_cluster_count(self.config.k, block.members.len(), n);
                 let sc = SpectralClustering::new(self.spectral_config(ki, bi as u64));
-                let c = sc.run_on_similarity(&block.matrix);
-                (block.members.clone(), c)
+                (bi, sc.run_on_similarity(&block.matrix))
             })
+            .collect();
+        let mut per_bucket: Vec<Option<(Vec<usize>, Clustering)>> =
+            blocks.iter().map(|_| None).collect();
+        for (bi, c) in computed {
+            per_bucket[bi] = Some((blocks[bi].members.clone(), c));
+        }
+        let per_bucket: Vec<(Vec<usize>, Clustering)> = per_bucket
+            .into_iter()
+            .map(|b| b.expect("every bucket clustered"))
             .collect();
         times.clustering = cluster_span.finish();
 
@@ -757,6 +773,28 @@ mod tests {
         assert!(with.clustering.num_clusters <= 2);
         let without = Dasc::new(cfg.consolidate(false)).run(&pts);
         assert!(without.clustering.num_clusters >= with.clustering.num_clusters);
+    }
+
+    #[test]
+    fn output_identical_across_thread_counts() {
+        // The acceptance bar for real parallelism: the full pipeline —
+        // LSH hashing, bucket Gram blocks, per-bucket spectral runs,
+        // consolidation — produces bit-identical assignments whether it
+        // runs on one worker or several.
+        let (pts, _) = four_blobs(20);
+        let cfg = DascConfig::for_dataset(pts.len(), 4)
+            .lsh(LshConfig::with_bits(3))
+            .seed(7);
+        let seq = dasc_pool::Pool::new(1).install(|| Dasc::new(cfg.clone()).run(&pts));
+        for threads in [2, 4] {
+            let par = dasc_pool::Pool::new(threads).install(|| Dasc::new(cfg.clone()).run(&pts));
+            assert_eq!(
+                seq.clustering.assignments, par.clustering.assignments,
+                "assignments differ at {threads} threads"
+            );
+            assert_eq!(seq.clustering.num_clusters, par.clustering.num_clusters);
+            assert_eq!(seq.approx_gram_bytes, par.approx_gram_bytes);
+        }
     }
 
     #[test]

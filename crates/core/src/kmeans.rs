@@ -84,10 +84,21 @@ impl KMeans {
     /// # Panics
     /// Panics on an empty or ragged dataset.
     pub fn run(&self, points: &[Vec<f64>]) -> KMeansResult {
+        // Restarts run concurrently: each derives its own RNG stream
+        // from the seed, so the candidate runs are exactly the ones the
+        // sequential loop produced. Selection then scans in restart
+        // order keeping the first strictly-lower inertia, so the winner
+        // is independent of thread count too.
+        let restarts = self.config.restarts.max(1) as u64;
+        let seeds: Vec<u64> = (0..restarts)
+            .map(|r| self.config.seed ^ r.wrapping_mul(0xA076_1D64_78BD_642F))
+            .collect();
+        let candidates: Vec<KMeansResult> = seeds
+            .par_iter()
+            .map(|&seed| self.run_once(points, seed))
+            .collect();
         let mut best: Option<KMeansResult> = None;
-        for r in 0..self.config.restarts.max(1) {
-            let seed = self.config.seed ^ (r as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-            let candidate = self.run_once(points, seed);
+        for candidate in candidates {
             let better = best
                 .as_ref()
                 .map(|b| candidate.inertia < b.inertia)

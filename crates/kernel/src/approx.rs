@@ -5,12 +5,12 @@
 //! holding `Σ Nᵢ²` entries. Cross-bucket similarities are approximated
 //! as zero — the approximation error analyzed in Section 4.2.
 
-use dasc_linalg::Matrix;
+use dasc_linalg::{FlatPoints, Matrix};
 use dasc_lsh::BucketSet;
 use rayon::prelude::*;
 
 use crate::functions::Kernel;
-use crate::gram::full_gram;
+use crate::gram::{full_gram, full_gram_flat};
 
 /// One diagonal block: a bucket's members and their sub-similarity
 /// matrix (the output of Algorithm 2's reducer).
@@ -29,47 +29,65 @@ pub struct ApproximateGram {
     blocks: Vec<GramBlock>,
 }
 
+/// Build every bucket's Gram block, bucket-parallel.
+///
+/// Buckets are *scheduled largest-first*: a bucket costs O(Nᵢ²), so if
+/// the biggest one started last it would run alone at the tail while
+/// the rest of the pool idles. Results are scattered back to input
+/// order, so the output is independent of the schedule.
+fn blocks_for_groups(points: &[Vec<f64>], groups: &[&[usize]], kernel: &Kernel) -> Vec<GramBlock> {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+    let computed: Vec<(usize, GramBlock)> = order
+        .par_iter()
+        .map(|&g| {
+            let members = groups[g];
+            // Gather the bucket into a flat row-major buffer once, so
+            // the O(Nᵢ²) kernel loop reads contiguous memory.
+            let sub = FlatPoints::gather(points, members);
+            let block = GramBlock {
+                members: members.to_vec(),
+                matrix: full_gram_flat(&sub, kernel),
+            };
+            (g, block)
+        })
+        .collect();
+    let mut out: Vec<Option<GramBlock>> = (0..groups.len()).map(|_| None).collect();
+    for (g, block) in computed {
+        out[g] = Some(block);
+    }
+    out.into_iter()
+        .map(|b| b.expect("every group computed"))
+        .collect()
+}
+
 impl ApproximateGram {
-    /// Build the approximation from LSH buckets (bucket-parallel).
+    /// Build the approximation from LSH buckets (bucket-parallel,
+    /// largest buckets scheduled first).
     pub fn from_buckets(points: &[Vec<f64>], buckets: &BucketSet, kernel: &Kernel) -> Self {
         assert_eq!(
             buckets.num_points(),
             points.len(),
             "bucket set does not cover the dataset"
         );
-        let blocks: Vec<GramBlock> = buckets
+        let groups: Vec<&[usize]> = buckets
             .buckets()
-            .par_iter()
-            .map(|b| {
-                let sub: Vec<Vec<f64>> = b.members.iter().map(|&i| points[i].clone()).collect();
-                GramBlock {
-                    members: b.members.clone(),
-                    matrix: full_gram(&sub, kernel),
-                }
-            })
+            .iter()
+            .map(|b| b.members.as_slice())
             .collect();
         Self {
             n: points.len(),
-            blocks,
+            blocks: blocks_for_groups(points, &groups, kernel),
         }
     }
 
     /// Build directly from explicit member groups (used by tests and by
     /// the MapReduce reducer path, where groups arrive from the shuffle).
     pub fn from_groups(points: &[Vec<f64>], groups: Vec<Vec<usize>>, kernel: &Kernel) -> Self {
-        let blocks: Vec<GramBlock> = groups
-            .into_par_iter()
-            .map(|members| {
-                let sub: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
-                GramBlock {
-                    members,
-                    matrix: full_gram(&sub, kernel),
-                }
-            })
-            .collect();
+        let group_refs: Vec<&[usize]> = groups.iter().map(Vec::as_slice).collect();
         Self {
             n: points.len(),
-            blocks,
+            blocks: blocks_for_groups(points, &group_refs, kernel),
         }
     }
 

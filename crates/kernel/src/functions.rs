@@ -60,12 +60,34 @@ impl Kernel {
 
     /// A data-driven bandwidth heuristic: the median pairwise distance
     /// over a deterministic subsample. Useful when σ is not given.
+    ///
+    /// The subsample is capped at [`MEDIAN_HEURISTIC_MAX_SAMPLE`]
+    /// points, so the cost is bounded regardless of `n` — see
+    /// [`Kernel::median_sigma`] for why.
     pub fn gaussian_median_heuristic(points: &[Vec<f64>]) -> Self {
+        Kernel::gaussian(Self::median_sigma(points))
+    }
+
+    /// The bandwidth [`Kernel::gaussian_median_heuristic`] would pick:
+    /// the median pairwise distance over an evenly-strided subsample of
+    /// at most [`MEDIAN_HEURISTIC_MAX_SAMPLE`] points (1.0 if the
+    /// sample is degenerate).
+    ///
+    /// The pairwise pass is O(s²) in the sample size, so without a cap
+    /// it would be O(n²) — quadratic in the dataset just to pick a
+    /// scalar. Capping at `s` points bounds it at `s(s-1)/2` distance
+    /// evaluations while the evenly-spaced stride keeps the sample
+    /// representative and deterministic. Datasets at or below the cap
+    /// are used in full, so small-`n` results are exact.
+    ///
+    /// # Panics
+    /// Panics with fewer than two points.
+    pub fn median_sigma(points: &[Vec<f64>]) -> f64 {
         let n = points.len();
         assert!(n >= 2, "median heuristic needs at least two points");
-        let stride = (n / 64).max(1);
+        let stride = n.div_ceil(MEDIAN_HEURISTIC_MAX_SAMPLE).max(1);
         let sample: Vec<&Vec<f64>> = points.iter().step_by(stride).collect();
-        let mut dists = Vec::new();
+        let mut dists = Vec::with_capacity(sample.len() * (sample.len() - 1) / 2);
         for i in 0..sample.len() {
             for j in (i + 1)..sample.len() {
                 dists.push(vector::dist(sample[i], sample[j]));
@@ -73,9 +95,20 @@ impl Kernel {
         }
         dists.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
         let median = dists[dists.len() / 2];
-        Kernel::gaussian(if median > 0.0 { median } else { 1.0 })
+        if median > 0.0 {
+            median
+        } else {
+            1.0
+        }
     }
 }
+
+/// Largest subsample the median bandwidth heuristic will look at.
+///
+/// 256 points give 32 640 pairwise distances — microseconds of work —
+/// while the median of an evenly-strided sample of this size is a
+/// stable estimate of the population median for any realistic dataset.
+pub const MEDIAN_HEURISTIC_MAX_SAMPLE: usize = 256;
 
 #[cfg(test)]
 mod tests {
@@ -139,6 +172,41 @@ mod tests {
             panic!("expected gaussian")
         };
         assert!(sigma > 0.0 && sigma < 1.0);
+    }
+
+    #[test]
+    fn median_sigma_matches_uncapped_below_cap() {
+        // At or below the sample cap the stride is 1, so the heuristic
+        // must equal a brute-force median over every pair.
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()])
+            .collect();
+        let mut all = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                all.push(vector::dist(&pts[i], &pts[j]));
+            }
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+        assert_eq!(Kernel::median_sigma(&pts), all[all.len() / 2]);
+    }
+
+    #[test]
+    fn median_sigma_large_dataset_is_capped_and_fast() {
+        // 10k points would be ~50M pairwise distances uncapped; the cap
+        // keeps it to at most C(256, 2). Bound the wall-clock loosely so
+        // the test fails loudly if the cap regresses.
+        let pts: Vec<Vec<f64>> = (0..10_000)
+            .map(|i| vec![(i % 97) as f64 * 0.01, (i % 83) as f64 * 0.013])
+            .collect();
+        let start = std::time::Instant::now();
+        let sigma = Kernel::median_sigma(&pts);
+        assert!(sigma > 0.0);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "median heuristic took {:?} — sample cap not applied?",
+            start.elapsed()
+        );
     }
 
     #[test]

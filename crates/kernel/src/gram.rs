@@ -1,32 +1,42 @@
 //! The exact (full) Gram matrix — the O(N²) object DASC avoids.
 
-use dasc_linalg::Matrix;
+use dasc_linalg::{FlatPoints, Matrix};
 use rayon::prelude::*;
 
 use crate::functions::Kernel;
 
 /// Compute the full `N×N` Gram matrix `K[l,m] = k(X_l, X_m)`.
 ///
-/// Row-parallel; only the upper triangle is evaluated and mirrored.
+/// Flattens the points and delegates to [`full_gram_flat`].
 pub fn full_gram(points: &[Vec<f64>], kernel: &Kernel) -> Matrix {
+    full_gram_flat(&FlatPoints::from_rows(points), kernel)
+}
+
+/// [`full_gram`] over pre-flattened points — the hot path.
+///
+/// Each parallel task writes its row of the output matrix directly via
+/// `par_chunks_mut`, so the N×N buffer is the only allocation: no
+/// per-row vectors, no second copy of the triangle. Only the upper
+/// triangle (`j >= i`) is evaluated; the lower one is mirrored in place
+/// afterwards. Row `i` costs `n - i` kernel evaluations, so the
+/// work-stealing pool's fine splits are what keep the triangular load
+/// balanced.
+pub fn full_gram_flat(points: &FlatPoints, kernel: &Kernel) -> Matrix {
     let n = points.len();
     let mut g = Matrix::zeros(n, n);
-    // Compute rows in parallel: row i fills columns i..n.
-    let rows: Vec<Vec<f64>> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            (i..n)
-                .map(|j| kernel.eval(&points[i], &points[j]))
-                .collect()
-        })
-        .collect();
-    for (i, row) in rows.into_iter().enumerate() {
-        for (off, v) in row.into_iter().enumerate() {
-            let j = i + off;
-            g[(i, j)] = v;
-            g[(j, i)] = v;
-        }
+    if n == 0 {
+        return g;
     }
+    g.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let xi = points.row(i);
+            for (j, out) in row.iter_mut().enumerate().skip(i) {
+                *out = kernel.eval(xi, points.row(j));
+            }
+        });
+    g.mirror_upper();
     g
 }
 
@@ -92,6 +102,34 @@ mod tests {
     fn empty_input() {
         let g = full_gram(&[], &Kernel::Linear);
         assert_eq!(g.shape(), (0, 0));
+    }
+
+    #[test]
+    fn flat_matches_nested() {
+        let pts = unit_square();
+        let k = Kernel::gaussian(0.6);
+        let nested = full_gram(&pts, &k);
+        let flat = full_gram_flat(&dasc_linalg::FlatPoints::from_rows(&pts), &k);
+        assert_eq!(nested.as_slice(), flat.as_slice());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        // The direct-write parallel fill must reproduce the 1-thread
+        // result exactly: same entries, same bits, any thread count.
+        let pts: Vec<Vec<f64>> = (0..97)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.37).cos(), i as f64 / 97.0])
+            .collect();
+        let k = Kernel::gaussian(0.45);
+        let seq = dasc_pool::Pool::new(1).install(|| full_gram(&pts, &k));
+        for threads in [2, 4] {
+            let par = dasc_pool::Pool::new(threads).install(|| full_gram(&pts, &k));
+            assert_eq!(
+                seq.as_slice(),
+                par.as_slice(),
+                "gram differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -122,9 +122,31 @@ impl Matrix {
         &self.data
     }
 
+    /// Flat row-major data, mutable. Pairs with `par_chunks_mut(ncols)`
+    /// to fill rows in parallel without an intermediate per-row buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consume into the flat row-major data vector.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
+    }
+
+    /// Copy the upper triangle onto the lower one in place, making the
+    /// matrix symmetric. Lets builders fill only `j >= i` and finish
+    /// with one linear pass instead of double-writing every entry.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn mirror_upper(&mut self) {
+        assert!(self.is_square(), "mirror_upper: matrix not square");
+        for i in 1..self.rows {
+            for j in 0..i {
+                self.data[i * self.cols + j] = self.data[j * self.cols + i];
+            }
+        }
     }
 
     /// Matrix transpose.

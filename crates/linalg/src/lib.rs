@@ -32,6 +32,7 @@ pub mod dense;
 pub mod eigen;
 pub mod lanczos;
 pub mod operator;
+pub mod points;
 pub mod qr;
 pub mod sparse;
 pub mod svd;
@@ -43,6 +44,7 @@ pub use dense::Matrix;
 pub use eigen::{symmetric_eigen, tridiagonal_eigen, SymmetricEigen};
 pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
 pub use operator::MatVec;
+pub use points::FlatPoints;
 pub use qr::{qr, QrDecomposition};
 pub use sparse::{CooBuilder, CsrMatrix};
 pub use svd::{energy_captured, numerical_rank, singular_values};

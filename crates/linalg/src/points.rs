@@ -1,0 +1,163 @@
+//! Flat row-major point storage for hot loops.
+//!
+//! `Vec<Vec<f64>>` scatters points across the heap — every kernel
+//! evaluation chases a pointer per operand and the prefetcher gets no
+//! help. [`FlatPoints`] packs the same points into one contiguous
+//! buffer with a fixed stride, so a Gram row walks memory linearly and
+//! `row(i)` is a bounds-checked slice into the buffer, not a separate
+//! allocation.
+
+/// Points stored contiguously, row-major, with a fixed dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatPoints {
+    data: Vec<f64>,
+    dim: usize,
+    len: usize,
+}
+
+impl FlatPoints {
+    /// Pack nested rows into one buffer.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(points: &[Vec<f64>]) -> Self {
+        let len = points.len();
+        let dim = points.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(len * dim);
+        for p in points {
+            assert_eq!(p.len(), dim, "FlatPoints: ragged rows");
+            data.extend_from_slice(p);
+        }
+        Self { data, dim, len }
+    }
+
+    /// Gather `points[indices[0]], points[indices[1]], ...` into one
+    /// buffer — the bucket-extraction pattern, without the intermediate
+    /// `Vec<Vec<f64>>` of clones.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range index or ragged source rows.
+    pub fn gather(points: &[Vec<f64>], indices: &[usize]) -> Self {
+        let len = indices.len();
+        let dim = indices.first().map_or(0, |&i| points[i].len());
+        let mut data = Vec::with_capacity(len * dim);
+        for &i in indices {
+            assert_eq!(points[i].len(), dim, "FlatPoints: ragged rows");
+            data.extend_from_slice(&points[i]);
+        }
+        Self { data, dim, len }
+    }
+
+    /// Build from an already-flat buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`),
+    /// or if `dim == 0` with a non-empty buffer.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        let len = if dim == 0 {
+            assert!(data.is_empty(), "FlatPoints: dim 0 with data");
+            0
+        } else {
+            assert_eq!(
+                data.len() % dim,
+                0,
+                "FlatPoints: buffer not a multiple of dim"
+            );
+            data.len() / dim
+        };
+        Self { data, dim, len }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimension (stride) of each point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Point `i` as a slice of the shared buffer.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The whole row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterate over the points in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim.max(1)).take(self.len)
+    }
+
+    /// Copy back out to nested rows (tests / interop).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter().map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let fp = FlatPoints::from_rows(&rows);
+        assert_eq!(fp.len(), 3);
+        assert_eq!(fp.dim(), 2);
+        assert_eq!(fp.row(1), &[3.0, 4.0]);
+        assert_eq!(fp.to_rows(), rows);
+    }
+
+    #[test]
+    fn gather_selects_and_orders() {
+        let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let fp = FlatPoints::gather(&rows, &[3, 1]);
+        assert_eq!(fp.len(), 2);
+        assert_eq!(fp.row(0), &[3.0]);
+        assert_eq!(fp.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let fp = FlatPoints::from_rows(&[]);
+        assert!(fp.is_empty());
+        assert_eq!(fp.dim(), 0);
+        assert_eq!(fp.iter().count(), 0);
+        let fp = FlatPoints::gather(&[vec![1.0]], &[]);
+        assert!(fp.is_empty());
+    }
+
+    #[test]
+    fn from_flat_shapes() {
+        let fp = FlatPoints::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2);
+        assert_eq!(fp.len(), 2);
+        assert_eq!(fp.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        FlatPoints::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn misaligned_flat_panics() {
+        FlatPoints::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+}

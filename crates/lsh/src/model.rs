@@ -123,9 +123,11 @@ impl SignatureModel {
         sig
     }
 
-    /// Hash a whole dataset.
+    /// Hash a whole dataset (point-parallel; signature `i` is always
+    /// point `i`'s, so the output is independent of thread count).
     pub fn hash_all(&self, points: &[Vec<f64>]) -> Vec<Signature> {
-        points.iter().map(|p| self.hash(p)).collect()
+        use rayon::prelude::*;
+        points.par_iter().map(|p| self.hash(p)).collect()
     }
 }
 

@@ -1,0 +1,141 @@
+//! Type-erased, stack-allocated jobs and the latches that complete them.
+//!
+//! A parallel operation (a `join` branch, a pool root task) lives on the
+//! *caller's* stack: [`StackJob`] wraps the closure, its result slot and
+//! a completion [`Latch`]. The pool only ever sees a [`JobRef`] — a
+//! lifetime-erased pointer plus an execute function. Soundness rests on
+//! one invariant, upheld by every entry point in this crate: **the frame
+//! that created a `StackJob` never returns before the job's latch is
+//! set**, so the erased pointer can never dangle while the pool holds it.
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+/// A lifetime-erased pointer to a job living on some caller's stack.
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// Safety: a `JobRef` is only ever created from a `StackJob` whose owner
+// blocks until the latch is set, and the job's closure is `Send`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Execute the job. Consumes the reference: a job runs exactly once.
+    pub(crate) fn execute(self) {
+        unsafe { (self.exec)(self.data) }
+    }
+}
+
+/// One-shot completion flag with both a cheap polling path (for workers
+/// that keep stealing while they wait) and a blocking path (for external
+/// threads parked on a condvar).
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self {
+            done: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Has the job completed? Acquire pairs with the Release in
+    /// [`Latch::set`], so a `true` answer also publishes the result slot.
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Mark complete and wake any blocked waiter. Taking the mutex after
+    /// the store closes the check-then-wait race in [`Latch::wait`].
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
+
+    /// Block until set. Only external (non-worker) threads call this;
+    /// workers use [`Latch::probe`] inside a steal loop instead.
+    pub(crate) fn wait(&self) {
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !self.probe() {
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A closure pinned to its caller's stack, executable through a
+/// [`JobRef`] from any worker thread.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+// Safety: the executor is the only thread touching the cells until the
+// latch is set (Release); the owner reads them only after probing the
+// latch (Acquire).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Erase the lifetime.
+    ///
+    /// # Safety
+    /// The caller must not let `self` drop until `self.latch` is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn exec_erased<F, R>(data: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let job = &*(data as *const StackJob<F, R>);
+            let f = (*job.func.get()).take().expect("job executed twice");
+            // Catch panics so a poisoned task can't unwind through the
+            // worker loop; the payload is rethrown on the owning thread.
+            let r = panic::catch_unwind(AssertUnwindSafe(f));
+            *job.result.get() = Some(r);
+            job.latch.set();
+        }
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: exec_erased::<F, R>,
+        }
+    }
+
+    /// Take the result after the latch has been set.
+    pub(crate) fn into_panic_result(self) -> thread::Result<R> {
+        debug_assert!(self.latch.probe(), "result taken before completion");
+        self.result
+            .into_inner()
+            .expect("completed job has no result")
+    }
+}
+
+/// Rethrow a captured panic payload on the current thread.
+pub(crate) fn resume<R>(r: thread::Result<R>) -> R {
+    match r {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}

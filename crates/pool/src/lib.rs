@@ -1,0 +1,423 @@
+//! A dependency-free work-stealing thread pool.
+//!
+//! This crate is what makes the workspace's `par_iter` calls actually
+//! parallel: the vendored `rayon` facade (`vendor/rayon`) builds its
+//! parallel iterators on [`join`] and [`in_pool`], so every existing
+//! call site in `dasc-core`, `dasc-kernel`, `dasc-linalg`, and
+//! `dasc-bench` fans out across cores without changing a line.
+//!
+//! Architecture (classic Cilk/rayon shape, implemented on `std` only):
+//!
+//! * one worker thread per slot, each owning a deque used **LIFO** by
+//!   its owner (the task you just forked is the one you resume — it is
+//!   hot in cache) and **FIFO** by thieves (a steal takes the oldest,
+//!   i.e. largest, pending subtree, which amortizes the migration);
+//! * [`join`] forks the right branch onto the local deque, runs the left
+//!   branch inline, then *pops back* the right branch — or, if it was
+//!   stolen, keeps executing other tasks instead of blocking, so workers
+//!   never idle while work exists;
+//! * external threads inject a root task and park on a latch; all
+//!   recursive splitting then happens on worker stacks;
+//! * the pool never reorders *results*: callers that write by index (the
+//!   facade's map/collect) are bit-identical to a sequential run
+//!   regardless of thread count or steal schedule.
+//!
+//! Sizing: the global pool reads `DASC_NUM_THREADS` (≥ 1), defaulting to
+//! [`std::thread::available_parallelism`]. `DASC_NUM_THREADS=1` (or a
+//! [`Pool::new(1)`](Pool::new) install) short-circuits every primitive
+//! to plain inline execution — zero threads, zero overhead, the exact
+//! sequential semantics the old shim had.
+//!
+//! Observability: the global registry carries `pool_threads` (gauge),
+//! `pool_tasks_executed_total` and `pool_tasks_stolen_total` (counters).
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+mod job;
+mod worker;
+
+use job::{resume, StackJob};
+use worker::Shared;
+
+/// Where the current thread stands relative to a pool.
+#[derive(Clone)]
+enum Context {
+    /// A worker thread of some pool.
+    Worker { shared: Arc<Shared>, index: usize },
+    /// Inside a forced-sequential region (`Pool::new(1).install(..)`).
+    Sequential,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+fn current_context() -> Option<Context> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_worker_context(shared: Arc<Shared>, index: usize) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some(Context::Worker { shared, index }));
+}
+
+/// RAII guard installing a context for the current thread.
+struct ContextGuard {
+    previous: Option<Context>,
+}
+
+impl ContextGuard {
+    fn install(ctx: Context) -> Self {
+        let previous = CONTEXT.with(|c| c.borrow_mut().replace(ctx));
+        Self { previous }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CONTEXT.with(|c| *c.borrow_mut() = previous);
+    }
+}
+
+/// A work-stealing thread pool.
+///
+/// Most code never constructs one: the [`global`] pool (sized from
+/// `DASC_NUM_THREADS`) backs [`join`] and [`in_pool`]. Explicit pools
+/// exist for benchmarks and tests that pin a thread count, e.g.
+/// `Pool::new(4).install(|| dasc.run(&points))`.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` workers (`0` is treated as `1`).
+    /// A 1-thread pool spawns nothing and runs everything inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared::new(threads));
+        let handles = if threads == 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|index| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("dasc-pool-{index}"))
+                        .spawn(move || worker::worker_loop(shared, index))
+                        .expect("failed to spawn pool worker")
+                })
+                .collect()
+        };
+        Self { shared, handles }
+    }
+
+    /// Number of worker slots.
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Run `f` inside this pool and return its result.
+    ///
+    /// Nested [`join`]s and facade operations executed under `f` use
+    /// *this* pool. A 1-thread pool runs `f` inline under a sequential
+    /// context (so even nested calls stay sequential); otherwise `f` is
+    /// injected as a root task and the calling thread blocks until it
+    /// completes. Panics inside `f` propagate to the caller.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        if self.shared.threads == 1 {
+            let _guard = ContextGuard::install(Context::Sequential);
+            return f();
+        }
+        // A worker installing into its own pool would deadlock waiting on
+        // itself; it is already "inside", so just run inline.
+        if let Some(Context::Worker { shared, .. }) = current_context() {
+            if Arc::ptr_eq(&shared, &self.shared) {
+                return f();
+            }
+        }
+        run_root(&self.shared, f)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.terminate.store(true, Ordering::Release);
+        self.shared.wake_all();
+        for handle in self.handles.drain(..) {
+            let _unused = handle.join();
+        }
+    }
+}
+
+/// Inject `f` as a root task and block until it completes.
+fn run_root<R, F>(shared: &Arc<Shared>, f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    let job = StackJob::new(f);
+    // Safety: we wait on the latch before `job` leaves this frame.
+    unsafe { shared.inject(job.as_job_ref()) };
+    job.latch.wait();
+    resume(job.into_panic_result())
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Threads for the global pool: `DASC_NUM_THREADS` if set to a positive
+/// integer, else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    std::env::var("DASC_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The process-wide pool, created lazily on first use.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let pool = Pool::new(configured_threads());
+        dasc_obs::global()
+            .gauge("pool_threads")
+            .set(pool.num_threads() as i64);
+        pool
+    })
+}
+
+/// Thread count of the pool governing the current thread: the enclosing
+/// worker's pool, `1` inside a sequential install, else the global pool.
+pub fn current_num_threads() -> usize {
+    match current_context() {
+        Some(Context::Worker { shared, .. }) => shared.threads,
+        Some(Context::Sequential) => 1,
+        None => global().num_threads(),
+    }
+}
+
+/// Enter the pool governing the current thread and run `f` there.
+///
+/// This is the facade's single entry point: parallel-iterator drivers
+/// wrap their recursive split in `in_pool` once, and every nested
+/// [`join`] then runs on worker stacks. Inline (no thread hop) when the
+/// current thread is already a worker, sequentialized under a 1-thread
+/// context, and a blocking root injection otherwise.
+pub fn in_pool<R, F>(f: F) -> R
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    match current_context() {
+        Some(_) => f(),
+        None => {
+            let pool = global();
+            if pool.num_threads() == 1 {
+                f()
+            } else {
+                pool.install(f)
+            }
+        }
+    }
+}
+
+/// Potentially-parallel fork-join: run `a` and `b`, returning both
+/// results. `b` may run on another worker; `a` always runs on the
+/// calling thread. While `a`'s sibling is stolen, the caller executes
+/// *other* pending tasks instead of blocking, which is what makes deep
+/// recursive splits scale.
+///
+/// Sequential contexts (1-thread pool, `DASC_NUM_THREADS=1`) degrade to
+/// exactly `(a(), b())`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_context() {
+        Some(Context::Sequential) => (a(), b()),
+        Some(Context::Worker { shared, index }) => worker_join(&shared, index, a, b),
+        None => {
+            let pool = global();
+            if pool.num_threads() == 1 {
+                let _guard = ContextGuard::install(Context::Sequential);
+                (a(), b())
+            } else {
+                pool.install(move || join(a, b))
+            }
+        }
+    }
+}
+
+/// The fork-join protocol on a worker thread.
+fn worker_join<A, B, RA, RB>(shared: &Arc<Shared>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    // Safety: this frame waits for `job_b.latch` before returning, even
+    // if `a` panics, so the erased reference cannot dangle.
+    unsafe { shared.push_local(index, job_b.as_job_ref()) };
+
+    let result_a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+
+    // Local-first: the common case pops `job_b` right back (it is the
+    // newest entry) and runs it inline. If a thief got there first, keep
+    // executing other tasks — ours or stolen — until the latch trips.
+    let mut rotation = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    while !job_b.latch.probe() {
+        match shared.find_work(index, &mut rotation) {
+            Some(job) => {
+                shared.executed.inc();
+                job.execute();
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+
+    let result_b = job_b.into_panic_result();
+    match result_a {
+        Ok(ra) => (ra, resume(result_b)),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Pool {
+        Pool::new(n)
+    }
+
+    #[test]
+    fn one_thread_pool_is_inline() {
+        let p = pool(1);
+        assert_eq!(p.num_threads(), 1);
+        let r = p.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let (a, b) = join(|| 2, || 3);
+            a + b
+        });
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn install_reports_pool_size() {
+        let p = pool(3);
+        assert_eq!(p.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let p = pool(2);
+        let (a, b) = p.install(|| join(|| 1 + 1, || "x".to_string() + "y"));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn recursive_join_sums_range() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 8 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        for threads in [1, 2, 4] {
+            let p = pool(threads);
+            let total = p.install(|| sum(0, 10_000));
+            assert_eq!(total, 10_000 * 9_999 / 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn join_propagates_left_panic() {
+        let p = pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| join(|| panic!("left boom"), || 7))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_propagates_right_panic() {
+        let p = pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                join(|| 7, || -> usize { panic!("right boom") });
+            })
+        }));
+        assert!(r.is_err());
+        // The pool survives a panicked task.
+        assert_eq!(p.install(|| join(|| 1, || 2)), (1, 2));
+    }
+
+    #[test]
+    fn install_propagates_panic() {
+        let p = pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| panic!("root boom"))
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_installs_use_inner_pool() {
+        let outer = pool(4);
+        let inner_threads = outer.install(|| {
+            let inner = pool(2);
+            inner.install(current_num_threads)
+        });
+        assert_eq!(inner_threads, 2);
+    }
+
+    #[test]
+    fn sequential_install_overrides_enclosing_pool() {
+        let outer = pool(4);
+        let seen = outer.install(|| pool(1).install(current_num_threads));
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn drop_terminates_workers() {
+        let p = pool(4);
+        let (a, b) = p.install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+        drop(p); // must not hang
+    }
+
+    #[test]
+    fn heavy_nested_joins_complete() {
+        // Exercise stealing: an unbalanced tree forces cross-worker
+        // traffic even on few cores.
+        fn fib(n: u64) -> u64 {
+            if n < 10 {
+                return (1..=n).fold((0, 1), |(a, b), _| (b, a + b)).0;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        let p = pool(8);
+        let expected = pool(1).install(|| fib(20));
+        assert_eq!(p.install(|| fib(20)), expected);
+    }
+}

@@ -1,0 +1,170 @@
+//! Worker threads, per-worker deques, and the stealing protocol.
+//!
+//! Each worker owns a deque used LIFO from its own end (`push_back` /
+//! `pop_back`), which keeps the hot recursive `join` path cache-local:
+//! the task a worker just forked is the first one it picks back up.
+//! Thieves take from the opposite end (`pop_front`), so a steal grabs
+//! the *oldest* — and, under recursive splitting, the *largest* —
+//! pending task, exactly the granularity worth migrating to another
+//! core. External callers inject root tasks through a shared FIFO.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::job::JobRef;
+
+/// State shared between a pool handle and its worker threads.
+pub(crate) struct Shared {
+    /// Per-worker deques. Owner pushes/pops at the back; thieves pop at
+    /// the front.
+    pub(crate) queues: Vec<Mutex<VecDeque<JobRef>>>,
+    /// FIFO of root tasks injected by non-worker threads.
+    pub(crate) injector: Mutex<VecDeque<JobRef>>,
+    /// Number of workers currently parked (approximate; wake-ups are
+    /// backstopped by a timed wait, so a racy read only costs latency).
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    pub(crate) terminate: AtomicBool,
+    pub(crate) threads: usize,
+    /// `pool_tasks_executed_total` — every task run by a worker.
+    pub(crate) executed: Arc<dasc_obs::Counter>,
+    /// `pool_tasks_stolen_total` — tasks taken from another worker's deque.
+    pub(crate) stolen: Arc<dasc_obs::Counter>,
+}
+
+impl Shared {
+    pub(crate) fn new(threads: usize) -> Self {
+        let registry = dasc_obs::global();
+        Self {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            threads,
+            executed: registry.counter("pool_tasks_executed_total"),
+            stolen: registry.counter("pool_tasks_stolen_total"),
+        }
+    }
+
+    /// Push onto a worker's own deque (LIFO end) and nudge a sleeper.
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.queues[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.wake_one();
+    }
+
+    /// Inject a root task from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.wake_one();
+    }
+
+    /// Pop from the worker's own deque — newest first.
+    pub(crate) fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.queues[index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+    }
+
+    /// One full scan for work as seen from `index`: local deque, then the
+    /// injector, then a stealing sweep over the other workers starting at
+    /// a rotating offset so thieves spread out instead of convoying.
+    pub(crate) fn find_work(&self, index: usize, rotation: &mut u64) -> Option<JobRef> {
+        if let Some(job) = self.pop_local(index) {
+            return Some(job);
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(job);
+        }
+        if self.threads <= 1 {
+            return None;
+        }
+        // Xorshift step: cheap per-worker pseudo-random start.
+        *rotation ^= *rotation << 13;
+        *rotation ^= *rotation >> 7;
+        *rotation ^= *rotation << 17;
+        let start = (*rotation as usize) % self.threads;
+        for k in 0..self.threads {
+            let victim = (start + k) % self.threads;
+            if victim == index {
+                continue;
+            }
+            let job = self.queues[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            if let Some(job) = job {
+                self.stolen.inc();
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Wake one parked worker if any are parked. Lock-free in the common
+    /// (nobody parked) case; the timed wait in [`worker_loop`] bounds the
+    /// cost of the inherent race to one park period.
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// Wake everything (termination).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sleep_cv.notify_all();
+    }
+}
+
+/// The body of each worker thread.
+pub(crate) fn worker_loop(shared: Arc<Shared>, index: usize) {
+    crate::set_worker_context(Arc::clone(&shared), index);
+    // Per-worker xorshift seed; any odd constant works.
+    let mut rotation = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut idle_spins: u32 = 0;
+    loop {
+        if let Some(job) = shared.find_work(index, &mut rotation) {
+            idle_spins = 0;
+            shared.executed.inc();
+            job.execute();
+            continue;
+        }
+        if shared.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        // Brief cooperative spin before parking: on loaded machines the
+        // next task usually arrives within a few scheduler quanta.
+        if idle_spins < 16 {
+            idle_spins += 1;
+            std::thread::yield_now();
+            continue;
+        }
+        let guard = shared.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        shared.sleepers.fetch_add(1, Ordering::Relaxed);
+        // Timed wait backstops the racy `wake_one` fast path: a missed
+        // notification costs at most one period, never a hang.
+        let _unused = shared
+            .sleep_cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap_or_else(|e| e.into_inner());
+        shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}

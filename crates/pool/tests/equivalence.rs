@@ -1,0 +1,93 @@
+//! Property tests: every parallel operation the rayon facade exposes
+//! must produce results identical to a plain sequential computation,
+//! under 1, 2, and 8 threads. This is the contract the whole workspace
+//! leans on — clustering output is bit-identical across thread counts
+//! because each of these primitives is.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Run `f` under each thread count and assert it matches `expected`.
+fn assert_all_pools<T, F>(expected: &T, f: F) -> Result<(), proptest::TestCaseError>
+where
+    T: PartialEq + std::fmt::Debug + Send,
+    F: Fn() -> T + Sync,
+{
+    for threads in THREAD_COUNTS {
+        let got = dasc_pool::Pool::new(threads).install(&f);
+        prop_assert!(&got == expected, "mismatch at {} threads", threads);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn par_iter_map_collect_matches_sequential(data in prop::collection::vec(-1.0e3f64..1.0e3, 0..300)) {
+        let expected: Vec<f64> = data.iter().map(|x| x * 1.5 + 0.25).collect();
+        assert_all_pools(&expected, || {
+            data.par_iter().map(|x| x * 1.5 + 0.25).collect::<Vec<f64>>()
+        })?;
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_sequential(len in 0usize..300, chunk in 1usize..17) {
+        let mut expected = vec![0u64; len];
+        for (i, c) in expected.chunks_mut(chunk).enumerate() {
+            for (off, v) in c.iter_mut().enumerate() {
+                *v = (i * 1000 + off) as u64;
+            }
+        }
+        assert_all_pools(&expected, || {
+            let mut data = vec![0u64; len];
+            data.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| {
+                for (off, v) in c.iter_mut().enumerate() {
+                    *v = (i * 1000 + off) as u64;
+                }
+            });
+            data
+        })?;
+    }
+
+    #[test]
+    fn nested_join_matches_sequential(values in prop::collection::vec(0u64..1000, 1..200)) {
+        // Recursive binary-splitting sum via join — the access pattern
+        // the facade's splitter uses internally.
+        fn tree_sum(v: &[u64]) -> u64 {
+            if v.len() <= 4 {
+                return v.iter().sum();
+            }
+            let (lo, hi) = v.split_at(v.len() / 2);
+            let (a, b) = dasc_pool::join(|| tree_sum(lo), || tree_sum(hi));
+            a + b
+        }
+        let expected: u64 = values.iter().sum();
+        assert_all_pools(&expected, || tree_sum(&values))?;
+    }
+
+    #[test]
+    fn par_sum_is_bit_identical(data in prop::collection::vec(-1.0f64..1.0, 0..400)) {
+        // Floating-point sums depend on association order; the facade
+        // reduces in index order, so equality here is exact.
+        let expected: f64 = data.iter().map(|x| x.sin()).sum();
+        for threads in THREAD_COUNTS {
+            let got: f64 = dasc_pool::Pool::new(threads)
+                .install(|| data.par_iter().map(|x| x.sin()).sum());
+            prop_assert!(got == expected || (got.is_nan() && expected.is_nan()),
+                "sum differs at {} threads: {} vs {}", threads, got, expected);
+        }
+    }
+
+    #[test]
+    fn vec_into_par_iter_matches_sequential(
+        data in prop::collection::vec(prop::collection::vec(0u8..255, 0..8), 0..120)
+    ) {
+        let expected: Vec<usize> = data.iter().map(Vec::len).collect();
+        assert_all_pools(&expected, || {
+            data.clone().into_par_iter().map(|s| s.len()).collect::<Vec<usize>>()
+        })?;
+    }
+}

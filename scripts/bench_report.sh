@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Pipeline benchmark report: build the workspace in release mode, run
+# the `bench_pipeline` binary (sequential vs. configured-pool runs at
+# two or three dataset sizes), and validate that the machine-readable
+# output landed as well-formed JSON with the expected fields.
+#
+# Output: BENCH_pipeline.json in the repo root (override with
+# BENCH_OUT=path). Pass --full (or DASC_SCALE=full) for paper-adjacent
+# sizes; set DASC_NUM_THREADS to pin the parallel run's pool width.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+
+fail() { echo "BENCH FAIL: $*" >&2; exit 1; }
+
+echo "== build =="
+cargo build --release -q -p dasc-bench
+
+echo "== run =="
+target/release/bench_pipeline --out "$OUT" "$@"
+
+echo "== validate =="
+[ -s "$OUT" ] || fail "$OUT missing or empty"
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "pipeline", "wrong bench id"
+assert doc["parallel_threads"] >= 1, "bad thread count"
+runs = doc["runs"]
+assert len(runs) >= 4, f"expected >=2 sizes x 2 thread counts, got {len(runs)} runs"
+for run in runs:
+    assert run["n"] > 0 and run["threads"] >= 1
+    assert run["total_s"] > 0 and run["points_per_s"] > 0
+    stages = run["stages_s"]
+    for stage in ("lsh", "bucketing", "gram", "clustering"):
+        assert stages[stage] >= 0, f"negative {stage} time"
+assert len(doc["speedup"]) * 2 == len(runs), "one speedup entry per size"
+print(f"OK: {len(runs)} runs at {doc['parallel_threads']} parallel threads")
+for s in doc["speedup"]:
+    print(f"  n={s['n']}: speedup {s['speedup']:.2f}x")
+EOF
+else
+    # Fallback: at least confirm the expected keys are present.
+    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"'; do
+        grep -q "$key" "$OUT" || fail "$OUT missing $key"
+    done
+    echo "OK (python3 unavailable; key-presence check only)"
+fi
+
+echo "BENCH PASS: $OUT"

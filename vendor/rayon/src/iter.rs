@@ -1,0 +1,466 @@
+//! Parallel iterator facade over `dasc-pool`.
+//!
+//! Every operation funnels into [`run_indexed`]: a fixed-length index
+//! space `0..len` is split recursively with [`dasc_pool::join`] until
+//! pieces are small enough, and a shared `Fn(usize)` is invoked once per
+//! index. Sources map indices to items (slice element `i`, chunk `i`,
+//! range offset `i`, owned element `i`), adaptors compose on the item,
+//! and consumers either discharge side effects (`for_each`) or write
+//! result `i` into slot `i` of a pre-sized buffer (`collect`). Because
+//! item `i` always lands in slot `i`, outputs are bit-identical to a
+//! sequential run no matter how the schedule interleaves.
+
+use std::marker::PhantomData;
+
+/// Split granularity: aim for this many pieces per worker so stealing
+/// can rebalance uneven item costs (e.g. triangular Gram rows).
+const SPLITS_PER_THREAD: usize = 8;
+
+/// A raw pointer that may cross threads. Disjointness of the indices
+/// touched by each task is what makes the accesses race-free.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i`. Taking `self` by value makes closures
+    /// capture the whole (Send) wrapper rather than the raw field.
+    ///
+    /// # Safety
+    /// `i` must be within the allocation this pointer derives from.
+    unsafe fn at(self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+// Safety: only ever dereferenced at indices owned exclusively by one task.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Invoke `f(i)` for every `i in 0..len`, splitting across the pool.
+fn run_indexed<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    if len == 0 {
+        return;
+    }
+    let threads = dasc_pool::current_num_threads();
+    if threads == 1 || len == 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let leaf = (len / (threads * SPLITS_PER_THREAD)).max(1);
+    dasc_pool::in_pool(|| split_run(0, len, leaf, &f));
+}
+
+fn split_run<F>(start: usize, end: usize, leaf: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    let len = end - start;
+    if len <= leaf {
+        for i in start..end {
+            f(i);
+        }
+        return;
+    }
+    let mid = start + len / 2;
+    dasc_pool::join(
+        || split_run(start, mid, leaf, f),
+        || split_run(mid, end, leaf, f),
+    );
+}
+
+/// A parallel iterator with an exactly-known length and stable indices.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len_hint(&self) -> usize;
+
+    /// Consume the iterator, invoking `f(index, item)` once per item.
+    /// The index is the item's stable position (0-based).
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, Self::Item) + Sync + Send;
+
+    /// Map each item through `g`.
+    fn map<U, G>(self, g: G) -> Map<Self, G>
+    where
+        U: Send,
+        G: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { inner: self, g }
+    }
+
+    /// Pair each item with its stable index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Run `g` on every item (parallel side effects on disjoint data).
+    fn for_each<G>(self, g: G)
+    where
+        G: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(move |_, item| g(item));
+    }
+
+    /// Collect into a container, preserving item order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items. Item production is parallel; the reduction itself
+    /// runs in sequential index order, so floating-point totals are
+    /// bit-identical to a sequential fold regardless of thread count.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        let items: Vec<Self::Item> = self.collect();
+        items.into_iter().sum()
+    }
+}
+
+/// Order-preserving parallel counterpart of `FromIterator`.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container from a parallel iterator.
+    fn from_par_iter<P>(p: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(p: P) -> Self
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let len = p.len_hint();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let ptr = SendPtr(out.as_mut_ptr());
+        p.drive(move |i, item| {
+            debug_assert!(i < len);
+            // Safety: each index is produced exactly once, and `i < len
+            // <= capacity`; writes are disjoint.
+            unsafe { ptr.at(i).write(item) };
+        });
+        // Safety: `drive` invoked the callback for every `i in 0..len`
+        // (it blocks until all splits complete), so the buffer is fully
+        // initialized.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, G> {
+    inner: I,
+    g: G,
+}
+
+impl<I, U, G> ParallelIterator for Map<I, G>
+where
+    I: ParallelIterator,
+    U: Send,
+    G: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, U) + Sync + Send,
+    {
+        let g = self.g;
+        self.inner.drive(move |i, item| f(i, g(item)));
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: ParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, (usize, I::Item)) + Sync + Send,
+    {
+        self.inner.drive(move |i, item| f(i, (i, item)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// Shared-slice source (`par_iter`).
+pub struct Iter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, &'a T) + Sync + Send,
+    {
+        let slice = self.slice;
+        run_indexed(slice.len(), move |i| f(i, &slice[i]));
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct IterMut<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    marker: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len_hint(&self) -> usize {
+        self.len
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, &'a mut T) + Sync + Send,
+    {
+        let ptr = self.ptr;
+        // Safety: each index yields a distinct element of the borrowed
+        // slice, so the `&mut` references handed out are disjoint.
+        run_indexed(self.len, move |i| f(i, unsafe { &mut *ptr.at(i) }));
+    }
+}
+
+/// Shared-chunk source (`par_chunks`).
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len_hint(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, &'a [T]) + Sync + Send,
+    {
+        let (slice, size) = (self.slice, self.size);
+        let n = self.len_hint();
+        run_indexed(n, move |i| {
+            let lo = i * size;
+            let hi = (lo + size).min(slice.len());
+            f(i, &slice[lo..hi]);
+        });
+    }
+}
+
+/// Mutable-chunk source (`par_chunks_mut`).
+pub struct ChunksMut<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    size: usize,
+    marker: PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len_hint(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, &'a mut [T]) + Sync + Send,
+    {
+        let (ptr, len, size) = (self.ptr, self.len, self.size);
+        let n = self.len_hint();
+        run_indexed(n, move |i| {
+            let lo = i * size;
+            let chunk_len = size.min(len - lo);
+            // Safety: chunk `i` covers `[i*size, i*size + chunk_len)`;
+            // chunks are pairwise disjoint and in-bounds.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr.at(lo), chunk_len) };
+            f(i, chunk);
+        });
+    }
+}
+
+/// Index-range source (`(0..n).into_par_iter()`).
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len_hint(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, usize) + Sync + Send,
+    {
+        let start = self.start;
+        run_indexed(self.len_hint(), move |i| f(i, start + i));
+    }
+}
+
+/// Owned-`Vec` source (`vec.into_par_iter()`): items are moved out.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, T) + Sync + Send,
+    {
+        let mut vec = std::mem::ManuallyDrop::new(self.vec);
+        let len = vec.len();
+        let cap = vec.capacity();
+        let ptr = SendPtr(vec.as_mut_ptr());
+        // Safety: each element is read (moved out) exactly once; the
+        // buffer outlives the run because `run_indexed` blocks until all
+        // splits complete. On panic the buffer and unread items leak —
+        // memory-safe, no double drop.
+        run_indexed(len, move |i| f(i, unsafe { std::ptr::read(ptr.at(i)) }));
+        // Safety: all elements were moved out above; reconstituting with
+        // length 0 frees the allocation without dropping elements.
+        drop(unsafe { Vec::from_raw_parts(ptr.0, 0, cap) });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+/// `into_par_iter()` for owned iterables the workspace uses.
+pub trait IntoParallelIterator {
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared iterator over the elements.
+    fn par_iter(&self) -> Iter<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized shared chunks.
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter { slice: self }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be positive");
+        Chunks {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Mutable counterparts on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel mutable iterator over the elements.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut {
+            ptr: SendPtr(self.as_mut_ptr()),
+            len: self.len(),
+            marker: PhantomData,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be positive");
+        ChunksMut {
+            ptr: SendPtr(self.as_mut_ptr()),
+            len: self.len(),
+            size: chunk_size,
+            marker: PhantomData,
+        }
+    }
+}

@@ -1,86 +1,54 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a real thread pool.
 //!
-//! The build environment cannot reach crates.io, so this shim provides
-//! the `par_iter`-family entry points the workspace uses and returns
-//! **ordinary sequential `std` iterators**. Every adaptor and terminal
-//! operation (`map`, `enumerate`, `for_each`, `collect`, `sum`, …)
-//! then comes from `std::iter::Iterator`, so call sites compile and
-//! behave identically — minus the parallelism.
+//! The build environment cannot reach crates.io, so this facade provides
+//! the `par_iter`-family entry points the workspace uses. Unlike the
+//! original shim (which lowered everything to sequential `std`
+//! iterators), the adaptors here drive the `dasc-pool` work-stealing
+//! thread pool: `join` forks onto per-worker deques, and the iterator
+//! operations split index ranges recursively across workers.
 //!
-//! Rationale: correctness and determinism first. The paper-reproduction
-//! pipelines treat rayon as an accelerator, not a semantic dependency,
-//! and results are defined to be independent of the thread count.
-//! Subsystems that need real concurrency on hot paths (e.g. the
-//! `dasc-serve` bulk-assignment engine) use explicit `std::thread`
-//! pools instead of this shim. Swapping the real rayon back in later is
-//! a one-line change in the workspace manifest.
+//! Two properties the workspace relies on:
+//!
+//! * **Determinism** — every operation is *order-preserving by index*:
+//!   `map`/`collect` write result `i` into slot `i`, `for_each` over
+//!   `par_iter_mut`/`par_chunks_mut` touches disjoint elements, and
+//!   `sum` reduces in sequential index order. Results are bit-identical
+//!   to a 1-thread run regardless of thread count or steal schedule.
+//! * **Sequential fallback** — under `DASC_NUM_THREADS=1` (or inside
+//!   `dasc_pool::Pool::new(1).install(..)`) every entry point degrades
+//!   to a plain inline loop with no pool interaction at all.
+//!
+//! Only the API subset the workspace uses is implemented: sources
+//! (`par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut`,
+//! `into_par_iter` on `Range<usize>` and `Vec<T>`), adaptors (`map`,
+//! `enumerate`), and consumers (`for_each`, `collect` into `Vec`,
+//! `sum`). Swapping the real rayon back in later remains a
+//! version-requirement change in the workspace manifest.
 
-/// Number of "threads" the shim runs — always 1 (sequential).
+pub mod iter;
+
+/// Number of threads the pool governing the current thread runs.
 pub fn current_num_threads() -> usize {
-    1
+    dasc_pool::current_num_threads()
 }
 
-/// Sequential stand-in for `rayon::join`: runs `a` then `b`.
+/// Potentially-parallel fork-join over the work-stealing pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    dasc_pool::join(a, b)
 }
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
-
-    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, …).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential iterator standing in for the parallel one.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-    /// `par_iter()` / `par_chunks()` on slices (and `Vec` via deref).
-    pub trait ParallelSlice<T> {
-        /// Sequential `iter()` standing in for `par_iter()`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential `chunks()` standing in for `par_chunks()`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Mutable counterparts on slices.
-    pub trait ParallelSliceMut<T> {
-        /// Sequential `iter_mut()` standing in for `par_iter_mut()`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential `chunks_mut()` standing in for `par_chunks_mut()`.
-        fn par_chunks_mut(
-            &mut self,
-            chunk_size: usize,
-        ) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-        fn par_chunks_mut(
-            &mut self,
-            chunk_size: usize,
-        ) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -98,6 +66,13 @@ mod tests {
     fn range_into_par_iter() {
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let groups: Vec<Vec<usize>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        let lens: Vec<usize> = groups.into_par_iter().map(|g| g.len()).collect();
+        assert_eq!(lens, vec![2, 1, 3]);
     }
 
     #[test]
@@ -119,9 +94,35 @@ mod tests {
     }
 
     #[test]
+    fn par_chunks_matches_std_chunks() {
+        let data: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = data.par_chunks(3).map(|c| c.iter().sum()).collect();
+        let expected: Vec<u32> = data.chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn sum_matches_sequential_fold() {
+        let n = 1000usize;
+        let par: f64 = (0..n).into_par_iter().map(|i| (i as f64).sqrt()).sum();
+        let seq: f64 = (0..n).map(|i| (i as f64).sqrt()).sum();
+        // Exact equality: the parallel sum reduces in index order.
+        assert_eq!(par, seq);
+    }
+
+    #[test]
     fn join_runs_both() {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let out: Vec<usize> = (0..0usize).into_par_iter().collect();
+        assert!(out.is_empty());
     }
 }
