@@ -22,10 +22,26 @@ use dasc_data::SyntheticConfig;
 
 struct Run {
     n: usize,
+    dim: usize,
     threads: usize,
     total_s: f64,
     points_per_s: f64,
     result: DascResult,
+}
+
+impl Run {
+    /// Effective Gram-stage throughput in GFLOP/s, counting the
+    /// micro-kernel's norm-expansion work: `2d` flops per stored entry
+    /// (the `A·Bᵀ` multiply-adds; the norm/exp passes are O(n) and O(1)
+    /// per entry and are left out, so this slightly undercounts).
+    fn gram_gflops(&self) -> f64 {
+        let gram_s = self.result.times.gram.as_secs_f64();
+        if gram_s <= 0.0 {
+            return 0.0;
+        }
+        let entries = (self.result.approx_gram_bytes / 4) as f64;
+        2.0 * self.dim as f64 * entries / gram_s / 1e9
+    }
 }
 
 fn run_once(points: &[Vec<f64>], k: usize, threads: usize) -> Run {
@@ -36,6 +52,7 @@ fn run_once(points: &[Vec<f64>], k: usize, threads: usize) -> Run {
     let total_s = t0.elapsed().as_secs_f64();
     Run {
         n: points.len(),
+        dim: points.first().map_or(0, Vec::len),
         threads,
         total_s,
         points_per_s: points.len() as f64 / total_s,
@@ -50,7 +67,7 @@ fn json_run(out: &mut String, run: &Run) {
         concat!(
             "{{\"n\": {}, \"threads\": {}, \"total_s\": {:.6}, ",
             "\"points_per_s\": {:.1}, \"buckets\": {}, ",
-            "\"approx_gram_bytes\": {}, \"stages_s\": {{",
+            "\"approx_gram_bytes\": {}, \"gram_gflops\": {:.4}, \"stages_s\": {{",
             "\"lsh\": {:.6}, \"bucketing\": {:.6}, ",
             "\"gram\": {:.6}, \"clustering\": {:.6}}}}}"
         ),
@@ -60,6 +77,7 @@ fn json_run(out: &mut String, run: &Run) {
         run.points_per_s,
         run.result.buckets.len(),
         run.result.approx_gram_bytes,
+        run.gram_gflops(),
         t.lsh.as_secs_f64(),
         t.bucketing.as_secs_f64(),
         t.gram.as_secs_f64(),

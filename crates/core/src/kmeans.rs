@@ -1,10 +1,44 @@
 //! K-means with k-means++ seeding (Hartigan–Wong reference in the
 //! paper; Lloyd iterations here, which is what Mahout runs).
+//!
+//! Hot-path layout: points and centroids live in flat row-major
+//! buffers. The assignment step is the O(n·k) cost, and for large
+//! inputs it runs as point×centroid squared-distance *tiles* through
+//! the `dasc_linalg::gemm` micro-kernel (norm expansion, per-iteration
+//! centroid norms) instead of a scalar `sq_dist` per pair — see
+//! [`AssignPath`]. Tie-breaking is bitwise deterministic on both paths:
+//! the lowest centroid index wins.
 
-use dasc_linalg::vector;
+use dasc_linalg::{gemm, vector, FlatPoints};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+
+/// How the assignment step computes point→centroid distances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AssignPath {
+    /// Tiled for at least [`TILED_MIN_POINTS`] points, scalar below —
+    /// the default.
+    #[default]
+    Auto,
+    /// Always one scalar `sq_dist` per (point, centroid) pair — the
+    /// reference path, bit-identical to the pre-tiling implementation.
+    Scalar,
+    /// Always distance tiles via the GEMM micro-kernel. Distances agree
+    /// with the scalar path to a few ULPs (norm-expansion cancellation),
+    /// so assignments can differ only on near-exact ties.
+    Tiled,
+}
+
+/// Smallest dataset [`AssignPath::Auto`] routes to the tiled assignment
+/// step; below this the per-iteration norm pass outweighs the tile
+/// reuse. Matches the Gram layer's `dasc_kernel::TILED_MIN_POINTS`.
+pub const TILED_MIN_POINTS: usize = 64;
+
+/// Rows per assignment tile: each pool task owns this many points'
+/// assignments, computes their distance tile against all centroids, and
+/// writes a disjoint chunk — deterministic at any thread count.
+const ASSIGN_TILE_ROWS: usize = 128;
 
 /// K-means configuration.
 #[derive(Clone, Debug)]
@@ -22,10 +56,13 @@ pub struct KMeansConfig {
     /// what keep the SC/DASC comparison about the approximation rather
     /// than seeding luck.
     pub restarts: usize,
+    /// Assignment-step implementation (see [`AssignPath`]).
+    pub assign_path: AssignPath,
 }
 
 impl KMeansConfig {
-    /// Defaults: 100 iterations, 1e-6 tolerance, 8 restarts, fixed seed.
+    /// Defaults: 100 iterations, 1e-6 tolerance, 8 restarts, fixed seed,
+    /// automatic assignment path.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k-means needs k >= 1");
         Self {
@@ -34,6 +71,7 @@ impl KMeansConfig {
             tol: 1e-6,
             seed: 0xC1A55E5,
             restarts: 8,
+            assign_path: AssignPath::Auto,
         }
     }
 
@@ -47,6 +85,12 @@ impl KMeansConfig {
     pub fn restarts(mut self, r: usize) -> Self {
         assert!(r >= 1, "need at least one restart");
         self.restarts = r;
+        self
+    }
+
+    /// Builder: assignment path (A/B testing and equivalence suites).
+    pub fn assign_path(mut self, path: AssignPath) -> Self {
+        self.assign_path = path;
         self
     }
 }
@@ -79,11 +123,25 @@ impl KMeans {
     /// Cluster `points` into `k` groups: best of `restarts` independent
     /// k-means++ runs by inertia.
     ///
-    /// `k` is clamped to the number of points. Deterministic per seed.
+    /// Flattens the rows once and delegates to [`KMeans::run_flat`].
     ///
     /// # Panics
     /// Panics on an empty or ragged dataset.
     pub fn run(&self, points: &[Vec<f64>]) -> KMeansResult {
+        assert!(!points.is_empty(), "k-means: empty dataset");
+        self.run_flat(&FlatPoints::from_rows(points))
+    }
+
+    /// [`KMeans::run`] over pre-flattened points — the hot path (the
+    /// spectral pipeline hands its embedding matrix over without
+    /// re-nesting it).
+    ///
+    /// `k` is clamped to the number of points. Deterministic per seed.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn run_flat(&self, points: &FlatPoints) -> KMeansResult {
+        assert!(!points.is_empty(), "k-means: empty dataset");
         // Restarts run concurrently: each derives its own RNG stream
         // from the seed, so the candidate runs are exactly the ones the
         // sequential loop produced. Selection then scans in restart
@@ -110,59 +168,67 @@ impl KMeans {
         best.expect("at least one restart")
     }
 
-    fn run_once(&self, points: &[Vec<f64>], seed: u64) -> KMeansResult {
-        assert!(!points.is_empty(), "k-means: empty dataset");
-        let d = points[0].len();
-        assert!(
-            points.iter().all(|p| p.len() == d),
-            "k-means: ragged dataset"
-        );
+    fn tiled_assignment(&self, n: usize) -> bool {
+        match self.config.assign_path {
+            AssignPath::Auto => n >= TILED_MIN_POINTS,
+            AssignPath::Scalar => false,
+            AssignPath::Tiled => true,
+        }
+    }
+
+    fn run_once(&self, points: &FlatPoints, seed: u64) -> KMeansResult {
         let n = points.len();
+        let d = points.dim();
         let k = self.config.k.min(n);
+        let tiled = self.tiled_assignment(n);
 
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Flat `k × d` centroid buffer; row `c` is centroid `c`.
         let mut centroids = kmeanspp_init(points, k, &mut rng);
         let mut assignments = vec![0usize; n];
         let mut iterations = 0;
+        // Point norms are iteration-invariant; centroid norms are
+        // recomputed per iteration (they're O(k·d)).
+        let point_norms = if tiled {
+            gemm::row_sq_norms(points)
+        } else {
+            Vec::new()
+        };
 
         for it in 0..self.config.max_iters {
             iterations = it + 1;
-            // Assignment step (point-parallel).
-            assignments = points
-                .par_iter()
-                .map(|p| nearest(p, &centroids).0)
-                .collect();
+            assign_step(points, &point_norms, &centroids, k, &mut assignments, tiled);
 
-            // Update step.
-            let mut sums = vec![vec![0.0; d]; k];
+            // Update step: accumulate flat per-cluster sums in place.
+            let mut sums = vec![0.0f64; k * d];
             let mut counts = vec![0usize; k];
-            for (p, &a) in points.iter().zip(&assignments) {
-                vector::axpy(1.0, p, &mut sums[a]);
+            for (i, &a) in assignments.iter().enumerate() {
+                vector::axpy(1.0, points.row(i), &mut sums[a * d..(a + 1) * d]);
                 counts[a] += 1;
             }
             let mut movement = 0.0;
             for c in 0..k {
+                let crow = c * d..(c + 1) * d;
                 if counts[c] == 0 {
                     // Empty cluster: re-seed at the point farthest from
-                    // its centroid, the standard fix-up.
-                    let far = points
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, a), (_, b)| {
-                            let da = vector::sq_dist(a, &centroids[assignments[0]]);
-                            let db = vector::sq_dist(b, &centroids[assignments[0]]);
-                            da.partial_cmp(&db).expect("NaN")
-                        })
-                        .map(|(i, _)| i)
-                        .expect("nonempty");
-                    movement += vector::dist(&centroids[c], &points[far]);
-                    centroids[c] = points[far].clone();
+                    // *its own* assigned centroid, the standard fix-up.
+                    let far = farthest_from_own_centroid(points, &assignments, &centroids);
+                    movement += vector::dist(&centroids[crow.clone()], points.row(far));
+                    centroids[crow].copy_from_slice(points.row(far));
                     continue;
                 }
-                let mut new_c = sums[c].clone();
-                vector::scale(1.0 / counts[c] as f64, &mut new_c);
-                movement += vector::dist(&centroids[c], &new_c);
-                centroids[c] = new_c;
+                // New centroid = sums/count; movement accumulated as the
+                // L2 distance to the old position, computed in the same
+                // dimension order `vector::dist` walks.
+                let inv = 1.0 / counts[c] as f64;
+                let mut move_sq = 0.0;
+                for (old, s) in centroids[crow].iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                    let new = s * inv;
+                    let delta = *old - new;
+                    move_sq += delta * delta;
+                    *old = new;
+                }
+                movement += move_sq.sqrt();
             }
             if movement <= self.config.tol {
                 break;
@@ -170,48 +236,132 @@ impl KMeans {
         }
 
         // Final assignment against the converged centroids.
-        assignments = points
-            .par_iter()
-            .map(|p| nearest(p, &centroids).0)
-            .collect();
-        let inertia = points
+        assign_step(points, &point_norms, &centroids, k, &mut assignments, tiled);
+        let inertia = assignments
             .iter()
-            .zip(&assignments)
-            .map(|(p, &a)| vector::sq_dist(p, &centroids[a]))
+            .enumerate()
+            .map(|(i, &a)| vector::sq_dist(points.row(i), &centroids[a * d..(a + 1) * d]))
             .sum();
 
         KMeansResult {
             assignments,
-            centroids,
+            centroids: centroids.chunks(d.max(1)).map(<[f64]>::to_vec).collect(),
             inertia,
             iterations,
         }
     }
 }
 
-fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+/// Fill `assignments` with each point's nearest centroid (lowest index
+/// wins ties on both paths).
+///
+/// Scalar path: one `sq_dist` per pair, point-parallel. Tiled path:
+/// [`ASSIGN_TILE_ROWS`]-point distance tiles against the whole centroid
+/// set via the fused GEMM driver, then an argmin scan per tile row.
+/// Both paths chunk the output so every pool task writes a disjoint
+/// range — results are identical at any thread count.
+fn assign_step(
+    points: &FlatPoints,
+    point_norms: &[f64],
+    centroids: &[f64],
+    k: usize,
+    assignments: &mut [usize],
+    tiled: bool,
+) {
+    let d = points.dim();
+    if k <= 1 {
+        assignments.fill(0);
+        return;
+    }
+    if !tiled {
+        assignments
+            .par_chunks_mut(ASSIGN_TILE_ROWS)
+            .enumerate()
+            .for_each(|(ci, out)| {
+                let r0 = ci * ASSIGN_TILE_ROWS;
+                for (li, a) in out.iter_mut().enumerate() {
+                    *a = nearest(points.row(r0 + li), centroids, k, d).0;
+                }
+            });
+        return;
+    }
+    let centroid_norms = gemm::row_sq_norms_flat(centroids, d);
+    assignments
+        .par_chunks_mut(ASSIGN_TILE_ROWS)
+        .enumerate()
+        .for_each(|(ci, out)| {
+            let r0 = ci * ASSIGN_TILE_ROWS;
+            let rows = out.len();
+            let mut tile = vec![0.0f64; rows * k];
+            gemm::sq_dists_into(
+                points.rows(r0, r0 + rows),
+                rows,
+                &point_norms[r0..r0 + rows],
+                centroids,
+                k,
+                &centroid_norms,
+                d,
+                &mut tile,
+                k,
+            );
+            for (li, a) in out.iter_mut().enumerate() {
+                let row = &tile[li * k..(li + 1) * k];
+                let mut best = (0usize, f64::INFINITY);
+                for (c, &dist) in row.iter().enumerate() {
+                    if dist < best.1 {
+                        best = (c, dist);
+                    }
+                }
+                *a = best.0;
+            }
+        });
+}
+
+/// Nearest centroid in a flat `k × d` buffer: `(index, sq_dist)`, lowest
+/// index on ties.
+fn nearest(p: &[f64], centroids: &[f64], k: usize, d: usize) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
-    for (c, cen) in centroids.iter().enumerate() {
-        let d = vector::sq_dist(p, cen);
-        if d < best.1 {
-            best = (c, d);
+    for c in 0..k {
+        let dist = vector::sq_dist(p, &centroids[c * d..(c + 1) * d]);
+        if dist < best.1 {
+            best = (c, dist);
         }
     }
     best
 }
 
+/// The point farthest from *its own* assigned centroid — the re-seed
+/// target when a cluster empties. Ties keep the last (highest-index)
+/// maximum, matching `Iterator::max_by`.
+fn farthest_from_own_centroid(
+    points: &FlatPoints,
+    assignments: &[usize],
+    centroids: &[f64],
+) -> usize {
+    let d = points.dim();
+    (0..points.len())
+        .max_by(|&a, &b| {
+            let da = vector::sq_dist(points.row(a), &centroids[assignments[a] * d..][..d]);
+            let db = vector::sq_dist(points.row(b), &centroids[assignments[b] * d..][..d]);
+            da.partial_cmp(&db).expect("NaN")
+        })
+        .expect("nonempty")
+}
+
 /// k-means++ seeding: first centroid uniform, each next centroid drawn
 /// with probability proportional to squared distance from the nearest
-/// chosen centroid.
-fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
+/// chosen centroid. Returns a flat `k × d` centroid buffer; candidate
+/// rows are borrowed from `points`, never cloned.
+fn kmeanspp_init(points: &FlatPoints, k: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
     let n = points.len();
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| vector::sq_dist(p, &centroids[0]))
+    let d = points.dim();
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * d);
+    let mut chosen_count = 1;
+    centroids.extend_from_slice(points.row(rng.gen_range(0..n)));
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| vector::sq_dist(points.row(i), &centroids[..d]))
         .collect();
-    while centroids.len() < k {
+    while chosen_count < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with a centroid; pick any.
@@ -228,11 +378,12 @@ fn kmeanspp_init(points: &[Vec<f64>], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        let latest = centroids.last().expect("just pushed").clone();
-        for (i, p) in points.iter().enumerate() {
-            d2[i] = d2[i].min(vector::sq_dist(p, &latest));
+        let latest = points.row(next);
+        for (i, dd) in d2.iter_mut().enumerate() {
+            *dd = dd.min(vector::sq_dist(points.row(i), latest));
         }
+        centroids.extend_from_slice(latest);
+        chosen_count += 1;
     }
     centroids
 }
@@ -306,6 +457,62 @@ mod tests {
     fn k1_assigns_everything_to_zero() {
         let res = KMeans::new(KMeansConfig::new(1)).run(&two_blobs());
         assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn tiled_and_scalar_paths_agree_on_blobs() {
+        // Same seeds, same data: the tiled assignment step must land on
+        // the same clustering as the scalar reference (distances agree
+        // to ULPs; blob fixtures have no near-exact ties).
+        let pts = two_blobs();
+        let scalar = KMeans::new(KMeansConfig::new(2).assign_path(AssignPath::Scalar)).run(&pts);
+        let tiled = KMeans::new(KMeansConfig::new(2).assign_path(AssignPath::Tiled)).run(&pts);
+        assert_eq!(scalar.assignments, tiled.assignments);
+        assert!((scalar.inertia - tiled.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_entry_point_matches_nested() {
+        let pts = two_blobs();
+        let flat = FlatPoints::from_rows(&pts);
+        let km = KMeans::new(KMeansConfig::new(3).seed(9));
+        let a = km.run(&pts);
+        let b = km.run_flat(&flat);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn reseed_targets_point_farthest_from_its_own_centroid() {
+        // Regression for the empty-cluster re-seed bug: the farthest
+        // point must be measured against each point's *own* centroid,
+        // not the first point's. Here p1 sits exactly on its centroid
+        // (distance 0) but far from p0's; p2 is genuinely 5.0 away from
+        // its own. The buggy metric picked p1 (index 1); correct is p2.
+        let points = FlatPoints::from_rows(&[vec![0.0], vec![100.0], vec![5.0]]);
+        let centroids = vec![0.0, 100.0]; // c0 = [0], c1 = [100]
+        let assignments = vec![0, 1, 0];
+        assert_eq!(
+            farthest_from_own_centroid(&points, &assignments, &centroids),
+            2
+        );
+    }
+
+    #[test]
+    fn empty_cluster_reseed_converges() {
+        // Two distinct locations, k = 3: k-means++ must duplicate a
+        // centroid (total d² mass hits zero), so one cluster empties and
+        // the re-seed branch runs every iteration. It must converge and
+        // leave a valid clustering.
+        let mut pts = vec![vec![0.0]; 5];
+        pts.extend(vec![vec![10.0]; 5]);
+        let res = KMeans::new(KMeansConfig::new(3)).run(&pts);
+        assert_eq!(res.assignments.len(), 10);
+        assert!(res.assignments.iter().all(|&a| a < 3));
+        assert_eq!(res.inertia, 0.0, "both locations sit on a centroid");
+        // The two locations never share a cluster.
+        assert_ne!(res.assignments[0], res.assignments[9]);
     }
 
     #[test]

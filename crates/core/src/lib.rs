@@ -38,7 +38,7 @@ pub use dasc::{
     DascTrainedDistributed,
 };
 pub use distributed_kmeans::{distributed_kmeans, DistributedKMeansResult};
-pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
+pub use kmeans::{AssignPath, KMeans, KMeansConfig, KMeansResult};
 pub use local_scaling::{local_scales, local_scaling_similarity};
 pub use nystrom_sc::{Nystrom, NystromConfig, NystromResult};
 pub use psc::{ParallelSpectral, PscConfig, PscResult};

@@ -2,9 +2,9 @@
 //! full kernel matrix, as Mahout implements it).
 
 use dasc_kernel::{full_gram, gram_memory_bytes, Kernel};
-use dasc_linalg::Matrix;
+use dasc_linalg::{FlatPoints, Matrix};
 
-use crate::embedding::{normalized_laplacian, row_normalize, rows_of, top_eigenvectors};
+use crate::embedding::{normalized_laplacian, row_normalize, top_eigenvectors};
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::Clustering;
 
@@ -166,7 +166,9 @@ impl SpectralClustering {
             }
         };
         let km = KMeans::new(KMeansConfig::new(k).seed(self.config.seed));
-        let res = km.run(&rows_of(&y));
+        // The embedding is already row-major `n × k`; hand it to k-means
+        // as a flat buffer instead of re-nesting it into Vec<Vec<f64>>.
+        let res = km.run_flat(&FlatPoints::from_flat(y.into_vec(), k));
         Clustering::new(res.assignments, k)
     }
 }

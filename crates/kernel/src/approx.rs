@@ -42,8 +42,11 @@ fn blocks_for_groups(points: &[Vec<f64>], groups: &[&[usize]], kernel: &Kernel) 
         .par_iter()
         .map(|&g| {
             let members = groups[g];
-            // Gather the bucket into a flat row-major buffer once, so
-            // the O(Nᵢ²) kernel loop reads contiguous memory.
+            // Gather the bucket into a flat row-major buffer once;
+            // `full_gram_flat` then computes the block through the tiled
+            // GEMM micro-kernel (norm expansion + batched kernel map)
+            // for buckets of at least `TILED_MIN_POINTS`, and stays on
+            // the scalar path for small buckets where setup dominates.
             let sub = FlatPoints::gather(points, members);
             let block = GramBlock {
                 members: members.to_vec(),

@@ -30,6 +30,27 @@ pub enum Kernel {
     },
 }
 
+/// The pairwise "raw" quantity a kernel is a pointwise function of.
+///
+/// This is what lets the Gram layer batch kernel evaluation: a whole
+/// tile of raw values is produced first (by a micro-kernel where the
+/// basis allows it), then [`Kernel::map_raw`] finishes the tile in one
+/// pass — instead of a full `Kernel::eval` (with its per-pair dimension
+/// branch) per entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileBasis {
+    /// Squared Euclidean distance `‖x−y‖²` — expressible as
+    /// `‖x‖² + ‖y‖² − 2⟨x,y⟩`, so tiles reduce to a dense matmul
+    /// (Gaussian).
+    SqDist,
+    /// Inner product `⟨x,y⟩` — tiles are a dense matmul directly
+    /// (linear, polynomial).
+    Dot,
+    /// L1 distance `‖x−y‖₁` — no bilinear form exists, so tiles must be
+    /// filled per entry; only the final map batches (Laplacian).
+    L1,
+}
+
 impl Kernel {
     /// The paper's default kernel: Gaussian with bandwidth σ.
     ///
@@ -47,13 +68,70 @@ impl Kernel {
     #[inline]
     pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
         assert_eq!(x.len(), y.len(), "kernel eval: dimension mismatch");
+        self.eval_prevalidated(x, y)
+    }
+
+    /// [`Kernel::eval`] without the per-pair dimension check — the batch
+    /// entry point for Gram/tile loops that have already validated the
+    /// whole matrix once (e.g. via `FlatPoints`' uniform stride).
+    ///
+    /// Release builds skip the length branch entirely; debug builds keep
+    /// it as a `debug_assert!`.
+    #[inline]
+    pub fn eval_prevalidated(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len(), "kernel eval: dimension mismatch");
+        let mut raw = [self.raw(x, y)];
+        self.map_raw(&mut raw);
+        raw[0]
+    }
+
+    /// The raw basis value for a pair (see [`TileBasis`]): squared L2
+    /// distance, inner product, or L1 distance.
+    ///
+    /// Dimensions must have been validated by the caller.
+    #[inline]
+    pub fn raw(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len(), "kernel raw: dimension mismatch");
+        match self.tile_basis() {
+            TileBasis::SqDist => vector::sq_dist(x, y),
+            TileBasis::Dot => vector::dot(x, y),
+            TileBasis::L1 => x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum(),
+        }
+    }
+
+    /// Which raw quantity this kernel maps (and therefore whether a
+    /// tile of it can be produced by the GEMM micro-kernel).
+    #[inline]
+    pub fn tile_basis(&self) -> TileBasis {
+        match self {
+            Kernel::Gaussian { .. } => TileBasis::SqDist,
+            Kernel::Linear | Kernel::Polynomial { .. } => TileBasis::Dot,
+            Kernel::Laplacian { .. } => TileBasis::L1,
+        }
+    }
+
+    /// Finish a tile: map raw basis values (per [`Kernel::tile_basis`])
+    /// to kernel values in place, one batched pass with no per-entry
+    /// branching. Applying this to a value produced by [`Kernel::raw`]
+    /// is bitwise identical to [`Kernel::eval`] on the same pair.
+    #[inline]
+    pub fn map_raw(&self, tile: &mut [f64]) {
         match *self {
-            Kernel::Gaussian { sigma } => (-vector::sq_dist(x, y) / (2.0 * sigma * sigma)).exp(),
-            Kernel::Linear => vector::dot(x, y),
-            Kernel::Polynomial { degree, c } => (vector::dot(x, y) + c).powi(degree as i32),
+            Kernel::Gaussian { sigma } => {
+                for v in tile.iter_mut() {
+                    *v = (-*v / (2.0 * sigma * sigma)).exp();
+                }
+            }
+            Kernel::Linear => {}
+            Kernel::Polynomial { degree, c } => {
+                for v in tile.iter_mut() {
+                    *v = (*v + c).powi(degree as i32);
+                }
+            }
             Kernel::Laplacian { gamma } => {
-                let l1: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
-                (-gamma * l1).exp()
+                for v in tile.iter_mut() {
+                    *v = (-gamma * *v).exp();
+                }
             }
         }
     }

@@ -37,8 +37,11 @@ pub mod ridge;
 
 pub use approx::ApproximateGram;
 pub use classifier::KernelClassifier;
-pub use functions::Kernel;
-pub use gram::{full_gram, gram_memory_bytes};
+pub use functions::{Kernel, TileBasis};
+pub use gram::{
+    full_gram, full_gram_flat, full_gram_flat_scalar, full_gram_flat_tiled, gram_memory_bytes,
+    TILED_MIN_POINTS,
+};
 pub use kpca::{center_gram, kernel_pca, kernel_pca_blocks, BlockKpca, KpcaEmbedding};
 pub use nystrom::{nystrom_eigen, NystromEigen};
 pub use ridge::RidgeModel;

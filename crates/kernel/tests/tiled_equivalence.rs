@@ -1,0 +1,161 @@
+//! Property tests: the tiled (GEMM micro-kernel) Gram path must agree
+//! with the scalar reference entrywise, across odd sizes, degenerate
+//! buckets, and thread counts.
+//!
+//! Tolerance note: the tiled path computes `‖x−y‖²` by norm expansion
+//! (`‖x‖² + ‖y‖² − 2⟨x,y⟩`), which cancels where the scalar path
+//! subtracts coordinate-wise. With coordinates in `[−2, 2]` and d ≤ 6
+//! the raw values are O(100), so a few ULPs of cancellation stay well
+//! under the 1e-12 absolute bound asserted here. The bound is *not*
+//! scale-free — callers with huge coordinates should normalize first
+//! (see DESIGN.md, "Micro-kernel layer").
+
+use dasc_kernel::{full_gram_flat_scalar, full_gram_flat_tiled, Kernel};
+use dasc_linalg::{gemm, vector, FlatPoints};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const TOL: f64 = 1e-12;
+
+/// Build a `FlatPoints` from a flat coordinate pool, truncated to a
+/// whole number of rows.
+fn points_from(data: &[f64], dim: usize) -> FlatPoints {
+    let n = data.len() / dim;
+    FlatPoints::from_flat(data[..n * dim].to_vec(), dim)
+}
+
+/// Reference pairwise squared distances: one scalar `sq_dist` per pair.
+fn scalar_sq_dists(a: &FlatPoints, b: &FlatPoints) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            out.push(vector::sq_dist(a.row(i), b.row(j)));
+        }
+    }
+    out
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "shape mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel::gaussian(0.8),
+        Kernel::Linear,
+        Kernel::Polynomial { degree: 2, c: 0.5 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_pairwise_sq_dists_match_scalar(
+        a_data in prop::collection::vec(-2.0f64..2.0, 0..420),
+        b_data in prop::collection::vec(-2.0f64..2.0, 0..420),
+        dim in 1usize..7,
+    ) {
+        let a = points_from(&a_data, dim);
+        let b = points_from(&b_data, dim);
+        let expected = scalar_sq_dists(&a, &b);
+        for threads in THREAD_COUNTS {
+            let got = dasc_pool::Pool::new(threads)
+                .install(|| gemm::pairwise_sq_dists(&a, &b));
+            let diff = max_abs_diff(&expected, &got);
+            prop_assert!(diff <= TOL, "max diff {diff:e} at {threads} threads");
+            // Norm expansion can cancel below zero; the driver clamps.
+            prop_assert!(got.iter().all(|&d| d >= 0.0), "negative distance survived clamp");
+        }
+    }
+
+    #[test]
+    fn tiled_gram_matches_scalar(
+        data in prop::collection::vec(-2.0f64..2.0, 0..600),
+        dim in 1usize..7,
+    ) {
+        let pts = points_from(&data, dim);
+        for kernel in kernels() {
+            let scalar = full_gram_flat_scalar(&pts, &kernel);
+            for threads in THREAD_COUNTS {
+                let tiled = dasc_pool::Pool::new(threads)
+                    .install(|| full_gram_flat_tiled(&pts, &kernel));
+                let diff = max_abs_diff(scalar.as_slice(), tiled.as_slice());
+                prop_assert!(
+                    diff <= TOL,
+                    "{kernel:?}: max diff {diff:e} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_gram_bitwise_stable_across_threads(
+        data in prop::collection::vec(-2.0f64..2.0, 64..420),
+        dim in 1usize..5,
+    ) {
+        // Determinism is stronger than the tolerance bound: the tiled
+        // path must be *bit-identical* at every thread count, because
+        // each output entry is owned by exactly one chunk and computed
+        // by the same instruction sequence regardless of schedule.
+        let pts = points_from(&data, dim);
+        let kernel = Kernel::gaussian(0.9);
+        let expected = dasc_pool::Pool::new(1).install(|| full_gram_flat_tiled(&pts, &kernel));
+        for threads in [2, 8] {
+            let got = dasc_pool::Pool::new(threads)
+                .install(|| full_gram_flat_tiled(&pts, &kernel));
+            prop_assert!(
+                expected.as_slice() == got.as_slice(),
+                "tiled Gram not bit-identical at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_buckets_empty_and_single_point() {
+    // Empty and 1-point buckets are what LSH hands the Gram layer at
+    // high bit counts; both paths must agree there too.
+    for dim in [1, 3, 6] {
+        let empty = FlatPoints::from_flat(Vec::new(), dim);
+        let single = FlatPoints::from_flat(vec![0.5; dim], dim);
+        for kernel in kernels() {
+            let (es, et) = (
+                full_gram_flat_scalar(&empty, &kernel),
+                full_gram_flat_tiled(&empty, &kernel),
+            );
+            assert_eq!(es.nrows(), 0);
+            assert_eq!(et.nrows(), 0);
+            let (ss, st) = (
+                full_gram_flat_scalar(&single, &kernel),
+                full_gram_flat_tiled(&single, &kernel),
+            );
+            assert_eq!(ss.as_slice(), st.as_slice(), "{kernel:?} single-point");
+        }
+        assert!(gemm::pairwise_sq_dists(&empty, &single).is_empty());
+        assert_eq!(gemm::pairwise_sq_dists(&single, &single), vec![0.0]);
+    }
+}
+
+#[test]
+fn odd_sizes_straddling_tile_boundaries() {
+    // Sizes chosen to hit every remainder path: below one dot4 group,
+    // exactly one panel, one past a panel, and past the B-tile width.
+    for n in [1, 3, 5, 63, 64, 65, 127, 129] {
+        let pts = FlatPoints::from_flat(
+            (0..n * 3)
+                .map(|i| ((i * 37 % 101) as f64) * 0.02 - 1.0)
+                .collect(),
+            3,
+        );
+        let kernel = Kernel::gaussian(0.7);
+        let scalar = full_gram_flat_scalar(&pts, &kernel);
+        let tiled = full_gram_flat_tiled(&pts, &kernel);
+        let diff = max_abs_diff(scalar.as_slice(), tiled.as_slice());
+        assert!(diff <= TOL, "n={n}: max diff {diff:e}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Blocked dense micro-kernels over flat row-major buffers.
+//!
+//! The hot O(N²) loops of the pipeline — Gram blocks and the K-means
+//! assignment step — are pairwise operations between two point sets.
+//! Evaluated one pair at a time they are bandwidth- and ILP-bound:
+//! every squared distance walks both operands once and the summation is
+//! a single serial dependency chain.
+//!
+//! This module restructures them as a dense `C ← A·Bᵀ` micro-kernel
+//! over cache-sized tiles of rows, with squared distances recovered by
+//! the norm expansion
+//!
+//! ```text
+//! ‖x − y‖² = ‖x‖² + ‖y‖² − 2⟨x, y⟩
+//! ```
+//!
+//! so each loaded tile of `B` is reused against a whole tile of `A`
+//! rows, and the inner kernel keeps several independent accumulator
+//! chains in flight (4 output columns × 2 unrolled depth steps), which
+//! is what lets the compiler schedule the FMAs in parallel instead of
+//! serializing on one running sum.
+//!
+//! Numerics: the expansion is algebraically exact but not bitwise equal
+//! to the direct `Σ (xᵢ−yᵢ)²` form — cancellation between `‖x‖²+‖y‖²`
+//! and `2⟨x,y⟩` can leave values off by a few ULPs of the norms, and
+//! for `x ≈ y` can even produce a tiny *negative* result. Every driver
+//! here therefore clamps distances at zero. Callers that need bitwise
+//! agreement with the scalar path (tiny inputs where the difference is
+//! observable relative to setup cost) should stay on the scalar path;
+//! see `dasc_kernel::TILED_MIN_POINTS` for where the kernel layer draws
+//! that line.
+//!
+//! Everything is deterministic: a given output entry is always computed
+//! by the same instruction sequence, independent of tiling position or
+//! thread count, so parallel drivers chunking over row panels reproduce
+//! the single-threaded result bit for bit.
+
+use crate::points::FlatPoints;
+
+/// Rows of `B` processed per cache tile by the panel drivers.
+///
+/// 128 rows × 64 dims × 8 bytes = 64 KiB worst-case — comfortably L2
+/// resident alongside the `A` row being streamed, and big enough that
+/// tile-edge remainders are rare for realistic bucket sizes.
+pub const GEMM_TILE_ROWS: usize = 128;
+
+/// Squared L2 norm of every row: `out[i] = ⟨aᵢ, aᵢ⟩`.
+///
+/// Uses the same unrolled dot kernel as the panel drivers so that a
+/// row's norm and its self-inner-product agree bitwise wherever both
+/// are computed with [`dot1`]'s summation order.
+pub fn row_sq_norms(points: &FlatPoints) -> Vec<f64> {
+    let dim = points.dim();
+    points.iter().map(|r| dot1(r, r, dim)).collect()
+}
+
+/// [`row_sq_norms`] over a raw row-major buffer.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`).
+pub fn row_sq_norms_flat(data: &[f64], dim: usize) -> Vec<f64> {
+    if dim == 0 {
+        return Vec::new();
+    }
+    assert_eq!(data.len() % dim, 0, "row_sq_norms: ragged buffer");
+    data.chunks_exact(dim).map(|r| dot1(r, r, dim)).collect()
+}
+
+/// Dense `C ← A·Bᵀ` panel: `out[i·ldc + j] = ⟨aᵢ, bⱼ⟩` for
+/// `i < ma`, `j < nb`, with `A` and `B` row-major at stride `dim`.
+///
+/// `ldc` is the output row stride, which lets callers write a panel
+/// directly into a window of a larger matrix.
+///
+/// # Panics
+/// Panics if the input or output buffers are too small for the
+/// requested shape, or `ldc < nb`.
+pub fn abt_into(
+    a: &[f64],
+    ma: usize,
+    b: &[f64],
+    nb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
+    panel_driver(a, ma, b, nb, dim, out, ldc, |_, _, dot| dot);
+}
+
+/// Fused pairwise squared distances:
+/// `out[i·ldc + j] = max(0, ‖aᵢ‖² + ‖bⱼ‖² − 2⟨aᵢ, bⱼ⟩)`.
+///
+/// `a_norms`/`b_norms` are the rows' squared norms (see
+/// [`row_sq_norms`]); hoisting them out of the inner kernel is what
+/// turns the distance computation into a pure matmul. Tiny negative
+/// results of the floating-point cancellation are clamped to zero so
+/// downstream `sqrt`/`exp` maps never see an out-of-domain value.
+///
+/// # Panics
+/// Panics if norm slices don't match the row counts, buffers are too
+/// small, or `ldc < nb`.
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+pub fn sq_dists_into(
+    a: &[f64],
+    ma: usize,
+    a_norms: &[f64],
+    b: &[f64],
+    nb: usize,
+    b_norms: &[f64],
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
+    assert_eq!(a_norms.len(), ma, "sq_dists: a_norms length mismatch");
+    assert_eq!(b_norms.len(), nb, "sq_dists: b_norms length mismatch");
+    panel_driver(a, ma, b, nb, dim, out, ldc, |i, j, dot| {
+        (a_norms[i] + b_norms[j] - 2.0 * dot).max(0.0)
+    });
+}
+
+/// Convenience tile driver: the full `ma × nb` squared-distance matrix
+/// between two flat point sets, computing the row norms itself.
+///
+/// Returns a flat row-major buffer of length `a.len() * b.len()`.
+///
+/// # Panics
+/// Panics if the two sets differ in dimension (unless one is empty).
+pub fn pairwise_sq_dists(a: &FlatPoints, b: &FlatPoints) -> Vec<f64> {
+    let (ma, nb) = (a.len(), b.len());
+    if ma == 0 || nb == 0 {
+        return Vec::new();
+    }
+    assert_eq!(a.dim(), b.dim(), "pairwise_sq_dists: dimension mismatch");
+    let a_norms = row_sq_norms(a);
+    let b_norms = row_sq_norms(b);
+    let mut out = vec![0.0; ma * nb];
+    sq_dists_into(
+        a.as_slice(),
+        ma,
+        &a_norms,
+        b.as_slice(),
+        nb,
+        &b_norms,
+        a.dim(),
+        &mut out,
+        nb,
+    );
+    out
+}
+
+/// Shared tiled driver: stream tiles of `B` rows against every `A` row,
+/// finishing each inner product through `finish(i, j, dot)`.
+///
+/// The `finish` closure is monomorphized into the kernel, so the fused
+/// distance variant pays nothing over the raw matmul.
+#[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+fn panel_driver<F>(
+    a: &[f64],
+    ma: usize,
+    b: &[f64],
+    nb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+    finish: F,
+) where
+    F: Fn(usize, usize, f64) -> f64 + Copy,
+{
+    if ma == 0 || nb == 0 {
+        return;
+    }
+    assert!(a.len() >= ma * dim, "gemm: A buffer too small");
+    assert!(b.len() >= nb * dim, "gemm: B buffer too small");
+    assert!(ldc >= nb, "gemm: output stride below panel width");
+    assert!(
+        out.len() >= (ma - 1) * ldc + nb,
+        "gemm: output buffer too small"
+    );
+    for jb in (0..nb).step_by(GEMM_TILE_ROWS) {
+        let jend = (jb + GEMM_TILE_ROWS).min(nb);
+        for i in 0..ma {
+            let ai = &a[i * dim..(i + 1) * dim];
+            let orow = &mut out[i * ldc + jb..i * ldc + jend];
+            let mut j = jb;
+            while j + 4 <= jend {
+                let d = dot4(ai, &b[j * dim..(j + 4) * dim], dim);
+                orow[j - jb] = finish(i, j, d[0]);
+                orow[j + 1 - jb] = finish(i, j + 1, d[1]);
+                orow[j + 2 - jb] = finish(i, j + 2, d[2]);
+                orow[j + 3 - jb] = finish(i, j + 3, d[3]);
+                j += 4;
+            }
+            while j < jend {
+                let d = dot1(ai, &b[j * dim..(j + 1) * dim], dim);
+                orow[j - jb] = finish(i, j, d);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Register-blocked inner kernel: one `A` row against four consecutive
+/// `B` rows. Eight independent accumulators (4 columns × 2 unrolled
+/// depth steps) keep the FMA pipeline busy; the `A` element is loaded
+/// once per depth step and reused across all four columns.
+#[inline(always)]
+fn dot4(a: &[f64], b4: &[f64], dim: usize) -> [f64; 4] {
+    debug_assert!(a.len() == dim && b4.len() == 4 * dim);
+    let (b0, rest) = b4.split_at(dim);
+    let (b1, rest) = rest.split_at(dim);
+    let (b2, b3) = rest.split_at(dim);
+    let mut s = [0.0f64; 8];
+    let mut k = 0;
+    while k + 2 <= dim {
+        let (a0, a1) = (a[k], a[k + 1]);
+        s[0] += a0 * b0[k];
+        s[4] += a1 * b0[k + 1];
+        s[1] += a0 * b1[k];
+        s[5] += a1 * b1[k + 1];
+        s[2] += a0 * b2[k];
+        s[6] += a1 * b2[k + 1];
+        s[3] += a0 * b3[k];
+        s[7] += a1 * b3[k + 1];
+        k += 2;
+    }
+    if k < dim {
+        let a0 = a[k];
+        s[0] += a0 * b0[k];
+        s[1] += a0 * b1[k];
+        s[2] += a0 * b2[k];
+        s[3] += a0 * b3[k];
+    }
+    [s[0] + s[4], s[1] + s[5], s[2] + s[6], s[3] + s[7]]
+}
+
+/// Single-row remainder kernel: four accumulator chains over the depth
+/// dimension, reduced pairwise so the result is independent of where in
+/// a tile the row lands.
+#[inline(always)]
+fn dot1(a: &[f64], b: &[f64], dim: usize) -> f64 {
+    debug_assert!(a.len() == dim && b.len() == dim);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut k = 0;
+    while k + 4 <= dim {
+        s0 += a[k] * b[k];
+        s1 += a[k + 1] * b[k + 1];
+        s2 += a[k + 2] * b[k + 2];
+        s3 += a[k + 3] * b[k + 3];
+        k += 4;
+    }
+    while k < dim {
+        s0 += a[k] * b[k];
+        k += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    /// Deterministic pseudo-random point set.
+    fn points(n: usize, dim: usize, salt: u64) -> FlatPoints {
+        let data: Vec<f64> = (0..n * dim)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                (x % 1000) as f64 / 250.0 - 2.0
+            })
+            .collect();
+        FlatPoints::from_flat(data, dim)
+    }
+
+    #[test]
+    fn abt_matches_naive_dot() {
+        for (ma, nb, dim) in [(1, 1, 1), (3, 5, 2), (7, 9, 3), (13, 6, 5), (130, 131, 7)] {
+            let a = points(ma, dim, 1);
+            let b = points(nb, dim, 2);
+            let mut out = vec![0.0; ma * nb];
+            abt_into(a.as_slice(), ma, b.as_slice(), nb, dim, &mut out, nb);
+            for i in 0..ma {
+                for j in 0..nb {
+                    let want = vector::dot(a.row(i), b.row(j));
+                    assert!(
+                        (out[i * nb + j] - want).abs() < 1e-12,
+                        "({i},{j}) at {ma}x{nb}x{dim}: {} vs {want}",
+                        out[i * nb + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dists_match_scalar_within_tolerance() {
+        for (ma, nb, dim) in [(1, 4, 2), (5, 5, 3), (17, 33, 4), (129, 7, 6)] {
+            let a = points(ma, dim, 3);
+            let b = points(nb, dim, 4);
+            let out = pairwise_sq_dists(&a, &b);
+            for i in 0..ma {
+                for j in 0..nb {
+                    let want = vector::sq_dist(a.row(i), b.row(j));
+                    assert!(
+                        (out[i * nb + j] - want).abs() < 1e-12,
+                        "({i},{j}): {} vs {want}",
+                        out[i * nb + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_distances_clamped_non_negative() {
+        // Identical rows: the expansion cancels to ±ULP noise; the clamp
+        // must pin every self-distance at exactly 0 or a non-negative
+        // residue, never a negative number.
+        let a = points(37, 5, 9);
+        let out = pairwise_sq_dists(&a, &a);
+        for (idx, &v) in out.iter().enumerate() {
+            assert!(v >= 0.0, "negative distance at {idx}: {v}");
+        }
+        for i in 0..37 {
+            assert!(out[i * 37 + i] < 1e-12, "self distance {}", out[i * 37 + i]);
+        }
+    }
+
+    #[test]
+    fn strided_output_leaves_margin_untouched() {
+        // Write a 3×4 panel into a 3×10 window at column offset 0 with
+        // ldc 10; columns 4..10 must keep their sentinel.
+        let a = points(3, 2, 5);
+        let b = points(4, 2, 6);
+        let an = row_sq_norms(&a);
+        let bn = row_sq_norms(&b);
+        let mut out = vec![-7.0; 3 * 10];
+        sq_dists_into(a.as_slice(), 3, &an, b.as_slice(), 4, &bn, 2, &mut out, 10);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!(out[i * 10 + j] >= 0.0);
+            }
+            for j in 4..10 {
+                if i * 10 + j < out.len() {
+                    assert_eq!(out[i * 10 + j], -7.0, "margin clobbered at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let a = points(3, 2, 7);
+        let empty = FlatPoints::from_rows(&[]);
+        assert!(pairwise_sq_dists(&a, &empty).is_empty());
+        assert!(pairwise_sq_dists(&empty, &a).is_empty());
+        let mut out: Vec<f64> = Vec::new();
+        abt_into(&[], 0, &[], 0, 3, &mut out, 0);
+    }
+
+    #[test]
+    fn row_norms_match_dot() {
+        let a = points(11, 3, 8);
+        let norms = row_sq_norms(&a);
+        for (i, &ni) in norms.iter().enumerate() {
+            assert!((ni - vector::dot(a.row(i), a.row(i))).abs() < 1e-12);
+        }
+        assert_eq!(
+            row_sq_norms_flat(a.as_slice(), 3),
+            norms,
+            "flat variant must agree"
+        );
+    }
+
+    #[test]
+    fn zero_dim_points() {
+        let a = FlatPoints::from_flat(Vec::new(), 0);
+        assert!(row_sq_norms(&a).is_empty());
+        assert!(row_sq_norms_flat(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output stride")]
+    fn small_ldc_panics() {
+        let a = points(2, 2, 1);
+        let mut out = vec![0.0; 4];
+        abt_into(a.as_slice(), 2, a.as_slice(), 2, 2, &mut out, 1);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cholesky;
 pub mod dense;
 pub mod eigen;
+pub mod gemm;
 pub mod lanczos;
 pub mod operator;
 pub mod points;
@@ -42,6 +43,7 @@ pub mod vector;
 pub use cholesky::{Cholesky, NotPositiveDefinite};
 pub use dense::Matrix;
 pub use eigen::{symmetric_eigen, tridiagonal_eigen, SymmetricEigen};
+pub use gemm::{abt_into, pairwise_sq_dists, row_sq_norms, row_sq_norms_flat, sq_dists_into};
 pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
 pub use operator::MatVec;
 pub use points::FlatPoints;

@@ -98,6 +98,20 @@ impl FlatPoints {
         &self.data
     }
 
+    /// Rows `r0..r1` as one contiguous slice — the panel access pattern
+    /// of the tiled micro-kernels in [`crate::gemm`].
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or reversed.
+    #[inline]
+    pub fn rows(&self, r0: usize, r1: usize) -> &[f64] {
+        assert!(
+            r0 <= r1 && r1 <= self.len,
+            "FlatPoints: row range out of bounds"
+        );
+        &self.data[r0 * self.dim..r1 * self.dim]
+    }
+
     /// Iterate over the points in order.
     pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.dim.max(1)).take(self.len)

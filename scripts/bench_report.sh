@@ -38,8 +38,12 @@ assert len(runs) >= 4, f"expected >=2 sizes x 2 thread counts, got {len(runs)} r
 for run in runs:
     assert run["n"] > 0 and run["threads"] >= 1
     assert run["total_s"] > 0 and run["points_per_s"] > 0
+    assert "gram_gflops" in run, "missing gram_gflops (micro-kernel throughput)"
+    assert run["gram_gflops"] >= 0, "negative gram_gflops"
     stages = run["stages_s"]
+    assert stages, "stages_s missing or empty"
     for stage in ("lsh", "bucketing", "gram", "clustering"):
+        assert stage in stages, f"stages_s missing {stage}"
         assert stages[stage] >= 0, f"negative {stage} time"
 assert len(doc["speedup"]) * 2 == len(runs), "one speedup entry per size"
 print(f"OK: {len(runs)} runs at {doc['parallel_threads']} parallel threads")
@@ -48,7 +52,7 @@ for s in doc["speedup"]:
 EOF
 else
     # Fallback: at least confirm the expected keys are present.
-    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"'; do
+    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"' '"gram_gflops"'; do
         grep -q "$key" "$OUT" || fail "$OUT missing $key"
     done
     echo "OK (python3 unavailable; key-presence check only)"
