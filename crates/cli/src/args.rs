@@ -68,6 +68,11 @@ pub enum Command {
         stage_timings: bool,
         /// Write a Chrome trace-event JSON of the run's stage spans.
         trace_out: Option<String>,
+        /// Run the distributed engine: `local` = in-process simulation,
+        /// anything else = a coordinator address to submit the job to.
+        dist: Option<String>,
+        /// RNG seed override (pins bucket clustering across runs).
+        seed: Option<u64>,
     },
     /// Generate a demo dataset as CSV.
     Generate {
@@ -127,6 +132,25 @@ pub enum Command {
         /// Strip a trailing ground-truth column and report accuracy/NMI.
         labels_last_column: bool,
     },
+    /// Run a DASC cluster coordinator daemon.
+    Coordinator {
+        /// Bind host.
+        addr: String,
+        /// Bind port (0 picks a free port).
+        port: u16,
+    },
+    /// Run a DASC worker daemon attached to a coordinator.
+    Worker {
+        /// Coordinator address (`host:port`).
+        coordinator: String,
+        /// Worker name reported on registration.
+        name: String,
+    },
+    /// Scrape a coordinator's Prometheus metrics over the wire protocol.
+    DistMetrics {
+        /// Coordinator address (`host:port`).
+        coordinator: String,
+    },
     /// Print usage.
     Help,
 }
@@ -157,8 +181,9 @@ dasc — distributed approximate spectral clustering
 
 USAGE:
   dasc cluster  --input <csv> --k <K> [--algorithm dasc|sc|psc|nyst|stsc]
-                [--sigma <f>] [--bits <M>] [--labels-last-column]
+                [--sigma <f>] [--bits <M>] [--seed <S>] [--labels-last-column]
                 [--output <csv>] [--stage-timings] [--trace-out <json>]
+                [--dist local|<host:port>]
   dasc generate --kind blobs|wiki|grid --n <N> [--d <D>] [--k <K>]
                 [--seed <S>] --output <csv>
   dasc train    --input <csv> --k <K> --model-out <path> [--sigma <f>]
@@ -167,6 +192,9 @@ USAGE:
   dasc serve    --model <path> [--port <P>] [--addr <host>] [--workers <N>]
   dasc assign   --model <path> --input <csv> [--output <csv>]
                 [--labels-last-column]
+  dasc coordinator [--addr <host>] [--port <P>]
+  dasc worker   --coordinator <host:port> [--name <id>]
+  dasc dist-metrics --coordinator <host:port>
   dasc help
 ";
 
@@ -181,6 +209,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "train" => parse_train(&argv[1..]),
         "serve" => parse_serve(&argv[1..]),
         "assign" => parse_assign(&argv[1..]),
+        "coordinator" => parse_coordinator(&argv[1..]),
+        "worker" => parse_worker(&argv[1..]),
+        "dist-metrics" => parse_dist_metrics(&argv[1..]),
         other => Err(ParseError::Invalid(format!("unknown command '{other}'"))),
     }
 }
@@ -254,6 +285,8 @@ fn parse_cluster(argv: &[String]) -> Result<Command, ParseError> {
         labels_last_column: flags.has("--labels-last-column"),
         stage_timings: flags.has("--stage-timings"),
         trace_out: flags.get("--trace-out").map(str::to_string),
+        dist: flags.get("--dist").map(str::to_string),
+        seed: flags.parsed::<u64>("--seed")?,
     })
 }
 
@@ -329,6 +362,38 @@ fn parse_assign(argv: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+fn parse_coordinator(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::Coordinator {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1").to_string(),
+        port: flags.parsed::<u16>("--port")?.unwrap_or(7979),
+    })
+}
+
+fn parse_worker(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::Worker {
+        coordinator: flags
+            .get("--coordinator")
+            .ok_or(ParseError::Missing("--coordinator"))?
+            .to_string(),
+        name: flags
+            .get("--name")
+            .unwrap_or(&format!("worker-{}", std::process::id()))
+            .to_string(),
+    })
+}
+
+fn parse_dist_metrics(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::DistMetrics {
+        coordinator: flags
+            .get("--coordinator")
+            .ok_or(ParseError::Missing("--coordinator"))?
+            .to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +417,8 @@ mod tests {
                 labels_last_column: false,
                 stage_timings: false,
                 trace_out: None,
+                dist: None,
+                seed: None,
             }
         );
     }
@@ -418,6 +485,79 @@ mod tests {
         for h in [&["help"][..], &["--help"], &["-h"], &[]] {
             assert_eq!(parse(&sv(h)).unwrap(), Command::Help);
         }
+    }
+
+    #[test]
+    fn parses_cluster_dist_and_seed() {
+        let c = parse(&sv(&[
+            "cluster",
+            "--input",
+            "a.csv",
+            "--k",
+            "4",
+            "--dist",
+            "127.0.0.1:7979",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        match c {
+            Command::Cluster { dist, seed, .. } => {
+                assert_eq!(dist.as_deref(), Some("127.0.0.1:7979"));
+                assert_eq!(seed, Some(7));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_coordinator_defaults_and_overrides() {
+        assert_eq!(
+            parse(&sv(&["coordinator"])).unwrap(),
+            Command::Coordinator {
+                addr: "127.0.0.1".into(),
+                port: 7979,
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["coordinator", "--addr", "0.0.0.0", "--port", "9000"])).unwrap(),
+            Command::Coordinator {
+                addr: "0.0.0.0".into(),
+                port: 9000,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_worker() {
+        let c = parse(&sv(&[
+            "worker",
+            "--coordinator",
+            "127.0.0.1:7979",
+            "--name",
+            "w1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Worker {
+                coordinator: "127.0.0.1:7979".into(),
+                name: "w1".into(),
+            }
+        );
+        // Name defaults to a pid-derived identifier.
+        match parse(&sv(&["worker", "--coordinator", "h:1"])).unwrap() {
+            Command::Worker { name, .. } => assert!(name.starts_with("worker-")),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn worker_requires_coordinator() {
+        let e = parse(&sv(&["worker"])).unwrap_err();
+        assert_eq!(e, ParseError::Missing("--coordinator"));
+        let e = parse(&sv(&["dist-metrics"])).unwrap_err();
+        assert_eq!(e, ParseError::Missing("--coordinator"));
     }
 
     #[test]

@@ -9,8 +9,10 @@ use dasc_core::{
     PscConfig, SpectralClustering, SpectralConfig,
 };
 use dasc_data::{SyntheticConfig, WikiCorpusConfig};
+use dasc_dist::{Coordinator, JobClient, JobSpec, WorkerOptions};
 use dasc_kernel::Kernel;
 use dasc_lsh::LshConfig;
+use dasc_mapreduce::ClusterConfig;
 use dasc_metrics::{accuracy, nmi};
 use dasc_serve::{AssignmentEngine, ModelArtifact, Server, ServerConfig};
 
@@ -40,17 +42,32 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             labels_last_column,
             stage_timings,
             trace_out,
-        } => cluster(
-            input,
-            output.as_deref(),
-            *k,
-            *algorithm,
-            *sigma,
-            *bits,
-            *labels_last_column,
-            *stage_timings,
-            trace_out.as_deref(),
-        ),
+            dist,
+            seed,
+        } => match dist.as_deref() {
+            Some(target) => cluster_dist(
+                input,
+                output.as_deref(),
+                *k,
+                *algorithm,
+                *sigma,
+                *bits,
+                *seed,
+                *labels_last_column,
+                target,
+            ),
+            None => cluster(
+                input,
+                output.as_deref(),
+                *k,
+                *algorithm,
+                *sigma,
+                *bits,
+                *labels_last_column,
+                *stage_timings,
+                trace_out.as_deref(),
+            ),
+        },
         Command::Train {
             input,
             model_out,
@@ -84,6 +101,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             output,
             labels_last_column,
         } => assign(model, input, output.as_deref(), *labels_last_column),
+        Command::Coordinator { addr, port } => coordinator(addr, *port),
+        Command::Worker { coordinator, name } => worker_daemon(coordinator, name),
+        Command::DistMetrics { coordinator } => dist_metrics(coordinator),
     }
 }
 
@@ -273,6 +293,148 @@ fn cluster(
         }
     }
     Ok(report)
+}
+
+/// `cluster --dist`: run the distributed DASC engine — `local` executes
+/// the in-process MapReduce simulation, anything else is a coordinator
+/// address to submit the job to over the wire protocol. Both paths are
+/// bit-identical to each other for the same data and seed.
+#[allow(clippy::too_many_arguments)]
+fn cluster_dist(
+    input: &str,
+    output: Option<&str>,
+    k: usize,
+    algorithm: Algorithm,
+    sigma: Option<f64>,
+    bits: Option<usize>,
+    seed: Option<u64>,
+    labels_last_column: bool,
+    target: &str,
+) -> Result<String, String> {
+    if algorithm != Algorithm::Dasc {
+        return Err("--dist only supports --algorithm dasc".to_string());
+    }
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let n = points.len();
+    let kernel = match sigma {
+        Some(s) if s > 0.0 => Kernel::gaussian(s),
+        Some(s) => return Err(format!("--sigma must be positive, got {s}")),
+        None => Kernel::gaussian_median_heuristic(&points),
+    };
+    let mut cfg = DascConfig::for_dataset(n, k).kernel(kernel);
+    if let Some(m) = bits {
+        cfg = cfg.lsh(LshConfig::with_bits(m));
+    }
+    if let Some(s) = seed {
+        cfg = cfg.seed(s);
+    }
+
+    let (assignments, detail) = if target == "local" {
+        let res = Dasc::new(cfg).run_distributed(&points, &ClusterConfig::emr_default());
+        (
+            res.clustering.assignments,
+            format!(
+                "dist(local): {} buckets, {} map + {} reduce tasks, {} records shuffled",
+                res.num_buckets,
+                res.stage1.map_task_durations.len(),
+                res.stage2.reduce_task_durations.len(),
+                res.stage1.shuffled_records,
+            ),
+        )
+    } else {
+        let cluster = ClusterConfig::emr_default();
+        let spec = JobSpec {
+            points,
+            k: cfg.k,
+            kernel: cfg.kernel,
+            num_bits: bits.unwrap_or(0),
+            seed: cfg.seed,
+            consolidate: cfg.consolidate,
+        };
+        let mut client = JobClient::connect(target, &cluster);
+        let outcome = client
+            .run(spec, |_, _, _| {})
+            .map_err(|e| format!("distributed job on {target}: {e}"))?;
+        (
+            outcome.assignments,
+            format!(
+                "dist({target}): {} buckets, {} workers, \
+                 stage1 {:.1} ms, stage2 {:.1} ms, \
+                 {} records / {} bytes shuffled, {} task retries",
+                outcome.num_buckets,
+                outcome.workers_used,
+                outcome.stage1_us as f64 / 1e3,
+                outcome.stage2_us as f64 / 1e3,
+                outcome.shuffle_records,
+                outcome.shuffle_bytes,
+                outcome.task_retries,
+            ),
+        )
+    };
+
+    let mut report = format!("clustered {n} points into k={k}\n{detail}");
+    if let Some(truth) = &labels {
+        report.push_str(&format!(
+            "\naccuracy: {:.4}\nnmi: {:.4}",
+            accuracy(&assignments, truth),
+            nmi(&assignments, truth)
+        ));
+    }
+    match output {
+        Some("-") | None => {
+            if output == Some("-") {
+                let mut buf = Vec::new();
+                csv::write_assignments(&mut buf, &assignments).map_err(|e| e.to_string())?;
+                report.push('\n');
+                report.push_str(&String::from_utf8_lossy(&buf));
+            }
+        }
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            csv::write_assignments(&mut w, &assignments)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            report.push_str(&format!("\nassignments written to {path}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Run a coordinator daemon until the process is killed.
+fn coordinator(addr: &str, port: u16) -> Result<String, String> {
+    let handle = Coordinator::start(&format!("{addr}:{port}"), ClusterConfig::emr_default())
+        .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
+    // Flush the ready line before blocking so callers (the smoke script
+    // included) can wait for it.
+    println!("coordinator listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.wait();
+    Ok("coordinator stopped".to_string())
+}
+
+/// Run a worker daemon attached to a coordinator until the process is
+/// killed or the coordinator becomes unreachable.
+fn worker_daemon(coordinator: &str, name: &str) -> Result<String, String> {
+    println!("worker '{name}' connecting to {coordinator}");
+    std::io::stdout().flush().ok();
+    let options = WorkerOptions::named(name);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    dasc_dist::run_worker(coordinator, &options, &stop)
+        .map_err(|e| format!("worker '{name}': {e}"))?;
+    Ok(format!("worker '{name}' stopped"))
+}
+
+/// Scrape the coordinator's metrics endpoint and return the Prometheus
+/// text exposition.
+fn dist_metrics(coordinator: &str) -> Result<String, String> {
+    let mut client = JobClient::connect(coordinator, &ClusterConfig::emr_default());
+    client.metrics()
 }
 
 /// Train a DASC model and persist the serving artifact.
@@ -705,6 +867,87 @@ mod tests {
         for f in [&data, &model, &trace] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn cluster_dist_local_and_remote_agree() {
+        let data = tmp("dist-pts.csv");
+        let local_out = tmp("dist-local.csv");
+        let remote_out = tmp("dist-remote.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "150", "--d", "6", "--k", "3", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let r = run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--labels-last-column",
+            "--dist",
+            "local",
+            "--output",
+            &local_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("dist(local)"), "{r}");
+
+        // Same job against a real coordinator + worker over TCP.
+        let coord =
+            Coordinator::start("127.0.0.1:0", ClusterConfig::emr_default()).expect("coordinator");
+        let addr = coord.addr().to_string();
+        let w = dasc_dist::worker::spawn(&addr, WorkerOptions::named("cli-test"));
+        let r = run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--labels-last-column",
+            "--dist",
+            &addr,
+            "--output",
+            &remote_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains(&format!("dist({addr})")), "{r}");
+
+        let local = std::fs::read_to_string(&local_out).unwrap();
+        let remote = std::fs::read_to_string(&remote_out).unwrap();
+        assert_eq!(local, remote, "dist assignments diverge from local");
+
+        w.shutdown().expect("worker");
+        coord.shutdown();
+        for f in [&data, &local_out, &remote_out] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn cluster_dist_rejects_non_dasc_algorithms() {
+        let e = run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            "whatever.csv",
+            "--k",
+            "2",
+            "--algorithm",
+            "sc",
+            "--dist",
+            "local",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(e.contains("--dist only supports"), "{e}");
     }
 
     #[test]

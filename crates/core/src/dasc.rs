@@ -390,12 +390,7 @@ impl Dasc {
                   emit: &mut dyn FnMut((usize, usize, usize))| {
                 let sub: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
                 let ki = bucket_cluster_count(k_total, members.len(), n);
-                let mut cfg = SpectralConfig::new(ki)
-                    .kernel(kernel)
-                    .seed(seed ^ (bucket_id as u64).wrapping_mul(0x9E37_79B9));
-                cfg.lanczos_threshold = lanczos_threshold;
-                let sc = SpectralClustering::new(cfg);
-                let c = sc.run(&sub).clustering;
+                let c = cluster_bucket(&sub, ki, kernel, lanczos_threshold, seed, bucket_id);
                 for (local, &point) in members.iter().enumerate() {
                     emit((point, bucket_id, c.assignments[local]));
                 }
@@ -414,20 +409,7 @@ impl Dasc {
 
         // Stitch bucket-local cluster ids into a global id space.
         let stitch_span = span!("dasc.stitch");
-        let ki_per_bucket: Vec<usize> = buckets
-            .sizes()
-            .iter()
-            .map(|&ni| bucket_cluster_count(self.config.k, ni, n))
-            .collect();
-        let mut offsets = vec![0usize; ki_per_bucket.len() + 1];
-        for (i, &ki) in ki_per_bucket.iter().enumerate() {
-            offsets[i + 1] = offsets[i] + ki;
-        }
-        let mut assignments = vec![0usize; n];
-        for &(point, bucket_id, local) in &reduced.records {
-            assignments[point] = offsets[bucket_id] + local.min(ki_per_bucket[bucket_id] - 1);
-        }
-        let stitched = Clustering::new(assignments, *offsets.last().expect("nonempty"));
+        let stitched = stitch_distributed(n, self.config.k, &buckets.sizes(), &reduced.records);
         stitch_span.finish();
         let clustering = if self.config.consolidate {
             let _consolidate_span = span!("dasc.consolidate");
@@ -482,6 +464,59 @@ pub fn bucket_cluster_count(k_total: usize, bucket_size: usize, n: usize) -> usi
     }
     let share = (k_total as f64 * bucket_size as f64 / n as f64).round() as usize;
     share.clamp(1, bucket_size)
+}
+
+/// Spectrally cluster one bucket's points into `ki` clusters — the
+/// stage-2 reduce body, shared verbatim by [`Dasc::train_distributed`]
+/// and the `dasc-dist` worker so both executors are bit-identical. The
+/// spectral seed derives from `(seed, bucket_id)` exactly as the serial
+/// path derives it.
+pub fn cluster_bucket(
+    points: &[Vec<f64>],
+    ki: usize,
+    kernel: Kernel,
+    lanczos_threshold: usize,
+    seed: u64,
+    bucket_id: usize,
+) -> Clustering {
+    let mut cfg = SpectralConfig::new(ki)
+        .kernel(kernel)
+        .seed(seed ^ (bucket_id as u64).wrapping_mul(0x9E37_79B9));
+    cfg.lanczos_threshold = lanczos_threshold;
+    SpectralClustering::new(cfg).run(points).clustering
+}
+
+/// Stitch distributed stage-2 output records `(point, bucket_id,
+/// local_cluster)` into one assignment with contiguous global cluster
+/// ids, given each bucket's size. Shared by [`Dasc::train_distributed`]
+/// and the `dasc-dist` coordinator.
+pub fn stitch_distributed(
+    n: usize,
+    k_total: usize,
+    bucket_sizes: &[usize],
+    records: &[(usize, usize, usize)],
+) -> Clustering {
+    let ki_per_bucket: Vec<usize> = bucket_sizes
+        .iter()
+        .map(|&ni| bucket_cluster_count(k_total, ni, n))
+        .collect();
+    let mut offsets = vec![0usize; ki_per_bucket.len() + 1];
+    for (i, &ki) in ki_per_bucket.iter().enumerate() {
+        offsets[i + 1] = offsets[i] + ki;
+    }
+    let mut assignments = vec![0usize; n];
+    for &(point, bucket_id, local) in records {
+        assignments[point] = offsets[bucket_id] + local.min(ki_per_bucket[bucket_id] - 1);
+    }
+    Clustering::new(assignments, (*offsets.last().expect("nonempty")).max(1))
+}
+
+/// Public entry to fragment consolidation (weighted K-means over
+/// fragment centroids; see [`consolidate_fragments`]) for external
+/// executors that replay the DASC pipeline — the `dasc-dist`
+/// coordinator finishes its jobs through this exact function.
+pub fn consolidate(points: &[Vec<f64>], stitched: &Clustering, k: usize, seed: u64) -> Clustering {
+    consolidate_fragments(points, stitched, k, seed)
 }
 
 /// Consolidate the stitched `Σ Kᵢ` fragment clusters down to exactly

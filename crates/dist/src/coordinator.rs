@@ -1,0 +1,642 @@
+//! The coordinator: job tracker + name node for the dist runtime.
+//!
+//! One `dasc-net` server thread-set handles all RPCs; each submitted
+//! job gets a runner thread that replays the exact in-process
+//! `Dasc::train_distributed` jobflow, but with the map and reduce
+//! bodies executed by remote workers:
+//!
+//! 1. fit the LSH signature model locally (cheap, needs the whole
+//!    dataset's histograms — same as the in-process path);
+//! 2. stage 1: one `MapSignatures` task per `split_ranges` slice;
+//! 3. between-stage merge: rebuild per-point signatures, form and
+//!    merge buckets (identical code to the in-process engine);
+//! 4. stage 2: one `ReduceBucket` task per merged bucket;
+//! 5. stitch + consolidate locally via the shared `dasc-core` helpers.
+//!
+//! Because every numerical step is the same shared function the
+//! in-process engine calls, the final assignments are bit-identical to
+//! `Dasc::run_distributed` for the same `JobSpec` — regardless of
+//! worker count, task interleaving, or mid-job worker deaths.
+//!
+//! Fault tolerance is Hadoop-shaped: workers heartbeat; a worker silent
+//! past `worker_liveness_timeout` (or whose task connection drops) is
+//! declared dead and its in-flight tasks re-queue with `attempt + 1`;
+//! a task exhausting `max_task_attempts` fails the job. Stale results
+//! from resurrected attempts are ignored unless the reporting worker
+//! still owns the in-flight entry.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dasc_core::{bucket_cluster_count, consolidate, stitch_distributed, Clustering};
+use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
+use dasc_mapreduce::{split_ranges, ClusterConfig};
+use dasc_net::{ConnId, Server, ServerConfig, ServerHandle, Service};
+use dasc_obs::span;
+
+use crate::proto::{stage, JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
+
+/// A running coordinator.
+pub struct Coordinator {
+    server: ServerHandle<CoordinatorService>,
+}
+
+impl Coordinator {
+    /// Bind `addr` (port 0 picks a free port) and start serving.
+    pub fn start(addr: &str, cluster: ClusterConfig) -> io::Result<Coordinator> {
+        let service = CoordinatorService {
+            state: Arc::new(SharedState {
+                inner: Mutex::new(State::default()),
+                changed: Condvar::new(),
+                cluster,
+            }),
+        };
+        let server = Server::new(
+            service,
+            ServerConfig {
+                read_timeout: Duration::from_millis(200),
+            },
+        )
+        .start(addr)?;
+        Ok(Coordinator { server })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Block until the server dies on its own (daemon mode).
+    pub fn wait(self) {
+        self.server.wait();
+    }
+
+    /// Graceful shutdown: stop accepting, join all threads. Running job
+    /// runners observe the dropped connections and fail their stages.
+    pub fn shutdown(self) {
+        self.server.service().state.shutdown();
+        self.server.shutdown();
+    }
+
+    /// Workers currently registered and live (test/diagnostic hook).
+    pub fn live_workers(&self) -> usize {
+        let state = self.server.service().state.inner.lock().expect("state");
+        state.workers.len()
+    }
+}
+
+struct CoordinatorService {
+    state: Arc<SharedState>,
+}
+
+struct SharedState {
+    inner: Mutex<State>,
+    changed: Condvar,
+    cluster: ClusterConfig,
+}
+
+#[derive(Default)]
+struct State {
+    shutting_down: bool,
+    next_worker_id: u64,
+    next_job_id: u64,
+    next_task_id: u64,
+    workers: HashMap<u64, WorkerInfo>,
+    /// Tasks ready to hand to the next `RequestTask`.
+    pending: VecDeque<Task>,
+    /// task_id → (worker running it, the task, when it started).
+    in_flight: HashMap<u64, InFlight>,
+    /// task_id → attempts consumed so far (pending + in-flight).
+    attempts: HashMap<u64, u32>,
+    /// Completed task outputs awaiting pickup by their job runner,
+    /// keyed by task_id, with the completing worker recorded.
+    outputs: HashMap<u64, (u64, TaskOutput)>,
+    /// task_id → terminal failure message (attempt budget exhausted).
+    dead_tasks: HashMap<u64, String>,
+    jobs: HashMap<u64, JobState>,
+}
+
+struct WorkerInfo {
+    #[allow(dead_code)] // surfaced in logs/metrics labels later
+    name: String,
+    last_seen: Instant,
+    /// The connection the worker last pulled a task on; if it drops,
+    /// the worker is declared dead immediately.
+    task_conn: Option<ConnId>,
+}
+
+struct InFlight {
+    worker_id: u64,
+    task: Task,
+}
+
+enum JobState {
+    Running { stage: u8, done: u64, total: u64 },
+    Done(JobOutcome),
+    Failed(String),
+}
+
+impl SharedState {
+    fn shutdown(&self) {
+        let mut state = self.inner.lock().expect("state");
+        state.shutting_down = true;
+        self.changed.notify_all();
+    }
+
+    /// Declare a worker dead: drop it and re-queue its in-flight tasks
+    /// (or fail them if out of attempts).
+    fn declare_lost(&self, state: &mut State, worker_id: u64, why: &str) {
+        if state.workers.remove(&worker_id).is_none() {
+            return;
+        }
+        dasc_obs::global().inc("dasc_dist_workers_lost_total", 1);
+        let orphaned: Vec<u64> = state
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.worker_id == worker_id)
+            .map(|(&tid, _)| tid)
+            .collect();
+        for task_id in orphaned {
+            let inflight = state.in_flight.remove(&task_id).expect("in-flight entry");
+            self.requeue(state, inflight.task, format!("worker {worker_id} {why}"));
+        }
+        self.changed.notify_all();
+    }
+
+    /// Put a task back in the queue with `attempt + 1`, or mark it dead
+    /// if the retry budget is spent.
+    fn requeue(&self, state: &mut State, mut task: Task, why: String) {
+        let attempts = state.attempts.get(&task.task_id).copied().unwrap_or(1);
+        if attempts >= self.cluster.max_task_attempts as u32 {
+            state.dead_tasks.insert(
+                task.task_id,
+                format!(
+                    "task {} failed after {attempts} attempts: {why}",
+                    task.task_id
+                ),
+            );
+            return;
+        }
+        dasc_obs::global().inc("dasc_dist_task_retries_total", 1);
+        task.attempt = attempts + 1;
+        state.attempts.insert(task.task_id, attempts + 1);
+        state.pending.push_back(task);
+    }
+
+    /// Enqueue `tasks` and block until all are complete or any is
+    /// terminally dead. Returns outputs keyed by task_id, plus the set
+    /// of workers that completed at least one of them.
+    fn run_stage(
+        &self,
+        job_id: u64,
+        stage_tag: u8,
+        tasks: Vec<Task>,
+    ) -> Result<(HashMap<u64, TaskOutput>, HashSet<u64>), String> {
+        let task_ids: Vec<u64> = tasks.iter().map(|t| t.task_id).collect();
+        {
+            let mut state = self.inner.lock().expect("state");
+            if let Some(JobState::Running { stage, done, total }) = state.jobs.get_mut(&job_id) {
+                *stage = stage_tag;
+                *done = 0;
+                *total = task_ids.len() as u64;
+            }
+            for task in tasks {
+                state.attempts.insert(task.task_id, 1);
+                state.pending.push_back(task);
+            }
+            self.changed.notify_all();
+        }
+
+        let mut outputs = HashMap::new();
+        let mut workers_used = HashSet::new();
+        let mut state = self.inner.lock().expect("state");
+        loop {
+            for &tid in &task_ids {
+                if let Some((worker, out)) = state.outputs.remove(&tid) {
+                    outputs.insert(tid, out);
+                    workers_used.insert(worker);
+                }
+                if let Some(err) = state.dead_tasks.get(&tid) {
+                    let err = err.clone();
+                    self.abandon_stage(&mut state, &task_ids);
+                    return Err(err);
+                }
+            }
+            if let Some(JobState::Running { done, .. }) = state.jobs.get_mut(&job_id) {
+                *done = outputs.len() as u64;
+            }
+            if outputs.len() == task_ids.len() {
+                return Ok((outputs, workers_used));
+            }
+            if state.shutting_down {
+                self.abandon_stage(&mut state, &task_ids);
+                return Err("coordinator shutting down".to_string());
+            }
+            let (next, _) = self
+                .changed
+                .wait_timeout(state, Duration::from_millis(100))
+                .expect("state");
+            state = next;
+            // The sweep needs the lock we hold; do it inline.
+            let timeout = self.cluster.worker_liveness_timeout;
+            let silent: Vec<u64> = state
+                .workers
+                .iter()
+                .filter(|(_, w)| w.last_seen.elapsed() > timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in silent {
+                self.declare_lost(&mut state, id, "missed heartbeats");
+            }
+        }
+    }
+
+    /// Drop a failed stage's remaining bookkeeping so nothing leaks.
+    fn abandon_stage(&self, state: &mut State, task_ids: &[u64]) {
+        let ids: HashSet<u64> = task_ids.iter().copied().collect();
+        state.pending.retain(|t| !ids.contains(&t.task_id));
+        state.in_flight.retain(|tid, _| !ids.contains(tid));
+        for tid in task_ids {
+            state.attempts.remove(tid);
+            state.outputs.remove(tid);
+            state.dead_tasks.remove(tid);
+        }
+    }
+
+    fn alloc_task_ids(&self, n: usize) -> u64 {
+        let mut state = self.inner.lock().expect("state");
+        let first = state.next_task_id;
+        state.next_task_id += n as u64;
+        first
+    }
+
+    fn set_job_state(&self, job_id: u64, js: JobState) {
+        let mut state = self.inner.lock().expect("state");
+        state.jobs.insert(job_id, js);
+        self.changed.notify_all();
+    }
+}
+
+impl Service for CoordinatorService {
+    fn handle(&self, conn: ConnId, msg_type: u16, payload: &[u8]) -> Option<(u16, Vec<u8>)> {
+        let reg = dasc_obs::global();
+        reg.inc("dasc_dist_rpcs_total", 1);
+        let msg = match Msg::decode_frame(msg_type, payload) {
+            Ok(m) => m,
+            Err(e) => {
+                let reply = Msg::JobError {
+                    message: format!("protocol error: {e}"),
+                };
+                return Some((reply.msg_type() as u16, reply.encode_payload()));
+            }
+        };
+        let reply = self.dispatch(conn, msg);
+        Some((reply.msg_type() as u16, reply.encode_payload()))
+    }
+
+    fn on_disconnect(&self, conn: ConnId) {
+        let shared = Arc::clone(&self.state);
+        let mut state = shared.inner.lock().expect("state");
+        let lost: Vec<u64> = state
+            .workers
+            .iter()
+            .filter(|(_, w)| w.task_conn == Some(conn))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in lost {
+            shared.declare_lost(&mut state, id, "dropped its task connection");
+        }
+    }
+}
+
+impl CoordinatorService {
+    fn dispatch(&self, conn: ConnId, msg: Msg) -> Msg {
+        let shared = &self.state;
+        let reg = dasc_obs::global();
+        match msg {
+            Msg::Register { name } => {
+                let mut state = shared.inner.lock().expect("state");
+                state.next_worker_id += 1;
+                let worker_id = state.next_worker_id;
+                state.workers.insert(
+                    worker_id,
+                    WorkerInfo {
+                        name,
+                        last_seen: Instant::now(),
+                        task_conn: None,
+                    },
+                );
+                reg.inc("dasc_dist_workers_registered_total", 1);
+                Msg::RegisterAck {
+                    worker_id,
+                    heartbeat_interval_ms: shared.cluster.heartbeat_interval.as_millis() as u64,
+                }
+            }
+            Msg::Heartbeat { worker_id } => {
+                reg.inc("dasc_dist_heartbeats_total", 1);
+                let mut state = shared.inner.lock().expect("state");
+                if let Some(w) = state.workers.get_mut(&worker_id) {
+                    let lag = w.last_seen.elapsed();
+                    reg.observe("dasc_dist_heartbeat_lag_us", lag.as_micros() as u64);
+                    w.last_seen = Instant::now();
+                }
+                Msg::HeartbeatAck
+            }
+            Msg::RequestTask { worker_id } => {
+                let mut state = shared.inner.lock().expect("state");
+                let Some(w) = state.workers.get_mut(&worker_id) else {
+                    // Unknown (e.g. previously declared dead): make it
+                    // back off; re-registration is its own call.
+                    return Msg::NoTask {
+                        backoff_ms: shared.cluster.heartbeat_interval.as_millis() as u64,
+                    };
+                };
+                w.last_seen = Instant::now();
+                w.task_conn = Some(conn);
+                match state.pending.pop_front() {
+                    Some(task) => {
+                        reg.inc("dasc_dist_tasks_assigned_total", 1);
+                        state.in_flight.insert(
+                            task.task_id,
+                            InFlight {
+                                worker_id,
+                                task: task.clone(),
+                            },
+                        );
+                        Msg::AssignTask { task }
+                    }
+                    None => Msg::NoTask {
+                        backoff_ms: shared.cluster.heartbeat_interval.as_millis() as u64 / 2,
+                    },
+                }
+            }
+            Msg::TaskDone {
+                worker_id,
+                task_id,
+                output,
+            } => {
+                let mut state = shared.inner.lock().expect("state");
+                if let Some(w) = state.workers.get_mut(&worker_id) {
+                    w.last_seen = Instant::now();
+                }
+                // Only the worker that owns the in-flight entry may
+                // complete it — a stale attempt from a worker already
+                // declared dead (whose task was re-run elsewhere) is
+                // acked and dropped.
+                let owned = state
+                    .in_flight
+                    .get(&task_id)
+                    .is_some_and(|f| f.worker_id == worker_id);
+                if owned {
+                    state.in_flight.remove(&task_id);
+                    reg.inc("dasc_dist_tasks_completed_total", 1);
+                    let (records, bytes) = output_volume(&output);
+                    reg.inc("dasc_dist_shuffle_records_total", records);
+                    reg.inc("dasc_dist_shuffle_bytes_total", bytes);
+                    state.outputs.insert(task_id, (worker_id, output));
+                    shared.changed.notify_all();
+                }
+                Msg::TaskAck
+            }
+            Msg::TaskFailed {
+                worker_id,
+                task_id,
+                error,
+            } => {
+                let mut state = shared.inner.lock().expect("state");
+                let owned = state
+                    .in_flight
+                    .get(&task_id)
+                    .is_some_and(|f| f.worker_id == worker_id);
+                if owned {
+                    let inflight = state.in_flight.remove(&task_id).expect("owned entry");
+                    shared.requeue(&mut state, inflight.task, error);
+                    shared.changed.notify_all();
+                }
+                Msg::TaskAck
+            }
+            Msg::SubmitJob { spec } => {
+                let job_id = {
+                    let mut state = shared.inner.lock().expect("state");
+                    state.next_job_id += 1;
+                    let id = state.next_job_id;
+                    state.jobs.insert(
+                        id,
+                        JobState::Running {
+                            stage: stage::QUEUED,
+                            done: 0,
+                            total: 0,
+                        },
+                    );
+                    id
+                };
+                reg.inc("dasc_dist_jobs_total", 1);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || run_job(&shared, job_id, spec));
+                Msg::JobAccepted { job_id }
+            }
+            Msg::PollJob { job_id } => {
+                let state = shared.inner.lock().expect("state");
+                match state.jobs.get(&job_id) {
+                    Some(JobState::Running { stage, done, total }) => Msg::JobPending {
+                        stage: *stage,
+                        done: *done,
+                        total: *total,
+                    },
+                    Some(JobState::Done(outcome)) => Msg::JobResult {
+                        outcome: outcome.clone(),
+                    },
+                    Some(JobState::Failed(message)) => Msg::JobError {
+                        message: message.clone(),
+                    },
+                    None => Msg::JobError {
+                        message: format!("unknown job {job_id}"),
+                    },
+                }
+            }
+            Msg::MetricsRequest => {
+                let mut snap = dasc_obs::global().snapshot();
+                let state = shared.inner.lock().expect("state");
+                snap.gauges.insert(
+                    "dasc_dist_workers_connected".to_string(),
+                    state.workers.len() as i64,
+                );
+                Msg::MetricsReply {
+                    text: dasc_obs::prometheus::render(&snap),
+                }
+            }
+            other => Msg::JobError {
+                message: format!("unexpected message {:?} at coordinator", other.msg_type()),
+            },
+        }
+    }
+}
+
+/// Payload accounting for the shuffle counters: records and approximate
+/// wire bytes of a task output.
+fn output_volume(output: &TaskOutput) -> (u64, u64) {
+    match output {
+        TaskOutput::MapSignatures(groups) => {
+            let records: u64 = groups.iter().map(|(_, m)| m.len() as u64).sum();
+            let bytes: u64 = groups.iter().map(|(_, m)| 12 + 8 * m.len() as u64).sum();
+            (records, bytes)
+        }
+        TaskOutput::ReduceBucket(records) => (records.len() as u64, 24 * records.len() as u64),
+    }
+}
+
+/// The job runner: the exact `Dasc::train_distributed` flow with map
+/// and reduce bodies farmed out to workers.
+fn run_job(shared: &SharedState, job_id: u64, spec: JobSpec) {
+    let result = execute_job(shared, job_id, &spec);
+    match result {
+        Ok(outcome) => shared.set_job_state(job_id, JobState::Done(outcome)),
+        Err(message) => {
+            dasc_obs::global().inc("dasc_dist_jobs_failed_total", 1);
+            shared.set_job_state(job_id, JobState::Failed(message));
+        }
+    }
+}
+
+fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobOutcome, String> {
+    let n = spec.points.len();
+    if n == 0 {
+        return Err("empty dataset".to_string());
+    }
+    if spec.k == 0 {
+        return Err("k must be >= 1".to_string());
+    }
+    let retries_before = dasc_obs::global().counter_value("dasc_dist_task_retries_total");
+    let job_span = span!("dist.job");
+    let lsh = if spec.num_bits == 0 {
+        LshConfig::for_dataset(n)
+    } else {
+        LshConfig::with_bits(spec.num_bits)
+    };
+
+    // Stage 1: fit the model locally, hash remotely.
+    let stage1_span = span!("dist.stage1");
+    let stage1_start = Instant::now();
+    let model = SignatureModel::fit(&spec.points, &lsh);
+    let ranges = split_ranges(n, &shared.cluster);
+    let first_id = shared.alloc_task_ids(ranges.len());
+    let map_tasks: Vec<Task> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, &(start, len))| Task {
+            job_id,
+            task_id: first_id + i as u64,
+            attempt: 1,
+            kind: TaskKind::MapSignatures {
+                num_bits: model.num_bits(),
+                planes: model.planes().to_vec(),
+                start,
+                points: spec.points[start..start + len].to_vec(),
+            },
+        })
+        .collect();
+    let (map_outputs, workers1) = shared.run_stage(job_id, stage::MAP, map_tasks)?;
+    let stage1_us = stage1_start.elapsed().as_micros() as u64;
+    stage1_span.finish();
+
+    // Between-stage merge, identical to the in-process engine.
+    let m = model.num_bits();
+    let mut sigs = vec![Signature::zero(m); n];
+    for output in map_outputs.values() {
+        let TaskOutput::MapSignatures(groups) = output else {
+            return Err("map task returned reduce output".to_string());
+        };
+        for (bits, members) in groups {
+            let s = Signature::from_bits(*bits, m);
+            for &i in members {
+                if i >= n {
+                    return Err(format!("map output point {i} out of range"));
+                }
+                sigs[i] = s;
+            }
+        }
+    }
+    let buckets = BucketSet::from_signatures(&sigs).merge_with(lsh.merge_strategy, lsh.merge_p);
+
+    // Stage 2: one reduce task per merged bucket.
+    let stage2_span = span!("dist.stage2");
+    let stage2_start = Instant::now();
+    let first_id = shared.alloc_task_ids(buckets.len());
+    let reduce_tasks: Vec<Task> = buckets
+        .buckets()
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| Task {
+            job_id,
+            task_id: first_id + bi as u64,
+            attempt: 1,
+            kind: TaskKind::ReduceBucket {
+                bucket_id: bi,
+                ki: bucket_cluster_count(spec.k, b.members.len(), n),
+                kernel: spec.kernel,
+                seed: spec.seed,
+                lanczos_threshold: 512,
+                members: b.members.clone(),
+                points: b.members.iter().map(|&i| spec.points[i].clone()).collect(),
+            },
+        })
+        .collect();
+    let (reduce_outputs, workers2) = shared.run_stage(job_id, stage::REDUCE, reduce_tasks)?;
+    let stage2_us = stage2_start.elapsed().as_micros() as u64;
+    stage2_span.finish();
+
+    // Finish locally: stitch + consolidate via the shared helpers.
+    if let Some(JobState::Running { stage, .. }) =
+        shared.inner.lock().expect("state").jobs.get_mut(&job_id)
+    {
+        *stage = stage::FINISH;
+    }
+    let mut records = Vec::with_capacity(n);
+    for output in reduce_outputs.values() {
+        let TaskOutput::ReduceBucket(rs) = output else {
+            return Err("reduce task returned map output".to_string());
+        };
+        for &(point, bucket_id, local) in rs {
+            if point >= n || bucket_id >= buckets.len() {
+                return Err("reduce output out of range".to_string());
+            }
+            records.push((point, bucket_id, local));
+        }
+    }
+    if records.len() != n {
+        return Err(format!(
+            "reduce stage covered {} of {n} points",
+            records.len()
+        ));
+    }
+    let stitched = stitch_distributed(n, spec.k, &buckets.sizes(), &records);
+    let clustering: Clustering = if spec.consolidate {
+        consolidate(&spec.points, &stitched, spec.k, spec.seed)
+    } else {
+        stitched
+    };
+    job_span.finish();
+
+    let (shuffle_records, shuffle_bytes) = map_outputs
+        .values()
+        .chain(reduce_outputs.values())
+        .map(output_volume)
+        .fold((0, 0), |(r, b), (r2, b2)| (r + r2, b + b2));
+    let workers_used: HashSet<u64> = workers1.union(&workers2).copied().collect();
+    let task_retries =
+        dasc_obs::global().counter_value("dasc_dist_task_retries_total") - retries_before;
+    Ok(JobOutcome {
+        num_clusters: clustering.num_clusters,
+        assignments: clustering.assignments,
+        num_buckets: buckets.len(),
+        workers_used: workers_used.len() as u64,
+        stage1_us,
+        stage2_us,
+        shuffle_records,
+        shuffle_bytes,
+        task_retries,
+    })
+}

@@ -1,0 +1,29 @@
+//! Multi-process distributed DASC runtime.
+//!
+//! The paper runs DASC as two MapReduce stages on Hadoop across real
+//! machines; the rest of this workspace replays that jobflow inside one
+//! process (`dasc-mapreduce`). This crate closes the gap: a
+//! [`Coordinator`] (job tracker + name node) and pull-based workers
+//! ([`worker::spawn`]) execute the same two-stage pipeline across OS
+//! processes over `dasc-net` TCP framing.
+//!
+//! Determinism is structural, not empirical: the map body, the reduce
+//! body (`dasc_core::cluster_bucket`), the between-stage bucket merge,
+//! the stitch (`dasc_core::stitch_distributed`) and the consolidation
+//! (`dasc_core::consolidate`) are the *same functions* the in-process
+//! `Dasc::run_distributed` calls, and none of them depend on task
+//! granularity or arrival order. A distributed run therefore produces
+//! bit-identical assignments to a single-process run of the same
+//! [`JobSpec`] — with any number of workers, and even when workers die
+//! mid-job and their tasks are retried elsewhere (Hadoop-style
+//! `max_task_attempts` budget from `ClusterConfig`).
+
+pub mod client;
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use client::{client_config, rpc, JobClient};
+pub use coordinator::Coordinator;
+pub use proto::{JobOutcome, JobSpec, Msg, MsgType, Task, TaskKind, TaskOutput};
+pub use worker::{execute_task, run_worker, WorkerHandle, WorkerOptions};

@@ -1,0 +1,746 @@
+//! The coordinator/worker message protocol.
+//!
+//! Every message is one `dasc-net` frame: the frame's `msg_type` is the
+//! [`MsgType`] discriminant and the payload is the [`Wire`]-encoded
+//! body. The scheme is deliberately Hadoop-shaped: workers *pull* tasks
+//! ([`RequestTask`](Msg::RequestTask)) the way task trackers ask the
+//! job tracker for work on each heartbeat, and task payloads carry
+//! their input data inline (this runtime has no shared DFS between
+//! processes — the coordinator plays both job tracker and name node).
+//!
+//! | tag | message        | direction            |
+//! |-----|----------------|----------------------|
+//! | 1   | Register       | worker → coordinator |
+//! | 2   | RegisterAck    | reply                |
+//! | 3   | Heartbeat      | worker → coordinator |
+//! | 4   | HeartbeatAck   | reply                |
+//! | 5   | RequestTask    | worker → coordinator |
+//! | 6   | AssignTask     | reply                |
+//! | 7   | NoTask         | reply                |
+//! | 8   | TaskDone       | worker → coordinator |
+//! | 9   | TaskAck        | reply                |
+//! | 10  | SubmitJob      | client → coordinator |
+//! | 11  | JobAccepted    | reply                |
+//! | 12  | PollJob        | client → coordinator |
+//! | 13  | JobPending     | reply                |
+//! | 14  | JobResult      | reply                |
+//! | 15  | JobError       | reply                |
+//! | 16  | MetricsRequest | client → coordinator |
+//! | 17  | MetricsReply   | reply                |
+//! | 18  | TaskFailed     | worker → coordinator |
+
+use dasc_kernel::Kernel;
+use dasc_lsh::HashPlane;
+use dasc_net::{Wire, WireError, WireReader, WireWriter};
+
+/// Frame `msg_type` values (see module table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum MsgType {
+    Register = 1,
+    RegisterAck = 2,
+    Heartbeat = 3,
+    HeartbeatAck = 4,
+    RequestTask = 5,
+    AssignTask = 6,
+    NoTask = 7,
+    TaskDone = 8,
+    TaskAck = 9,
+    SubmitJob = 10,
+    JobAccepted = 11,
+    PollJob = 12,
+    JobPending = 13,
+    JobResult = 14,
+    JobError = 15,
+    MetricsRequest = 16,
+    MetricsReply = 17,
+    TaskFailed = 18,
+}
+
+impl MsgType {
+    /// Parse a frame's `msg_type` field.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => MsgType::Register,
+            2 => MsgType::RegisterAck,
+            3 => MsgType::Heartbeat,
+            4 => MsgType::HeartbeatAck,
+            5 => MsgType::RequestTask,
+            6 => MsgType::AssignTask,
+            7 => MsgType::NoTask,
+            8 => MsgType::TaskDone,
+            9 => MsgType::TaskAck,
+            10 => MsgType::SubmitJob,
+            11 => MsgType::JobAccepted,
+            12 => MsgType::PollJob,
+            13 => MsgType::JobPending,
+            14 => MsgType::JobResult,
+            15 => MsgType::JobError,
+            16 => MsgType::MetricsRequest,
+            17 => MsgType::MetricsReply,
+            18 => MsgType::TaskFailed,
+            _ => return None,
+        })
+    }
+}
+
+/// One protocol message; [`Msg::msg_type`] names its frame tag.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Worker announces itself; `name` is a human-readable label.
+    Register { name: String },
+    /// Coordinator's reply: assigned id + heartbeat cadence to honour.
+    RegisterAck {
+        worker_id: u64,
+        heartbeat_interval_ms: u64,
+    },
+    /// Worker liveness ping (sent on a dedicated connection).
+    Heartbeat { worker_id: u64 },
+    /// Heartbeat reply.
+    HeartbeatAck,
+    /// Worker asks for work (the Hadoop pull model).
+    RequestTask { worker_id: u64 },
+    /// Coordinator hands out one task.
+    AssignTask { task: Task },
+    /// Nothing to do right now; ask again after `backoff_ms`.
+    NoTask { backoff_ms: u64 },
+    /// Worker ships a completed task's output.
+    TaskDone {
+        worker_id: u64,
+        task_id: u64,
+        output: TaskOutput,
+    },
+    /// Coordinator acknowledges a result (stale results are acked too).
+    TaskAck,
+    /// Job client submits a DASC job (points + config inline).
+    SubmitJob { spec: JobSpec },
+    /// Coordinator accepted the job.
+    JobAccepted { job_id: u64 },
+    /// Job client polls for completion.
+    PollJob { job_id: u64 },
+    /// Job still running: which stage, and task progress within it.
+    JobPending { stage: u8, done: u64, total: u64 },
+    /// Job finished.
+    JobResult { outcome: JobOutcome },
+    /// Job (or request) failed for good.
+    JobError { message: String },
+    /// Ask for a Prometheus-text metrics snapshot.
+    MetricsRequest,
+    /// Metrics snapshot reply.
+    MetricsReply { text: String },
+    /// Worker reports a task attempt that errored (panicked).
+    TaskFailed {
+        worker_id: u64,
+        task_id: u64,
+        error: String,
+    },
+}
+
+/// Job progress stages reported in [`Msg::JobPending`].
+pub mod stage {
+    /// Queued, not yet started.
+    pub const QUEUED: u8 = 0;
+    /// Stage 1: LSH signature map tasks.
+    pub const MAP: u8 = 1;
+    /// Stage 2: per-bucket spectral reduce tasks.
+    pub const REDUCE: u8 = 2;
+    /// Stitch + consolidate on the coordinator.
+    pub const FINISH: u8 = 3;
+}
+
+/// One schedulable unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Task {
+    /// Owning job.
+    pub job_id: u64,
+    /// Unique per coordinator lifetime; retries keep the id.
+    pub task_id: u64,
+    /// Attempt number, starting at 1 (Hadoop counts the same way).
+    pub attempt: u32,
+    /// What to compute.
+    pub kind: TaskKind,
+}
+
+/// Task bodies. Inputs ride inline — the coordinator is the data node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskKind {
+    /// Stage 1 (Algorithm 1): hash a contiguous slice of points with
+    /// the frozen signature model; emit `(bits, point_index)` grouped
+    /// by signature.
+    MapSignatures {
+        /// Signature width M.
+        num_bits: usize,
+        /// The fitted model's hash planes, in bit order.
+        planes: Vec<HashPlane>,
+        /// Global index of `points[0]`.
+        start: usize,
+        /// The slice to hash.
+        points: Vec<Vec<f64>>,
+    },
+    /// Stage 2 (Algorithm 2 + spectral step): cluster one merged
+    /// bucket's points into `ki` local clusters.
+    ReduceBucket {
+        /// Bucket index in the merged bucket set (drives the spectral
+        /// seed derivation).
+        bucket_id: usize,
+        /// Clusters apportioned to this bucket.
+        ki: usize,
+        /// Kernel for the sub-similarity block.
+        kernel: Kernel,
+        /// Run seed (bucket seed derives from it).
+        seed: u64,
+        /// Dense→Lanczos crossover.
+        lanczos_threshold: usize,
+        /// Global point ids, in bucket order.
+        members: Vec<usize>,
+        /// The bucket's points, parallel to `members`.
+        points: Vec<Vec<f64>>,
+    },
+}
+
+/// What a completed task ships back.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TaskOutput {
+    /// Stage 1 shuffle output: `(signature bits, member point ids)`.
+    MapSignatures(Vec<(u64, Vec<usize>)>),
+    /// Stage 2 output: `(point, bucket_id, local cluster)` triples.
+    ReduceBucket(Vec<(usize, usize, usize)>),
+}
+
+/// A submitted DASC job: the dataset plus exactly the knobs the CLI
+/// derives a `DascConfig` from, so the coordinator reconstructs the
+/// identical configuration a single-process run would use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// The dataset.
+    pub points: Vec<Vec<f64>>,
+    /// Total clusters K.
+    pub k: usize,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Explicit signature width; 0 means the paper's `for_dataset`
+    /// default `M = ⌈log₂N⌉/2 − 1`.
+    pub num_bits: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Consolidate fragments down to K clusters.
+    pub consolidate: bool,
+}
+
+/// A finished job's result plus run accounting for benches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// Final cluster id per point.
+    pub assignments: Vec<usize>,
+    /// Number of clusters referenced.
+    pub num_clusters: usize,
+    /// Merged buckets formed between the stages.
+    pub num_buckets: usize,
+    /// Distinct workers that completed at least one task.
+    pub workers_used: u64,
+    /// Stage 1 wall time, microseconds.
+    pub stage1_us: u64,
+    /// Stage 2 wall time, microseconds.
+    pub stage2_us: u64,
+    /// Shuffle records shipped worker → coordinator.
+    pub shuffle_records: u64,
+    /// Payload bytes shipped worker → coordinator in task outputs.
+    pub shuffle_bytes: u64,
+    /// Task retries the job survived.
+    pub task_retries: u64,
+}
+
+fn encode_kernel(k: &Kernel, w: &mut WireWriter) {
+    match *k {
+        Kernel::Gaussian { sigma } => {
+            w.put_u8(0);
+            w.put_f64(sigma);
+        }
+        Kernel::Linear => w.put_u8(1),
+        Kernel::Polynomial { degree, c } => {
+            w.put_u8(2);
+            w.put_u32(degree);
+            w.put_f64(c);
+        }
+        Kernel::Laplacian { gamma } => {
+            w.put_u8(3);
+            w.put_f64(gamma);
+        }
+    }
+}
+
+fn decode_kernel(r: &mut WireReader<'_>) -> Result<Kernel, WireError> {
+    Ok(match r.u8()? {
+        0 => Kernel::Gaussian { sigma: r.f64()? },
+        1 => Kernel::Linear,
+        2 => Kernel::Polynomial {
+            degree: r.u32()?,
+            c: r.f64()?,
+        },
+        3 => Kernel::Laplacian { gamma: r.f64()? },
+        _ => return Err(WireError::Invalid("kernel tag")),
+    })
+}
+
+/// Newtype to give [`HashPlane`] a wire form without dasc-lsh depending
+/// on dasc-net.
+struct WirePlane(HashPlane);
+
+impl Wire for WirePlane {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_usize(self.0.dimension);
+        w.put_f64(self.0.threshold);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WirePlane(HashPlane {
+            dimension: r.usize()?,
+            threshold: r.f64()?,
+        }))
+    }
+}
+
+impl Wire for Task {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.job_id);
+        w.put_u64(self.task_id);
+        w.put_u32(self.attempt);
+        match &self.kind {
+            TaskKind::MapSignatures {
+                num_bits,
+                planes,
+                start,
+                points,
+            } => {
+                w.put_u8(0);
+                w.put_usize(*num_bits);
+                planes
+                    .iter()
+                    .map(|&p| WirePlane(p))
+                    .collect::<Vec<_>>()
+                    .encode(w);
+                w.put_usize(*start);
+                points.encode(w);
+            }
+            TaskKind::ReduceBucket {
+                bucket_id,
+                ki,
+                kernel,
+                seed,
+                lanczos_threshold,
+                members,
+                points,
+            } => {
+                w.put_u8(1);
+                w.put_usize(*bucket_id);
+                w.put_usize(*ki);
+                encode_kernel(kernel, w);
+                w.put_u64(*seed);
+                w.put_usize(*lanczos_threshold);
+                members.encode(w);
+                points.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let job_id = r.u64()?;
+        let task_id = r.u64()?;
+        let attempt = r.u32()?;
+        let kind = match r.u8()? {
+            0 => TaskKind::MapSignatures {
+                num_bits: r.usize()?,
+                planes: Vec::<WirePlane>::decode(r)?
+                    .into_iter()
+                    .map(|p| p.0)
+                    .collect(),
+                start: r.usize()?,
+                points: Vec::decode(r)?,
+            },
+            1 => TaskKind::ReduceBucket {
+                bucket_id: r.usize()?,
+                ki: r.usize()?,
+                kernel: decode_kernel(r)?,
+                seed: r.u64()?,
+                lanczos_threshold: r.usize()?,
+                members: Vec::decode(r)?,
+                points: Vec::decode(r)?,
+            },
+            _ => return Err(WireError::Invalid("task kind tag")),
+        };
+        Ok(Task {
+            job_id,
+            task_id,
+            attempt,
+            kind,
+        })
+    }
+}
+
+impl Wire for TaskOutput {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            TaskOutput::MapSignatures(groups) => {
+                w.put_u8(0);
+                groups.encode(w);
+            }
+            TaskOutput::ReduceBucket(records) => {
+                w.put_u8(1);
+                records.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => TaskOutput::MapSignatures(Vec::decode(r)?),
+            1 => TaskOutput::ReduceBucket(Vec::decode(r)?),
+            _ => return Err(WireError::Invalid("task output tag")),
+        })
+    }
+}
+
+impl Wire for JobSpec {
+    fn encode(&self, w: &mut WireWriter) {
+        self.points.encode(w);
+        w.put_usize(self.k);
+        encode_kernel(&self.kernel, w);
+        w.put_usize(self.num_bits);
+        w.put_u64(self.seed);
+        w.put_bool(self.consolidate);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(JobSpec {
+            points: Vec::decode(r)?,
+            k: r.usize()?,
+            kernel: decode_kernel(r)?,
+            num_bits: r.usize()?,
+            seed: r.u64()?,
+            consolidate: r.bool()?,
+        })
+    }
+}
+
+impl Wire for JobOutcome {
+    fn encode(&self, w: &mut WireWriter) {
+        self.assignments.encode(w);
+        w.put_usize(self.num_clusters);
+        w.put_usize(self.num_buckets);
+        w.put_u64(self.workers_used);
+        w.put_u64(self.stage1_us);
+        w.put_u64(self.stage2_us);
+        w.put_u64(self.shuffle_records);
+        w.put_u64(self.shuffle_bytes);
+        w.put_u64(self.task_retries);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(JobOutcome {
+            assignments: Vec::decode(r)?,
+            num_clusters: r.usize()?,
+            num_buckets: r.usize()?,
+            workers_used: r.u64()?,
+            stage1_us: r.u64()?,
+            stage2_us: r.u64()?,
+            shuffle_records: r.u64()?,
+            shuffle_bytes: r.u64()?,
+            task_retries: r.u64()?,
+        })
+    }
+}
+
+impl Msg {
+    /// The frame tag this message travels under.
+    pub fn msg_type(&self) -> MsgType {
+        match self {
+            Msg::Register { .. } => MsgType::Register,
+            Msg::RegisterAck { .. } => MsgType::RegisterAck,
+            Msg::Heartbeat { .. } => MsgType::Heartbeat,
+            Msg::HeartbeatAck => MsgType::HeartbeatAck,
+            Msg::RequestTask { .. } => MsgType::RequestTask,
+            Msg::AssignTask { .. } => MsgType::AssignTask,
+            Msg::NoTask { .. } => MsgType::NoTask,
+            Msg::TaskDone { .. } => MsgType::TaskDone,
+            Msg::TaskAck => MsgType::TaskAck,
+            Msg::SubmitJob { .. } => MsgType::SubmitJob,
+            Msg::JobAccepted { .. } => MsgType::JobAccepted,
+            Msg::PollJob { .. } => MsgType::PollJob,
+            Msg::JobPending { .. } => MsgType::JobPending,
+            Msg::JobResult { .. } => MsgType::JobResult,
+            Msg::JobError { .. } => MsgType::JobError,
+            Msg::MetricsRequest => MsgType::MetricsRequest,
+            Msg::MetricsReply { .. } => MsgType::MetricsReply,
+            Msg::TaskFailed { .. } => MsgType::TaskFailed,
+        }
+    }
+
+    /// Encode the body (frame payload, without the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Msg::Register { name } => w.put_str(name),
+            Msg::RegisterAck {
+                worker_id,
+                heartbeat_interval_ms,
+            } => {
+                w.put_u64(*worker_id);
+                w.put_u64(*heartbeat_interval_ms);
+            }
+            Msg::Heartbeat { worker_id } => w.put_u64(*worker_id),
+            Msg::HeartbeatAck | Msg::TaskAck | Msg::MetricsRequest => {}
+            Msg::RequestTask { worker_id } => w.put_u64(*worker_id),
+            Msg::AssignTask { task } => task.encode(&mut w),
+            Msg::NoTask { backoff_ms } => w.put_u64(*backoff_ms),
+            Msg::TaskDone {
+                worker_id,
+                task_id,
+                output,
+            } => {
+                w.put_u64(*worker_id);
+                w.put_u64(*task_id);
+                output.encode(&mut w);
+            }
+            Msg::SubmitJob { spec } => spec.encode(&mut w),
+            Msg::JobAccepted { job_id } => w.put_u64(*job_id),
+            Msg::PollJob { job_id } => w.put_u64(*job_id),
+            Msg::JobPending { stage, done, total } => {
+                w.put_u8(*stage);
+                w.put_u64(*done);
+                w.put_u64(*total);
+            }
+            Msg::JobResult { outcome } => outcome.encode(&mut w),
+            Msg::JobError { message } => w.put_str(message),
+            Msg::MetricsReply { text } => w.put_str(text),
+            Msg::TaskFailed {
+                worker_id,
+                task_id,
+                error,
+            } => {
+                w.put_u64(*worker_id);
+                w.put_u64(*task_id);
+                w.put_str(error);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame back into a message. Rejects unknown tags,
+    /// malformed bodies, and trailing bytes.
+    pub fn decode_frame(msg_type: u16, payload: &[u8]) -> Result<Msg, WireError> {
+        let tag = MsgType::from_u16(msg_type).ok_or(WireError::Invalid("unknown msg_type"))?;
+        let mut r = WireReader::new(payload);
+        let msg = match tag {
+            MsgType::Register => Msg::Register { name: r.str()? },
+            MsgType::RegisterAck => Msg::RegisterAck {
+                worker_id: r.u64()?,
+                heartbeat_interval_ms: r.u64()?,
+            },
+            MsgType::Heartbeat => Msg::Heartbeat {
+                worker_id: r.u64()?,
+            },
+            MsgType::HeartbeatAck => Msg::HeartbeatAck,
+            MsgType::RequestTask => Msg::RequestTask {
+                worker_id: r.u64()?,
+            },
+            MsgType::AssignTask => Msg::AssignTask {
+                task: Task::decode(&mut r)?,
+            },
+            MsgType::NoTask => Msg::NoTask {
+                backoff_ms: r.u64()?,
+            },
+            MsgType::TaskDone => Msg::TaskDone {
+                worker_id: r.u64()?,
+                task_id: r.u64()?,
+                output: TaskOutput::decode(&mut r)?,
+            },
+            MsgType::TaskAck => Msg::TaskAck,
+            MsgType::SubmitJob => Msg::SubmitJob {
+                spec: JobSpec::decode(&mut r)?,
+            },
+            MsgType::JobAccepted => Msg::JobAccepted { job_id: r.u64()? },
+            MsgType::PollJob => Msg::PollJob { job_id: r.u64()? },
+            MsgType::JobPending => Msg::JobPending {
+                stage: r.u8()?,
+                done: r.u64()?,
+                total: r.u64()?,
+            },
+            MsgType::JobResult => Msg::JobResult {
+                outcome: JobOutcome::decode(&mut r)?,
+            },
+            MsgType::JobError => Msg::JobError { message: r.str()? },
+            MsgType::MetricsRequest => Msg::MetricsRequest,
+            MsgType::MetricsReply => Msg::MetricsReply { text: r.str()? },
+            MsgType::TaskFailed => Msg::TaskFailed {
+                worker_id: r.u64()?,
+                task_id: r.u64()?,
+                error: r.str()?,
+            },
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Msg) {
+        let payload = msg.encode_payload();
+        let back = Msg::decode_frame(msg.msg_type() as u16, &payload).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_message_variant_roundtrips() {
+        let map_task = Task {
+            job_id: 1,
+            task_id: 42,
+            attempt: 1,
+            kind: TaskKind::MapSignatures {
+                num_bits: 4,
+                planes: vec![
+                    HashPlane {
+                        dimension: 3,
+                        threshold: 0.5,
+                    },
+                    HashPlane {
+                        dimension: 0,
+                        threshold: -1.25,
+                    },
+                ],
+                start: 128,
+                points: vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+            },
+        };
+        let reduce_task = Task {
+            job_id: 1,
+            task_id: 43,
+            attempt: 2,
+            kind: TaskKind::ReduceBucket {
+                bucket_id: 7,
+                ki: 2,
+                kernel: Kernel::Gaussian { sigma: 0.2 },
+                seed: 0xDA5C,
+                lanczos_threshold: 512,
+                members: vec![5, 9, 11],
+                points: vec![vec![0.0; 2]; 3],
+            },
+        };
+        for msg in [
+            Msg::Register { name: "w-1".into() },
+            Msg::RegisterAck {
+                worker_id: 9,
+                heartbeat_interval_ms: 500,
+            },
+            Msg::Heartbeat { worker_id: 9 },
+            Msg::HeartbeatAck,
+            Msg::RequestTask { worker_id: 9 },
+            Msg::AssignTask { task: map_task },
+            Msg::AssignTask { task: reduce_task },
+            Msg::NoTask { backoff_ms: 250 },
+            Msg::TaskDone {
+                worker_id: 9,
+                task_id: 42,
+                output: TaskOutput::MapSignatures(vec![(0b1010, vec![128, 130]), (0, vec![129])]),
+            },
+            Msg::TaskDone {
+                worker_id: 9,
+                task_id: 43,
+                output: TaskOutput::ReduceBucket(vec![(5, 7, 0), (9, 7, 1), (11, 7, 0)]),
+            },
+            Msg::TaskAck,
+            Msg::SubmitJob {
+                spec: JobSpec {
+                    points: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                    k: 2,
+                    kernel: Kernel::Laplacian { gamma: 1.5 },
+                    num_bits: 0,
+                    seed: 0xDA5C,
+                    consolidate: true,
+                },
+            },
+            Msg::JobAccepted { job_id: 3 },
+            Msg::PollJob { job_id: 3 },
+            Msg::JobPending {
+                stage: stage::MAP,
+                done: 2,
+                total: 8,
+            },
+            Msg::JobResult {
+                outcome: JobOutcome {
+                    assignments: vec![0, 1, 1, 0],
+                    num_clusters: 2,
+                    num_buckets: 3,
+                    workers_used: 2,
+                    stage1_us: 1000,
+                    stage2_us: 2000,
+                    shuffle_records: 4,
+                    shuffle_bytes: 96,
+                    task_retries: 1,
+                },
+            },
+            Msg::JobError {
+                message: "task 42 exhausted 4 attempts".into(),
+            },
+            Msg::MetricsRequest,
+            Msg::MetricsReply {
+                text: "# TYPE dasc_dist_rpcs_total counter\n".into(),
+            },
+            Msg::TaskFailed {
+                worker_id: 9,
+                task_id: 42,
+                error: "panic: boom".into(),
+            },
+        ] {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn all_kernels_roundtrip() {
+        for kernel in [
+            Kernel::Gaussian { sigma: 0.7 },
+            Kernel::Linear,
+            Kernel::Polynomial { degree: 3, c: 1.0 },
+            Kernel::Laplacian { gamma: 0.3 },
+        ] {
+            roundtrip(Msg::SubmitJob {
+                spec: JobSpec {
+                    points: vec![vec![0.5]],
+                    k: 1,
+                    kernel,
+                    num_bits: 3,
+                    seed: 1,
+                    consolidate: false,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_rejected() {
+        assert_eq!(
+            Msg::decode_frame(999, &[]),
+            Err(WireError::Invalid("unknown msg_type"))
+        );
+        let mut payload = Msg::PollJob { job_id: 1 }.encode_payload();
+        payload.push(7);
+        assert_eq!(
+            Msg::decode_frame(MsgType::PollJob as u16, &payload),
+            Err(WireError::Trailing(1))
+        );
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        let payload = Msg::RegisterAck {
+            worker_id: 1,
+            heartbeat_interval_ms: 500,
+        }
+        .encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Msg::decode_frame(MsgType::RegisterAck as u16, &payload[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The worker: a task-tracker process pulling tasks over TCP.
+//!
+//! On start the worker registers, spawns a heartbeat thread on its own
+//! connection, then loops: `RequestTask` → execute → `TaskDone` (or
+//! `TaskFailed` if the task body panicked — the same failure unit as
+//! the in-process engine's catch-unwind retry). Task bodies run the
+//! *existing* `dasc-mapreduce` mapper/reducer machinery locally, so a
+//! worker process is literally one Hadoop task tracker's worth of the
+//! in-process engine, and its numerics are shared code with the
+//! single-process path:
+//!
+//! * `MapSignatures` → [`run_map_only`] with the Algorithm 1 mapper;
+//! * `ReduceBucket` → [`reduce_groups`] with a reducer that calls
+//!   `dasc_core::cluster_bucket` (the shared stage-2 body).
+//!
+//! For fault-injection tests, [`WorkerOptions::die_after_assignments`]
+//! makes the worker drop all its connections and stop the moment it
+//! has *accepted* its Nth task — the coordinator sees a vanished
+//! worker holding an in-flight task, exactly like a crashed machine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dasc_core::cluster_bucket;
+use dasc_lsh::SignatureModel;
+use dasc_mapreduce::{reduce_groups, run_map_only, ClusterConfig, FnMapper, FnReducer};
+use dasc_net::{Client, ClientConfig};
+use dasc_obs::span;
+
+use crate::client::{client_config, rpc};
+use crate::proto::{Msg, Task, TaskKind, TaskOutput};
+
+/// Worker behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Human-readable name reported at registration.
+    pub name: String,
+    /// Cluster knobs: RPC timeouts/backoff and the local engine's slot
+    /// configuration for executing task bodies.
+    pub cluster: ClusterConfig,
+    /// Fault injection: accept this many task assignments, then drop
+    /// every connection and stop without completing the last one.
+    pub die_after_assignments: Option<usize>,
+}
+
+impl WorkerOptions {
+    /// Defaults: single-node local engine, no fault injection.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cluster: ClusterConfig::single_node(),
+            die_after_assignments: None,
+        }
+    }
+}
+
+/// A running worker (its pull loop lives on a background thread).
+pub struct WorkerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<Result<(), String>>>,
+}
+
+impl WorkerHandle {
+    /// Ask the loop to stop and wait for it.
+    pub fn shutdown(mut self) -> Result<(), String> {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.thread.take() {
+            Some(t) => t.join().map_err(|_| "worker thread panicked".to_string())?,
+            None => Ok(()),
+        }
+    }
+
+    /// Wait for the loop to end on its own (coordinator gone, fault
+    /// injection tripped, or a fatal RPC error).
+    pub fn wait(mut self) -> Result<(), String> {
+        match self.thread.take() {
+            Some(t) => t.join().map_err(|_| "worker thread panicked".to_string())?,
+            None => Ok(()),
+        }
+    }
+
+    /// True once the loop has exited.
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start a worker against `coordinator_addr` on a background thread.
+pub fn spawn(coordinator_addr: impl Into<String>, options: WorkerOptions) -> WorkerHandle {
+    let addr = coordinator_addr.into();
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_worker(&addr, &options, &stop))
+    };
+    WorkerHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+/// Run a worker loop until the coordinator goes away or `stop` is
+/// raised. The CLI daemon calls this directly on its main thread.
+pub fn run_worker(
+    coordinator_addr: &str,
+    options: &WorkerOptions,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), String> {
+    let config = client_config(&options.cluster);
+    let mut client = Client::new(coordinator_addr, config.clone());
+
+    let (worker_id, heartbeat_interval_ms) = match rpc(
+        &mut client,
+        &Msg::Register {
+            name: options.name.clone(),
+        },
+    )? {
+        Msg::RegisterAck {
+            worker_id,
+            heartbeat_interval_ms,
+        } => (worker_id, heartbeat_interval_ms),
+        other => return Err(format!("unexpected register reply: {other:?}")),
+    };
+
+    // Heartbeats ride a dedicated connection so a long-running task
+    // body never starves liveness.
+    let heartbeat = spawn_heartbeat(
+        coordinator_addr.to_string(),
+        config,
+        worker_id,
+        Duration::from_millis(heartbeat_interval_ms.max(10)),
+        Arc::clone(stop),
+    );
+
+    let result = pull_loop(&mut client, worker_id, options, stop);
+
+    // Whatever ended the loop, stop heartbeating so the coordinator's
+    // liveness sweep can reclaim our tasks.
+    stop.store(true, Ordering::SeqCst);
+    drop(client);
+    let _ = heartbeat.join();
+    result
+}
+
+fn spawn_heartbeat(
+    addr: String,
+    config: ClientConfig,
+    worker_id: u64,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut client = Client::new(addr, config);
+        while !stop.load(Ordering::SeqCst) {
+            // Failures are fine: the coordinator may be briefly busy or
+            // gone; the pull loop owns the fatal-error decision.
+            let _ = rpc(&mut client, &Msg::Heartbeat { worker_id });
+            // Sleep in small slices so shutdown isn't delayed by a
+            // long heartbeat interval.
+            let deadline = std::time::Instant::now() + interval;
+            while std::time::Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    })
+}
+
+fn pull_loop(
+    client: &mut Client,
+    worker_id: u64,
+    options: &WorkerOptions,
+    stop: &AtomicBool,
+) -> Result<(), String> {
+    let mut assignments_taken = 0usize;
+    let mut consecutive_failures = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let reply = match rpc(client, &Msg::RequestTask { worker_id }) {
+            Ok(r) => {
+                consecutive_failures = 0;
+                r
+            }
+            Err(e) => {
+                consecutive_failures += 1;
+                if consecutive_failures >= 3 {
+                    return Err(format!("coordinator unreachable: {e}"));
+                }
+                std::thread::sleep(options.cluster.rpc_backoff_base);
+                continue;
+            }
+        };
+        match reply {
+            Msg::AssignTask { task } => {
+                assignments_taken += 1;
+                if options
+                    .die_after_assignments
+                    .is_some_and(|n| assignments_taken >= n)
+                {
+                    // Simulated crash: vanish with the task in flight.
+                    stop.store(true, Ordering::SeqCst);
+                    client.disconnect();
+                    return Ok(());
+                }
+                let task_id = task.task_id;
+                let report = match execute_task(task, &options.cluster) {
+                    Ok(output) => Msg::TaskDone {
+                        worker_id,
+                        task_id,
+                        output,
+                    },
+                    Err(error) => Msg::TaskFailed {
+                        worker_id,
+                        task_id,
+                        error,
+                    },
+                };
+                rpc(client, &report)?;
+            }
+            Msg::NoTask { backoff_ms } => {
+                std::thread::sleep(Duration::from_millis(backoff_ms.clamp(1, 1000)));
+            }
+            other => return Err(format!("unexpected reply to RequestTask: {other:?}")),
+        }
+    }
+}
+
+/// Execute one task body through the in-process MapReduce machinery.
+/// A panic inside the body (the engine's failure unit) becomes an
+/// error string for `TaskFailed`.
+pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, String> {
+    let began = std::time::Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task.kind {
+        TaskKind::MapSignatures {
+            num_bits: _,
+            planes,
+            start,
+            points,
+        } => {
+            let _span = span!("dist.task.map");
+            let model = SignatureModel::from_planes(planes);
+            let mapper = FnMapper::new(
+                |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
+                    emit(model.hash(&point).bits(), index);
+                },
+            );
+            let inputs: Vec<(usize, Vec<f64>)> = points
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (start + i, p))
+                .collect();
+            let grouped = run_map_only(&mapper, inputs, cluster);
+            TaskOutput::MapSignatures(grouped.records)
+        }
+        TaskKind::ReduceBucket {
+            bucket_id,
+            ki,
+            kernel,
+            seed,
+            lanczos_threshold,
+            members,
+            points,
+        } => {
+            let _span = span!("dist.task.reduce");
+            let reducer = FnReducer::new(
+                move |bucket_id: usize,
+                      member_points: Vec<(usize, Vec<f64>)>,
+                      emit: &mut dyn FnMut((usize, usize, usize))| {
+                    let sub: Vec<Vec<f64>> = member_points.iter().map(|(_, p)| p.clone()).collect();
+                    let c = cluster_bucket(&sub, ki, kernel, lanczos_threshold, seed, bucket_id);
+                    for (local, &(point, _)) in member_points.iter().enumerate() {
+                        emit((point, bucket_id, c.assignments[local]));
+                    }
+                },
+            );
+            let values: Vec<(usize, Vec<f64>)> = members.into_iter().zip(points).collect();
+            let reduced = reduce_groups(&reducer, vec![(bucket_id, values)], cluster);
+            TaskOutput::ReduceBucket(reduced.records)
+        }
+    }));
+    dasc_obs::global().observe(
+        "dasc_dist_task_duration_us",
+        began.elapsed().as_micros() as u64,
+    );
+    result.map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "task panicked".to_string());
+        format!("task panicked: {msg}")
+    })
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the coordinator/worker runtime, including the
+//! fault-injection scenario: a worker dies mid-map, its task is
+//! re-queued, and the job still finishes bit-identical to the
+//! in-process engine.
+
+use std::time::Duration;
+
+use dasc_core::{Dasc, DascConfig};
+use dasc_data::SyntheticConfig;
+use dasc_dist::{worker, Coordinator, JobClient, JobSpec, WorkerOptions};
+use dasc_mapreduce::ClusterConfig;
+
+/// Fast-failure-detection cluster knobs for tests: sub-second
+/// heartbeats and liveness so a killed worker is reclaimed quickly.
+fn test_cluster() -> ClusterConfig {
+    let mut c = ClusterConfig::emr(2);
+    c.records_per_split = 64;
+    c.heartbeat_interval = Duration::from_millis(50);
+    c.worker_liveness_timeout = Duration::from_millis(800);
+    c.rpc_connect_timeout = Duration::from_millis(500);
+    c.rpc_read_timeout = Duration::from_secs(5);
+    c.rpc_write_timeout = Duration::from_secs(5);
+    c.rpc_backoff_base = Duration::from_millis(10);
+    c.rpc_backoff_max = Duration::from_millis(100);
+    c
+}
+
+fn blobs(n: usize, k: usize) -> Vec<Vec<f64>> {
+    SyntheticConfig::blobs(n, 8, k).seed(11).generate().points
+}
+
+fn spec_for(points: &[Vec<f64>], config: &DascConfig) -> JobSpec {
+    JobSpec {
+        points: points.to_vec(),
+        k: config.k,
+        kernel: config.kernel,
+        num_bits: 0, // for_dataset default, same as the baseline config
+        seed: config.seed,
+        consolidate: config.consolidate,
+    }
+}
+
+#[test]
+fn two_workers_match_in_process_engine() {
+    let points = blobs(400, 4);
+    let config = DascConfig::for_dataset(points.len(), 4);
+    let baseline =
+        Dasc::new(config.clone()).run_distributed(&points, &ClusterConfig::emr_default());
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let w1 = worker::spawn(&addr, WorkerOptions::named("w1"));
+    let w2 = worker::spawn(&addr, WorkerOptions::named("w2"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    let outcome = client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("distributed job");
+
+    assert_eq!(outcome.assignments, baseline.clustering.assignments);
+    assert_eq!(outcome.num_clusters, baseline.clustering.num_clusters);
+    assert_eq!(outcome.num_buckets, baseline.num_buckets);
+    assert!(outcome.workers_used >= 1);
+    assert!(outcome.shuffle_records > 0);
+    assert!(outcome.shuffle_bytes > 0);
+
+    w1.shutdown().expect("w1");
+    w2.shutdown().expect("w2");
+    coordinator.shutdown();
+}
+
+#[test]
+fn killed_worker_mid_map_recovers_and_matches() {
+    // Enough points for several map waves so the dying worker is very
+    // likely to take its fatal assignment while maps are outstanding.
+    let points = blobs(600, 4);
+    let config = DascConfig::for_dataset(points.len(), 4);
+    let baseline =
+        Dasc::new(config.clone()).run_distributed(&points, &ClusterConfig::emr_default());
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+
+    // Victim: accepts one task, then vanishes with it in flight.
+    let victim = worker::spawn(
+        &addr,
+        WorkerOptions {
+            die_after_assignments: Some(1),
+            ..WorkerOptions::named("victim")
+        },
+    );
+    let survivor = worker::spawn(&addr, WorkerOptions::named("survivor"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    let outcome = client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("job survives a worker death");
+
+    // The victim died holding a task: the job must have retried it.
+    assert!(
+        outcome.task_retries >= 1,
+        "expected at least one retry, got {}",
+        outcome.task_retries
+    );
+    victim.wait().expect("victim exits cleanly");
+
+    // Bit-identical to the in-process engine despite the death.
+    assert_eq!(outcome.assignments, baseline.clustering.assignments);
+    assert_eq!(outcome.num_clusters, baseline.clustering.num_clusters);
+    assert_eq!(outcome.num_buckets, baseline.num_buckets);
+
+    survivor.shutdown().expect("survivor");
+    coordinator.shutdown();
+}
+
+#[test]
+fn metrics_expose_dist_counters() {
+    let points = blobs(200, 3);
+    let config = DascConfig::for_dataset(points.len(), 3);
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let w = worker::spawn(&addr, WorkerOptions::named("w"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("job");
+    let text = client.metrics().expect("metrics");
+    for series in [
+        "dasc_dist_tasks_assigned_total",
+        "dasc_dist_tasks_completed_total",
+        "dasc_dist_workers_registered_total",
+        "dasc_dist_jobs_total",
+        "dasc_dist_shuffle_records_total",
+        "dasc_dist_heartbeats_total",
+        "dasc_dist_workers_connected",
+        "dasc_net_frames_sent_total",
+        "dasc_net_rpcs_total",
+    ] {
+        assert!(text.contains(series), "missing {series} in:\n{text}");
+    }
+
+    w.shutdown().expect("w");
+    coordinator.shutdown();
+}
+
+#[test]
+fn consolidation_off_also_matches() {
+    let points = blobs(300, 3);
+    let config = DascConfig::for_dataset(points.len(), 3).consolidate(false);
+    let baseline =
+        Dasc::new(config.clone()).run_distributed(&points, &ClusterConfig::emr_default());
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let w = worker::spawn(&addr, WorkerOptions::named("w"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    let outcome = client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("job");
+    assert_eq!(outcome.assignments, baseline.clustering.assignments);
+    assert_eq!(outcome.num_clusters, baseline.clustering.num_clusters);
+
+    w.shutdown().expect("w");
+    coordinator.shutdown();
+}

@@ -1,12 +1,21 @@
 //! Cluster topology and Hadoop-style tuning parameters (paper Table 2).
 
-/// Configuration of the (simulated) Hadoop cluster a job runs on.
+use std::time::Duration;
+
+/// Configuration of the (simulated or real) Hadoop-style cluster a job
+/// runs on.
 ///
 /// Field defaults mirror Table 2 of the paper, which lists the Elastic
 /// MapReduce setup: 4 map slots and 2 reduce slots per task tracker and a
 /// DFS replication factor of 3. Heap sizes are carried for memory
 /// accounting parity with the paper's setup, not enforced.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The same struct is the single knob set for all three executors: the
+/// in-process engine (`engine.rs`), the LPT simulator (`sim.rs`), and
+/// the multi-process `dasc-dist` coordinator/worker runtime read their
+/// retry budgets, split sizing, and timeouts from here, so tuning one
+/// place tunes them all.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ClusterConfig {
     /// Number of worker nodes (task trackers / data nodes).
     pub nodes: usize,
@@ -21,12 +30,45 @@ pub struct ClusterConfig {
     pub block_size: usize,
     /// Records per input split — the record-level analogue of Hadoop's
     /// block-driven split sizing, so map-task count grows with data
-    /// volume. A floor of two waves per slot still applies.
+    /// volume. A floor of [`ClusterConfig::map_waves_per_slot`] waves per
+    /// slot still applies.
     pub records_per_split: usize,
+    /// Minimum map waves per slot: small inputs are still cut into at
+    /// least `map_waves_per_slot × total_map_slots` tasks so every slot
+    /// sees work and stragglers can be rebalanced (Hadoop folklore's
+    /// "aim for a couple of waves of maps").
+    pub map_waves_per_slot: usize,
     /// Attempts per task before the job fails (Hadoop's
-    /// `mapred.map.max.attempts`, default 4). A task attempt "fails" by
-    /// panicking; the engine catches the unwind and reschedules.
+    /// `mapred.map.max.attempts`, default 4). In the in-process engine a
+    /// task attempt "fails" by panicking; in `dasc-dist` it fails by the
+    /// worker dying or reporting an error. Both count against this
+    /// budget.
     pub max_task_attempts: usize,
+    /// Speculative-execution duration cap as a multiple of the normal
+    /// task duration: the backup copy launches once the normal duration
+    /// elapses, so a straggler completes within `speculation_cap × d`
+    /// (Hadoop's behaviour; the simulator's straggler model applies it).
+    pub speculation_cap: f64,
+    /// Worker → coordinator heartbeat cadence (`dasc-dist`; Hadoop's
+    /// tasktracker heartbeat, 3 s at this cluster scale — shrunk here so
+    /// localhost jobs detect death fast).
+    pub heartbeat_interval: Duration,
+    /// How long a worker may go silent before the coordinator declares
+    /// it dead and re-queues its in-flight tasks (Hadoop's
+    /// `mapred.tasktracker.expiry.interval`).
+    pub worker_liveness_timeout: Duration,
+    /// RPC connect timeout for `dasc-net` clients.
+    pub rpc_connect_timeout: Duration,
+    /// RPC read timeout for `dasc-net` clients and servers.
+    pub rpc_read_timeout: Duration,
+    /// RPC write timeout for `dasc-net` clients.
+    pub rpc_write_timeout: Duration,
+    /// First delay of the bounded exponential reconnect backoff.
+    pub rpc_backoff_base: Duration,
+    /// Backoff ceiling for reconnect attempts.
+    pub rpc_backoff_max: Duration,
+    /// Connection attempts before a `dasc-net` client gives up.
+    pub rpc_max_connect_attempts: usize,
     /// Job tracker heap, bytes (Table 2: 768 MB).
     pub jobtracker_heap: usize,
     /// Name node heap, bytes (Table 2: 256 MB).
@@ -49,7 +91,17 @@ impl ClusterConfig {
             replication: 3.min(nodes),
             block_size: 64 * 1024 * 1024,
             records_per_split: 1024,
+            map_waves_per_slot: 2,
             max_task_attempts: 4,
+            speculation_cap: 2.0,
+            heartbeat_interval: Duration::from_millis(500),
+            worker_liveness_timeout: Duration::from_secs(5),
+            rpc_connect_timeout: Duration::from_secs(2),
+            rpc_read_timeout: Duration::from_secs(10),
+            rpc_write_timeout: Duration::from_secs(10),
+            rpc_backoff_base: Duration::from_millis(50),
+            rpc_backoff_max: Duration::from_secs(2),
+            rpc_max_connect_attempts: 8,
             jobtracker_heap: 768 << 20,
             namenode_heap: 256 << 20,
             tasktracker_heap: 512 << 20,
@@ -68,6 +120,14 @@ impl ClusterConfig {
     /// Single-node configuration, handy for unit tests.
     pub fn single_node() -> Self {
         Self::emr(1)
+    }
+
+    /// The canonical default: the paper's 16-node EMR setup, the
+    /// smallest cloud configuration evaluated. [`Default`] delegates
+    /// here; the name exists so call sites (and tests pinning the shared
+    /// retry/timeout knob set) can say what they mean.
+    pub fn emr_default() -> Self {
+        Self::emr(16)
     }
 
     /// Total concurrent map tasks the cluster admits.
@@ -97,10 +157,10 @@ impl ClusterConfig {
 }
 
 impl Default for ClusterConfig {
-    /// Defaults to the 16-node EMR setup, the smallest cloud
-    /// configuration evaluated in the paper.
+    /// Defaults to [`ClusterConfig::emr_default`] — the 16-node EMR
+    /// setup, the smallest cloud configuration evaluated in the paper.
     fn default() -> Self {
-        Self::emr(16)
+        Self::emr_default()
     }
 }
 
@@ -145,5 +205,30 @@ mod tests {
         let c = ClusterConfig::single_node();
         assert!(c.effective_threads(0) >= 1);
         assert!(c.effective_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn default_is_emr_default() {
+        assert_eq!(ClusterConfig::default(), ClusterConfig::emr_default());
+        assert_eq!(ClusterConfig::emr_default(), ClusterConfig::emr(16));
+    }
+
+    #[test]
+    fn emr_default_pins_the_shared_knob_set() {
+        // The knobs hoisted out of engine.rs/sim.rs and consumed by
+        // dasc-dist. Anything drifting here silently changes three
+        // executors at once, so the defaults are pinned exactly.
+        let c = ClusterConfig::emr_default();
+        assert_eq!(c.map_waves_per_slot, 2);
+        assert_eq!(c.max_task_attempts, 4);
+        assert_eq!(c.speculation_cap, 2.0);
+        assert_eq!(c.heartbeat_interval, Duration::from_millis(500));
+        assert_eq!(c.worker_liveness_timeout, Duration::from_secs(5));
+        assert_eq!(c.rpc_connect_timeout, Duration::from_secs(2));
+        assert_eq!(c.rpc_read_timeout, Duration::from_secs(10));
+        assert_eq!(c.rpc_write_timeout, Duration::from_secs(10));
+        assert_eq!(c.rpc_backoff_base, Duration::from_millis(50));
+        assert_eq!(c.rpc_backoff_max, Duration::from_secs(2));
+        assert_eq!(c.rpc_max_connect_attempts, 8);
     }
 }

@@ -110,6 +110,7 @@ where
         input_records,
         config.total_map_slots(),
         config.records_per_split,
+        config.map_waves_per_slot,
     );
     let splits = make_splits(inputs, num_splits);
     let num_map_tasks = splits.len();
@@ -333,14 +334,47 @@ where
 
 /// Pick a split count: data-proportional (one task per
 /// `records_per_split` records, Hadoop's block-driven sizing) with a
-/// floor of two waves per slot, never more tasks than records.
-fn desired_splits(records: usize, map_slots: usize, records_per_split: usize) -> usize {
+/// floor of `waves_per_slot` waves per slot
+/// ([`ClusterConfig::map_waves_per_slot`]), never more tasks than
+/// records.
+fn desired_splits(
+    records: usize,
+    map_slots: usize,
+    records_per_split: usize,
+    waves_per_slot: usize,
+) -> usize {
     if records == 0 {
         return 0;
     }
     let by_data = records.div_ceil(records_per_split.max(1));
-    let by_slots = (map_slots * 2).min(records);
+    let by_slots = (map_slots * waves_per_slot).min(records);
     by_data.max(by_slots).clamp(1, records)
+}
+
+/// The contiguous `(start, len)` input ranges the engine would carve
+/// `records` records into on `config` — the split plan, exposed so the
+/// `dasc-dist` coordinator cuts map tasks at exactly the boundaries the
+/// in-process engine uses.
+pub fn split_ranges(records: usize, config: &ClusterConfig) -> Vec<(usize, usize)> {
+    let num_splits = desired_splits(
+        records,
+        config.total_map_slots(),
+        config.records_per_split,
+        config.map_waves_per_slot,
+    );
+    if num_splits == 0 {
+        return Vec::new();
+    }
+    let base = records / num_splits;
+    let extra = records % num_splits;
+    let mut ranges = Vec::with_capacity(num_splits);
+    let mut start = 0usize;
+    for s in 0..num_splits {
+        let len = base + usize::from(s < extra);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
 }
 
 fn make_splits<T>(inputs: Vec<T>, num_splits: usize) -> Vec<Vec<T>> {
@@ -554,11 +588,45 @@ mod tests {
 
     #[test]
     fn desired_splits_bounds() {
-        assert_eq!(desired_splits(0, 4, 1024), 0);
-        assert_eq!(desired_splits(3, 64, 1024), 3);
-        assert_eq!(desired_splits(1_000, 4, 1024), 8);
+        assert_eq!(desired_splits(0, 4, 1024, 2), 0);
+        assert_eq!(desired_splits(3, 64, 1024, 2), 3);
+        assert_eq!(desired_splits(1_000, 4, 1024, 2), 8);
         // Data-proportional once records exceed splits × slots.
-        assert_eq!(desired_splits(8_192, 4, 16), 512);
-        assert_eq!(desired_splits(8_192, 4, 0), 8_192);
+        assert_eq!(desired_splits(8_192, 4, 16, 2), 512);
+        assert_eq!(desired_splits(8_192, 4, 0, 2), 8_192);
+        // The waves floor is the configurable knob.
+        assert_eq!(desired_splits(1_000, 4, 1024, 4), 16);
+        assert_eq!(desired_splits(1_000, 4, 1024, 1), 4);
+    }
+
+    #[test]
+    fn split_ranges_match_engine_sizing() {
+        let cfg = ClusterConfig::single_node(); // 4 map slots → 8 splits
+        let ranges = split_ranges(100, &cfg);
+        assert_eq!(
+            ranges.len(),
+            desired_splits(100, 4, cfg.records_per_split, cfg.map_waves_per_slot)
+        );
+        // Contiguous cover of 0..100, sizes matching make_splits.
+        let mut next = 0usize;
+        let sizes = make_splits((0..100).collect::<Vec<_>>(), ranges.len());
+        for ((start, len), chunk) in ranges.iter().zip(&sizes) {
+            assert_eq!(*start, next);
+            assert_eq!(*len, chunk.len());
+            next += len;
+        }
+        assert_eq!(next, 100);
+        assert!(split_ranges(0, &cfg).is_empty());
+    }
+
+    #[test]
+    fn waves_knob_from_config_drives_split_count() {
+        let mut cfg = ClusterConfig::single_node();
+        cfg.map_waves_per_slot = 1;
+        let one_wave = split_ranges(1_000, &cfg).len();
+        cfg.map_waves_per_slot = 3;
+        let three_waves = split_ranges(1_000, &cfg).len();
+        assert_eq!(one_wave, 4);
+        assert_eq!(three_waves, 12);
     }
 }

@@ -30,12 +30,12 @@ pub mod stats;
 pub use config::ClusterConfig;
 pub use counters::Counters;
 pub use dfs::{Dfs, DfsError};
-pub use engine::{reduce_groups, run_job, run_map_combine, run_map_only, JobOutput};
+pub use engine::{reduce_groups, run_job, run_map_combine, run_map_only, split_ranges, JobOutput};
 pub use job::{FnMapper, FnReducer, Mapper, Reducer};
 pub use jobflow::{JobFlow, StepReport};
 pub use partition::hash_partition;
 pub use sim::{
-    simulate_makespan, simulate_on_cluster, simulate_with_stragglers, ScheduleReport,
-    StragglerModel,
+    simulate_makespan, simulate_on_cluster, simulate_with_stragglers, simulate_with_stragglers_on,
+    ScheduleReport, StragglerModel,
 };
 pub use stats::JobStats;

@@ -90,7 +90,9 @@ impl StragglerModel {
 }
 
 /// Schedule a task bag with stragglers, optionally with speculative
-/// execution.
+/// execution. The speculation cap is the
+/// [`ClusterConfig::emr_default`] knob (`2×` the normal duration); use
+/// [`simulate_with_stragglers_on`] to simulate under a tuned cluster.
 ///
 /// # Panics
 /// Panics if `slots == 0`, `fraction ∉ [0, 1]`, or `slowdown < 1`.
@@ -100,19 +102,59 @@ pub fn simulate_with_stragglers(
     model: &StragglerModel,
     speculative: bool,
 ) -> Duration {
+    simulate_with_stragglers_capped(
+        durations,
+        slots,
+        model,
+        speculative,
+        ClusterConfig::emr_default().speculation_cap,
+    )
+}
+
+/// [`simulate_with_stragglers`] on a specific cluster: slot count and
+/// speculation cap both come from `config`, so the simulator shares the
+/// engine's and `dasc-dist`'s knob set.
+///
+/// # Panics
+/// Panics if `config` admits zero map slots, `fraction ∉ [0, 1]`, or
+/// `slowdown < 1`.
+pub fn simulate_with_stragglers_on(
+    durations: &[Duration],
+    config: &ClusterConfig,
+    model: &StragglerModel,
+    speculative: bool,
+) -> Duration {
+    simulate_with_stragglers_capped(
+        durations,
+        config.total_map_slots(),
+        model,
+        speculative,
+        config.speculation_cap,
+    )
+}
+
+fn simulate_with_stragglers_capped(
+    durations: &[Duration],
+    slots: usize,
+    model: &StragglerModel,
+    speculative: bool,
+    speculation_cap: f64,
+) -> Duration {
     assert!(
         (0.0..=1.0).contains(&model.fraction),
         "straggler fraction must be in [0, 1]"
     );
     assert!(model.slowdown >= 1.0, "slowdown must be at least 1");
+    assert!(speculation_cap >= 1.0, "speculation cap must be at least 1");
     let mut bag: Vec<Duration> = Vec::with_capacity(durations.len() * 2);
     for (i, &d) in durations.iter().enumerate() {
         if model.straggles(i) {
             let slow = d.mul_f64(model.slowdown);
             if speculative {
-                // Completion capped at 2d; the backup consumes a slot
-                // for d.
-                bag.push(slow.min(d.mul_f64(2.0)));
+                // Completion capped at `speculation_cap × d` (the backup
+                // launches at d and the cap bounds the race); the backup
+                // consumes a slot for d.
+                bag.push(slow.min(d.mul_f64(speculation_cap)));
                 bag.push(d);
             } else {
                 bag.push(slow);
@@ -253,6 +295,40 @@ mod tests {
             simulate_with_stragglers(&bag, 4, &model, true),
             simulate_makespan(&bag, 4)
         );
+    }
+
+    #[test]
+    fn default_cap_matches_emr_default_knob() {
+        // The convenience wrapper and the config-driven variant agree
+        // whenever the config is the canonical default.
+        let bag: Vec<Duration> = (0..64).map(|_| ms(10)).collect();
+        let model = StragglerModel {
+            fraction: 0.2,
+            slowdown: 10.0,
+            seed: 1,
+        };
+        let cfg = ClusterConfig::emr_default();
+        assert_eq!(
+            simulate_with_stragglers(&bag, cfg.total_map_slots(), &model, true),
+            simulate_with_stragglers_on(&bag, &cfg, &model, true),
+        );
+    }
+
+    #[test]
+    fn looser_cap_admits_longer_stragglers() {
+        let bag: Vec<Duration> = (0..64).map(|_| ms(10)).collect();
+        let model = StragglerModel {
+            fraction: 0.2,
+            slowdown: 10.0,
+            seed: 1,
+        };
+        let mut tight = ClusterConfig::emr(1);
+        tight.speculation_cap = 1.0;
+        let mut loose = ClusterConfig::emr(1);
+        loose.speculation_cap = 8.0;
+        let t = simulate_with_stragglers_on(&bag, &tight, &model, true);
+        let l = simulate_with_stragglers_on(&bag, &loose, &model, true);
+        assert!(t <= l, "tight cap {t:?} should not exceed loose cap {l:?}");
     }
 
     #[test]

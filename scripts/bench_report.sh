@@ -7,11 +7,22 @@
 # Output: BENCH_pipeline.json in the repo root (override with
 # BENCH_OUT=path). Pass --full (or DASC_SCALE=full) for paper-adjacent
 # sizes; set DASC_NUM_THREADS to pin the parallel run's pool width.
+#
+# Pass --dist as the first argument to benchmark the TCP
+# coordinator/worker runtime instead (bench_dist → BENCH_dist.json,
+# with per-stage times, worker count, and shuffle volume; further
+# arguments — e.g. --workers 4 — go to bench_dist).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+MODE=pipeline
+if [ "${1:-}" = "--dist" ]; then
+    MODE=dist
+    shift
+fi
+
+OUT="${BENCH_OUT:-BENCH_$MODE.json}"
 
 fail() { echo "BENCH FAIL: $*" >&2; exit 1; }
 
@@ -19,10 +30,48 @@ echo "== build =="
 cargo build --release -q -p dasc-bench
 
 echo "== run =="
-target/release/bench_pipeline --out "$OUT" "$@"
+"target/release/bench_$MODE" --out "$OUT" "$@"
 
 echo "== validate =="
 [ -s "$OUT" ] || fail "$OUT missing or empty"
+
+if [ "$MODE" = dist ]; then
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "dist", "wrong bench id"
+assert doc["workers"] >= 1, "bad worker count"
+runs = doc["runs"]
+assert len(runs) >= 2, f"expected >=2 sizes, got {len(runs)} runs"
+for run in runs:
+    assert run["n"] > 0 and run["workers"] >= 1
+    assert run["total_s"] > 0 and run["points_per_s"] > 0
+    assert run["shuffle_records"] > 0 and run["shuffle_bytes"] > 0
+    stages = run["stages_s"]
+    for stage in ("map", "reduce"):
+        assert stage in stages, f"stages_s missing {stage}"
+        assert stages[stage] >= 0, f"negative {stage} time"
+print(f"OK: {len(runs)} runs on {doc['workers']} workers")
+for run in runs:
+    print(
+        f"  n={run['n']}: {run['total_s']:.3f}s, "
+        f"{run['points_per_s']:.0f} points/s, "
+        f"{run['shuffle_bytes']} bytes shuffled"
+    )
+EOF
+    else
+        for key in '"bench": "dist"' '"runs"' '"shuffle_bytes"' '"stages_s"'; do
+            grep -q "$key" "$OUT" || fail "$OUT missing $key"
+        done
+        echo "OK (python3 unavailable; key-presence check only)"
+    fi
+    echo "BENCH PASS: $OUT"
+    exit 0
+fi
 
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$OUT" <<'EOF'

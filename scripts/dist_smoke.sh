@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed runtime:
+#   generate synthetic blobs → start 1 coordinator + 2 workers as real
+#   OS processes → run `cluster --dist` against the coordinator → diff
+#   the assignments against single-process `--dist local` → re-run on a
+#   larger dataset while killing one worker mid-job and verify the job
+#   still completes with identical output → scrape the dist counters.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${DIST_SMOKE_PORT:-17979}"
+ADDR="127.0.0.1:$PORT"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/dasc-dist-smoke.XXXXXX")"
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+
+cleanup() {
+    for pid in "$W1_PID" "$W2_PID" "$COORD_PID"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "$W1_PID" "$W2_PID" "$COORD_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "DIST SMOKE FAIL: $*" >&2; exit 1; }
+
+echo "== build =="
+cargo build --release -q -p dasc-cli
+
+DASC=target/release/dasc
+
+echo "== generate =="
+"$DASC" generate --kind blobs --n 600 --d 8 --k 4 --seed 11 \
+    --output "$WORK/pts.csv"
+
+echo "== start cluster (1 coordinator + 2 workers) =="
+"$DASC" coordinator --addr 127.0.0.1 --port "$PORT" \
+    >"$WORK/coord.log" 2>&1 &
+COORD_PID=$!
+for _ in $(seq 1 50); do
+    grep -q 'coordinator listening' "$WORK/coord.log" 2>/dev/null && break
+    kill -0 "$COORD_PID" 2>/dev/null || { cat "$WORK/coord.log" >&2; fail "coordinator died"; }
+    sleep 0.2
+done
+grep -q 'coordinator listening' "$WORK/coord.log" || fail "coordinator never became ready"
+
+"$DASC" worker --coordinator "$ADDR" --name smoke-w1 >"$WORK/w1.log" 2>&1 &
+W1_PID=$!
+"$DASC" worker --coordinator "$ADDR" --name smoke-w2 >"$WORK/w2.log" 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 50); do
+    kill -0 "$W1_PID" 2>/dev/null || { cat "$WORK/w1.log" >&2; fail "worker 1 died"; }
+    kill -0 "$W2_PID" 2>/dev/null || { cat "$WORK/w2.log" >&2; fail "worker 2 died"; }
+    REGISTERED="$("$DASC" dist-metrics --coordinator "$ADDR" 2>/dev/null \
+        | awk '/^dasc_dist_workers_registered_total /{print $2}')" || REGISTERED=0
+    [ "${REGISTERED:-0}" -ge 2 ] 2>/dev/null && break
+    sleep 0.2
+done
+[ "${REGISTERED:-0}" -ge 2 ] || fail "workers never registered (saw '${REGISTERED:-}')"
+
+echo "== distributed vs single-process =="
+"$DASC" cluster --input "$WORK/pts.csv" --k 4 --seed 11 --labels-last-column \
+    --dist "$ADDR" --output "$WORK/dist.csv" | tee "$WORK/dist.log"
+grep -q "dist($ADDR)" "$WORK/dist.log" || fail "distributed run produced no dist report"
+
+"$DASC" cluster --input "$WORK/pts.csv" --k 4 --seed 11 --labels-last-column \
+    --dist local --output "$WORK/local.csv" | tee "$WORK/local.log"
+grep -q 'dist(local)' "$WORK/local.log" || fail "local run produced no dist report"
+
+diff -q "$WORK/dist.csv" "$WORK/local.csv" \
+    || fail "distributed assignments differ from single-process"
+echo "assignments bit-identical across 2 workers vs single process"
+
+echo "== kill a worker mid-job =="
+"$DASC" generate --kind blobs --n 12000 --d 24 --k 6 --seed 23 \
+    --output "$WORK/big.csv"
+"$DASC" cluster --input "$WORK/big.csv" --k 6 --seed 23 --labels-last-column \
+    --dist "$ADDR" --output "$WORK/big-dist.csv" >"$WORK/big-dist.log" 2>&1 &
+JOB_PID=$!
+sleep 0.3
+kill -0 "$JOB_PID" 2>/dev/null || { cat "$WORK/big-dist.log" >&2; fail "job finished before the kill — enlarge the dataset"; }
+kill -9 "$W2_PID"
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+echo "killed worker 2 with the job in flight"
+wait "$JOB_PID" || { cat "$WORK/big-dist.log" >&2; fail "job did not survive the worker kill"; }
+cat "$WORK/big-dist.log"
+
+"$DASC" cluster --input "$WORK/big.csv" --k 6 --seed 23 --labels-last-column \
+    --dist local --output "$WORK/big-local.csv" >/dev/null
+diff -q "$WORK/big-dist.csv" "$WORK/big-local.csv" \
+    || fail "assignments diverged after the worker kill"
+echo "assignments bit-identical despite a killed worker"
+
+echo "== dist metrics =="
+METRICS="$("$DASC" dist-metrics --coordinator "$ADDR")"
+echo "$METRICS" | grep '^dasc_dist' | head -15
+for series in \
+    dasc_dist_tasks_assigned_total \
+    dasc_dist_tasks_completed_total \
+    dasc_dist_workers_registered_total \
+    dasc_dist_workers_lost_total \
+    dasc_dist_jobs_total \
+    dasc_dist_shuffle_records_total \
+    dasc_dist_heartbeats_total \
+    dasc_net_frames_sent_total \
+    dasc_net_frames_received_total; do
+    case "$METRICS" in
+        *"$series"*) ;;
+        *) fail "metrics missing series $series" ;;
+    esac
+done
+LOST="$(echo "$METRICS" | awk '/^dasc_dist_workers_lost_total /{print $2}')"
+[ "${LOST:-0}" -ge 1 ] || fail "coordinator never recorded the killed worker (lost=$LOST)"
+
+echo "DIST SMOKE PASS"

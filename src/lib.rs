@@ -18,11 +18,13 @@
 pub use dasc_analysis as analysis;
 pub use dasc_core as core;
 pub use dasc_data as data;
+pub use dasc_dist as dist;
 pub use dasc_kernel as kernel;
 pub use dasc_linalg as linalg;
 pub use dasc_lsh as lsh;
 pub use dasc_mapreduce as mapreduce;
 pub use dasc_metrics as metrics;
+pub use dasc_net as net;
 pub use dasc_serve as serve;
 
 /// Commonly used items, re-exported for `use dasc::prelude::*`.
@@ -32,6 +34,7 @@ pub mod prelude {
         Nystrom, NystromConfig, ParallelSpectral, PscConfig, SpectralClustering, SpectralConfig,
     };
     pub use dasc_data::{Dataset, SyntheticConfig, WikiCorpusConfig};
+    pub use dasc_dist::{Coordinator, JobClient, JobSpec, WorkerOptions};
     pub use dasc_kernel::{ApproximateGram, Kernel, RidgeModel};
     pub use dasc_lsh::{LshConfig, MergeStrategy, SignatureModel, ThresholdRule};
     pub use dasc_mapreduce::ClusterConfig;
