@@ -4,8 +4,11 @@
 //! loops on localhost, submits the Fig. 6 DASC jobflow over the wire at
 //! two or three dataset sizes, and writes `BENCH_dist.json`: per-stage
 //! wall-clock as measured by the coordinator, worker count, shuffle
-//! volume, and end-to-end points/s. Every run is checked bit-identical
-//! against the in-process distributed engine before it is reported.
+//! volume, and end-to-end points/s, plus `obs_overhead_pct`: the
+//! relative cost of running the largest size with full telemetry
+//! (heartbeat metrics federation + merged trace collection) versus
+//! telemetry-off workers. Every run is checked bit-identical against
+//! the in-process distributed engine before it is reported.
 //!
 //! Usage: `bench_dist [--full] [--workers N] [--out PATH]`. Sizes
 //! default to the quick set; `--full`/`DASC_SCALE=full` switches to
@@ -73,7 +76,7 @@ fn main() {
     let cluster = ClusterConfig::emr(num_workers);
     let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
     let addr = coordinator.addr().to_string();
-    let workers: Vec<_> = (0..num_workers)
+    let mut workers: Vec<_> = (0..num_workers)
         .map(|i| worker::spawn(&addr, WorkerOptions::named(format!("bench-w{i}"))))
         .collect();
 
@@ -88,6 +91,7 @@ fn main() {
             num_bits: 0,
             seed: config.seed,
             consolidate: config.consolidate,
+            collect_trace: false,
         };
 
         eprintln!("n={n}: distributed run ({num_workers} workers over TCP)...");
@@ -115,6 +119,58 @@ fn main() {
         });
     }
 
+    // Observability overhead: the largest size once with full telemetry
+    // (heartbeat metrics federation + distributed trace collection) and
+    // once against fresh telemetry-off workers with tracing disabled.
+    // Reported as a relative slowdown so BENCH_dist.json records what
+    // the cluster-wide observability plane costs.
+    let obs_overhead_pct = {
+        let n = *sizes.last().expect("at least one size");
+        let ds = SyntheticConfig::paper_default(n, k).seed(0xDA7A).generate();
+        let config = DascConfig::for_dataset(n, k).seed(0xBE7C);
+        let spec = |collect_trace: bool| JobSpec {
+            points: ds.points.clone(),
+            k,
+            kernel: config.kernel,
+            num_bits: 0,
+            seed: config.seed,
+            consolidate: config.consolidate,
+            collect_trace,
+        };
+        let mut client = JobClient::connect(&addr, &cluster);
+
+        eprintln!("n={n}: telemetry-on run (heartbeat metrics + merged trace)...");
+        let t0 = Instant::now();
+        client
+            .run(spec(true), |_, _, _| {})
+            .expect("telemetry-on job");
+        let on_s = t0.elapsed().as_secs_f64();
+
+        for w in workers.drain(..) {
+            w.shutdown().expect("worker shutdown");
+        }
+        workers.extend((0..num_workers).map(|i| {
+            let mut opts = WorkerOptions::named(format!("bench-quiet-w{i}"));
+            opts.telemetry = false;
+            worker::spawn(&addr, opts)
+        }));
+        // Untimed warmup so the replacement workers' registration and
+        // cold caches don't get billed to the telemetry-off side (the
+        // telemetry-on run was already warm from the main loop).
+        client.run(spec(false), |_, _, _| {}).expect("warmup job");
+
+        eprintln!("n={n}: telemetry-off run...");
+        let t0 = Instant::now();
+        client
+            .run(spec(false), |_, _, _| {})
+            .expect("telemetry-off job");
+        let off_s = t0.elapsed().as_secs_f64();
+
+        let pct = (on_s - off_s) / off_s * 100.0;
+        eprintln!("observability overhead: on {on_s:.3}s vs off {off_s:.3}s ({pct:+.1}%)");
+        pct
+    };
+
     for w in workers {
         w.shutdown().expect("worker shutdown");
     }
@@ -122,7 +178,11 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"dist\",\n");
-    write!(json, "  \"workers\": {num_workers},\n  \"runs\": [\n").expect("write to string");
+    write!(
+        json,
+        "  \"workers\": {num_workers},\n  \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \"runs\": [\n"
+    )
+    .expect("write to string");
     for (i, run) in runs.iter().enumerate() {
         json.push_str("    ");
         json_run(&mut json, run);

@@ -138,6 +138,9 @@ pub enum Command {
         addr: String,
         /// Bind port (0 picks a free port).
         port: u16,
+        /// HTTP observability port (`/metrics`, `/workers`); `None` =
+        /// RPC port + 1.
+        http_port: Option<u16>,
     },
     /// Run a DASC worker daemon attached to a coordinator.
     Worker {
@@ -192,7 +195,7 @@ USAGE:
   dasc serve    --model <path> [--port <P>] [--addr <host>] [--workers <N>]
   dasc assign   --model <path> --input <csv> [--output <csv>]
                 [--labels-last-column]
-  dasc coordinator [--addr <host>] [--port <P>]
+  dasc coordinator [--addr <host>] [--port <P>] [--http-port <P>]
   dasc worker   --coordinator <host:port> [--name <id>]
   dasc dist-metrics --coordinator <host:port>
   dasc help
@@ -367,6 +370,7 @@ fn parse_coordinator(argv: &[String]) -> Result<Command, ParseError> {
     Ok(Command::Coordinator {
         addr: flags.get("--addr").unwrap_or("127.0.0.1").to_string(),
         port: flags.parsed::<u16>("--port")?.unwrap_or(7979),
+        http_port: flags.parsed::<u16>("--http-port")?,
     })
 }
 
@@ -517,13 +521,24 @@ mod tests {
             Command::Coordinator {
                 addr: "127.0.0.1".into(),
                 port: 7979,
+                http_port: None,
             }
         );
         assert_eq!(
-            parse(&sv(&["coordinator", "--addr", "0.0.0.0", "--port", "9000"])).unwrap(),
+            parse(&sv(&[
+                "coordinator",
+                "--addr",
+                "0.0.0.0",
+                "--port",
+                "9000",
+                "--http-port",
+                "9001",
+            ]))
+            .unwrap(),
             Command::Coordinator {
                 addr: "0.0.0.0".into(),
                 port: 9000,
+                http_port: Some(9001),
             }
         );
     }

@@ -54,6 +54,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 *bits,
                 *seed,
                 *labels_last_column,
+                trace_out.as_deref(),
                 target,
             ),
             None => cluster(
@@ -101,7 +102,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             output,
             labels_last_column,
         } => assign(model, input, output.as_deref(), *labels_last_column),
-        Command::Coordinator { addr, port } => coordinator(addr, *port),
+        Command::Coordinator {
+            addr,
+            port,
+            http_port,
+        } => coordinator(addr, *port, *http_port),
         Command::Worker { coordinator, name } => worker_daemon(coordinator, name),
         Command::DistMetrics { coordinator } => dist_metrics(coordinator),
     }
@@ -309,6 +314,7 @@ fn cluster_dist(
     bits: Option<usize>,
     seed: Option<u64>,
     labels_last_column: bool,
+    trace_out: Option<&str>,
     target: &str,
 ) -> Result<String, String> {
     if algorithm != Algorithm::Dasc {
@@ -335,11 +341,15 @@ fn cluster_dist(
     }
 
     let (assignments, detail) = if target == "local" {
-        let res = Dasc::new(cfg).run_distributed(&points, &ClusterConfig::emr_default());
+        // In-process simulation: the stage spans land on the global
+        // tracer, so the single-process trace machinery applies.
+        let (res, trace_report) = with_tracing(false, trace_out, || {
+            Dasc::new(cfg).run_distributed(&points, &ClusterConfig::emr_default())
+        })?;
         (
             res.clustering.assignments,
             format!(
-                "dist(local): {} buckets, {} map + {} reduce tasks, {} records shuffled",
+                "dist(local): {} buckets, {} map + {} reduce tasks, {} records shuffled{trace_report}",
                 res.num_buckets,
                 res.stage1.map_task_durations.len(),
                 res.stage2.reduce_task_durations.len(),
@@ -355,17 +365,31 @@ fn cluster_dist(
             num_bits: bits.unwrap_or(0),
             seed: cfg.seed,
             consolidate: cfg.consolidate,
+            collect_trace: trace_out.is_some(),
         };
         let mut client = JobClient::connect(target, &cluster);
         let outcome = client
             .run(spec, |_, _, _| {})
             .map_err(|e| format!("distributed job on {target}: {e}"))?;
+        // The coordinator assembled one merged timeline (its own lane
+        // plus one per worker); fetch and persist it.
+        let mut trace_report = String::new();
+        if let Some(path) = trace_out {
+            let job_id = client.last_job_id().expect("job just ran");
+            let json = client
+                .trace_json(job_id)
+                .map_err(|e| format!("fetch trace for job {job_id}: {e}"))?;
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            trace_report = format!(
+                "\nmerged cluster trace written to {path} (open in chrome://tracing or Perfetto)"
+            );
+        }
         (
             outcome.assignments,
             format!(
                 "dist({target}): {} buckets, {} workers, \
                  stage1 {:.1} ms, stage2 {:.1} ms, \
-                 {} records / {} bytes shuffled, {} task retries",
+                 {} records / {} bytes shuffled, {} task retries{trace_report}",
                 outcome.num_buckets,
                 outcome.workers_used,
                 outcome.stage1_us as f64 / 1e3,
@@ -406,13 +430,21 @@ fn cluster_dist(
     Ok(report)
 }
 
-/// Run a coordinator daemon until the process is killed.
-fn coordinator(addr: &str, port: u16) -> Result<String, String> {
-    let handle = Coordinator::start(&format!("{addr}:{port}"), ClusterConfig::emr_default())
+/// Run a coordinator daemon until the process is killed. The HTTP
+/// observability sidecar (`/metrics`, `/workers`) binds `http_port`,
+/// defaulting to the RPC port + 1 (the RPC port is resolved first, so
+/// `--port 0` still yields a deterministic pairing).
+fn coordinator(addr: &str, port: u16, http_port: Option<u16>) -> Result<String, String> {
+    let mut handle = Coordinator::start(&format!("{addr}:{port}"), ClusterConfig::emr_default())
         .map_err(|e| format!("bind {addr}:{port}: {e}"))?;
-    // Flush the ready line before blocking so callers (the smoke script
-    // included) can wait for it.
+    let http_port = http_port.unwrap_or_else(|| handle.addr().port().wrapping_add(1));
+    let http_addr = handle
+        .serve_http(&format!("{addr}:{http_port}"))
+        .map_err(|e| format!("bind http {addr}:{http_port}: {e}"))?;
+    // Flush the ready lines before blocking so callers (the smoke
+    // script included) can wait for them.
     println!("coordinator listening on {}", handle.addr());
+    println!("metrics over http on http://{http_addr}/metrics");
     std::io::stdout().flush().ok();
     handle.wait();
     Ok("coordinator stopped".to_string())

@@ -32,6 +32,7 @@ pub fn rpc(client: &mut Client, msg: &Msg) -> Result<Msg, String> {
 pub struct JobClient {
     client: Client,
     poll_interval: Duration,
+    last_job_id: Option<u64>,
 }
 
 impl JobClient {
@@ -41,6 +42,7 @@ impl JobClient {
         Self {
             client: Client::new(addr, client_config(cluster)),
             poll_interval: cluster.heartbeat_interval / 2,
+            last_job_id: None,
         }
     }
 
@@ -56,6 +58,7 @@ impl JobClient {
             Msg::JobError { message } => return Err(message),
             other => return Err(format!("unexpected submit reply: {other:?}")),
         };
+        self.last_job_id = Some(job_id);
         loop {
             match rpc(&mut self.client, &Msg::PollJob { job_id })? {
                 Msg::JobPending {
@@ -76,12 +79,28 @@ impl JobClient {
         }
     }
 
-    /// Fetch the coordinator's Prometheus metrics snapshot.
+    /// Fetch the coordinator's *federated* Prometheus metrics snapshot
+    /// (its own registry plus every worker's `worker="<name>"` series).
     pub fn metrics(&mut self) -> Result<String, String> {
         match rpc(&mut self.client, &Msg::MetricsRequest)? {
             Msg::MetricsReply { text } => Ok(text),
             Msg::JobError { message } => Err(message),
             other => Err(format!("unexpected metrics reply: {other:?}")),
+        }
+    }
+
+    /// The id of the most recently submitted job, if any.
+    pub fn last_job_id(&self) -> Option<u64> {
+        self.last_job_id
+    }
+
+    /// Fetch the merged Chrome trace JSON for `job_id` (the job must
+    /// have been submitted with [`JobSpec::collect_trace`]).
+    pub fn trace_json(&mut self, job_id: u64) -> Result<String, String> {
+        match rpc(&mut self.client, &Msg::TraceRequest { job_id })? {
+            Msg::TraceReply { json } => Ok(json),
+            Msg::JobError { message } => Err(message),
+            other => Err(format!("unexpected trace reply: {other:?}")),
         }
     }
 }

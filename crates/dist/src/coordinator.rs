@@ -25,7 +25,7 @@
 //! from resurrected attempts are ignored unless the reporting worker
 //! still owns the in-flight entry.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::{Arc, Condvar, Mutex};
@@ -35,13 +35,27 @@ use dasc_core::{bucket_cluster_count, consolidate, stitch_distributed, Clusterin
 use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
 use dasc_mapreduce::{split_ranges, ClusterConfig};
 use dasc_net::{ConnId, Server, ServerConfig, ServerHandle, Service};
-use dasc_obs::span;
+use dasc_obs::{labeled, span, InstantRecord, MetricsSnapshot, SpanRecord, TraceLane};
 
+use crate::httpd::HttpHandle;
 use crate::proto::{stage, JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
+
+/// A task is flagged as a straggler once its elapsed time exceeds this
+/// multiple of the running-median completed-task duration (Hadoop's
+/// speculative-execution trigger is the same shape).
+const STRAGGLER_FACTOR: u64 = 2;
+/// Straggler floor: never flag tasks faster than this, so microsecond
+/// jitter on tiny test jobs doesn't light the gauge.
+const STRAGGLER_MIN_US: u64 = 1_000;
+/// Completed-duration ring capacity behind the running median.
+const TASK_DURATION_WINDOW: usize = 256;
+/// Don't flag stragglers until the median rests on this many samples.
+const STRAGGLER_MIN_SAMPLES: usize = 3;
 
 /// A running coordinator.
 pub struct Coordinator {
     server: ServerHandle<CoordinatorService>,
+    http: Option<HttpHandle>,
 }
 
 impl Coordinator {
@@ -61,7 +75,17 @@ impl Coordinator {
             },
         )
         .start(addr)?;
-        Ok(Coordinator { server })
+        Ok(Coordinator { server, http: None })
+    }
+
+    /// Also serve the federated metrics over HTTP (`GET /metrics` in
+    /// Prometheus text, `GET /workers` as JSON) on `addr`. Port 0 picks
+    /// a free port; the bound address is returned.
+    pub fn serve_http(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let handle = crate::httpd::start(Arc::clone(&self.server.service().state), addr)?;
+        let bound = handle.addr();
+        self.http = Some(handle);
+        Ok(bound)
     }
 
     /// The bound address.
@@ -69,14 +93,22 @@ impl Coordinator {
         self.server.addr()
     }
 
-    /// Block until the server dies on its own (daemon mode).
-    pub fn wait(self) {
+    /// Block until the server dies on its own (daemon mode). The HTTP
+    /// endpoint keeps serving for as long as the RPC server lives.
+    pub fn wait(mut self) {
+        let http = self.http.take();
         self.server.wait();
+        if let Some(http) = http {
+            http.shutdown();
+        }
     }
 
     /// Graceful shutdown: stop accepting, join all threads. Running job
     /// runners observe the dropped connections and fail their stages.
-    pub fn shutdown(self) {
+    pub fn shutdown(mut self) {
+        if let Some(http) = self.http.take() {
+            http.shutdown();
+        }
         self.server.service().state.shutdown();
         self.server.shutdown();
     }
@@ -92,23 +124,23 @@ struct CoordinatorService {
     state: Arc<SharedState>,
 }
 
-struct SharedState {
-    inner: Mutex<State>,
+pub(crate) struct SharedState {
+    pub(crate) inner: Mutex<State>,
     changed: Condvar,
     cluster: ClusterConfig,
 }
 
 #[derive(Default)]
-struct State {
+pub(crate) struct State {
     shutting_down: bool,
     next_worker_id: u64,
     next_job_id: u64,
     next_task_id: u64,
-    workers: HashMap<u64, WorkerInfo>,
+    pub(crate) workers: HashMap<u64, WorkerInfo>,
     /// Tasks ready to hand to the next `RequestTask`.
     pending: VecDeque<Task>,
     /// task_id → (worker running it, the task, when it started).
-    in_flight: HashMap<u64, InFlight>,
+    pub(crate) in_flight: HashMap<u64, InFlight>,
     /// task_id → attempts consumed so far (pending + in-flight).
     attempts: HashMap<u64, u32>,
     /// Completed task outputs awaiting pickup by their job runner,
@@ -117,26 +149,137 @@ struct State {
     /// task_id → terminal failure message (attempt budget exhausted).
     dead_tasks: HashMap<u64, String>,
     jobs: HashMap<u64, JobState>,
+    /// Latest federated metrics snapshot per worker *name*. Kept after
+    /// a worker dies so its series survive in scrapes (post-mortems
+    /// need the dead worker's numbers most of all).
+    pub(crate) worker_metrics: BTreeMap<String, MetricsSnapshot>,
+    /// Recent completed-task durations (µs) feeding the running median
+    /// behind the straggler gauge.
+    recent_task_durations: VecDeque<u64>,
+    /// Per-job merged trace under assembly (only for jobs submitted
+    /// with `collect_trace`).
+    traces: HashMap<u64, JobTrace>,
 }
 
-struct WorkerInfo {
-    #[allow(dead_code)] // surfaced in logs/metrics labels later
-    name: String,
-    last_seen: Instant,
+pub(crate) struct WorkerInfo {
+    /// Registered name — the `worker="<name>"` label on every federated
+    /// series and trace lane this worker produces.
+    pub(crate) name: String,
+    pub(crate) last_seen: Instant,
     /// The connection the worker last pulled a task on; if it drops,
     /// the worker is declared dead immediately.
     task_conn: Option<ConnId>,
+    /// Tasks this worker has completed (surfaced by `/workers`).
+    pub(crate) tasks_done: u64,
 }
 
-struct InFlight {
-    worker_id: u64,
+pub(crate) struct InFlight {
+    pub(crate) worker_id: u64,
     task: Task,
+    /// When the task was handed out — drives both the straggler check
+    /// and the rebasing of the worker's span log onto the job timeline.
+    assigned_at: Instant,
 }
 
 enum JobState {
     Running { stage: u8, done: u64, total: u64 },
     Done(JobOutcome),
     Failed(String),
+}
+
+/// A merged multi-lane trace under assembly for one tracing job: the
+/// coordinator lane records scheduling (queued-wait and assigned-run
+/// spans per task, lifecycle instants), and each worker's returned span
+/// logs are rebased onto the shared epoch into that worker's lane.
+struct JobTrace {
+    epoch: Instant,
+    next_id: u64,
+    /// Coordinator-lane spans (job/stage/scheduling).
+    spans: Vec<SpanRecord>,
+    /// Coordinator-lane lifecycle markers (retried/fenced/lost).
+    instants: Vec<InstantRecord>,
+    /// Worker-lane spans, keyed by worker name.
+    lanes: BTreeMap<String, Vec<SpanRecord>>,
+    /// Coordinator spans opened but not yet closed:
+    /// id → (name, parent, start offset µs).
+    open: HashMap<u64, (String, u64, u64)>,
+    /// task_id → enqueue offset µs (closed into a queued-wait span at
+    /// assignment).
+    queued_at: HashMap<u64, u64>,
+}
+
+impl JobTrace {
+    fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: 1,
+            spans: Vec::new(),
+            instants: Vec::new(),
+            lanes: BTreeMap::new(),
+            open: HashMap::new(),
+            queued_at: HashMap::new(),
+        }
+    }
+
+    /// Offset of "now" from the job epoch, µs.
+    fn ts(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn alloc(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn push_span(&mut self, name: String, parent: u64, start_us: u64, dur_us: u64) -> u64 {
+        let id = self.alloc();
+        self.spans.push(SpanRecord {
+            id,
+            parent: (parent != 0).then_some(parent),
+            name,
+            thread: 0,
+            start_us,
+            dur_us,
+        });
+        id
+    }
+
+    fn mark(&mut self, name: String) {
+        let ts_us = self.ts();
+        self.instants.push(InstantRecord { name, ts_us });
+    }
+
+    /// Give `worker` a lane as soon as it is *assigned* a traced task:
+    /// a worker that dies before returning any spans still belongs on
+    /// the merged timeline (its loss/retry instants reference it).
+    fn touch_lane(&mut self, worker: &str) {
+        self.lanes.entry(worker.to_string()).or_default();
+    }
+
+    /// Fold a worker's task span log into its lane: ids are remapped
+    /// into the job's id space, local parents follow the remap, roots
+    /// hang under the task's coordinator-side `trace_parent`, and
+    /// task-relative timestamps shift by the assignment offset.
+    fn merge_worker_spans(
+        &mut self,
+        worker: &str,
+        trace_parent: u64,
+        base_us: u64,
+        spans: Vec<SpanRecord>,
+    ) {
+        let remap: HashMap<u64, u64> = spans.iter().map(|s| (s.id, self.alloc())).collect();
+        let lane = self.lanes.entry(worker.to_string()).or_default();
+        for mut s in spans {
+            s.id = remap[&s.id];
+            s.parent = match s.parent.and_then(|p| remap.get(&p)) {
+                Some(&p) => Some(p),
+                None => (trace_parent != 0).then_some(trace_parent),
+            };
+            s.start_us += base_us;
+            lane.push(s);
+        }
+    }
 }
 
 impl SharedState {
@@ -149,10 +292,14 @@ impl SharedState {
     /// Declare a worker dead: drop it and re-queue its in-flight tasks
     /// (or fail them if out of attempts).
     fn declare_lost(&self, state: &mut State, worker_id: u64, why: &str) {
-        if state.workers.remove(&worker_id).is_none() {
+        let Some(info) = state.workers.remove(&worker_id) else {
             return;
-        }
+        };
         dasc_obs::global().inc("dasc_dist_workers_lost_total", 1);
+        let name = info.name;
+        for tr in state.traces.values_mut() {
+            tr.mark(format!("worker {name} lost ({why})"));
+        }
         let orphaned: Vec<u64> = state
             .in_flight
             .iter()
@@ -161,16 +308,24 @@ impl SharedState {
             .collect();
         for task_id in orphaned {
             let inflight = state.in_flight.remove(&task_id).expect("in-flight entry");
-            self.requeue(state, inflight.task, format!("worker {worker_id} {why}"));
+            self.requeue(state, inflight.task, format!("worker {name} {why}"));
         }
         self.changed.notify_all();
     }
 
     /// Put a task back in the queue with `attempt + 1`, or mark it dead
-    /// if the retry budget is spent.
+    /// if the retry budget is spent. Either way the tracing job gets a
+    /// lifecycle marker, so a killed worker's fenced/retried task is
+    /// visible in the merged timeline.
     fn requeue(&self, state: &mut State, mut task: Task, why: String) {
         let attempts = state.attempts.get(&task.task_id).copied().unwrap_or(1);
         if attempts >= self.cluster.max_task_attempts as u32 {
+            if let Some(tr) = state.traces.get_mut(&task.job_id) {
+                tr.mark(format!(
+                    "task {} dead after {attempts} attempts",
+                    task.task_id
+                ));
+            }
             state.dead_tasks.insert(
                 task.task_id,
                 format!(
@@ -183,7 +338,117 @@ impl SharedState {
         dasc_obs::global().inc("dasc_dist_task_retries_total", 1);
         task.attempt = attempts + 1;
         state.attempts.insert(task.task_id, attempts + 1);
+        if let Some(tr) = state.traces.get_mut(&task.job_id) {
+            tr.mark(format!(
+                "task {} retried (attempt {}): {why}",
+                task.task_id, task.attempt
+            ));
+            tr.queued_at.insert(task.task_id, tr.ts());
+        }
         state.pending.push_back(task);
+    }
+
+    /// Update the `dasc_dist_stragglers` gauge: in-flight tasks whose
+    /// elapsed time exceeds `STRAGGLER_FACTOR ×` the running median of
+    /// recently completed tasks (with a floor so microsecond-scale test
+    /// jobs never flag).
+    fn sweep_stragglers(&self, state: &State) {
+        let stragglers = if state.recent_task_durations.len() >= STRAGGLER_MIN_SAMPLES {
+            let mut sorted: Vec<u64> = state.recent_task_durations.iter().copied().collect();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            let threshold = (median * STRAGGLER_FACTOR).max(STRAGGLER_MIN_US);
+            state
+                .in_flight
+                .values()
+                .filter(|f| f.assigned_at.elapsed().as_micros() as u64 > threshold)
+                .count()
+        } else {
+            0
+        };
+        dasc_obs::global()
+            .gauge("dasc_dist_stragglers")
+            .set(stragglers as i64);
+    }
+
+    /// The federated metrics view: the coordinator's own registry plus
+    /// every worker's last heartbeat snapshot re-keyed with its
+    /// `worker="<name>"` label, rendered as Prometheus text.
+    pub(crate) fn federated_metrics_text(&self) -> String {
+        let mut snap = dasc_obs::global().snapshot();
+        let state = self.inner.lock().expect("state");
+        self.sweep_stragglers(&state);
+        snap.gauges.insert(
+            "dasc_dist_workers_connected".to_string(),
+            state.workers.len() as i64,
+        );
+        snap.gauges.insert(
+            "dasc_dist_stragglers".to_string(),
+            dasc_obs::global().gauge("dasc_dist_stragglers").get(),
+        );
+        let mut merged = snap;
+        for (name, worker_snap) in &state.worker_metrics {
+            merged = merged.merge(worker_snap.clone().with_label("worker", name));
+        }
+        dasc_obs::prometheus::render(&merged)
+    }
+
+    /// Export a finished tracing job's merged Chrome trace JSON: lane 0
+    /// is the coordinator, lanes 1.. are the workers in name order.
+    fn trace_json(&self, job_id: u64) -> Option<String> {
+        let state = self.inner.lock().expect("state");
+        let tr = state.traces.get(&job_id)?;
+        let mut lanes = vec![TraceLane {
+            pid: 0,
+            label: "coordinator".to_string(),
+            spans: tr.spans.clone(),
+            instants: tr.instants.clone(),
+        }];
+        for (i, (name, spans)) in tr.lanes.iter().enumerate() {
+            lanes.push(TraceLane {
+                pid: i as u64 + 1,
+                label: name.clone(),
+                spans: spans.clone(),
+                instants: Vec::new(),
+            });
+        }
+        Some(dasc_obs::chrome_trace_json_lanes(&lanes))
+    }
+
+    /// Open a coordinator-lane span for a tracing job. Returns the span
+    /// id, or 0 when the job is not tracing (0 doubles as "no parent"
+    /// and as `Task::trace_parent`'s "tracing off").
+    fn trace_begin(&self, job_id: u64, name: &str, parent: u64) -> u64 {
+        let mut state = self.inner.lock().expect("state");
+        let Some(tr) = state.traces.get_mut(&job_id) else {
+            return 0;
+        };
+        let id = tr.alloc();
+        let start = tr.ts();
+        tr.open.insert(id, (name.to_string(), parent, start));
+        id
+    }
+
+    /// Close a span opened with [`SharedState::trace_begin`].
+    fn trace_end(&self, job_id: u64, span_id: u64) {
+        if span_id == 0 {
+            return;
+        }
+        let mut state = self.inner.lock().expect("state");
+        let Some(tr) = state.traces.get_mut(&job_id) else {
+            return;
+        };
+        if let Some((name, parent, start)) = tr.open.remove(&span_id) {
+            let dur = tr.ts().saturating_sub(start);
+            tr.spans.push(SpanRecord {
+                id: span_id,
+                parent: (parent != 0).then_some(parent),
+                name,
+                thread: 0,
+                start_us: start,
+                dur_us: dur,
+            });
+        }
     }
 
     /// Enqueue `tasks` and block until all are complete or any is
@@ -205,6 +470,12 @@ impl SharedState {
             }
             for task in tasks {
                 state.attempts.insert(task.task_id, 1);
+                if task.trace_parent != 0 {
+                    if let Some(tr) = state.traces.get_mut(&task.job_id) {
+                        let ts = tr.ts();
+                        tr.queued_at.insert(task.task_id, ts);
+                    }
+                }
                 state.pending.push_back(task);
             }
             self.changed.notify_all();
@@ -251,6 +522,7 @@ impl SharedState {
             for id in silent {
                 self.declare_lost(&mut state, id, "missed heartbeats");
             }
+            self.sweep_stragglers(&state);
         }
     }
 
@@ -327,6 +599,7 @@ impl CoordinatorService {
                         name,
                         last_seen: Instant::now(),
                         task_conn: None,
+                        tasks_done: 0,
                     },
                 );
                 reg.inc("dasc_dist_workers_registered_total", 1);
@@ -335,13 +608,19 @@ impl CoordinatorService {
                     heartbeat_interval_ms: shared.cluster.heartbeat_interval.as_millis() as u64,
                 }
             }
-            Msg::Heartbeat { worker_id } => {
+            Msg::Heartbeat { worker_id, metrics } => {
                 reg.inc("dasc_dist_heartbeats_total", 1);
                 let mut state = shared.inner.lock().expect("state");
                 if let Some(w) = state.workers.get_mut(&worker_id) {
                     let lag = w.last_seen.elapsed();
                     reg.observe("dasc_dist_heartbeat_lag_us", lag.as_micros() as u64);
                     w.last_seen = Instant::now();
+                    // Federation: retain the latest snapshot under the
+                    // worker's *name* so the series outlive the worker.
+                    if !metrics.is_empty() {
+                        let name = w.name.clone();
+                        state.worker_metrics.insert(name, metrics);
+                    }
                 }
                 Msg::HeartbeatAck
             }
@@ -356,14 +635,32 @@ impl CoordinatorService {
                 };
                 w.last_seen = Instant::now();
                 w.task_conn = Some(conn);
+                let assignee = w.name.clone();
                 match state.pending.pop_front() {
                     Some(task) => {
                         reg.inc("dasc_dist_tasks_assigned_total", 1);
+                        // Close the queued-wait span for a tracing job:
+                        // enqueue → assignment, on the coordinator lane.
+                        if task.trace_parent != 0 {
+                            if let Some(tr) = state.traces.get_mut(&task.job_id) {
+                                tr.touch_lane(&assignee);
+                                if let Some(queued) = tr.queued_at.remove(&task.task_id) {
+                                    let now = tr.ts();
+                                    tr.push_span(
+                                        format!("task {} queued", task.task_id),
+                                        task.trace_parent,
+                                        queued,
+                                        now.saturating_sub(queued),
+                                    );
+                                }
+                            }
+                        }
                         state.in_flight.insert(
                             task.task_id,
                             InFlight {
                                 worker_id,
                                 task: task.clone(),
+                                assigned_at: Instant::now(),
                             },
                         );
                         Msg::AssignTask { task }
@@ -377,11 +674,13 @@ impl CoordinatorService {
                 worker_id,
                 task_id,
                 output,
+                spans,
             } => {
                 let mut state = shared.inner.lock().expect("state");
-                if let Some(w) = state.workers.get_mut(&worker_id) {
+                let worker_name = state.workers.get_mut(&worker_id).map(|w| {
                     w.last_seen = Instant::now();
-                }
+                    w.name.clone()
+                });
                 // Only the worker that owns the in-flight entry may
                 // complete it — a stale attempt from a worker already
                 // declared dead (whose task was re-run elsewhere) is
@@ -391,13 +690,58 @@ impl CoordinatorService {
                     .get(&task_id)
                     .is_some_and(|f| f.worker_id == worker_id);
                 if owned {
-                    state.in_flight.remove(&task_id);
+                    let inflight = state.in_flight.remove(&task_id).expect("owned entry");
                     reg.inc("dasc_dist_tasks_completed_total", 1);
                     let (records, bytes) = output_volume(&output);
                     reg.inc("dasc_dist_shuffle_records_total", records);
                     reg.inc("dasc_dist_shuffle_bytes_total", bytes);
+                    // Lifecycle accounting: per-stage (and per-worker)
+                    // duration histograms plus the running-median window
+                    // behind the straggler gauge. Observed coordinator-
+                    // side so the series exist even for workers that die
+                    // before their next heartbeat ships metrics.
+                    let duration_us = inflight.assigned_at.elapsed().as_micros() as u64;
+                    let stage_name = match inflight.task.kind {
+                        TaskKind::MapSignatures { .. } => "map",
+                        TaskKind::ReduceBucket { .. } => "reduce",
+                    };
+                    let series = labeled("dasc_dist_task_duration_us", "stage", stage_name);
+                    reg.observe(&series, duration_us);
+                    if let Some(name) = worker_name.as_deref() {
+                        reg.observe(&labeled(&series, "worker", name), duration_us);
+                    }
+                    state.recent_task_durations.push_back(duration_us);
+                    if state.recent_task_durations.len() > TASK_DURATION_WINDOW {
+                        state.recent_task_durations.pop_front();
+                    }
+                    if let Some(w) = state.workers.get_mut(&worker_id) {
+                        w.tasks_done += 1;
+                    }
+                    // Trace stitching: a coordinator-lane span covering
+                    // assignment → completion, plus the worker's own
+                    // span log rebased onto the job timeline.
+                    if inflight.task.trace_parent != 0 {
+                        if let Some(tr) = state.traces.get_mut(&inflight.task.job_id) {
+                            let base_us =
+                                inflight.assigned_at.duration_since(tr.epoch).as_micros() as u64;
+                            let lane = worker_name.as_deref().unwrap_or("worker");
+                            tr.push_span(
+                                format!("task {task_id} @ {lane}"),
+                                inflight.task.trace_parent,
+                                base_us,
+                                duration_us,
+                            );
+                            tr.merge_worker_spans(lane, inflight.task.trace_parent, base_us, spans);
+                        }
+                    }
                     state.outputs.insert(task_id, (worker_id, output));
                     shared.changed.notify_all();
+                } else {
+                    reg.inc("dasc_dist_tasks_fenced_total", 1);
+                    let lane = worker_name.as_deref().unwrap_or("worker").to_string();
+                    for tr in state.traces.values_mut() {
+                        tr.mark(format!("task {task_id} fenced (stale result from {lane})"));
+                    }
                 }
                 Msg::TaskAck
             }
@@ -457,17 +801,26 @@ impl CoordinatorService {
                     },
                 }
             }
-            Msg::MetricsRequest => {
-                let mut snap = dasc_obs::global().snapshot();
-                let state = shared.inner.lock().expect("state");
-                snap.gauges.insert(
-                    "dasc_dist_workers_connected".to_string(),
-                    state.workers.len() as i64,
-                );
-                Msg::MetricsReply {
-                    text: dasc_obs::prometheus::render(&snap),
+            Msg::MetricsRequest => Msg::MetricsReply {
+                text: shared.federated_metrics_text(),
+            },
+            Msg::TraceRequest { job_id } => match shared.trace_json(job_id) {
+                // `put_str` caps frames at 1 MiB; an over-budget trace
+                // becomes an explicit error rather than a panic.
+                Some(json) if json.len() <= crate::proto::MAX_TRACE_JSON => {
+                    Msg::TraceReply { json }
                 }
-            }
+                Some(json) => Msg::JobError {
+                    message: format!(
+                        "trace for job {job_id} is {} bytes, over the {} byte frame cap",
+                        json.len(),
+                        crate::proto::MAX_TRACE_JSON
+                    ),
+                },
+                None => Msg::JobError {
+                    message: format!("no trace recorded for job {job_id}"),
+                },
+            },
             other => Msg::JobError {
                 message: format!("unexpected message {:?} at coordinator", other.msg_type()),
             },
@@ -510,15 +863,23 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
         return Err("k must be >= 1".to_string());
     }
     let retries_before = dasc_obs::global().counter_value("dasc_dist_task_retries_total");
+    if spec.collect_trace {
+        let mut state = shared.inner.lock().expect("state");
+        state.traces.insert(job_id, JobTrace::new());
+    }
     let job_span = span!("dist.job");
+    let job_span_id = shared.trace_begin(job_id, "dist.job", 0);
     let lsh = if spec.num_bits == 0 {
         LshConfig::for_dataset(n)
     } else {
         LshConfig::with_bits(spec.num_bits)
     };
 
-    // Stage 1: fit the model locally, hash remotely.
+    // Stage 1: fit the model locally, hash remotely. Every task carries
+    // the stage span as its trace context (0 when the job isn't traced),
+    // so worker span logs come back parented under the right stage.
     let stage1_span = span!("dist.stage1");
+    let stage1_id = shared.trace_begin(job_id, "dist.stage1", job_span_id);
     let stage1_start = Instant::now();
     let model = SignatureModel::fit(&spec.points, &lsh);
     let ranges = split_ranges(n, &shared.cluster);
@@ -530,6 +891,7 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
             job_id,
             task_id: first_id + i as u64,
             attempt: 1,
+            trace_parent: stage1_id,
             kind: TaskKind::MapSignatures {
                 num_bits: model.num_bits(),
                 planes: model.planes().to_vec(),
@@ -540,6 +902,7 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
         .collect();
     let (map_outputs, workers1) = shared.run_stage(job_id, stage::MAP, map_tasks)?;
     let stage1_us = stage1_start.elapsed().as_micros() as u64;
+    shared.trace_end(job_id, stage1_id);
     stage1_span.finish();
 
     // Between-stage merge, identical to the in-process engine.
@@ -563,6 +926,7 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
 
     // Stage 2: one reduce task per merged bucket.
     let stage2_span = span!("dist.stage2");
+    let stage2_id = shared.trace_begin(job_id, "dist.stage2", job_span_id);
     let stage2_start = Instant::now();
     let first_id = shared.alloc_task_ids(buckets.len());
     let reduce_tasks: Vec<Task> = buckets
@@ -573,6 +937,7 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
             job_id,
             task_id: first_id + bi as u64,
             attempt: 1,
+            trace_parent: stage2_id,
             kind: TaskKind::ReduceBucket {
                 bucket_id: bi,
                 ki: bucket_cluster_count(spec.k, b.members.len(), n),
@@ -586,9 +951,11 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
         .collect();
     let (reduce_outputs, workers2) = shared.run_stage(job_id, stage::REDUCE, reduce_tasks)?;
     let stage2_us = stage2_start.elapsed().as_micros() as u64;
+    shared.trace_end(job_id, stage2_id);
     stage2_span.finish();
 
     // Finish locally: stitch + consolidate via the shared helpers.
+    let finish_id = shared.trace_begin(job_id, "dist.finish", job_span_id);
     if let Some(JobState::Running { stage, .. }) =
         shared.inner.lock().expect("state").jobs.get_mut(&job_id)
     {
@@ -618,6 +985,8 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
     } else {
         stitched
     };
+    shared.trace_end(job_id, finish_id);
+    shared.trace_end(job_id, job_span_id);
     job_span.finish();
 
     let (shuffle_records, shuffle_bytes) = map_outputs

@@ -20,10 +20,12 @@
 
 pub mod client;
 pub mod coordinator;
+pub mod httpd;
 pub mod proto;
 pub mod worker;
 
 pub use client::{client_config, rpc, JobClient};
 pub use coordinator::Coordinator;
+pub use httpd::HttpHandle;
 pub use proto::{JobOutcome, JobSpec, Msg, MsgType, Task, TaskKind, TaskOutput};
-pub use worker::{execute_task, run_worker, WorkerHandle, WorkerOptions};
+pub use worker::{execute_task, execute_task_traced, run_worker, WorkerHandle, WorkerOptions};

@@ -28,10 +28,18 @@
 //! | 16  | MetricsRequest | client → coordinator |
 //! | 17  | MetricsReply   | reply                |
 //! | 18  | TaskFailed     | worker → coordinator |
+//! | 19  | TraceRequest   | client → coordinator |
+//! | 20  | TraceReply     | reply                |
+//!
+//! Observability rides the same frames: tasks carry a trace context
+//! ([`Task::trace_parent`]), completed tasks return their span log
+//! inside [`TaskDone`](Msg::TaskDone), and heartbeats piggyback each
+//! worker's [`MetricsSnapshot`] for coordinator-side federation.
 
 use dasc_kernel::Kernel;
 use dasc_lsh::HashPlane;
 use dasc_net::{Wire, WireError, WireReader, WireWriter};
+use dasc_obs::{HistogramSnapshot, MetricsSnapshot, SpanRecord, HISTOGRAM_BUCKETS};
 
 /// Frame `msg_type` values (see module table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +63,8 @@ pub enum MsgType {
     MetricsRequest = 16,
     MetricsReply = 17,
     TaskFailed = 18,
+    TraceRequest = 19,
+    TraceReply = 20,
 }
 
 impl MsgType {
@@ -79,6 +89,8 @@ impl MsgType {
             16 => MsgType::MetricsRequest,
             17 => MsgType::MetricsReply,
             18 => MsgType::TaskFailed,
+            19 => MsgType::TraceRequest,
+            20 => MsgType::TraceReply,
             _ => return None,
         })
     }
@@ -94,8 +106,13 @@ pub enum Msg {
         worker_id: u64,
         heartbeat_interval_ms: u64,
     },
-    /// Worker liveness ping (sent on a dedicated connection).
-    Heartbeat { worker_id: u64 },
+    /// Worker liveness ping (sent on a dedicated connection),
+    /// piggybacking the worker's current metrics snapshot for
+    /// coordinator-side federation (empty when telemetry is off).
+    Heartbeat {
+        worker_id: u64,
+        metrics: MetricsSnapshot,
+    },
     /// Heartbeat reply.
     HeartbeatAck,
     /// Worker asks for work (the Hadoop pull model).
@@ -104,11 +121,16 @@ pub enum Msg {
     AssignTask { task: Task },
     /// Nothing to do right now; ask again after `backoff_ms`.
     NoTask { backoff_ms: u64 },
-    /// Worker ships a completed task's output.
+    /// Worker ships a completed task's output plus the span log the
+    /// task body recorded under its trace context (empty when the task
+    /// carried no [`Task::trace_parent`]). Span timestamps are relative
+    /// to the task body's start; the coordinator rebases them onto the
+    /// job timeline at assignment time.
     TaskDone {
         worker_id: u64,
         task_id: u64,
         output: TaskOutput,
+        spans: Vec<SpanRecord>,
     },
     /// Coordinator acknowledges a result (stale results are acked too).
     TaskAck,
@@ -134,7 +156,17 @@ pub enum Msg {
         task_id: u64,
         error: String,
     },
+    /// Ask for a finished job's merged multi-lane trace.
+    TraceRequest { job_id: u64 },
+    /// The merged Chrome trace-event JSON (coordinator lane + one lane
+    /// per worker). Empty string when the job collected no trace.
+    TraceReply { json: String },
 }
+
+/// Largest merged trace JSON the coordinator will put on the wire —
+/// the `dasc-net` string cap (`put_str` panics past 1 MiB), minus
+/// nothing: a trace at exactly the cap still fits its own frame.
+pub const MAX_TRACE_JSON: usize = 1 << 20;
 
 /// Job progress stages reported in [`Msg::JobPending`].
 pub mod stage {
@@ -157,6 +189,10 @@ pub struct Task {
     pub task_id: u64,
     /// Attempt number, starting at 1 (Hadoop counts the same way).
     pub attempt: u32,
+    /// Trace context: the coordinator-side span id this task's spans
+    /// hang under (the stage span). 0 means the job is not tracing and
+    /// the worker should not collect spans for this task.
+    pub trace_parent: u64,
     /// What to compute.
     pub kind: TaskKind,
 }
@@ -225,6 +261,9 @@ pub struct JobSpec {
     pub seed: u64,
     /// Consolidate fragments down to K clusters.
     pub consolidate: bool,
+    /// Collect a merged multi-lane trace for this job, retrievable via
+    /// [`Msg::TraceRequest`] once the job finishes.
+    pub collect_trace: bool,
 }
 
 /// A finished job's result plus run accounting for benches.
@@ -282,6 +321,123 @@ fn decode_kernel(r: &mut WireReader<'_>) -> Result<Kernel, WireError> {
     })
 }
 
+/// Newtype to give [`SpanRecord`] a wire form without dasc-obs
+/// depending on dasc-net (obs stays std-only by design).
+struct WireSpan(SpanRecord);
+
+impl Wire for WireSpan {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.0.id);
+        match self.0.parent {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_str(&self.0.name);
+        w.put_u64(self.0.thread);
+        w.put_u64(self.0.start_us);
+        w.put_u64(self.0.dur_us);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let parent = if r.bool()? { Some(r.u64()?) } else { None };
+        Ok(WireSpan(SpanRecord {
+            id,
+            parent,
+            name: r.str()?,
+            thread: r.u64()?,
+            start_us: r.u64()?,
+            dur_us: r.u64()?,
+        }))
+    }
+}
+
+fn encode_spans(spans: &[SpanRecord], w: &mut WireWriter) {
+    spans
+        .iter()
+        .map(|s| WireSpan(s.clone()))
+        .collect::<Vec<_>>()
+        .encode(w);
+}
+
+fn decode_spans(r: &mut WireReader<'_>) -> Result<Vec<SpanRecord>, WireError> {
+    Ok(Vec::<WireSpan>::decode(r)?
+        .into_iter()
+        .map(|s| s.0)
+        .collect())
+}
+
+/// Wire form of a [`MetricsSnapshot`]. Histogram buckets ship sparsely
+/// (`(index, count)` pairs) — most of the 40 log₂ buckets are empty.
+/// Gauges are `i64`, bit-cast through `u64` (the wire layer is
+/// little-endian two's-complement either way).
+fn encode_metrics(m: &MetricsSnapshot, w: &mut WireWriter) {
+    w.put_u32(m.counters.len() as u32);
+    for (name, v) in &m.counters {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_u32(m.gauges.len() as u32);
+    for (name, v) in &m.gauges {
+        w.put_str(name);
+        w.put_u64(*v as u64);
+    }
+    w.put_u32(m.histograms.len() as u32);
+    for (name, h) in &m.histograms {
+        w.put_str(name);
+        w.put_u64(h.count);
+        w.put_u64(h.sum);
+        let filled: Vec<(u8, u64)> = h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u8, c))
+            .collect();
+        w.put_u32(filled.len() as u32);
+        for (i, c) in filled {
+            w.put_u8(i);
+            w.put_u64(c);
+        }
+    }
+}
+
+fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let mut m = MetricsSnapshot::default();
+    for _ in 0..r.seq_len()? {
+        let name = r.str()?;
+        m.counters.insert(name, r.u64()?);
+    }
+    for _ in 0..r.seq_len()? {
+        let name = r.str()?;
+        m.gauges.insert(name, r.u64()? as i64);
+    }
+    for _ in 0..r.seq_len()? {
+        let name = r.str()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for _ in 0..r.seq_len()? {
+            let i = r.u8()? as usize;
+            if i >= HISTOGRAM_BUCKETS {
+                return Err(WireError::Invalid("histogram bucket index"));
+            }
+            buckets[i] = r.u64()?;
+        }
+        m.histograms.insert(
+            name,
+            HistogramSnapshot {
+                count,
+                sum,
+                buckets,
+            },
+        );
+    }
+    Ok(m)
+}
+
 /// Newtype to give [`HashPlane`] a wire form without dasc-lsh depending
 /// on dasc-net.
 struct WirePlane(HashPlane);
@@ -304,6 +460,7 @@ impl Wire for Task {
         w.put_u64(self.job_id);
         w.put_u64(self.task_id);
         w.put_u32(self.attempt);
+        w.put_u64(self.trace_parent);
         match &self.kind {
             TaskKind::MapSignatures {
                 num_bits,
@@ -346,6 +503,7 @@ impl Wire for Task {
         let job_id = r.u64()?;
         let task_id = r.u64()?;
         let attempt = r.u32()?;
+        let trace_parent = r.u64()?;
         let kind = match r.u8()? {
             0 => TaskKind::MapSignatures {
                 num_bits: r.usize()?,
@@ -371,6 +529,7 @@ impl Wire for Task {
             job_id,
             task_id,
             attempt,
+            trace_parent,
             kind,
         })
     }
@@ -406,6 +565,7 @@ impl Wire for JobSpec {
         w.put_usize(self.num_bits);
         w.put_u64(self.seed);
         w.put_bool(self.consolidate);
+        w.put_bool(self.collect_trace);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(JobSpec {
@@ -415,6 +575,7 @@ impl Wire for JobSpec {
             num_bits: r.usize()?,
             seed: r.u64()?,
             consolidate: r.bool()?,
+            collect_trace: r.bool()?,
         })
     }
 }
@@ -468,6 +629,8 @@ impl Msg {
             Msg::MetricsRequest => MsgType::MetricsRequest,
             Msg::MetricsReply { .. } => MsgType::MetricsReply,
             Msg::TaskFailed { .. } => MsgType::TaskFailed,
+            Msg::TraceRequest { .. } => MsgType::TraceRequest,
+            Msg::TraceReply { .. } => MsgType::TraceReply,
         }
     }
 
@@ -483,7 +646,10 @@ impl Msg {
                 w.put_u64(*worker_id);
                 w.put_u64(*heartbeat_interval_ms);
             }
-            Msg::Heartbeat { worker_id } => w.put_u64(*worker_id),
+            Msg::Heartbeat { worker_id, metrics } => {
+                w.put_u64(*worker_id);
+                encode_metrics(metrics, &mut w);
+            }
             Msg::HeartbeatAck | Msg::TaskAck | Msg::MetricsRequest => {}
             Msg::RequestTask { worker_id } => w.put_u64(*worker_id),
             Msg::AssignTask { task } => task.encode(&mut w),
@@ -492,10 +658,12 @@ impl Msg {
                 worker_id,
                 task_id,
                 output,
+                spans,
             } => {
                 w.put_u64(*worker_id);
                 w.put_u64(*task_id);
                 output.encode(&mut w);
+                encode_spans(spans, &mut w);
             }
             Msg::SubmitJob { spec } => spec.encode(&mut w),
             Msg::JobAccepted { job_id } => w.put_u64(*job_id),
@@ -517,6 +685,8 @@ impl Msg {
                 w.put_u64(*task_id);
                 w.put_str(error);
             }
+            Msg::TraceRequest { job_id } => w.put_u64(*job_id),
+            Msg::TraceReply { json } => w.put_str(json),
         }
         w.into_vec()
     }
@@ -534,6 +704,7 @@ impl Msg {
             },
             MsgType::Heartbeat => Msg::Heartbeat {
                 worker_id: r.u64()?,
+                metrics: decode_metrics(&mut r)?,
             },
             MsgType::HeartbeatAck => Msg::HeartbeatAck,
             MsgType::RequestTask => Msg::RequestTask {
@@ -549,6 +720,7 @@ impl Msg {
                 worker_id: r.u64()?,
                 task_id: r.u64()?,
                 output: TaskOutput::decode(&mut r)?,
+                spans: decode_spans(&mut r)?,
             },
             MsgType::TaskAck => Msg::TaskAck,
             MsgType::SubmitJob => Msg::SubmitJob {
@@ -572,6 +744,8 @@ impl Msg {
                 task_id: r.u64()?,
                 error: r.str()?,
             },
+            MsgType::TraceRequest => Msg::TraceRequest { job_id: r.u64()? },
+            MsgType::TraceReply => Msg::TraceReply { json: r.str()? },
         };
         r.finish()?;
         Ok(msg)
@@ -594,6 +768,7 @@ mod tests {
             job_id: 1,
             task_id: 42,
             attempt: 1,
+            trace_parent: 3,
             kind: TaskKind::MapSignatures {
                 num_bits: 4,
                 planes: vec![
@@ -614,6 +789,7 @@ mod tests {
             job_id: 1,
             task_id: 43,
             attempt: 2,
+            trace_parent: 0,
             kind: TaskKind::ReduceBucket {
                 bucket_id: 7,
                 ki: 2,
@@ -624,13 +800,36 @@ mod tests {
                 points: vec![vec![0.0; 2]; 3],
             },
         };
+        let mut worker_metrics = MetricsSnapshot::default();
+        worker_metrics
+            .counters
+            .insert("dasc_dist_tasks_completed_total".into(), 4);
+        worker_metrics.gauges.insert("depth".into(), -3);
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[3] = 2;
+        buckets[HISTOGRAM_BUCKETS - 1] = 1;
+        worker_metrics.histograms.insert(
+            "dasc_dist_task_duration_us{stage=\"map\"}".into(),
+            HistogramSnapshot {
+                count: 3,
+                sum: 42,
+                buckets,
+            },
+        );
         for msg in [
             Msg::Register { name: "w-1".into() },
             Msg::RegisterAck {
                 worker_id: 9,
                 heartbeat_interval_ms: 500,
             },
-            Msg::Heartbeat { worker_id: 9 },
+            Msg::Heartbeat {
+                worker_id: 9,
+                metrics: MetricsSnapshot::default(),
+            },
+            Msg::Heartbeat {
+                worker_id: 9,
+                metrics: worker_metrics,
+            },
             Msg::HeartbeatAck,
             Msg::RequestTask { worker_id: 9 },
             Msg::AssignTask { task: map_task },
@@ -640,11 +839,30 @@ mod tests {
                 worker_id: 9,
                 task_id: 42,
                 output: TaskOutput::MapSignatures(vec![(0b1010, vec![128, 130]), (0, vec![129])]),
+                spans: vec![
+                    SpanRecord {
+                        id: 1,
+                        parent: None,
+                        name: "dist.task.map".into(),
+                        thread: 2,
+                        start_us: 0,
+                        dur_us: 1500,
+                    },
+                    SpanRecord {
+                        id: 2,
+                        parent: Some(1),
+                        name: "dist.task.map.hash".into(),
+                        thread: 2,
+                        start_us: 10,
+                        dur_us: 1400,
+                    },
+                ],
             },
             Msg::TaskDone {
                 worker_id: 9,
                 task_id: 43,
                 output: TaskOutput::ReduceBucket(vec![(5, 7, 0), (9, 7, 1), (11, 7, 0)]),
+                spans: vec![],
             },
             Msg::TaskAck,
             Msg::SubmitJob {
@@ -655,6 +873,7 @@ mod tests {
                     num_bits: 0,
                     seed: 0xDA5C,
                     consolidate: true,
+                    collect_trace: true,
                 },
             },
             Msg::JobAccepted { job_id: 3 },
@@ -689,6 +908,10 @@ mod tests {
                 task_id: 42,
                 error: "panic: boom".into(),
             },
+            Msg::TraceRequest { job_id: 3 },
+            Msg::TraceReply {
+                json: "[\n{\"name\":\"process_name\"}\n]\n".into(),
+            },
         ] {
             roundtrip(msg);
         }
@@ -710,6 +933,7 @@ mod tests {
                     num_bits: 3,
                     seed: 1,
                     consolidate: false,
+                    collect_trace: false,
                 },
             });
         }
@@ -726,6 +950,25 @@ mod tests {
         assert_eq!(
             Msg::decode_frame(MsgType::PollJob as u16, &payload),
             Err(WireError::Trailing(1))
+        );
+    }
+
+    #[test]
+    fn heartbeat_with_out_of_range_bucket_index_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(9); // worker_id
+        w.put_u32(0); // counters
+        w.put_u32(0); // gauges
+        w.put_u32(1); // one histogram
+        w.put_str("lat");
+        w.put_u64(1); // count
+        w.put_u64(5); // sum
+        w.put_u32(1); // one filled bucket...
+        w.put_u8(HISTOGRAM_BUCKETS as u8); // ...one past the last index
+        w.put_u64(1);
+        assert_eq!(
+            Msg::decode_frame(MsgType::Heartbeat as u16, &w.into_vec()),
+            Err(WireError::Invalid("histogram bucket index"))
         );
     }
 

@@ -27,7 +27,7 @@ use dasc_core::cluster_bucket;
 use dasc_lsh::SignatureModel;
 use dasc_mapreduce::{reduce_groups, run_map_only, ClusterConfig, FnMapper, FnReducer};
 use dasc_net::{Client, ClientConfig};
-use dasc_obs::span;
+use dasc_obs::{labeled, MetricsSnapshot, SpanRecord, Tracer};
 
 use crate::client::{client_config, rpc};
 use crate::proto::{Msg, Task, TaskKind, TaskOutput};
@@ -43,15 +43,21 @@ pub struct WorkerOptions {
     /// Fault injection: accept this many task assignments, then drop
     /// every connection and stop without completing the last one.
     pub die_after_assignments: Option<usize>,
+    /// Ship this worker's metrics snapshot on every heartbeat for
+    /// coordinator-side federation (benches turn it off to measure the
+    /// observability overhead).
+    pub telemetry: bool,
 }
 
 impl WorkerOptions {
-    /// Defaults: single-node local engine, no fault injection.
+    /// Defaults: single-node local engine, telemetry on, no fault
+    /// injection.
     pub fn named(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             cluster: ClusterConfig::single_node(),
             die_after_assignments: None,
+            telemetry: true,
         }
     }
 }
@@ -140,6 +146,7 @@ pub fn run_worker(
         config,
         worker_id,
         Duration::from_millis(heartbeat_interval_ms.max(10)),
+        options.telemetry,
         Arc::clone(stop),
     );
 
@@ -158,6 +165,7 @@ fn spawn_heartbeat(
     config: ClientConfig,
     worker_id: u64,
     interval: Duration,
+    telemetry: bool,
     stop: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
@@ -165,7 +173,14 @@ fn spawn_heartbeat(
         while !stop.load(Ordering::SeqCst) {
             // Failures are fine: the coordinator may be briefly busy or
             // gone; the pull loop owns the fatal-error decision.
-            let _ = rpc(&mut client, &Msg::Heartbeat { worker_id });
+            // Telemetry piggybacks the full metrics snapshot — the
+            // coordinator re-labels and federates it per worker name.
+            let metrics = if telemetry {
+                dasc_obs::global().snapshot()
+            } else {
+                MetricsSnapshot::default()
+            };
+            let _ = rpc(&mut client, &Msg::Heartbeat { worker_id, metrics });
             // Sleep in small slices so shutdown isn't delayed by a
             // long heartbeat interval.
             let deadline = std::time::Instant::now() + interval;
@@ -215,13 +230,14 @@ fn pull_loop(
                     return Ok(());
                 }
                 let task_id = task.task_id;
-                let report = match execute_task(task, &options.cluster) {
-                    Ok(output) => Msg::TaskDone {
+                let report = match execute_task_traced(task, &options.cluster) {
+                    (Ok(output), spans) => Msg::TaskDone {
                         worker_id,
                         task_id,
                         output,
+                        spans,
                     },
-                    Err(error) => Msg::TaskFailed {
+                    (Err(error), _) => Msg::TaskFailed {
                         worker_id,
                         task_id,
                         error,
@@ -239,8 +255,33 @@ fn pull_loop(
 
 /// Execute one task body through the in-process MapReduce machinery.
 /// A panic inside the body (the engine's failure unit) becomes an
-/// error string for `TaskFailed`.
+/// error string for `TaskFailed`. Convenience wrapper over
+/// [`execute_task_traced`] for callers that don't want the span log.
 pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, String> {
+    execute_task_traced(task, cluster).0
+}
+
+/// Execute one task body and return its output together with the span
+/// log recorded under the task's trace context. When the task carries
+/// no context ([`Task::trace_parent`] is 0) the log is empty and the
+/// body runs untraced.
+///
+/// Spans go to a *task-local* tracer, not the process-global one, so
+/// concurrent workers sharing a process (tests, benches) never mix
+/// their logs; timestamps are relative to the task body's start and are
+/// rebased onto the job timeline by the coordinator.
+pub fn execute_task_traced(
+    task: Task,
+    cluster: &ClusterConfig,
+) -> (Result<TaskOutput, String>, Vec<SpanRecord>) {
+    let tracer = Tracer::new();
+    if task.trace_parent != 0 {
+        tracer.enable();
+    }
+    let stage = match task.kind {
+        TaskKind::MapSignatures { .. } => "map",
+        TaskKind::ReduceBucket { .. } => "reduce",
+    };
     let began = std::time::Instant::now();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task.kind {
         TaskKind::MapSignatures {
@@ -249,7 +290,7 @@ pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, S
             start,
             points,
         } => {
-            let _span = span!("dist.task.map");
+            let _span = tracer.span("dist.task.map");
             let model = SignatureModel::from_planes(planes);
             let mapper = FnMapper::new(
                 |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
@@ -261,7 +302,9 @@ pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, S
                 .enumerate()
                 .map(|(i, p)| (start + i, p))
                 .collect();
+            let hash_span = tracer.span("dist.task.map.hash");
             let grouped = run_map_only(&mapper, inputs, cluster);
+            hash_span.finish();
             TaskOutput::MapSignatures(grouped.records)
         }
         TaskKind::ReduceBucket {
@@ -273,7 +316,7 @@ pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, S
             members,
             points,
         } => {
-            let _span = span!("dist.task.reduce");
+            let _span = tracer.span("dist.task.reduce");
             let reducer = FnReducer::new(
                 move |bucket_id: usize,
                       member_points: Vec<(usize, Vec<f64>)>,
@@ -286,20 +329,24 @@ pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, S
                 },
             );
             let values: Vec<(usize, Vec<f64>)> = members.into_iter().zip(points).collect();
+            let cluster_span = tracer.span("dist.task.reduce.cluster");
             let reduced = reduce_groups(&reducer, vec![(bucket_id, values)], cluster);
+            cluster_span.finish();
             TaskOutput::ReduceBucket(reduced.records)
         }
     }));
     dasc_obs::global().observe(
-        "dasc_dist_task_duration_us",
+        &labeled("dasc_dist_task_duration_us", "stage", stage),
         began.elapsed().as_micros() as u64,
     );
-    result.map_err(|panic| {
+    let spans = tracer.drain();
+    let result = result.map_err(|panic| {
         let msg = panic
             .downcast_ref::<&str>()
             .map(|s| (*s).to_string())
             .or_else(|| panic.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "task panicked".to_string());
         format!("task panicked: {msg}")
-    })
+    });
+    (result, spans)
 }

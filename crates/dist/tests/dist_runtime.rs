@@ -37,6 +37,7 @@ fn spec_for(points: &[Vec<f64>], config: &DascConfig) -> JobSpec {
         num_bits: 0, // for_dataset default, same as the baseline config
         seed: config.seed,
         consolidate: config.consolidate,
+        collect_trace: false,
     }
 }
 
@@ -143,6 +144,144 @@ fn metrics_expose_dist_counters() {
     ] {
         assert!(text.contains(series), "missing {series} in:\n{text}");
     }
+
+    w.shutdown().expect("w");
+    coordinator.shutdown();
+}
+
+/// Plain-text HTTP GET against the coordinator's observability sidecar.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect http");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn traced_job_merges_worker_lanes_and_federates_metrics() {
+    let points = blobs(400, 4);
+    let config = DascConfig::for_dataset(points.len(), 4);
+
+    let cluster = test_cluster();
+    let mut coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let http_addr = coordinator
+        .serve_http("127.0.0.1:0")
+        .expect("http sidecar")
+        .to_string();
+    let addr = coordinator.addr().to_string();
+    let w1 = worker::spawn(&addr, WorkerOptions::named("tw1"));
+    let w2 = worker::spawn(&addr, WorkerOptions::named("tw2"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    let mut spec = spec_for(&points, &config);
+    spec.collect_trace = true;
+    client.run(spec, |_, _, _| {}).expect("traced job");
+    let job_id = client.last_job_id().expect("job id");
+
+    // The merged trace: a coordinator lane with the job/stage spans
+    // plus one lane per worker that completed a task.
+    let json = client.trace_json(job_id).expect("trace");
+    let events = dasc_serve::JsonValue::parse(&json).expect("trace parses");
+    let events = events.as_array().expect("trace is an array");
+    let lane_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(lane_names.contains(&"coordinator"), "lanes: {lane_names:?}");
+    assert!(
+        lane_names.iter().any(|n| *n == "tw1" || *n == "tw2"),
+        "no worker lane in {lane_names:?}"
+    );
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name")?.as_str())
+        .collect();
+    for expected in ["dist.job", "dist.stage1", "dist.stage2", "dist.task.map"] {
+        assert!(
+            span_names.contains(&expected),
+            "missing span {expected} in {span_names:?}"
+        );
+    }
+
+    // Heartbeats federate both workers' snapshots under their names,
+    // and coordinator-side task accounting carries stage+worker labels.
+    let give_up = std::time::Instant::now() + Duration::from_secs(5);
+    let text = loop {
+        let text = client.metrics().expect("metrics");
+        if text.contains("worker=\"tw1\"") && text.contains("worker=\"tw2\"") {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < give_up,
+            "workers never federated:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(text.contains("dasc_dist_task_duration_us_count{stage=\"map\"}"));
+    assert!(text.contains("dasc_dist_task_duration_us_count{stage=\"reduce\"}"));
+    assert!(text.contains("dasc_dist_stragglers"));
+
+    // The HTTP sidecar serves the same federated view plus a roster.
+    let (status, body) = http_get(&http_addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("dasc_dist_task_duration_us"));
+    assert!(body.contains("worker=\"tw1\""), "no tw1 series in:\n{body}");
+    let (status, roster) = http_get(&http_addr, "/workers");
+    assert_eq!(status, 200);
+    let roster = dasc_serve::JsonValue::parse(&roster).expect("roster parses");
+    let names: Vec<&str> = roster
+        .get("workers")
+        .and_then(|w| w.as_array())
+        .expect("workers array")
+        .iter()
+        .filter_map(|w| w.get("name")?.as_str())
+        .collect();
+    assert!(
+        names.contains(&"tw1") && names.contains(&"tw2"),
+        "{names:?}"
+    );
+    let (status, _) = http_get(&http_addr, "/nope");
+    assert_eq!(status, 404);
+
+    w1.shutdown().expect("w1");
+    w2.shutdown().expect("w2");
+    coordinator.shutdown();
+}
+
+#[test]
+fn untraced_job_has_no_trace() {
+    let points = blobs(200, 3);
+    let config = DascConfig::for_dataset(points.len(), 3);
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let w = worker::spawn(&addr, WorkerOptions::named("w"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("job");
+    let job_id = client.last_job_id().expect("job id");
+    let err = client.trace_json(job_id).expect_err("no trace collected");
+    assert!(err.contains("no trace"), "{err}");
 
     w.shutdown().expect("w");
     coordinator.shutdown();

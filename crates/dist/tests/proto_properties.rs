@@ -6,7 +6,48 @@
 use dasc_dist::{JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
 use dasc_kernel::Kernel;
 use dasc_lsh::HashPlane;
+use dasc_obs::{HistogramSnapshot, MetricsSnapshot, SpanRecord, HISTOGRAM_BUCKETS};
 use proptest::prelude::*;
+
+/// An arbitrary-but-valid metrics snapshot derived from the scalar
+/// pool: counters/gauges keyed off the name, one histogram with counts
+/// scattered over valid bucket indices.
+fn snapshot_from(name: &str, ids: (u64, u64, u64)) -> MetricsSnapshot {
+    let (a, b, c) = ids;
+    let mut snap = MetricsSnapshot::default();
+    snap.counters.insert(format!("{name}_total"), a);
+    snap.gauges.insert(format!("{name}_depth"), b as i64);
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    buckets[(a % HISTOGRAM_BUCKETS as u64) as usize] = b % 1000 + 1;
+    buckets[(c % HISTOGRAM_BUCKETS as u64) as usize] += 1;
+    snap.histograms.insert(
+        format!("{name}_us"),
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: a.wrapping_add(c),
+            buckets,
+        },
+    );
+    snap
+}
+
+/// An arbitrary span log: ids 1..=n, each span parented on the
+/// previous one except the root, timestamps derived from `members`.
+fn spans_from(members: &[usize]) -> Vec<SpanRecord> {
+    members
+        .iter()
+        .take(6)
+        .enumerate()
+        .map(|(i, &m)| SpanRecord {
+            id: i as u64 + 1,
+            parent: (i > 0).then_some(i as u64),
+            name: format!("span{i}"),
+            thread: m as u64 % 4,
+            start_us: m as u64,
+            dur_us: m as u64 % 512,
+        })
+        .collect()
+}
 
 fn kernel_from(seed: u64, a: f64, b: f64) -> Kernel {
     match seed % 4 {
@@ -50,6 +91,7 @@ fn all_messages(
         job_id: a,
         task_id: b,
         attempt: (c % 8) as u32 + 1,
+        trace_parent: c,
         kind: TaskKind::MapSignatures {
             num_bits: planes.len(),
             planes,
@@ -61,6 +103,7 @@ fn all_messages(
         job_id: a,
         task_id: b.wrapping_add(1),
         attempt: 1,
+        trace_parent: a % 2,
         kind: TaskKind::ReduceBucket {
             bucket_id: a as usize % 64,
             ki: b as usize % 16 + 1,
@@ -77,7 +120,14 @@ fn all_messages(
             worker_id: a,
             heartbeat_interval_ms: b,
         },
-        Msg::Heartbeat { worker_id: a },
+        Msg::Heartbeat {
+            worker_id: a,
+            metrics: MetricsSnapshot::default(),
+        },
+        Msg::Heartbeat {
+            worker_id: a,
+            metrics: snapshot_from(&name, ids),
+        },
         Msg::HeartbeatAck,
         Msg::RequestTask { worker_id: a },
         Msg::AssignTask { task: map_task },
@@ -87,11 +137,13 @@ fn all_messages(
             worker_id: a,
             task_id: b,
             output: TaskOutput::MapSignatures(groups),
+            spans: spans_from(&members),
         },
         Msg::TaskDone {
             worker_id: a,
             task_id: b,
             output: TaskOutput::ReduceBucket(records),
+            spans: Vec::new(),
         },
         Msg::TaskAck,
         Msg::SubmitJob {
@@ -102,6 +154,7 @@ fn all_messages(
                 num_bits: b as usize % 64,
                 seed: c,
                 consolidate: a & 1 == 0,
+                collect_trace: b & 1 == 0,
             },
         },
         Msg::JobAccepted { job_id: a },
@@ -132,8 +185,10 @@ fn all_messages(
         Msg::TaskFailed {
             worker_id: a,
             task_id: b,
-            error: name,
+            error: name.clone(),
         },
+        Msg::TraceRequest { job_id: a },
+        Msg::TraceReply { json: name },
     ]
 }
 

@@ -25,9 +25,10 @@ pub mod prometheus;
 pub mod trace;
 
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    global, labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
     HISTOGRAM_BUCKETS,
 };
 pub use trace::{
-    chrome_trace_json, stage_table, stage_totals, tracer, SpanGuard, SpanRecord, Tracer,
+    chrome_trace_json, chrome_trace_json_lanes, stage_table, stage_totals, tracer, InstantRecord,
+    SpanGuard, SpanRecord, TraceLane, Tracer,
 };

@@ -8,6 +8,7 @@
 //! layer ([`crate::prometheus`]) keeps labels intact and groups series
 //! by base name.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -149,6 +150,10 @@ impl Histogram {
     /// of the histogram bucket containing the q-quantile, so reported
     /// percentiles are unbiased within a factor of √2 rather than
     /// systematically high by up to 2× as an upper-edge estimate is.
+    ///
+    /// Contract: an *empty* histogram returns 0 for **every** `q`,
+    /// including `q = 1.0` — there is no observation to estimate, so no
+    /// bucket midpoint (not even the last one) is ever reported.
     pub fn percentile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -196,10 +201,35 @@ impl HistogramSnapshot {
         }
         cum
     }
+
+    /// Fold another snapshot's observations into this one: counts and
+    /// sums add, buckets merge position-wise. This is exact — log₂
+    /// buckets are aligned by construction, so merging distributions
+    /// from different processes loses nothing beyond the bucketing
+    /// already applied at record time.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// Inject a `key="value"` label into a metric name that may already
+/// carry a label block: `labeled("x", "w", "a")` → `x{w="a"}` while
+/// `labeled(r#"x{e="y"}"#, "w", "a")` → `x{e="y",w="a"}`. Backslashes
+/// and quotes in the value are escaped per the Prometheus text format.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    let value = value.replace('\\', "\\\\").replace('"', "\\\"");
+    match name.strip_suffix('}').and_then(|s| s.split_once('{')) {
+        Some((base, existing)) => format!("{base}{{{existing},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
 }
 
 /// Point-in-time copy of every metric in a registry.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -210,14 +240,50 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Merge another snapshot into this one. On a name collision the
-    /// other snapshot's entry wins (callers merge the more specific
-    /// registry last).
+    /// Merge another snapshot into this one *additively*: counters and
+    /// gauges sum, histograms fold bucket-wise (the merged distribution
+    /// is exactly what one registry would have recorded). Series that
+    /// must stay distinct — the same metric observed by two workers —
+    /// must be disambiguated first via [`MetricsSnapshot::with_label`].
     pub fn merge(mut self, other: MetricsSnapshot) -> MetricsSnapshot {
-        self.counters.extend(other.counters);
-        self.gauges.extend(other.gauges);
-        self.histograms.extend(other.histograms);
+        for (name, v) in other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in other.gauges {
+            *self.gauges.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.entry(name) {
+                Entry::Occupied(mut e) => e.get_mut().merge_from(&h),
+                Entry::Vacant(e) => {
+                    e.insert(h);
+                }
+            }
+        }
         self
+    }
+
+    /// Re-key every series with an extra label. Metrics federation tags
+    /// each worker's snapshot with `worker="<name>"` before merging so
+    /// per-worker series survive the additive [`MetricsSnapshot::merge`].
+    pub fn with_label(self, key: &str, value: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .into_iter()
+                .map(|(n, v)| (labeled(&n, key, value), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .into_iter()
+                .map(|(n, v)| (labeled(&n, key, value), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .into_iter()
+                .map(|(n, v)| (labeled(&n, key, value), v))
+                .collect(),
+        }
     }
 
     /// True when no metric is present.
@@ -386,10 +452,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_zero() {
+    fn empty_histogram_is_zero_for_every_quantile() {
+        // The documented contract: with no observations there is no
+        // bucket to estimate from, so every q — including the q=1.0
+        // maximum — reports 0 rather than any bucket midpoint.
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.percentile(0.99), 0);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.percentile(q), 0, "q={q}");
+        }
         assert_eq!(h.mean(), 0.0);
     }
 
@@ -441,17 +512,67 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_merge_prefers_other() {
+    fn snapshot_merge_is_additive() {
         let a = Registry::new();
         a.inc("shared", 1);
         a.inc("only_a", 2);
+        a.observe("lat", 5);
         let b = Registry::new();
         b.inc("shared", 10);
-        b.observe("lat", 5);
+        b.observe("lat", 300);
+        b.observe("only_b_lat", 7);
         let merged = a.snapshot().merge(b.snapshot());
-        assert_eq!(merged.counters["shared"], 10);
+        assert_eq!(merged.counters["shared"], 11);
         assert_eq!(merged.counters["only_a"], 2);
-        assert_eq!(merged.histograms["lat"].count, 1);
+        let lat = &merged.histograms["lat"];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 305);
+        assert_eq!(lat.buckets[bucket_index(5)], 1);
+        assert_eq!(lat.buckets[bucket_index(300)], 1);
+        assert_eq!(merged.histograms["only_b_lat"].count, 1);
+    }
+
+    #[test]
+    fn histogram_merge_from_overlapping_buckets() {
+        let a = Histogram::new();
+        a.record(5);
+        a.record(6);
+        let b = Histogram::new();
+        b.record(7);
+        let mut snap = a.snapshot();
+        snap.merge_from(&b.snapshot());
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 18);
+        assert_eq!(snap.buckets[bucket_index(5)], 3);
+    }
+
+    #[test]
+    fn labeled_injects_into_bare_and_labeled_names() {
+        assert_eq!(labeled("x_total", "worker", "w1"), "x_total{worker=\"w1\"}");
+        assert_eq!(
+            labeled("x_total{endpoint=\"assign\"}", "worker", "w1"),
+            "x_total{endpoint=\"assign\",worker=\"w1\"}"
+        );
+        // Values are escaped per the Prometheus text format.
+        assert_eq!(
+            labeled("x", "worker", "a\"b\\c"),
+            "x{worker=\"a\\\"b\\\\c\"}"
+        );
+    }
+
+    #[test]
+    fn with_label_rekeys_every_series() {
+        let r = Registry::new();
+        r.inc("hits", 3);
+        r.gauge("depth").set(-2);
+        r.observe("lat{endpoint=\"x\"}", 9);
+        let snap = r.snapshot().with_label("worker", "w7");
+        assert_eq!(snap.counters["hits{worker=\"w7\"}"], 3);
+        assert_eq!(snap.gauges["depth{worker=\"w7\"}"], -2);
+        assert_eq!(
+            snap.histograms["lat{endpoint=\"x\",worker=\"w7\"}"].count,
+            1
+        );
     }
 
     #[test]

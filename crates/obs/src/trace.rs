@@ -248,6 +248,88 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// A point-in-time marker in a [`TraceLane`] — task retries, fencing
+/// decisions, worker deaths. Rendered as a Chrome `"i"` instant event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstantRecord {
+    /// Marker label, e.g. `task 7 retried (attempt 2)`.
+    pub name: String,
+    /// Offset from the shared trace epoch, microseconds.
+    pub ts_us: u64,
+}
+
+/// One process lane of a merged multi-process trace: the coordinator
+/// plus one lane per worker. `pid` keys the lane in Chrome/Perfetto;
+/// `label` becomes its displayed process name via a `process_name`
+/// metadata event. Span and instant timestamps must already be rebased
+/// onto the shared epoch (the coordinator rebases worker span logs at
+/// assignment time).
+#[derive(Clone, Debug, Default)]
+pub struct TraceLane {
+    /// Stable lane id (Chrome trace `pid`).
+    pub pid: u64,
+    /// Displayed process name, e.g. the worker's registered name.
+    pub label: String,
+    /// Complete spans in this lane.
+    pub spans: Vec<SpanRecord>,
+    /// Point-in-time markers in this lane.
+    pub instants: Vec<InstantRecord>,
+}
+
+/// Render a merged multi-lane trace as Chrome trace-event JSON: one
+/// `process_name` metadata (`"M"`) event per lane, every span as a
+/// complete (`"X"`) event under its lane's `pid`, and every marker as
+/// a process-scoped instant (`"i"`) event.
+pub fn chrome_trace_json_lanes(lanes: &[TraceLane]) -> String {
+    let mut out = String::new();
+    out.push('[');
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n{");
+    };
+    for lane in lanes {
+        sep(&mut out);
+        out.push_str(&format!(
+            "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"",
+            lane.pid
+        ));
+        escape_json(&lane.label, &mut out);
+        out.push_str("\"}}");
+        for s in &lane.spans {
+            sep(&mut out);
+            out.push_str("\"name\":\"");
+            escape_json(&s.name, &mut out);
+            out.push_str(&format!(
+                "\",\"cat\":\"dasc\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"id\":{}{}}}}}",
+                s.start_us,
+                s.dur_us,
+                lane.pid,
+                s.thread,
+                s.id,
+                s.parent
+                    .map(|p| format!(",\"parent\":{p}"))
+                    .unwrap_or_default(),
+            ));
+        }
+        for i in &lane.instants {
+            sep(&mut out);
+            out.push_str("\"name\":\"");
+            escape_json(&i.name, &mut out);
+            out.push_str(&format!(
+                "\",\"cat\":\"dasc\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                i.ts_us, lane.pid,
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Total duration and call count per distinct span name.
 pub fn stage_totals(spans: &[SpanRecord]) -> BTreeMap<String, (u64, Duration)> {
     let mut totals: BTreeMap<String, (u64, Duration)> = BTreeMap::new();
@@ -384,6 +466,52 @@ mod tests {
         assert!(json.trim_end().ends_with(']'));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("stage.\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn lanes_export_metadata_spans_and_instants() {
+        let lanes = vec![
+            TraceLane {
+                pid: 0,
+                label: "coordinator".into(),
+                spans: vec![SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "dist.job".into(),
+                    thread: 0,
+                    start_us: 0,
+                    dur_us: 500,
+                }],
+                instants: vec![InstantRecord {
+                    name: "task 7 retried (attempt 2)".into(),
+                    ts_us: 250,
+                }],
+            },
+            TraceLane {
+                pid: 1,
+                label: "w\"1".into(),
+                spans: vec![SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "dist.task.map".into(),
+                    thread: 3,
+                    start_us: 100,
+                    dur_us: 50,
+                }],
+                instants: vec![],
+            },
+        ];
+        let json = chrome_trace_json_lanes(&lanes);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // One process_name metadata event per lane, escaped labels.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert!(json.contains("\"name\":\"coordinator\""));
+        assert!(json.contains("w\\\"1"));
+        // Spans carry their lane's pid and their own tid/parent.
+        assert!(json.contains("\"pid\":1,\"tid\":3,\"args\":{\"id\":2,\"parent\":1}"));
+        // The retry marker is a process-scoped instant event.
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"p\",\"ts\":250,\"pid\":0"));
     }
 
     #[test]

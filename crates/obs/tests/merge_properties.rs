@@ -1,0 +1,125 @@
+//! Property tests for snapshot merging — the algebra behind metrics
+//! federation. The coordinator folds every worker's snapshot into one
+//! view with [`MetricsSnapshot::merge`], so that operation must be a
+//! faithful sum: nothing lost, nothing double-counted, for disjoint and
+//! overlapping series alike.
+
+use std::collections::BTreeMap;
+
+use dasc_obs::{HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Strategy: a histogram snapshot with counts scattered over a handful
+/// of (possibly repeated) bucket indices.
+fn histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::vec((0usize..HISTOGRAM_BUCKETS, 1u64..1000), 0..8),
+        any::<u32>(),
+    )
+        .prop_map(|(entries, sum)| {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (i, c) in entries {
+                buckets[i] += c;
+            }
+            HistogramSnapshot {
+                count: buckets.iter().sum(),
+                sum: sum as u64,
+                buckets,
+            }
+        })
+}
+
+/// Series names drawn from a tiny alphabet so merges exercise both
+/// disjoint and colliding keys (one name carries a label block).
+fn name_for(i: u8) -> String {
+    ["a", "b", "c", "d{w=\"1\"}"][i as usize % 4].to_string()
+}
+
+/// Strategy: a snapshot with a few counters, gauges, and histograms
+/// under alphabet names (later duplicates overwrite, as a real
+/// `BTreeMap` registry would never hold duplicate keys anyway).
+fn snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec((any::<u8>(), any::<u32>()), 0..4),
+        prop::collection::vec((any::<u8>(), any::<i32>()), 0..4),
+        prop::collection::vec((any::<u8>(), histogram()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (name_for(k), v as u64))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(k, v)| (name_for(k), v as i64))
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, v)| (name_for(k), v))
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn merge_preserves_counter_totals(a in snapshot(), b in snapshot()) {
+        let merged = a.clone().merge(b.clone());
+        // Every key from either side survives with the summed value;
+        // no extra keys appear.
+        let mut expected: BTreeMap<String, u64> = a.counters.clone();
+        for (k, v) in &b.counters {
+            *expected.entry(k.clone()).or_insert(0) += v;
+        }
+        prop_assert_eq!(&merged.counters, &expected);
+    }
+
+    #[test]
+    fn merge_preserves_histogram_mass(a in snapshot(), b in snapshot()) {
+        let merged = a.clone().merge(b.clone());
+        let mass = |s: &MetricsSnapshot| -> (u64, u64, u64) {
+            s.histograms.values().fold((0, 0, 0), |(c, sum, bk), h| {
+                (c + h.count, sum + h.sum, bk + h.buckets.iter().sum::<u64>())
+            })
+        };
+        let (ca, sa, ba) = mass(&a);
+        let (cb, sb, bb) = mass(&b);
+        prop_assert_eq!(mass(&merged), (ca + cb, sa + sb, ba + bb));
+        // Overlapping series merged exactly bucket-wise.
+        for (name, h) in &merged.histograms {
+            match (a.histograms.get(name), b.histograms.get(name)) {
+                (Some(ha), Some(hb)) => {
+                    for i in 0..HISTOGRAM_BUCKETS {
+                        prop_assert_eq!(h.buckets[i], ha.buckets[i] + hb.buckets[i]);
+                    }
+                }
+                (Some(only), None) | (None, Some(only)) => prop_assert_eq!(h, only),
+                (None, None) => prop_assert!(false, "phantom series {}", name),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(a in snapshot()) {
+        prop_assert_eq!(a.clone().merge(MetricsSnapshot::default()), a.clone());
+        prop_assert_eq!(MetricsSnapshot::default().merge(a.clone()), a);
+    }
+
+    #[test]
+    fn labeling_makes_merges_collision_free(a in snapshot(), b in snapshot()) {
+        // The federation invariant: snapshots re-keyed with distinct
+        // worker labels never collide, so each series survives intact.
+        let merged = a.clone().with_label("worker", "w1")
+            .merge(b.clone().with_label("worker", "w2"));
+        prop_assert_eq!(
+            merged.counters.len(),
+            a.counters.len() + b.counters.len()
+        );
+        prop_assert_eq!(
+            merged.histograms.len(),
+            a.histograms.len() + b.histograms.len()
+        );
+        for (k, v) in &a.counters {
+            prop_assert_eq!(merged.counters.get(&dasc_obs::labeled(k, "worker", "w1")), Some(v));
+        }
+    }
+}

@@ -10,8 +10,9 @@
 #
 # Pass --dist as the first argument to benchmark the TCP
 # coordinator/worker runtime instead (bench_dist → BENCH_dist.json,
-# with per-stage times, worker count, and shuffle volume; further
-# arguments — e.g. --workers 4 — go to bench_dist).
+# with per-stage times, worker count, shuffle volume, and the
+# telemetry on/off observability overhead; further arguments — e.g.
+# --workers 4 — go to bench_dist).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,6 +46,9 @@ with open(sys.argv[1]) as f:
 
 assert doc["bench"] == "dist", "wrong bench id"
 assert doc["workers"] >= 1, "bad worker count"
+assert "obs_overhead_pct" in doc, "missing obs_overhead_pct (telemetry on/off delta)"
+assert isinstance(doc["obs_overhead_pct"], (int, float)), "obs_overhead_pct not numeric"
+assert doc["obs_overhead_pct"] > -100, "telemetry-off run took non-positive time?"
 runs = doc["runs"]
 assert len(runs) >= 2, f"expected >=2 sizes, got {len(runs)} runs"
 for run in runs:
@@ -55,7 +59,10 @@ for run in runs:
     for stage in ("map", "reduce"):
         assert stage in stages, f"stages_s missing {stage}"
         assert stages[stage] >= 0, f"negative {stage} time"
-print(f"OK: {len(runs)} runs on {doc['workers']} workers")
+print(
+    f"OK: {len(runs)} runs on {doc['workers']} workers, "
+    f"observability overhead {doc['obs_overhead_pct']:+.1f}%"
+)
 for run in runs:
     print(
         f"  n={run['n']}: {run['total_s']:.3f}s, "
@@ -64,7 +71,7 @@ for run in runs:
     )
 EOF
     else
-        for key in '"bench": "dist"' '"runs"' '"shuffle_bytes"' '"stages_s"'; do
+        for key in '"bench": "dist"' '"runs"' '"shuffle_bytes"' '"stages_s"' '"obs_overhead_pct"'; do
             grep -q "$key" "$OUT" || fail "$OUT missing $key"
         done
         echo "OK (python3 unavailable; key-presence check only)"

@@ -3,14 +3,20 @@
 #   generate synthetic blobs → start 1 coordinator + 2 workers as real
 #   OS processes → run `cluster --dist` against the coordinator → diff
 #   the assignments against single-process `--dist local` → re-run on a
-#   larger dataset while killing one worker mid-job and verify the job
-#   still completes with identical output → scrape the dist counters.
+#   larger dataset with --trace-out while killing one worker mid-job and
+#   verify the job still completes with identical output, the merged
+#   Chrome trace spans the coordinator plus both worker lanes with the
+#   killed worker's task visible as a retried event → scrape the
+#   federated metrics over both the wire protocol and the coordinator's
+#   HTTP /metrics endpoint, asserting per-worker labeled series.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PORT="${DIST_SMOKE_PORT:-17979}"
+HTTP_PORT=$((PORT + 1))
 ADDR="127.0.0.1:$PORT"
+HTTP_ADDR="127.0.0.1:$HTTP_PORT"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/dasc-dist-smoke.XXXXXX")"
 COORD_PID=""
 W1_PID=""
@@ -29,6 +35,15 @@ trap cleanup EXIT
 
 fail() { echo "DIST SMOKE FAIL: $*" >&2; exit 1; }
 
+scrape_http_metrics() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "http://$HTTP_ADDR/metrics"
+    else
+        python3 -c "import urllib.request; \
+            print(urllib.request.urlopen('http://$HTTP_ADDR/metrics').read().decode())"
+    fi
+}
+
 echo "== build =="
 cargo build --release -q -p dasc-cli
 
@@ -39,7 +54,7 @@ echo "== generate =="
     --output "$WORK/pts.csv"
 
 echo "== start cluster (1 coordinator + 2 workers) =="
-"$DASC" coordinator --addr 127.0.0.1 --port "$PORT" \
+"$DASC" coordinator --addr 127.0.0.1 --port "$PORT" --http-port "$HTTP_PORT" \
     >"$WORK/coord.log" 2>&1 &
 COORD_PID=$!
 for _ in $(seq 1 50); do
@@ -76,18 +91,62 @@ diff -q "$WORK/dist.csv" "$WORK/local.csv" \
     || fail "distributed assignments differ from single-process"
 echo "assignments bit-identical across 2 workers vs single process"
 
-echo "== kill a worker mid-job =="
+echo "== kill a worker mid-job (traced) =="
 "$DASC" generate --kind blobs --n 12000 --d 24 --k 6 --seed 23 \
     --output "$WORK/big.csv"
+workers_roster() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "http://$HTTP_ADDR/workers"
+    else
+        python3 -c "import urllib.request; \
+            print(urllib.request.urlopen('http://$HTTP_ADDR/workers').read().decode())"
+    fi
+}
 "$DASC" cluster --input "$WORK/big.csv" --k 6 --seed 23 --labels-last-column \
-    --dist "$ADDR" --output "$WORK/big-dist.csv" >"$WORK/big-dist.log" 2>&1 &
+    --dist "$ADDR" --output "$WORK/big-dist.csv" \
+    --trace-out "$WORK/trace.json" >"$WORK/big-dist.log" 2>&1 &
 JOB_PID=$!
-sleep 0.3
+# Pick the victim dynamically: poll the /workers roster until some
+# worker has been stuck on the SAME task across two polls (in-flight
+# task held, tasks_done unchanged ⇒ it has been executing for 100ms+,
+# long enough that the kill provably lands mid-task and the task must
+# re-queue as a retried event — not just a lost worker). Bucket sizes
+# are skewed, so which worker draws the long reduce task varies.
+VICTIM=""
+PREV=""
+for _ in $(seq 1 300); do
+    kill -0 "$JOB_PID" 2>/dev/null || break
+    CUR="$(workers_roster 2>/dev/null)" || CUR=""
+    VICTIM="$(python3 - "$PREV" "$CUR" <<'EOF'
+import json, sys
+prev_raw, cur_raw = sys.argv[1], sys.argv[2]
+try:
+    cur = json.loads(cur_raw)["workers"]
+    prev = {w["name"]: w for w in json.loads(prev_raw)["workers"]} if prev_raw else {}
+except Exception:
+    sys.exit(0)
+for w in cur:
+    p = prev.get(w["name"])
+    if p and w["in_flight"] >= 1 and p["in_flight"] >= 1 \
+            and w["tasks_done"] == p["tasks_done"]:
+        print(w["name"])
+        break
+EOF
+)"
+    [ -n "$VICTIM" ] && break
+    PREV="$CUR"
+    sleep 0.1
+done
 kill -0 "$JOB_PID" 2>/dev/null || { cat "$WORK/big-dist.log" >&2; fail "job finished before the kill — enlarge the dataset"; }
-kill -9 "$W2_PID"
-wait "$W2_PID" 2>/dev/null || true
-W2_PID=""
-echo "killed worker 2 with the job in flight"
+[ -n "$VICTIM" ] || fail "never caught a worker mid-task via /workers"
+if [ "$VICTIM" = smoke-w1 ]; then
+    SURVIVOR=smoke-w2
+    kill -9 "$W1_PID"; wait "$W1_PID" 2>/dev/null || true; W1_PID=""
+else
+    SURVIVOR=smoke-w1
+    kill -9 "$W2_PID"; wait "$W2_PID" 2>/dev/null || true; W2_PID=""
+fi
+echo "killed $VICTIM mid-task with the job in flight"
 wait "$JOB_PID" || { cat "$WORK/big-dist.log" >&2; fail "job did not survive the worker kill"; }
 cat "$WORK/big-dist.log"
 
@@ -97,9 +156,31 @@ diff -q "$WORK/big-dist.csv" "$WORK/big-local.csv" \
     || fail "assignments diverged after the worker kill"
 echo "assignments bit-identical despite a killed worker"
 
+echo "== merged cluster trace =="
+[ -s "$WORK/trace.json" ] || fail "traced run wrote no trace.json"
+python3 - "$WORK/trace.json" <<'EOF' || fail "merged trace structure check failed"
+import json, sys
+
+events = json.load(open(sys.argv[1]))
+lanes = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert "coordinator" in lanes, f"no coordinator lane in {lanes}"
+workers = lanes - {"coordinator"}
+assert len(workers) >= 2, f"want >=2 worker lanes, got {workers}"
+spans = {e["name"] for e in events if e.get("ph") == "X"}
+for want in ("dist.job", "dist.stage1", "dist.stage2", "dist.task.map"):
+    assert want in spans, f"missing span {want}"
+instants = [e["name"] for e in events if e.get("ph") == "i"]
+assert any("retried" in n for n in instants), \
+    f"killed worker's task never shows as retried: {instants}"
+print(f"trace OK: lanes={sorted(lanes)}, {len(events)} events, "
+      f"retry markers={[n for n in instants if 'retried' in n][:2]}")
+EOF
+
 echo "== dist metrics =="
 METRICS="$("$DASC" dist-metrics --coordinator "$ADDR")"
-echo "$METRICS" | grep '^dasc_dist' | head -15
+# (awk, not `head`: head exits early and SIGPIPEs grep under pipefail)
+echo "$METRICS" | grep '^dasc_dist' | awk 'NR <= 15'
 for series in \
     dasc_dist_tasks_assigned_total \
     dasc_dist_tasks_completed_total \
@@ -117,5 +198,24 @@ for series in \
 done
 LOST="$(echo "$METRICS" | awk '/^dasc_dist_workers_lost_total /{print $2}')"
 [ "${LOST:-0}" -ge 1 ] || fail "coordinator never recorded the killed worker (lost=$LOST)"
+
+echo "== federated metrics over HTTP =="
+HTTP_METRICS="$(scrape_http_metrics)" \
+    || fail "GET /metrics from the coordinator HTTP endpoint failed"
+# Task lifecycle histograms must carry per-stage labels, and the
+# coordinator-side per-worker series must cover BOTH workers — including
+# the one killed mid-job (post-mortems need the dead worker's numbers).
+echo "$HTTP_METRICS" | grep -q 'dasc_dist_task_duration_us_count{stage="map"' \
+    || fail "HTTP /metrics missing per-stage task duration histogram"
+for w in smoke-w1 smoke-w2; do
+    echo "$HTTP_METRICS" | grep -q "dasc_dist_task_duration_us.*worker=\"$w\"" \
+        || fail "HTTP /metrics missing task duration series for $w"
+done
+echo "$HTTP_METRICS" | grep -q '^dasc_dist_stragglers' \
+    || fail "HTTP /metrics missing the straggler gauge"
+# Heartbeat federation: the surviving worker's own registry re-labeled.
+echo "$HTTP_METRICS" | grep -q "worker=\"$SURVIVOR\"" \
+    || fail "HTTP /metrics has no federated series for $SURVIVOR"
+echo "per-worker federation visible over HTTP (both workers, straggler gauge)"
 
 echo "DIST SMOKE PASS"
