@@ -67,9 +67,11 @@ fn json_run(out: &mut String, run: &Run) {
         concat!(
             "{{\"n\": {}, \"threads\": {}, \"total_s\": {:.6}, ",
             "\"points_per_s\": {:.1}, \"buckets\": {}, ",
-            "\"approx_gram_bytes\": {}, \"gram_gflops\": {:.4}, \"stages_s\": {{",
+            "\"approx_gram_bytes\": {}, \"gram_gflops\": {:.4}, ",
+            "\"eigen_path\": \"{}\", \"stages_s\": {{",
             "\"lsh\": {:.6}, \"bucketing\": {:.6}, ",
-            "\"gram\": {:.6}, \"clustering\": {:.6}}}}}"
+            "\"gram\": {:.6}, \"clustering\": {:.6}, ",
+            "\"laplacian\": {:.6}, \"eigen\": {:.6}, \"kmeans\": {:.6}}}}}"
         ),
         run.n,
         run.threads,
@@ -78,10 +80,14 @@ fn json_run(out: &mut String, run: &Run) {
         run.result.buckets.len(),
         run.result.approx_gram_bytes,
         run.gram_gflops(),
+        run.result.eigen_path.as_str(),
         t.lsh.as_secs_f64(),
         t.bucketing.as_secs_f64(),
         t.gram.as_secs_f64(),
         t.clustering.as_secs_f64(),
+        t.laplacian.as_secs_f64(),
+        t.eigen.as_secs_f64(),
+        t.kmeans.as_secs_f64(),
     )
     .expect("write to string");
 }

@@ -22,7 +22,8 @@ use dasc_mapreduce::{
 };
 use rayon::prelude::*;
 
-use crate::spectral::{SpectralClustering, SpectralConfig};
+use crate::embedding::EigenPath;
+use crate::spectral::{SpectralBreakdown, SpectralClustering, SpectralConfig};
 use crate::Clustering;
 
 /// DASC configuration.
@@ -100,6 +101,15 @@ pub struct DascStageTimes {
     pub gram: Duration,
     /// Per-bucket spectral clustering.
     pub clustering: Duration,
+    /// Laplacian scaling, summed across buckets (a slice of
+    /// `clustering`; with several rayon workers the three substage sums
+    /// can exceed the wall-clock `clustering` figure).
+    pub laplacian: Duration,
+    /// Eigensolves, summed across buckets (a slice of `clustering`).
+    pub eigen: Duration,
+    /// Row normalization + K-means, summed across buckets (a slice of
+    /// `clustering`).
+    pub kmeans: Duration,
 }
 
 /// Result of a DASC run.
@@ -113,6 +123,9 @@ pub struct DascResult {
     pub approx_gram_bytes: usize,
     /// Stage timings.
     pub times: DascStageTimes,
+    /// Eigensolver route taken by the largest bucket — the run's
+    /// dominant spectral cost.
+    pub eigen_path: EigenPath,
 }
 
 /// Result of a distributed DASC run, carrying MapReduce statistics so
@@ -281,24 +294,36 @@ impl Dasc {
         // would finish alone while the rest of the pool idles. Spectral
         // seeds key on the *original* bucket index and results are
         // scattered back to input order, so the clustering is identical
-        // to an in-order run.
-        let blocks = gram.blocks();
-        let mut order: Vec<usize> = (0..blocks.len()).collect();
-        order.sort_by_key(|&b| std::cmp::Reverse(blocks[b].members.len()));
-        let computed: Vec<(usize, Clustering)> = order
-            .par_iter()
-            .map(|&bi| {
-                let block = &blocks[bi];
+        // to an in-order run. Blocks are consumed by value: each bucket's
+        // similarity matrix is scaled into its Laplacian in place, so no
+        // second copy of the approximate Gram exists during this stage.
+        let mut blocks: Vec<(usize, dasc_kernel::GramBlock)> =
+            gram.into_blocks().into_iter().enumerate().collect();
+        let num_blocks = blocks.len();
+        blocks.sort_by_key(|(_, b)| std::cmp::Reverse(b.members.len()));
+        let computed: Vec<(usize, Vec<usize>, Clustering, SpectralBreakdown)> = blocks
+            .into_par_iter()
+            .map(|(bi, block)| {
                 let _bucket_span = span!("dasc.cluster.bucket");
                 let ki = bucket_cluster_count(self.config.k, block.members.len(), n);
                 let sc = SpectralClustering::new(self.spectral_config(ki, bi as u64));
-                (bi, sc.run_on_similarity(&block.matrix))
+                let (c, breakdown) = sc.run_on_similarity_owned(block.matrix);
+                (bi, block.members, c, breakdown)
             })
             .collect();
+        // The rayon facade preserves order, so `computed[0]` is the
+        // largest bucket — its path is the run's representative route.
+        let eigen_path = computed
+            .first()
+            .map(|(_, _, _, br)| br.path)
+            .unwrap_or(EigenPath::DenseFull);
         let mut per_bucket: Vec<Option<(Vec<usize>, Clustering)>> =
-            blocks.iter().map(|_| None).collect();
-        for (bi, c) in computed {
-            per_bucket[bi] = Some((blocks[bi].members.clone(), c));
+            (0..num_blocks).map(|_| None).collect();
+        for (bi, members, c, breakdown) in computed {
+            times.laplacian += breakdown.laplacian;
+            times.eigen += breakdown.eigen;
+            times.kmeans += breakdown.kmeans;
+            per_bucket[bi] = Some((members, c));
         }
         let per_bucket: Vec<(Vec<usize>, Clustering)> = per_bucket
             .into_iter()
@@ -319,6 +344,7 @@ impl Dasc {
             buckets,
             approx_gram_bytes,
             times,
+            eigen_path,
         }
     }
 

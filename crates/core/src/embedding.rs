@@ -3,18 +3,69 @@
 //! All four algorithms in this crate go through the same pipeline tail:
 //! normalized Laplacian `L = D^{−1/2} S D^{−1/2}` (Eq. 2), leading
 //! eigenvectors, row normalization to the unit sphere, K-means.
+//!
+//! The hot path works in place: the similarity matrix is scaled into
+//! the Laplacian without a second `n×n` allocation, the embedding is
+//! row-normalized without cloning, and the eigensolve routes through
+//! one of three paths ([`EigenPath`]) — the k-targeted dense solver
+//! (`symmetric_eigen_topk`, `O(n²k)` after the one-off reduction), the
+//! full dense solver for tiny or nearly-full spectra, or Lanczos for
+//! orders past the dense crossover.
 
-use dasc_linalg::{lanczos, symmetric_eigen, LanczosOptions, Matrix};
+use dasc_linalg::{lanczos, symmetric_eigen, symmetric_eigen_topk, LanczosOptions, Matrix};
 
-/// Build the symmetric normalized Laplacian `L = D^{−1/2} S D^{−1/2}`
-/// from a dense similarity matrix (Eq. 2).
+/// The resolved eigensolver route for one embedding
+/// (`EigenBackend` is the *policy*; this is the *choice* it made).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EigenPath {
+    /// Full Householder + QL with `O(n³)` rotation accumulation.
+    DenseFull,
+    /// K-targeted dense path: factored Householder, eigenvalues-only
+    /// QL, inverse iteration, blocked back-transform.
+    DenseK,
+    /// Lanczos with full reorthogonalization on the dense operator.
+    Lanczos,
+}
+
+impl EigenPath {
+    /// Stable lowercase name (bench JSON, trace labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EigenPath::DenseFull => "dense_full",
+            EigenPath::DenseK => "dense_k",
+            EigenPath::Lanczos => "lanczos",
+        }
+    }
+}
+
+/// Below this order the full dense solve is cheap enough that the
+/// inverse-iteration machinery isn't worth its bookkeeping.
+const DENSE_FULL_MAX: usize = 64;
+
+/// Resolve the automatic eigensolver choice for an `n×n` problem
+/// wanting `k` vectors: full dense for tiny orders or nearly-full
+/// spectra (`4k ≥ n`), the k-targeted dense path up to
+/// `lanczos_threshold`, Lanczos beyond it.
+pub fn resolve_eigen_path(n: usize, k: usize, lanczos_threshold: usize) -> EigenPath {
+    if n <= DENSE_FULL_MAX || 4 * k >= n {
+        EigenPath::DenseFull
+    } else if n <= lanczos_threshold {
+        EigenPath::DenseK
+    } else {
+        EigenPath::Lanczos
+    }
+}
+
+/// Scale a dense similarity matrix into the symmetric normalized
+/// Laplacian `L = D^{−1/2} S D^{−1/2}` (Eq. 2) **in place**, returning
+/// the degree vector (callers of the random-walk variant reuse it).
 ///
 /// Isolated vertices (zero degree) keep zero rows, matching the sparse
 /// convention.
 ///
 /// # Panics
 /// Panics if `s` is not square.
-pub fn normalized_laplacian(s: &Matrix) -> Matrix {
+pub fn normalized_laplacian_inplace(s: &mut Matrix) -> Vec<f64> {
     assert!(s.is_square(), "laplacian: matrix must be square");
     let n = s.nrows();
     let degrees = s.row_sums();
@@ -22,58 +73,72 @@ pub fn normalized_laplacian(s: &Matrix) -> Matrix {
         .iter()
         .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
         .collect();
-    let mut l = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            l[(i, j)] = inv_sqrt[i] * s[(i, j)] * inv_sqrt[j];
+    for (i, row) in s.as_mut_slice().chunks_exact_mut(n).enumerate() {
+        let di = inv_sqrt[i];
+        for (v, &dj) in row.iter_mut().zip(&inv_sqrt) {
+            *v = di * *v * dj;
         }
     }
+    degrees
+}
+
+/// Out-of-place [`normalized_laplacian_inplace`] for callers that need
+/// to keep the similarity matrix.
+pub fn normalized_laplacian(s: &Matrix) -> Matrix {
+    let mut l = s.clone();
+    normalized_laplacian_inplace(&mut l);
     l
 }
 
-/// Top-`k` eigenvectors of a dense symmetric matrix, stacked as columns.
-///
-/// Uses the full Householder+QL decomposition below `lanczos_threshold`
-/// and Lanczos above it (the crossover the paper's tridiagonalization
-/// discussion motivates).
+/// Top-`k` eigenvectors of a dense symmetric matrix, stacked as
+/// columns, computed via the given [`EigenPath`].
+pub fn top_eigenvectors_with(l: &Matrix, k: usize, path: EigenPath, seed: u64) -> Matrix {
+    let n = l.nrows();
+    let k = k.min(n).max(1);
+    match path {
+        EigenPath::DenseFull => symmetric_eigen(l).top_k(k).1,
+        EigenPath::DenseK => symmetric_eigen_topk(l, k).eigenvectors,
+        EigenPath::Lanczos => {
+            let mut opts = LanczosOptions::top(k);
+            opts.seed = seed;
+            lanczos(l, &opts).eigenvectors
+        }
+    }
+}
+
+/// Top-`k` eigenvectors with the automatic path resolution of
+/// [`resolve_eigen_path`] (dense below `lanczos_threshold`, Lanczos
+/// above — the crossover the paper's tridiagonalization discussion
+/// motivates).
 pub fn top_eigenvectors(l: &Matrix, k: usize, lanczos_threshold: usize, seed: u64) -> Matrix {
     let n = l.nrows();
     let k = k.min(n).max(1);
-    if n <= lanczos_threshold {
-        let eig = symmetric_eigen(l);
-        eig.top_k(k).1
-    } else {
-        let mut opts = LanczosOptions::top(k);
-        opts.seed = seed;
-        lanczos(l, &opts).eigenvectors
-    }
+    let path = resolve_eigen_path(n, k, lanczos_threshold);
+    top_eigenvectors_with(l, k, path, seed)
 }
 
-/// Row-normalize an embedding to unit length
+/// Row-normalize an embedding to unit length **in place**
 /// (`Y_ij = X_ij / √(Σ_j X_ij²)`, the NJW step quoted in Section 3.2).
 /// Zero rows are left at zero.
-pub fn row_normalize(x: &Matrix) -> Matrix {
-    let (n, k) = x.shape();
-    let mut y = x.clone();
-    for i in 0..n {
-        let norm: f64 = (0..k).map(|j| y[(i, j)] * y[(i, j)]).sum::<f64>().sqrt();
+pub fn row_normalize(x: &mut Matrix) {
+    let k = x.ncols();
+    if k == 0 {
+        return;
+    }
+    for row in x.as_mut_slice().chunks_exact_mut(k) {
+        let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
         if norm > 0.0 {
-            for j in 0..k {
-                y[(i, j)] /= norm;
+            for v in row.iter_mut() {
+                *v /= norm;
             }
         }
     }
-    y
-}
-
-/// Rows of a matrix as owned vectors (K-means input).
-pub fn rows_of(m: &Matrix) -> Vec<Vec<f64>> {
-    (0..m.nrows()).map(|i| m.row(i).to_vec()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dasc_linalg::symmetric_eigen;
 
     #[test]
     fn laplacian_of_uniform_similarity() {
@@ -83,6 +148,22 @@ mod tests {
         assert!((l[(0, 0)] - 0.25).abs() < 1e-12);
         let eig = symmetric_eigen(&l);
         assert!((eig.eigenvalues[3] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inplace_laplacian_matches_out_of_place_and_returns_degrees() {
+        let s = Matrix::from_rows(&[&[1.0, 0.5, 0.1], &[0.5, 1.0, 0.2], &[0.1, 0.2, 1.0]]);
+        let l = normalized_laplacian(&s);
+        let mut inplace = s.clone();
+        let degrees = normalized_laplacian_inplace(&mut inplace);
+        assert_eq!(
+            l.as_slice(),
+            inplace.as_slice(),
+            "bitwise equality expected"
+        );
+        for (got, want) in degrees.iter().zip(s.row_sums()) {
+            assert_eq!(*got, want);
+        }
     }
 
     #[test]
@@ -117,8 +198,8 @@ mod tests {
             }
         }
         let l = normalized_laplacian(&s);
-        let v = top_eigenvectors(&l, 2, 1000, 0);
-        let y = row_normalize(&v);
+        let mut y = top_eigenvectors(&l, 2, 1000, 0);
+        row_normalize(&mut y);
         // Rows 0,1 identical; rows 2,3 identical; the two groups differ.
         let r0 = y.row(0).to_vec();
         let r2 = y.row(2).to_vec();
@@ -130,11 +211,52 @@ mod tests {
 
     #[test]
     fn row_normalize_unit_rows() {
-        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
-        let y = row_normalize(&m);
-        assert!((y[(0, 0)] - 0.6).abs() < 1e-12);
-        assert!((y[(0, 1)] - 0.8).abs() < 1e-12);
-        assert_eq!(y.row(1), &[0.0, 0.0]);
+        let mut m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        row_normalize(&mut m);
+        assert!((m[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((m[(0, 1)] - 0.8).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn auto_path_picks_all_three_routes() {
+        // Tiny → full dense; nearly-full spectrum → full dense;
+        // mid-size → dense-k; past the threshold → Lanczos.
+        assert_eq!(resolve_eigen_path(16, 3, 512), EigenPath::DenseFull);
+        assert_eq!(resolve_eigen_path(100, 30, 512), EigenPath::DenseFull);
+        assert_eq!(resolve_eigen_path(100, 5, 512), EigenPath::DenseK);
+        assert_eq!(resolve_eigen_path(1000, 5, 512), EigenPath::Lanczos);
+    }
+
+    #[test]
+    fn all_three_paths_agree_on_block_structure() {
+        // A similarity with two clear blocks plus mild noise: the top-2
+        // eigenspace is well separated, so all three solvers must span
+        // the same subspace (compare |dot| per column after matching).
+        let n = 80;
+        let s = Matrix::from_fn(n, n, |i, j| {
+            let same = (i < n / 2) == (j < n / 2);
+            let base = if same { 1.0 } else { 0.05 };
+            base + 0.01 * (((i * 31 + j * 17) % 13) as f64 / 13.0)
+        });
+        // Symmetrize the noise term.
+        let s = Matrix::from_fn(n, n, |i, j| 0.5 * (s[(i, j)] + s[(j, i)]));
+        let l = normalized_laplacian(&s);
+        let full = top_eigenvectors_with(&l, 2, EigenPath::DenseFull, 7);
+        let dk = top_eigenvectors_with(&l, 2, EigenPath::DenseK, 7);
+        let lz = top_eigenvectors_with(&l, 2, EigenPath::Lanczos, 7);
+        for c in 0..2 {
+            let f = full.col(c);
+            for (name, other) in [("dense_k", &dk), ("lanczos", &lz)] {
+                let o = other.col(c);
+                let dot: f64 = f.iter().zip(&o).map(|(a, b)| a * b).sum();
+                assert!(
+                    dot.abs() > 0.999,
+                    "{name} column {c} diverges (|dot| = {})",
+                    dot.abs()
+                );
+            }
+        }
     }
 
     #[test]
@@ -144,7 +266,7 @@ mod tests {
         });
         let l = normalized_laplacian(&s);
         let dense = top_eigenvectors(&l, 3, 1000, 7);
-        let lz = top_eigenvectors(&l, 3, 10, 7);
+        let lz = top_eigenvectors_with(&l, 3, EigenPath::Lanczos, 7);
         // Eigenvectors match up to sign: compare absolute inner products.
         for c in 0..3 {
             let a = dense.col(c);
@@ -156,11 +278,5 @@ mod tests {
                 dot.abs()
             );
         }
-    }
-
-    #[test]
-    fn rows_of_roundtrip() {
-        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
-        assert_eq!(rows_of(&m), vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
     }
 }

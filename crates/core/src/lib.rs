@@ -38,13 +38,18 @@ pub use dasc::{
     DascDistributedResult, DascResult, DascTrained, DascTrainedDistributed,
 };
 pub use distributed_kmeans::{distributed_kmeans, DistributedKMeansResult};
+pub use embedding::{
+    normalized_laplacian, normalized_laplacian_inplace, resolve_eigen_path, row_normalize,
+    top_eigenvectors, top_eigenvectors_with, EigenPath,
+};
 pub use kmeans::{AssignPath, KMeans, KMeansConfig, KMeansResult};
 pub use local_scaling::{local_scales, local_scaling_similarity};
 pub use nystrom_sc::{Nystrom, NystromConfig, NystromResult};
 pub use psc::{ParallelSpectral, PscConfig, PscResult};
 pub use regression::DascRegressor;
 pub use spectral::{
-    EigenBackend, LaplacianKind, SpectralClustering, SpectralConfig, SpectralResult,
+    EigenBackend, LaplacianKind, SpectralBreakdown, SpectralClustering, SpectralConfig,
+    SpectralResult,
 };
 pub use streaming::StreamingDasc;
 

@@ -8,12 +8,12 @@
 //! K-means'd.
 
 use dasc_kernel::Kernel;
-use dasc_linalg::{qr, symmetric_eigen, Matrix};
+use dasc_linalg::{qr, symmetric_eigen, FlatPoints, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::embedding::{row_normalize, rows_of};
+use crate::embedding::row_normalize;
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::Clustering;
 
@@ -145,7 +145,7 @@ impl Nystrom {
         let mut ut_ct1 = vec![0.0; m];
         #[allow(clippy::needless_range_loop)] // j pairs eigenvector cols with ut_ct1
         for j in 0..m {
-            let col = eig_w.eigenvectors.col(j);
+            let col = eig_w.eigenvector(j);
             ut_ct1[j] = col.iter().zip(&ct1).map(|(a, b)| a * b).sum();
         }
         let mut wp_ct1 = vec![0.0; m];
@@ -154,7 +154,7 @@ impl Nystrom {
             let lam = eig_w.eigenvalues[j];
             if lam.abs() > cutoff {
                 let scale = ut_ct1[j] / lam;
-                let col = eig_w.eigenvectors.col(j);
+                let col = eig_w.eigenvector(j);
                 for (a, &u) in col.iter().enumerate() {
                     wp_ct1[a] += scale * u;
                 }
@@ -201,11 +201,11 @@ impl Nystrom {
                 v[(i, col)] = acc / lam;
             }
         }
-        let v = if n >= k { qr(&v).q } else { v };
-        let y = row_normalize(&v);
+        let mut y = if n >= k { qr(&v).q } else { v };
+        row_normalize(&mut y);
 
         let km = KMeans::new(KMeansConfig::new(k).seed(self.config.seed));
-        let res = km.run(&rows_of(&y));
+        let res = km.run_flat(&FlatPoints::from_flat(y.into_vec(), k));
         NystromResult {
             clustering: Clustering::new(res.assignments, k),
             landmarks: m,

@@ -10,10 +10,10 @@
 use std::collections::HashSet;
 
 use dasc_kernel::Kernel;
-use dasc_linalg::{lanczos, CooBuilder, CsrMatrix, LanczosOptions};
+use dasc_linalg::{lanczos, CooBuilder, CsrMatrix, FlatPoints, LanczosOptions};
 use rayon::prelude::*;
 
-use crate::embedding::{row_normalize, rows_of};
+use crate::embedding::row_normalize;
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::Clustering;
 
@@ -231,9 +231,10 @@ impl ParallelSpectral {
             let mut opts = LanczosOptions::top(ki);
             opts.seed = self.config.seed ^ (gi as u64).wrapping_mul(0x9E37_79B9);
             let eig = lanczos(&sub, &opts);
-            let y = row_normalize(&eig.eigenvectors);
+            let mut y = eig.eigenvectors;
+            row_normalize(&mut y);
             let km = KMeans::new(KMeansConfig::new(ki).seed(self.config.seed));
-            let res = km.run(&rows_of(&y));
+            let res = km.run_flat(&FlatPoints::from_flat(y.into_vec(), ki));
             for (local, &global) in group.iter().enumerate() {
                 assignments[global] = offset + res.assignments[local];
             }

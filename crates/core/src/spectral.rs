@@ -1,21 +1,32 @@
 //! Exact spectral clustering (the SC baseline; Ng–Jordan–Weiss on the
 //! full kernel matrix, as Mahout implements it).
 
+use std::time::Duration;
+
 use dasc_kernel::{full_gram, gram_memory_bytes, Kernel};
 use dasc_linalg::{FlatPoints, Matrix};
+use dasc_obs::span;
 
-use crate::embedding::{normalized_laplacian, row_normalize, top_eigenvectors};
+use crate::embedding::{
+    normalized_laplacian_inplace, resolve_eigen_path, row_normalize, top_eigenvectors_with,
+    EigenPath,
+};
 use crate::kmeans::{KMeans, KMeansConfig};
 use crate::Clustering;
 
 /// Which eigensolver the spectral pipeline uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EigenBackend {
-    /// Always the dense Householder + QL path.
+    /// Always the full dense Householder + QL path (`O(n³)`).
     Dense,
+    /// Always the k-targeted dense path (factored Householder +
+    /// eigenvalues-only QL + inverse iteration, `O(n²k)` past the
+    /// reduction).
+    DenseK,
     /// Always Lanczos.
     Lanczos,
-    /// Dense below the threshold, Lanczos above (default: 512).
+    /// Full dense for tiny/nearly-full problems, dense-k below the
+    /// threshold, Lanczos above (default threshold: 512).
     Auto,
 }
 
@@ -103,6 +114,32 @@ pub struct SpectralResult {
     pub gram_memory_bytes: usize,
 }
 
+/// Per-substage breakdown of one spectral run — filled from the
+/// `dasc.cluster.{laplacian,eigen,kmeans}` span guards, so a trace of
+/// the run and this struct cannot disagree.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralBreakdown {
+    /// Scaling the similarity matrix into the normalized Laplacian.
+    pub laplacian: Duration,
+    /// The eigensolve (whichever path ran).
+    pub eigen: Duration,
+    /// Row normalization + K-means on the embedding.
+    pub kmeans: Duration,
+    /// The eigensolver route that actually ran.
+    pub path: EigenPath,
+}
+
+impl Default for SpectralBreakdown {
+    fn default() -> Self {
+        Self {
+            laplacian: Duration::ZERO,
+            eigen: Duration::ZERO,
+            kmeans: Duration::ZERO,
+            path: EigenPath::DenseFull,
+        }
+    }
+}
+
 impl SpectralClustering {
     /// Create from a configuration.
     pub fn new(config: SpectralConfig) -> Self {
@@ -116,7 +153,7 @@ impl SpectralClustering {
     pub fn run(&self, points: &[Vec<f64>]) -> SpectralResult {
         assert!(!points.is_empty(), "spectral clustering: empty dataset");
         let gram = full_gram(points, &self.config.kernel);
-        let clustering = self.run_on_similarity(&gram);
+        let (clustering, _) = self.run_on_similarity_owned(gram);
         SpectralResult {
             clustering,
             gram_memory_bytes: gram_memory_bytes(points.len()),
@@ -124,34 +161,58 @@ impl SpectralClustering {
     }
 
     /// Cluster a pre-computed similarity matrix (used per bucket by
-    /// DASC).
+    /// DASC). Clones the matrix; prefer
+    /// [`Self::run_on_similarity_owned`] when the similarity can be
+    /// consumed.
     ///
     /// # Panics
     /// Panics if `similarity` is not square.
     pub fn run_on_similarity(&self, similarity: &Matrix) -> Clustering {
+        self.run_on_similarity_owned(similarity.clone()).0
+    }
+
+    /// Cluster a pre-computed similarity matrix, consuming it: the
+    /// buffer is scaled into the Laplacian in place, so the whole
+    /// pipeline tail allocates only the `n×k` embedding. Returns the
+    /// clustering plus the substage breakdown.
+    ///
+    /// # Panics
+    /// Panics if `similarity` is not square.
+    pub fn run_on_similarity_owned(&self, similarity: Matrix) -> (Clustering, SpectralBreakdown) {
         assert!(similarity.is_square(), "similarity must be square");
         let n = similarity.nrows();
         let k = self.config.k.min(n).max(1);
+        let mut breakdown = SpectralBreakdown::default();
         if n == 0 {
-            return Clustering::new(Vec::new(), 0);
+            return (Clustering::new(Vec::new(), 0), breakdown);
         }
         if k == 1 || n == 1 {
-            return Clustering::new(vec![0; n], 1);
+            return (Clustering::new(vec![0; n], 1), breakdown);
         }
 
-        let l = normalized_laplacian(similarity);
-        let threshold = match self.config.backend {
-            EigenBackend::Dense => usize::MAX,
-            EigenBackend::Lanczos => 0,
-            EigenBackend::Auto => self.config.lanczos_threshold,
+        let lap_span = span!("dasc.cluster.laplacian");
+        let mut l = similarity;
+        let degrees = normalized_laplacian_inplace(&mut l);
+        breakdown.laplacian = lap_span.finish();
+
+        let path = match self.config.backend {
+            EigenBackend::Dense => EigenPath::DenseFull,
+            EigenBackend::DenseK => EigenPath::DenseK,
+            EigenBackend::Lanczos => EigenPath::Lanczos,
+            EigenBackend::Auto => resolve_eigen_path(n, k, self.config.lanczos_threshold),
         };
-        let mut v = top_eigenvectors(&l, k, threshold, self.config.seed);
-        let y = match self.config.laplacian {
-            LaplacianKind::Symmetric => row_normalize(&v),
+        breakdown.path = path;
+        let eigen_span = span!("dasc.cluster.eigen");
+        let mut v = top_eigenvectors_with(&l, k, path, self.config.seed);
+        drop(l);
+        breakdown.eigen = eigen_span.finish();
+
+        let km_span = span!("dasc.cluster.kmeans");
+        match self.config.laplacian {
+            LaplacianKind::Symmetric => row_normalize(&mut v),
             LaplacianKind::RandomWalk => {
                 // D^{-1} S shares eigenvectors with the symmetric form up
                 // to the D^{-1/2} change of basis; no row normalization.
-                let degrees = similarity.row_sums();
                 for i in 0..n {
                     let scale = if degrees[i] > 0.0 {
                         1.0 / degrees[i].sqrt()
@@ -162,14 +223,14 @@ impl SpectralClustering {
                         v[(i, j)] *= scale;
                     }
                 }
-                v
             }
-        };
+        }
         let km = KMeans::new(KMeansConfig::new(k).seed(self.config.seed));
         // The embedding is already row-major `n × k`; hand it to k-means
         // as a flat buffer instead of re-nesting it into Vec<Vec<f64>>.
-        let res = km.run_flat(&FlatPoints::from_flat(y.into_vec(), k));
-        Clustering::new(res.assignments, k)
+        let res = km.run_flat(&FlatPoints::from_flat(v.into_vec(), k));
+        breakdown.kmeans = km_span.finish();
+        (Clustering::new(res.assignments, k), breakdown)
     }
 }
 

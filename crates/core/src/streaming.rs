@@ -137,7 +137,7 @@ impl StreamingDasc {
                 .kernel(self.config.kernel)
                 .seed(self.config.seed ^ (bi as u64).wrapping_mul(0x9E37_79B9));
             cfg.lanczos_threshold = self.config.lanczos_threshold;
-            let c = SpectralClustering::new(cfg).run_on_similarity(&similarity);
+            let (c, _) = SpectralClustering::new(cfg).run_on_similarity_owned(similarity);
             for (local, &point) in bucket.members.iter().enumerate() {
                 assignments[point] = cluster_offset + c.assignments[local];
             }

@@ -1,0 +1,95 @@
+//! Pipeline-level equivalence for the eigensolver overhaul: clustering
+//! labels must be independent of the eigen route on separable data and
+//! bit-identical across thread counts on the k-targeted dense path.
+
+use dasc_core::{Dasc, DascConfig, EigenBackend, SpectralClustering, SpectralConfig};
+use dasc_kernel::Kernel;
+use dasc_lsh::LshConfig;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Four separated blobs, `per` points each, big enough to push buckets
+/// past the dense-k crossover (bucket order > 64).
+fn four_blobs(per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
+    let mut pts = Vec::new();
+    let mut labels = Vec::new();
+    for (ci, c) in centers.iter().enumerate() {
+        for i in 0..per {
+            let jx = (i % 13) as f64 * 0.003;
+            let jy = (i % 11) as f64 * 0.003;
+            pts.push(vec![c[0] + jx, c[1] + jy]);
+            labels.push(ci);
+        }
+    }
+    (pts, labels)
+}
+
+#[test]
+fn spectral_backends_agree_on_separable_data() {
+    // n = 200 with k = 2: past DENSE_FULL_MAX and under the Lanczos
+    // threshold, so Auto resolves to the k-targeted path — and all
+    // routes must produce the same labels on clean structure.
+    let (pts, truth) = four_blobs(50);
+    let mut runs = Vec::new();
+    for backend in [
+        EigenBackend::Dense,
+        EigenBackend::DenseK,
+        EigenBackend::Lanczos,
+        EigenBackend::Auto,
+    ] {
+        let cfg = SpectralConfig::new(4)
+            .kernel(Kernel::gaussian(0.15))
+            .backend(backend)
+            .seed(7);
+        runs.push((backend, SpectralClustering::new(cfg).run(&pts)));
+    }
+    for (backend, res) in &runs {
+        let acc = dasc_metrics::accuracy(&res.clustering.assignments, &truth);
+        assert!(acc > 0.99, "{backend:?} accuracy {acc}");
+    }
+}
+
+#[test]
+fn dense_k_spectral_run_bit_identical_across_thread_counts() {
+    let (pts, _) = four_blobs(50);
+    let cfg = SpectralConfig::new(4)
+        .kernel(Kernel::gaussian(0.15))
+        .backend(EigenBackend::DenseK)
+        .seed(11);
+    let reference =
+        dasc_pool::Pool::new(1).install(|| SpectralClustering::new(cfg.clone()).run(&pts));
+    for threads in THREAD_COUNTS {
+        let got = dasc_pool::Pool::new(threads)
+            .install(|| SpectralClustering::new(cfg.clone()).run(&pts));
+        assert_eq!(
+            reference.clustering.assignments, got.clustering.assignments,
+            "labels differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn dasc_pipeline_bit_identical_across_thread_counts() {
+    // Buckets of ~100+ points route through the k-targeted dense solve
+    // under Auto; the whole pipeline (LSH → Gram blocks → per-bucket
+    // spectral → consolidation) must not depend on the pool width.
+    let (pts, _) = four_blobs(100);
+    let cfg = DascConfig::for_dataset(pts.len(), 4)
+        .kernel(Kernel::gaussian(0.15))
+        .lsh(LshConfig::with_bits(2))
+        .seed(3);
+    let reference = dasc_pool::Pool::new(1).install(|| Dasc::new(cfg.clone()).run(&pts));
+    for threads in THREAD_COUNTS {
+        let got = dasc_pool::Pool::new(threads).install(|| Dasc::new(cfg.clone()).run(&pts));
+        assert_eq!(
+            reference.clustering.assignments, got.clustering.assignments,
+            "assignments differ at {threads} threads"
+        );
+        assert_eq!(
+            reference.clustering.num_clusters,
+            got.clustering.num_clusters
+        );
+        assert_eq!(reference.eigen_path, got.eigen_path);
+    }
+}

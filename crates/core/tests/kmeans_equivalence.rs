@@ -33,7 +33,8 @@ fn spectral_embedding(n: usize, k: usize) -> FlatPoints {
     let pts = two_blobs(n);
     let gram = full_gram(&pts, &Kernel::gaussian(1.5));
     let l = normalized_laplacian(&gram);
-    let y = row_normalize(&top_eigenvectors(&l, k, usize::MAX, 7));
+    let mut y = top_eigenvectors(&l, k, usize::MAX, 7);
+    row_normalize(&mut y);
     FlatPoints::from_flat(y.into_vec(), k)
 }
 

@@ -104,6 +104,13 @@ impl ApproximateGram {
         &self.blocks
     }
 
+    /// Consume the approximation, yielding its diagonal blocks by value
+    /// — lets per-bucket spectral clustering scale each block into its
+    /// Laplacian in place instead of cloning it.
+    pub fn into_blocks(self) -> Vec<GramBlock> {
+        self.blocks
+    }
+
     /// Number of stored entries `Σ Nᵢ²` (Eq. 9's numerator).
     pub fn stored_entries(&self) -> usize {
         self.blocks.iter().map(|b| b.members.len().pow(2)).sum()

@@ -35,7 +35,7 @@ pub mod kpca;
 pub mod nystrom;
 pub mod ridge;
 
-pub use approx::ApproximateGram;
+pub use approx::{ApproximateGram, GramBlock};
 pub use classifier::KernelClassifier;
 pub use functions::{Kernel, TileBasis};
 pub use gram::{

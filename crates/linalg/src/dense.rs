@@ -12,6 +12,11 @@ use rayon::prelude::*;
 use crate::operator::MatVec;
 use crate::vector;
 
+/// Rows per matvec panel: small enough that panels load-balance across
+/// the pool, large enough that the per-task scheduling cost vanishes
+/// against the row dots.
+const MATVEC_PANEL_ROWS: usize = 64;
+
 /// Dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -183,16 +188,33 @@ impl Matrix {
         out
     }
 
-    /// Matrix–vector product `y = A x`.
+    /// Matrix–vector product `y = A x`, row-panel parallel.
+    ///
+    /// Panels of [`MATVEC_PANEL_ROWS`] rows go through the same unrolled
+    /// dot kernel as the GEMM micro-kernel layer (`par_chunks_mut` over
+    /// `y`), so the dense matvecs inside Lanczos run at tile speed
+    /// instead of one serial accumulator chain per row. Every output
+    /// entry is produced by the same instruction sequence regardless of
+    /// panel position or thread count, so the result is bit-identical
+    /// across pool sizes.
     ///
     /// # Panics
     /// Panics if `x.len() != ncols`.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec: output dimension mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            *yi = vector::dot(self.row(i), x);
+        let dim = self.cols;
+        if dim == 0 {
+            y.fill(0.0);
+            return;
         }
+        y.par_chunks_mut(MATVEC_PANEL_ROWS)
+            .enumerate()
+            .for_each(|(panel, out)| {
+                let r0 = panel * MATVEC_PANEL_ROWS;
+                let rows = &self.data[r0 * dim..(r0 + out.len()) * dim];
+                crate::gemm::abt_into(rows, out.len(), x, 1, dim, out, 1);
+            });
     }
 
     /// Frobenius norm `sqrt(Σ aᵢⱼ²)` (Eq. 22 of the paper).

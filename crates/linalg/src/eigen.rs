@@ -11,14 +11,18 @@ use crate::Matrix;
 
 /// Eigendecomposition of a real symmetric matrix.
 ///
-/// Eigenvalues are sorted ascending; `eigenvectors` stores the matching
-/// unit-norm eigenvectors as **columns**.
+/// Eigenvalues are sorted ascending. Eigenvectors stay in the order QL
+/// produced them, paired with a sort permutation; accessors materialize
+/// only the columns a caller asks for, so `top_k(k)` costs `O(nk)`
+/// instead of the full `O(n²)` sorted copy the old layout paid.
 #[derive(Clone, Debug)]
 pub struct SymmetricEigen {
     /// Eigenvalues in ascending order.
     pub eigenvalues: Vec<f64>,
-    /// Column `j` is the eigenvector for `eigenvalues[j]`.
-    pub eigenvectors: Matrix,
+    /// Unit eigenvectors as columns, in unsorted (QL) order.
+    vectors: Matrix,
+    /// `perm[j]` is the column of `vectors` matching `eigenvalues[j]`.
+    perm: Vec<usize>,
 }
 
 impl SymmetricEigen {
@@ -27,19 +31,45 @@ impl SymmetricEigen {
         self.eigenvalues.len()
     }
 
+    /// The unit eigenvector for `eigenvalues[j]` (ascending index).
+    pub fn eigenvector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(self.perm[j])
+    }
+
+    /// A single entry of the eigenvector for `eigenvalues[j]`.
+    pub fn eigenvector_entry(&self, i: usize, j: usize) -> f64 {
+        self.vectors[(i, self.perm[j])]
+    }
+
+    /// Materialize the full eigenvector matrix with columns sorted to
+    /// match `eigenvalues`. `O(n²)` — prefer [`Self::top_k`],
+    /// [`Self::bottom_k`] or [`Self::eigenvector`] when only a few
+    /// columns are needed.
+    pub fn eigenvectors_full(&self) -> Matrix {
+        let n = self.order();
+        let mut out = Matrix::zeros(n, n);
+        for (dst, &src) in self.perm.iter().enumerate() {
+            for i in 0..n {
+                out[(i, dst)] = self.vectors[(i, src)];
+            }
+        }
+        out
+    }
+
     /// The `k` eigenpairs with the **largest** eigenvalues, as
     /// `(values, vectors)` with vectors stacked as columns, ordered by
-    /// descending eigenvalue. This is what spectral clustering consumes.
+    /// descending eigenvalue. This is what spectral clustering consumes;
+    /// only the `k` requested columns are copied.
     pub fn top_k(&self, k: usize) -> (Vec<f64>, Matrix) {
         let n = self.order();
         let k = k.min(n);
         let mut values = Vec::with_capacity(k);
         let mut vectors = Matrix::zeros(n, k);
         for j in 0..k {
-            let src = n - 1 - j;
-            values.push(self.eigenvalues[src]);
+            let src = self.perm[n - 1 - j];
+            values.push(self.eigenvalues[n - 1 - j]);
             for i in 0..n {
-                vectors[(i, j)] = self.eigenvectors[(i, src)];
+                vectors[(i, j)] = self.vectors[(i, src)];
             }
         }
         (values, vectors)
@@ -52,9 +82,10 @@ impl SymmetricEigen {
         let mut values = Vec::with_capacity(k);
         let mut vectors = Matrix::zeros(n, k);
         for j in 0..k {
+            let src = self.perm[j];
             values.push(self.eigenvalues[j]);
             for i in 0..n {
-                vectors[(i, j)] = self.eigenvectors[(i, j)];
+                vectors[(i, j)] = self.vectors[(i, src)];
             }
         }
         (values, vectors)
@@ -76,7 +107,8 @@ pub fn tridiagonal_eigen(tri: &Tridiagonal) -> SymmetricEigen {
     if n <= 1 {
         return SymmetricEigen {
             eigenvalues: d,
-            eigenvectors: z,
+            vectors: z,
+            perm: (0..n).collect(),
         };
     }
 
@@ -149,20 +181,16 @@ pub fn tridiagonal_eigen(tri: &Tridiagonal) -> SymmetricEigen {
         }
     }
 
-    // Sort eigenvalues (and matching vectors) ascending.
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
-    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
-    let mut eigenvectors = Matrix::zeros(n, n);
-    for (dst, &src) in order.iter().enumerate() {
-        for k in 0..n {
-            eigenvectors[(k, dst)] = z[(k, src)];
-        }
-    }
+    // Sort eigenvalues ascending; vectors stay where QL left them and
+    // the permutation records the pairing (no n×n copy here).
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
+    let eigenvalues: Vec<f64> = perm.iter().map(|&i| d[i]).collect();
 
     SymmetricEigen {
         eigenvalues,
-        eigenvectors,
+        vectors: z,
+        perm,
     }
 }
 
@@ -184,7 +212,7 @@ mod tests {
         let n = a.nrows();
         // A v = λ v for every pair.
         for j in 0..n {
-            let v = eig.eigenvectors.col(j);
+            let v = eig.eigenvector(j);
             let mut av = vec![0.0; n];
             a.matvec_into(&v, &mut av);
             for i in 0..n {
@@ -195,7 +223,8 @@ mod tests {
             }
         }
         // Eigenvector matrix orthogonal.
-        let qtq = eig.eigenvectors.transpose().matmul(&eig.eigenvectors);
+        let q = eig.eigenvectors_full();
+        let qtq = q.transpose().matmul(&q);
         assert!(qtq.max_abs_diff(&Matrix::identity(n)) < tol);
     }
 

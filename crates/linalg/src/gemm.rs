@@ -84,7 +84,31 @@ pub fn abt_into(
     out: &mut [f64],
     ldc: usize,
 ) {
-    panel_driver(a, ma, b, nb, dim, out, ldc, |_, _, dot| dot);
+    panel_driver(a, ma, dim, b, nb, dim, dim, out, ldc, |_, _, dot| dot);
+}
+
+/// [`abt_into`] with independent row strides for `A` and `B`: each
+/// inner product runs over the first `dim` entries of rows laid out at
+/// stride `lda`/`ldb`. This is what lets the eigensolver's blocked
+/// back-transform stream packed reflector panels against eigenvector
+/// rows embedded in a wider matrix without copying either side.
+///
+/// # Panics
+/// Panics if `lda`/`ldb` are below `dim`, the buffers are too small for
+/// the requested shape, or `ldc < nb`.
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+pub fn abt_strided_into(
+    a: &[f64],
+    ma: usize,
+    lda: usize,
+    b: &[f64],
+    nb: usize,
+    ldb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
+    panel_driver(a, ma, lda, b, nb, ldb, dim, out, ldc, |_, _, dot| dot);
 }
 
 /// Fused pairwise squared distances:
@@ -113,7 +137,7 @@ pub fn sq_dists_into(
 ) {
     assert_eq!(a_norms.len(), ma, "sq_dists: a_norms length mismatch");
     assert_eq!(b_norms.len(), nb, "sq_dists: b_norms length mismatch");
-    panel_driver(a, ma, b, nb, dim, out, ldc, |i, j, dot| {
+    panel_driver(a, ma, dim, b, nb, dim, dim, out, ldc, |i, j, dot| {
         (a_norms[i] + b_norms[j] - 2.0 * dot).max(0.0)
     });
 }
@@ -158,8 +182,10 @@ pub fn pairwise_sq_dists(a: &FlatPoints, b: &FlatPoints) -> Vec<f64> {
 fn panel_driver<F>(
     a: &[f64],
     ma: usize,
+    lda: usize,
     b: &[f64],
     nb: usize,
+    ldb: usize,
     dim: usize,
     out: &mut [f64],
     ldc: usize,
@@ -170,29 +196,36 @@ fn panel_driver<F>(
     if ma == 0 || nb == 0 {
         return;
     }
-    assert!(a.len() >= ma * dim, "gemm: A buffer too small");
-    assert!(b.len() >= nb * dim, "gemm: B buffer too small");
+    assert!(lda >= dim && ldb >= dim, "gemm: input stride below depth");
+    assert!(a.len() >= (ma - 1) * lda + dim, "gemm: A buffer too small");
+    assert!(b.len() >= (nb - 1) * ldb + dim, "gemm: B buffer too small");
     assert!(ldc >= nb, "gemm: output stride below panel width");
     assert!(
         out.len() >= (ma - 1) * ldc + nb,
         "gemm: output buffer too small"
     );
+    // The 4-deep column kernel needs four contiguous B rows; strided B
+    // panels fall back to the single-row kernel, which is still 4-way
+    // unrolled over the depth dimension.
+    let contiguous_b = ldb == dim;
     for jb in (0..nb).step_by(GEMM_TILE_ROWS) {
         let jend = (jb + GEMM_TILE_ROWS).min(nb);
         for i in 0..ma {
-            let ai = &a[i * dim..(i + 1) * dim];
+            let ai = &a[i * lda..i * lda + dim];
             let orow = &mut out[i * ldc + jb..i * ldc + jend];
             let mut j = jb;
-            while j + 4 <= jend {
-                let d = dot4(ai, &b[j * dim..(j + 4) * dim], dim);
-                orow[j - jb] = finish(i, j, d[0]);
-                orow[j + 1 - jb] = finish(i, j + 1, d[1]);
-                orow[j + 2 - jb] = finish(i, j + 2, d[2]);
-                orow[j + 3 - jb] = finish(i, j + 3, d[3]);
-                j += 4;
+            if contiguous_b {
+                while j + 4 <= jend {
+                    let d = dot4(ai, &b[j * dim..(j + 4) * dim], dim);
+                    orow[j - jb] = finish(i, j, d[0]);
+                    orow[j + 1 - jb] = finish(i, j + 1, d[1]);
+                    orow[j + 2 - jb] = finish(i, j + 2, d[2]);
+                    orow[j + 3 - jb] = finish(i, j + 3, d[3]);
+                    j += 4;
+                }
             }
             while j < jend {
-                let d = dot1(ai, &b[j * dim..(j + 1) * dim], dim);
+                let d = dot1(ai, &b[j * ldb..j * ldb + dim], dim);
                 orow[j - jb] = finish(i, j, d);
                 j += 1;
             }
@@ -236,9 +269,10 @@ fn dot4(a: &[f64], b4: &[f64], dim: usize) -> [f64; 4] {
 
 /// Single-row remainder kernel: four accumulator chains over the depth
 /// dimension, reduced pairwise so the result is independent of where in
-/// a tile the row lands.
+/// a tile the row lands. Crate-visible so the dense matvec and the
+/// eigensolver's reflector loops share the exact summation order.
 #[inline(always)]
-fn dot1(a: &[f64], b: &[f64], dim: usize) -> f64 {
+pub(crate) fn dot1(a: &[f64], b: &[f64], dim: usize) -> f64 {
     debug_assert!(a.len() == dim && b.len() == dim);
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let mut k = 0;
@@ -345,6 +379,34 @@ mod tests {
                     assert_eq!(out[i * 10 + j], -7.0, "margin clobbered at ({i},{j})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn strided_panels_match_contiguous() {
+        // Rows embedded in wider buffers (stride > dim) must produce the
+        // same inner products as densely packed rows.
+        let (ma, nb, dim, lda, ldb) = (6, 9, 5, 8, 11);
+        let a = points(ma, lda, 21);
+        let b = points(nb, ldb, 22);
+        let packed_a: Vec<f64> = (0..ma).flat_map(|i| a.row(i)[..dim].to_vec()).collect();
+        let packed_b: Vec<f64> = (0..nb).flat_map(|j| b.row(j)[..dim].to_vec()).collect();
+        let mut want = vec![0.0; ma * nb];
+        abt_into(&packed_a, ma, &packed_b, nb, dim, &mut want, nb);
+        let mut got = vec![0.0; ma * nb];
+        abt_strided_into(
+            a.as_slice(),
+            ma,
+            lda,
+            b.as_slice(),
+            nb,
+            ldb,
+            dim,
+            &mut got,
+            nb,
+        );
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() < 1e-12, "entry {i}: {g} vs {w}");
         }
     }
 

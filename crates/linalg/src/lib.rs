@@ -30,6 +30,7 @@
 pub mod cholesky;
 pub mod dense;
 pub mod eigen;
+pub mod eigen_k;
 pub mod gemm;
 pub mod lanczos;
 pub mod operator;
@@ -43,6 +44,9 @@ pub mod vector;
 pub use cholesky::{Cholesky, NotPositiveDefinite};
 pub use dense::Matrix;
 pub use eigen::{symmetric_eigen, tridiagonal_eigen, SymmetricEigen};
+pub use eigen_k::{
+    symmetric_eigen_topk, tridiagonal_eigenvalues, tridiagonal_eigenvectors, TopEigen,
+};
 pub use gemm::{abt_into, pairwise_sq_dists, row_sq_norms, row_sq_norms_flat, sq_dists_into};
 pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
 pub use operator::MatVec;
@@ -50,4 +54,4 @@ pub use points::FlatPoints;
 pub use qr::{qr, QrDecomposition};
 pub use sparse::{CooBuilder, CsrMatrix};
 pub use svd::{energy_captured, numerical_rank, singular_values};
-pub use tridiag::{tridiagonalize, Tridiagonal};
+pub use tridiag::{tridiagonalize, tridiagonalize_factored, FactoredTridiagonal, Tridiagonal};

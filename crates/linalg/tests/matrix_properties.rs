@@ -57,7 +57,8 @@ proptest! {
         for i in 0..n {
             lam[(i, i)] = eig.eigenvalues[i];
         }
-        let rec = eig.eigenvectors.matmul(&lam).matmul(&eig.eigenvectors.transpose());
+        let q = eig.eigenvectors_full();
+        let rec = q.matmul(&lam).matmul(&q.transpose());
         prop_assert!(rec.max_abs_diff(&s) < 1e-8);
         // Trace preserved.
         let trace: f64 = (0..n).map(|i| s[(i, i)]).sum();

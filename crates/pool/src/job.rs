@@ -2,11 +2,33 @@
 //!
 //! A parallel operation (a `join` branch, a pool root task) lives on the
 //! *caller's* stack: [`StackJob`] wraps the closure, its result slot and
-//! a completion [`Latch`]. The pool only ever sees a [`JobRef`] — a
+//! a completion latch. The pool only ever sees a [`JobRef`] — a
 //! lifetime-erased pointer plus an execute function. Soundness rests on
 //! one invariant, upheld by every entry point in this crate: **the frame
 //! that created a `StackJob` never returns before the job's latch is
 //! set**, so the erased pointer can never dangle while the pool holds it.
+//!
+//! Two latch flavors exist because the waiter's side dictates what the
+//! *setter* may safely touch. The moment a waiter observes completion it
+//! may pop the stack frame that owns the latch, so everything the setter
+//! does after the observable "done" transition is a potential
+//! use-after-free. Hence:
+//!
+//! * [`SpinLatch`] — for [`join`](crate::join) branches, whose owner
+//!   busy-polls [`probe`](SpinLatch::probe) while stealing other work.
+//!   `set` is a single atomic store: the setter's **last** access to job
+//!   memory *is* the observable transition, so no tail race exists.
+//! * [`LockLatch`] — for root tasks injected by external threads, which
+//!   must block. The flag lives *inside* the mutex (no lock-free fast
+//!   path), and `set` takes the lock **before** flipping it. A waiter
+//!   can therefore only observe completion after acquiring the lock,
+//!   which the setter held through its final latch access — the unlock
+//!   hands the memory over cleanly. Setting `done` outside the lock (or
+//!   exposing a lock-free probe on this flavor) would reopen the race:
+//!   waiter locks between the setter's store and its `lock()`, sees
+//!   done, frees the frame, and the setter locks freed memory —
+//!   observed in practice as a worker futex-parked forever and
+//!   `Pool::drop` hanging in `join()`.
 
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
@@ -31,21 +53,25 @@ impl JobRef {
     }
 }
 
-/// One-shot completion flag with both a cheap polling path (for workers
-/// that keep stealing while they wait) and a blocking path (for external
-/// threads parked on a condvar).
-pub(crate) struct Latch {
-    done: AtomicBool,
-    lock: Mutex<()>,
-    cv: Condvar,
+/// Completion signal set exactly once by whichever worker runs the job.
+pub(crate) trait Latch {
+    /// Mark complete. After the completion becomes observable the job's
+    /// stack frame may be freed at any instant, so implementations must
+    /// not touch `self` past that point.
+    fn set(&self);
 }
 
-impl Latch {
+/// Probe-only latch for fork-join branches: the owner spins (stealing
+/// other work between probes), so no blocking machinery is needed and
+/// `set` can be a bare store — the setter's final access to job memory.
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
     pub(crate) fn new() -> Self {
         Self {
             done: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            cv: Condvar::new(),
         }
     }
 
@@ -54,48 +80,72 @@ impl Latch {
     pub(crate) fn probe(&self) -> bool {
         self.done.load(Ordering::Acquire)
     }
+}
 
-    /// Mark complete and wake any blocked waiter. Taking the mutex after
-    /// the store closes the check-then-wait race in [`Latch::wait`].
-    pub(crate) fn set(&self) {
+impl Latch for SpinLatch {
+    fn set(&self) {
         self.done.store(true, Ordering::Release);
-        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        self.cv.notify_all();
+    }
+}
+
+/// Blocking latch for injected root tasks. The flag is only readable
+/// under the mutex — see the module docs for why that, plus locking
+/// before the store in `set`, is what makes freeing the frame safe.
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        }
     }
 
     /// Block until set. Only external (non-worker) threads call this;
-    /// workers use [`Latch::probe`] inside a steal loop instead.
+    /// workers use [`SpinLatch::probe`] inside a steal loop instead.
     pub(crate) fn wait(&self) {
-        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        while !self.probe() {
-            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        let mut done = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.cv.notify_all();
     }
 }
 
 /// A closure pinned to its caller's stack, executable through a
 /// [`JobRef`] from any worker thread.
-pub(crate) struct StackJob<F, R> {
+pub(crate) struct StackJob<F, R, L> {
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<thread::Result<R>>>,
-    pub(crate) latch: Latch,
+    pub(crate) latch: L,
 }
 
 // Safety: the executor is the only thread touching the cells until the
-// latch is set (Release); the owner reads them only after probing the
-// latch (Acquire).
-unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+// latch is set; the owner reads them only after observing completion,
+// which both latch flavors order after the result write.
+unsafe impl<F: Send, R: Send, L: Sync> Sync for StackJob<F, R, L> {}
 
-impl<F, R> StackJob<F, R>
+impl<F, R, L> StackJob<F, R, L>
 where
     F: FnOnce() -> R + Send,
     R: Send,
+    L: Latch + Sync,
 {
-    pub(crate) fn new(f: F) -> Self {
+    pub(crate) fn new(f: F, latch: L) -> Self {
         Self {
             func: UnsafeCell::new(Some(f)),
             result: UnsafeCell::new(None),
-            latch: Latch::new(),
+            latch,
         }
     }
 
@@ -104,28 +154,30 @@ where
     /// # Safety
     /// The caller must not let `self` drop until `self.latch` is set.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        unsafe fn exec_erased<F, R>(data: *const ())
+        unsafe fn exec_erased<F, R, L>(data: *const ())
         where
             F: FnOnce() -> R + Send,
             R: Send,
+            L: Latch + Sync,
         {
-            let job = &*(data as *const StackJob<F, R>);
+            let job = &*(data as *const StackJob<F, R, L>);
             let f = (*job.func.get()).take().expect("job executed twice");
             // Catch panics so a poisoned task can't unwind through the
             // worker loop; the payload is rethrown on the owning thread.
             let r = panic::catch_unwind(AssertUnwindSafe(f));
             *job.result.get() = Some(r);
+            // Last touch of job memory: the frame may be freed the
+            // moment this transition is observed.
             job.latch.set();
         }
         JobRef {
             data: self as *const Self as *const (),
-            exec: exec_erased::<F, R>,
+            exec: exec_erased::<F, R, L>,
         }
     }
 
     /// Take the result after the latch has been set.
     pub(crate) fn into_panic_result(self) -> thread::Result<R> {
-        debug_assert!(self.latch.probe(), "result taken before completion");
         self.result
             .into_inner()
             .expect("completed job has no result")

@@ -39,7 +39,7 @@ use std::thread::JoinHandle;
 mod job;
 mod worker;
 
-use job::{resume, StackJob};
+use job::{resume, LockLatch, SpinLatch, StackJob};
 use worker::Shared;
 
 /// Where the current thread stands relative to a pool.
@@ -163,7 +163,8 @@ where
     R: Send,
     F: FnOnce() -> R + Send,
 {
-    let job = StackJob::new(f);
+    // A blocking `LockLatch`: this thread parks rather than stealing.
+    let job = StackJob::new(f, LockLatch::new());
     // Safety: we wait on the latch before `job` leaves this frame.
     unsafe { shared.inject(job.as_job_ref()) };
     job.latch.wait();
@@ -270,7 +271,9 @@ where
     RA: Send,
     RB: Send,
 {
-    let job_b = StackJob::new(b);
+    // A probe-only `SpinLatch`: this worker keeps stealing while it
+    // waits, so completion is a bare store with no blocking machinery.
+    let job_b = StackJob::new(b, SpinLatch::new());
     // Safety: this frame waits for `job_b.latch` before returning, even
     // if `a` panics, so the erased reference cannot dangle.
     unsafe { shared.push_local(index, job_b.as_job_ref()) };
@@ -403,6 +406,24 @@ mod tests {
         let (a, b) = p.install(|| join(|| 1, || 2));
         assert_eq!((a, b), (1, 2));
         drop(p); // must not hang
+    }
+
+    #[test]
+    fn rapid_install_and_teardown_churn() {
+        // Regression: `Latch::set` used to store a lock-free "done" flag
+        // and *then* lock the latch mutex to notify. A root waiter could
+        // observe the flag, return, and free the job's stack frame while
+        // the worker was still locking it — leaving that worker parked
+        // on freed memory forever and `Pool::drop` hung in `join()`.
+        // Near-empty root tasks on tiny pools maximize the window; this
+        // must complete (the harness would time the hang out).
+        for _ in 0..200 {
+            let p = pool(2);
+            for i in 0..20 {
+                assert_eq!(p.install(move || i + 1), i + 1);
+            }
+            drop(p); // joins workers: hangs if any worker is stuck
+        }
     }
 
     #[test]

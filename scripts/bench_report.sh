@@ -96,11 +96,21 @@ for run in runs:
     assert run["total_s"] > 0 and run["points_per_s"] > 0
     assert "gram_gflops" in run, "missing gram_gflops (micro-kernel throughput)"
     assert run["gram_gflops"] >= 0, "negative gram_gflops"
+    assert run.get("eigen_path") in ("dense_full", "dense_k", "lanczos"), (
+        f"bad eigen_path {run.get('eigen_path')!r}"
+    )
     stages = run["stages_s"]
     assert stages, "stages_s missing or empty"
-    for stage in ("lsh", "bucketing", "gram", "clustering"):
+    for stage in ("lsh", "bucketing", "gram", "clustering",
+                  "laplacian", "eigen", "kmeans"):
         assert stage in stages, f"stages_s missing {stage}"
         assert stages[stage] >= 0, f"negative {stage} time"
+    # The substages partition the clustering stage; per-bucket sums can
+    # exceed the wall-clock figure when several workers overlap, but a
+    # non-trivial run must spend *something* in the eigensolve.
+    if run["n"] >= 1000:
+        assert stages["eigen"] > 0, "eigen substage empty on a non-trivial run"
+        assert stages["kmeans"] > 0, "kmeans substage empty on a non-trivial run"
 assert len(doc["speedup"]) * 2 == len(runs), "one speedup entry per size"
 print(f"OK: {len(runs)} runs at {doc['parallel_threads']} parallel threads")
 for s in doc["speedup"]:
@@ -108,7 +118,7 @@ for s in doc["speedup"]:
 EOF
 else
     # Fallback: at least confirm the expected keys are present.
-    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"' '"gram_gflops"'; do
+    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"' '"gram_gflops"' '"eigen_path"' '"laplacian"' '"eigen"' '"kmeans"'; do
         grep -q "$key" "$OUT" || fail "$OUT missing $key"
     done
     echo "OK (python3 unavailable; key-presence check only)"

@@ -115,10 +115,8 @@ proptest! {
         for i in 0..n {
             lam[(i, i)] = eig.eigenvalues[i];
         }
-        let rec = eig
-            .eigenvectors
-            .matmul(&lam)
-            .matmul(&eig.eigenvectors.transpose());
+        let q = eig.eigenvectors_full();
+        let rec = q.matmul(&lam).matmul(&q.transpose());
         prop_assert!(rec.max_abs_diff(&g) < 1e-7);
         // PSD: Gaussian Gram eigenvalues are non-negative.
         prop_assert!(eig.eigenvalues.iter().all(|&v| v > -1e-8));
