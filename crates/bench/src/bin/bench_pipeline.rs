@@ -11,15 +11,21 @@
 //! quick set; `--full`/`DASC_SCALE=full` switches to paper-adjacent
 //! sizes (20k+). The parallel run uses `DASC_NUM_THREADS` (default:
 //! available cores), so `DASC_NUM_THREADS=4 bench_pipeline --full`
-//! reproduces the 4-thread acceptance measurement.
+//! reproduces the 4-thread acceptance measurement. The pipeline runs
+//! use the process kernel backend (`DASC_KERNEL`); a separate
+//! micro-benchmark times the raw Gram distance kernel on *every*
+//! backend the host supports and reports per-backend GFLOP/s under
+//! `kernel_gram_gflops`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use dasc_bench::Scale;
-use dasc_core::{Dasc, DascConfig, DascResult};
+use dasc_core::{Dasc, DascConfig, DascResult, KernelBackend};
 use dasc_data::SyntheticConfig;
+use dasc_linalg::gemm;
 
+#[derive(Clone)]
 struct Run {
     n: usize,
     dim: usize,
@@ -92,6 +98,33 @@ fn json_run(out: &mut String, run: &Run) {
     .expect("write to string");
 }
 
+/// Time the raw Gram distance kernel (`sq_dists_into_with`) on one
+/// backend: an `n × n` squared-distance panel at the paper-default
+/// dimensionality, best of `reps` — the same `2·d` flops/entry
+/// accounting as [`Run::gram_gflops`], without LSH/eigen noise. This is
+/// the number the acceptance criterion compares across backends.
+fn gram_kernel_gflops(backend: KernelBackend, n: usize, dim: usize, reps: usize) -> f64 {
+    let data: Vec<f64> = (0..n * dim)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x % 1000) as f64 / 250.0 - 2.0
+        })
+        .collect();
+    let norms = gemm::row_sq_norms_flat_with(backend, &data, dim);
+    let mut out = vec![0.0; n * n];
+    let mut best_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        gemm::sq_dists_into_with(
+            backend, &data, n, &norms, &data, n, &norms, dim, &mut out, n,
+        );
+        best_s = best_s.min(t0.elapsed().as_secs_f64());
+    }
+    // Keep the buffer observable so the kernel can't be optimized out.
+    assert!(out.iter().all(|&d| d >= 0.0));
+    2.0 * dim as f64 * (n * n) as f64 / best_s / 1e9
+}
+
 fn main() {
     let scale = Scale::from_env();
     let out_path = {
@@ -104,17 +137,39 @@ fn main() {
     let sizes: &[usize] = scale.pick(&[1_000, 4_000][..], &[5_000, 20_000, 50_000][..]);
     let k = 16usize;
     let par_threads = dasc_pool::configured_threads();
+    let backend = KernelBackend::resolved();
+
+    // Per-backend Gram kernel micro-benchmark: every backend this host
+    // supports, timed on the same panel shape.
+    let micro_n = 4_000usize;
+    let micro_dim = 64usize;
+    let mut kernel_gflops: Vec<(KernelBackend, f64)> = Vec::new();
+    for be in KernelBackend::all_available() {
+        eprintln!(
+            "kernel micro-bench ({}, n={micro_n}, d={micro_dim})...",
+            be.as_str()
+        );
+        let gflops = gram_kernel_gflops(be, micro_n, micro_dim, 3);
+        eprintln!("  {}: {gflops:.2} GFLOP/s", be.as_str());
+        kernel_gflops.push((be, gflops));
+    }
 
     let mut runs: Vec<(Run, Run)> = Vec::new();
     for &n in sizes {
         let ds = SyntheticConfig::paper_default(n, k).seed(0xDA7A).generate();
         eprintln!("n={n}: sequential run...");
         let seq = run_once(&ds.points, k, 1);
-        eprintln!(
-            "n={n}: parallel run ({par_threads} thread{})...",
-            if par_threads == 1 { "" } else { "s" }
-        );
-        let par = run_once(&ds.points, k, par_threads);
+        // With a 1-wide pool the "parallel" run is configuration-
+        // identical to the sequential one; reuse it so the recorded
+        // speedup is exactly 1.0 instead of scheduling noise (the seed
+        // benchmark recorded a meaningless 0.96× at n=1000 this way).
+        let par = if par_threads == 1 {
+            eprintln!("n={n}: pool width 1, reusing sequential run");
+            seq.clone()
+        } else {
+            eprintln!("n={n}: parallel run ({par_threads} threads)...");
+            run_once(&ds.points, k, par_threads)
+        };
         assert_eq!(
             seq.result.clustering.assignments, par.result.clustering.assignments,
             "clustering must be thread-count independent"
@@ -132,9 +187,21 @@ fn main() {
     json.push_str("{\n  \"bench\": \"pipeline\",\n");
     write!(
         json,
-        "  \"parallel_threads\": {par_threads},\n  \"runs\": [\n"
+        "  \"parallel_threads\": {par_threads},\n  \"kernel_backend\": \"{}\",\n",
+        backend.as_str()
     )
     .expect("write to string");
+    json.push_str("  \"kernel_gram_gflops\": {");
+    for (i, (be, gflops)) in kernel_gflops.iter().enumerate() {
+        write!(
+            json,
+            "{}\"{}\": {gflops:.4}",
+            if i == 0 { "" } else { ", " },
+            be.as_str()
+        )
+        .expect("write to string");
+    }
+    json.push_str("},\n  \"runs\": [\n");
     for (i, (seq, par)) in runs.iter().enumerate() {
         for (j, run) in [seq, par].into_iter().enumerate() {
             json.push_str("    ");

@@ -85,6 +85,66 @@ fn generate_and_cluster_end_to_end() {
 }
 
 #[test]
+fn cluster_labels_agree_across_kernel_backends() {
+    // Pipeline-level backend equivalence: the same clustering run under
+    // DASC_KERNEL=scalar and DASC_KERNEL=auto must emit identical
+    // labels. Distances differ by a few ULPs between backends, but the
+    // spectral fixtures have no near-exact ties for those ULPs to flip.
+    // Each backend gets its own process because the backend is resolved
+    // once per process.
+    let data = tmp("backend.csv");
+    let out = Command::new(dasc_bin())
+        .args([
+            "generate", "--kind", "blobs", "--n", "200", "--d", "8", "--k", "4", "--seed", "11",
+            "--output", &data,
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut assignment_files = Vec::new();
+    for backend in ["scalar", "auto"] {
+        let assignments = tmp(&format!("backend-assign-{backend}.csv"));
+        let out = Command::new(dasc_bin())
+            .env("DASC_KERNEL", backend)
+            .args([
+                "cluster",
+                "--input",
+                &data,
+                "--k",
+                "4",
+                "--labels-last-column",
+                "--output",
+                &assignments,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "DASC_KERNEL={backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assignment_files.push(assignments);
+    }
+
+    let scalar_labels = std::fs::read_to_string(&assignment_files[0]).expect("scalar labels");
+    let auto_labels = std::fs::read_to_string(&assignment_files[1]).expect("auto labels");
+    assert_eq!(
+        scalar_labels, auto_labels,
+        "clustering labels diverged between scalar and auto kernel backends"
+    );
+
+    let _ = std::fs::remove_file(&data);
+    for f in assignment_files {
+        let _ = std::fs::remove_file(&f);
+    }
+}
+
+#[test]
 fn missing_file_reports_cleanly() {
     let out = Command::new(dasc_bin())
         .args(["cluster", "--input", "/definitely/not/here.csv", "--k", "2"])

@@ -16,6 +16,7 @@ use std::time::Duration;
 use dasc_obs::span;
 
 use dasc_kernel::{ApproximateGram, Kernel};
+use dasc_linalg::KernelBackend;
 use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
 use dasc_mapreduce::{
     reduce_groups, run_map_only, simulate_on_cluster, ClusterConfig, FnMapper, FnReducer, JobStats,
@@ -126,6 +127,9 @@ pub struct DascResult {
     /// Eigensolver route taken by the largest bucket — the run's
     /// dominant spectral cost.
     pub eigen_path: EigenPath,
+    /// The kernel backend the run's gemm/dot/axpy primitives dispatched
+    /// to (resolved once per process from `DASC_KERNEL`).
+    pub kernel_backend: KernelBackend,
 }
 
 /// Result of a distributed DASC run, carrying MapReduce statistics so
@@ -345,6 +349,7 @@ impl Dasc {
             approx_gram_bytes,
             times,
             eigen_path,
+            kernel_backend: KernelBackend::resolved(),
         }
     }
 
@@ -480,6 +485,13 @@ fn record_run_metrics(points: usize, buckets: usize, approx_gram_bytes: usize) {
     registry
         .gauge("dasc_approx_gram_bytes")
         .set(approx_gram_bytes as i64);
+    registry
+        .gauge(&dasc_obs::labeled(
+            "dasc_kernel_backend",
+            "backend",
+            KernelBackend::resolved().as_str(),
+        ))
+        .set(1);
 }
 
 /// `Kᵢ = clamp(round(K · Nᵢ / N), 1, Nᵢ)`: clusters are apportioned to

@@ -40,6 +40,13 @@ pub const TILED_MIN_POINTS: usize = 64;
 /// writes a disjoint chunk — deterministic at any thread count.
 const ASSIGN_TILE_ROWS: usize = 128;
 
+/// Smallest point count worth fanning the assignment step across the
+/// thread pool; below it, per-task hand-off outweighs the O(n·k) fill
+/// (the same scheduling cliff `dasc_kernel::gram::PARALLEL_MIN_POINTS`
+/// guards). Tile contents depend only on the point range, so the
+/// sequential branch is bit-identical to the parallel one.
+pub const PARALLEL_MIN_POINTS: usize = 256;
+
 /// K-means configuration.
 #[derive(Clone, Debug)]
 pub struct KMeansConfig {
@@ -273,48 +280,65 @@ fn assign_step(
         assignments.fill(0);
         return;
     }
+    let parallel = points.len() >= PARALLEL_MIN_POINTS;
     if !tiled {
-        assignments
-            .par_chunks_mut(ASSIGN_TILE_ROWS)
-            .enumerate()
-            .for_each(|(ci, out)| {
-                let r0 = ci * ASSIGN_TILE_ROWS;
-                for (li, a) in out.iter_mut().enumerate() {
-                    *a = nearest(points.row(r0 + li), centroids, k, d).0;
-                }
-            });
+        let fill = |(ci, out): (usize, &mut [usize])| {
+            let r0 = ci * ASSIGN_TILE_ROWS;
+            for (li, a) in out.iter_mut().enumerate() {
+                *a = nearest(points.row(r0 + li), centroids, k, d).0;
+            }
+        };
+        if parallel {
+            assignments
+                .par_chunks_mut(ASSIGN_TILE_ROWS)
+                .enumerate()
+                .for_each(fill);
+        } else {
+            assignments
+                .chunks_mut(ASSIGN_TILE_ROWS)
+                .enumerate()
+                .for_each(fill);
+        }
         return;
     }
     let centroid_norms = gemm::row_sq_norms_flat(centroids, d);
-    assignments
-        .par_chunks_mut(ASSIGN_TILE_ROWS)
-        .enumerate()
-        .for_each(|(ci, out)| {
-            let r0 = ci * ASSIGN_TILE_ROWS;
-            let rows = out.len();
-            let mut tile = vec![0.0f64; rows * k];
-            gemm::sq_dists_into(
-                points.rows(r0, r0 + rows),
-                rows,
-                &point_norms[r0..r0 + rows],
-                centroids,
-                k,
-                &centroid_norms,
-                d,
-                &mut tile,
-                k,
-            );
-            for (li, a) in out.iter_mut().enumerate() {
-                let row = &tile[li * k..(li + 1) * k];
-                let mut best = (0usize, f64::INFINITY);
-                for (c, &dist) in row.iter().enumerate() {
-                    if dist < best.1 {
-                        best = (c, dist);
-                    }
+    let fill = |(ci, out): (usize, &mut [usize])| {
+        let r0 = ci * ASSIGN_TILE_ROWS;
+        let rows = out.len();
+        let mut tile = vec![0.0f64; rows * k];
+        gemm::sq_dists_into(
+            points.rows(r0, r0 + rows),
+            rows,
+            &point_norms[r0..r0 + rows],
+            centroids,
+            k,
+            &centroid_norms,
+            d,
+            &mut tile,
+            k,
+        );
+        for (li, a) in out.iter_mut().enumerate() {
+            let row = &tile[li * k..(li + 1) * k];
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &dist) in row.iter().enumerate() {
+                if dist < best.1 {
+                    best = (c, dist);
                 }
-                *a = best.0;
             }
-        });
+            *a = best.0;
+        }
+    };
+    if parallel {
+        assignments
+            .par_chunks_mut(ASSIGN_TILE_ROWS)
+            .enumerate()
+            .for_each(fill);
+    } else {
+        assignments
+            .chunks_mut(ASSIGN_TILE_ROWS)
+            .enumerate()
+            .for_each(fill);
+    }
 }
 
 /// Nearest centroid in a flat `k × d` buffer: `(index, sq_dist)`, lowest

@@ -37,6 +37,7 @@ pub use dasc::{
     bucket_cluster_count, cluster_bucket, consolidate, stitch_distributed, Dasc, DascConfig,
     DascDistributedResult, DascResult, DascTrained, DascTrainedDistributed,
 };
+pub use dasc_linalg::KernelBackend;
 pub use distributed_kmeans::{distributed_kmeans, DistributedKMeansResult};
 pub use embedding::{
     normalized_laplacian, normalized_laplacian_inplace, resolve_eigen_path, row_normalize,

@@ -32,6 +32,16 @@ pub const TILED_MIN_POINTS: usize = 64;
 /// is independent of the thread count.
 const GRAM_PANEL_ROWS: usize = 64;
 
+/// Smallest point count worth fanning out across the thread pool.
+///
+/// Below this, a full Gram fill is microseconds of work and the pool's
+/// task hand-off dominates — `BENCH_pipeline.json` recorded a 0.96×
+/// "speedup" at n=1000 before this threshold existed. Both fill paths
+/// produce bit-identical output either way (each chunk's contents
+/// depend only on its row range), so the sequential branch is purely a
+/// scheduling decision.
+pub const PARALLEL_MIN_POINTS: usize = 256;
+
 /// Compute the full `N×N` Gram matrix `K[l,m] = k(X_l, X_m)`.
 ///
 /// Flattens the points and delegates to [`full_gram_flat`].
@@ -71,16 +81,21 @@ pub fn full_gram_flat_scalar(points: &FlatPoints, kernel: &Kernel) -> Matrix {
     if n == 0 {
         return g;
     }
-    g.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, row)| {
-            let xi = points.row(i);
-            for (j, out) in row.iter_mut().enumerate().skip(i) {
-                *out = kernel.raw(xi, points.row(j));
-            }
-            kernel.map_raw(&mut row[i..]);
-        });
+    let fill = |(i, row): (usize, &mut [f64])| {
+        let xi = points.row(i);
+        for (j, out) in row.iter_mut().enumerate().skip(i) {
+            *out = kernel.raw(xi, points.row(j));
+        }
+        kernel.map_raw(&mut row[i..]);
+    };
+    if n >= PARALLEL_MIN_POINTS {
+        g.as_mut_slice()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(fill);
+    } else {
+        g.as_mut_slice().chunks_mut(n).enumerate().for_each(fill);
+    }
     g.mirror_upper();
     g
 }
@@ -115,35 +130,43 @@ pub fn full_gram_flat_tiled(points: &FlatPoints, kernel: &Kernel) -> Matrix {
         TileBasis::SqDist => gemm::row_sq_norms(points),
         _ => Vec::new(),
     };
-    g.as_mut_slice()
-        .par_chunks_mut(n * GRAM_PANEL_ROWS)
-        .enumerate()
-        .for_each(|(ci, chunk)| {
-            let r0 = ci * GRAM_PANEL_ROWS;
-            let rows = chunk.len() / n;
-            let a = points.rows(r0, r0 + rows);
-            let b = points.rows(r0, n);
-            let nb = n - r0;
-            let out = &mut chunk[r0..];
-            match basis {
-                TileBasis::SqDist => gemm::sq_dists_into(
-                    a,
-                    rows,
-                    &norms[r0..r0 + rows],
-                    b,
-                    nb,
-                    &norms[r0..],
-                    dim,
-                    out,
-                    n,
-                ),
-                TileBasis::Dot => gemm::abt_into(a, rows, b, nb, dim, out, n),
-                TileBasis::L1 => unreachable!("rejected above"),
-            }
-            for li in 0..rows {
-                kernel.map_raw(&mut chunk[li * n + r0..(li + 1) * n]);
-            }
-        });
+    let fill = |(ci, chunk): (usize, &mut [f64])| {
+        let r0 = ci * GRAM_PANEL_ROWS;
+        let rows = chunk.len() / n;
+        let a = points.rows(r0, r0 + rows);
+        let b = points.rows(r0, n);
+        let nb = n - r0;
+        let out = &mut chunk[r0..];
+        match basis {
+            TileBasis::SqDist => gemm::sq_dists_into(
+                a,
+                rows,
+                &norms[r0..r0 + rows],
+                b,
+                nb,
+                &norms[r0..],
+                dim,
+                out,
+                n,
+            ),
+            TileBasis::Dot => gemm::abt_into(a, rows, b, nb, dim, out, n),
+            TileBasis::L1 => unreachable!("rejected above"),
+        }
+        for li in 0..rows {
+            kernel.map_raw(&mut chunk[li * n + r0..(li + 1) * n]);
+        }
+    };
+    if n >= PARALLEL_MIN_POINTS {
+        g.as_mut_slice()
+            .par_chunks_mut(n * GRAM_PANEL_ROWS)
+            .enumerate()
+            .for_each(fill);
+    } else {
+        g.as_mut_slice()
+            .chunks_mut(n * GRAM_PANEL_ROWS)
+            .enumerate()
+            .for_each(fill);
+    }
     g.mirror_upper();
     for i in 0..n {
         let xi = points.row(i);
@@ -309,19 +332,29 @@ mod tests {
     fn parallel_matches_sequential_bitwise() {
         // The direct-write parallel fill must reproduce the 1-thread
         // result exactly: same entries, same bits, any thread count —
-        // on both the scalar and the tiled path (97 > TILED_MIN_POINTS).
-        let pts: Vec<Vec<f64>> = (0..97)
-            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.37).cos(), i as f64 / 97.0])
-            .collect();
-        let k = Kernel::gaussian(0.45);
-        let seq = dasc_pool::Pool::new(1).install(|| full_gram(&pts, &k));
-        for threads in [2, 4] {
-            let par = dasc_pool::Pool::new(threads).install(|| full_gram(&pts, &k));
-            assert_eq!(
-                seq.as_slice(),
-                par.as_slice(),
-                "gram differs at {threads} threads"
-            );
+        // on both the scalar and the tiled path. 97 points stays below
+        // PARALLEL_MIN_POINTS (sequential branch on every pool), 300
+        // exercises the genuinely parallel branch.
+        for n in [97usize, 300] {
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    vec![
+                        (i as f64).sin(),
+                        (i as f64 * 0.37).cos(),
+                        i as f64 / n as f64,
+                    ]
+                })
+                .collect();
+            let k = Kernel::gaussian(0.45);
+            let seq = dasc_pool::Pool::new(1).install(|| full_gram(&pts, &k));
+            for threads in [2, 4] {
+                let par = dasc_pool::Pool::new(threads).install(|| full_gram(&pts, &k));
+                assert_eq!(
+                    seq.as_slice(),
+                    par.as_slice(),
+                    "gram differs at n={n}, {threads} threads"
+                );
+            }
         }
     }
 

@@ -190,13 +190,16 @@ impl Matrix {
 
     /// Matrix–vector product `y = A x`, row-panel parallel.
     ///
-    /// Panels of [`MATVEC_PANEL_ROWS`] rows go through the same unrolled
-    /// dot kernel as the GEMM micro-kernel layer (`par_chunks_mut` over
+    /// Panels of [`MATVEC_PANEL_ROWS`] rows go through the same dot
+    /// kernel as the GEMM micro-kernel layer (`par_chunks_mut` over
     /// `y`), so the dense matvecs inside Lanczos run at tile speed
-    /// instead of one serial accumulator chain per row. Every output
-    /// entry is produced by the same instruction sequence regardless of
-    /// panel position or thread count, so the result is bit-identical
-    /// across pool sizes.
+    /// instead of one serial accumulator chain per row — and inherit the
+    /// process kernel backend (see [`crate::simd`]): AVX2+FMA or NEON
+    /// where available, the unrolled scalar kernel under
+    /// `DASC_KERNEL=scalar`. Every output entry is produced by the same
+    /// instruction sequence regardless of panel position or thread
+    /// count, so the result is bit-identical across pool sizes within a
+    /// backend.
     ///
     /// # Panics
     /// Panics if `x.len() != ncols`.

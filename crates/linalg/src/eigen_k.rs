@@ -16,7 +16,11 @@
 //!    the `gemm` panel kernel — `O(n²k)`.
 //!
 //! Everything is deterministic: starting vectors come from a counter
-//! seeded xorshift, and no step depends on thread count.
+//! seeded xorshift, and no step depends on thread count. The reflector
+//! applications and the blocked back-transform run through
+//! `vector::{dot, axpy}` and the `gemm` panel kernels, so this solver
+//! dispatches to the process kernel backend (see [`crate::simd`]) like
+//! the rest of the hot path.
 
 use crate::tridiag::{tridiagonalize_factored, FactoredTridiagonal};
 use crate::{vector, Matrix};

@@ -30,12 +30,24 @@
 //! see `dasc_kernel::TILED_MIN_POINTS` for where the kernel layer draws
 //! that line.
 //!
-//! Everything is deterministic: a given output entry is always computed
-//! by the same instruction sequence, independent of tiling position or
-//! thread count, so parallel drivers chunking over row panels reproduce
-//! the single-threaded result bit for bit.
+//! Everything is deterministic *within a kernel backend*: a given
+//! output entry is always computed by the same instruction sequence,
+//! independent of tiling position or thread count, so parallel drivers
+//! chunking over row panels reproduce the single-threaded result bit
+//! for bit. Across backends the guarantee weakens to a tolerance:
+//! the SIMD kernels (see [`crate::simd`]) fuse each multiply-add into a
+//! single rounding step (FMA) and reduce 4- or 2-wide lanes in a fixed
+//! but *different* order than the scalar accumulator chains, so the
+//! same inner product can differ from the scalar result by a few ULPs.
+//! `DASC_KERNEL=scalar` pins the process to the scalar kernels, whose
+//! instruction sequences are unchanged from the pre-SIMD tree.
+//!
+//! Every public driver here resolves the process backend once
+//! ([`KernelBackend::resolved`]); the `_with` variants take an explicit
+//! backend for benchmarks and equivalence tests.
 
 use crate::points::FlatPoints;
+use crate::simd::{self, KernelBackend};
 
 /// Rows of `B` processed per cache tile by the panel drivers.
 ///
@@ -46,12 +58,21 @@ pub const GEMM_TILE_ROWS: usize = 128;
 
 /// Squared L2 norm of every row: `out[i] = ⟨aᵢ, aᵢ⟩`.
 ///
-/// Uses the same unrolled dot kernel as the panel drivers so that a
-/// row's norm and its self-inner-product agree bitwise wherever both
-/// are computed with [`dot1`]'s summation order.
+/// Uses the same dot kernel as the panel drivers' remainder path so
+/// that a row's norm and its self-inner-product agree bitwise wherever
+/// both are computed with the resolved backend's single-row summation
+/// order.
 pub fn row_sq_norms(points: &FlatPoints) -> Vec<f64> {
+    row_sq_norms_with(KernelBackend::resolved(), points)
+}
+
+/// [`row_sq_norms`] on an explicit kernel backend.
+pub fn row_sq_norms_with(backend: KernelBackend, points: &FlatPoints) -> Vec<f64> {
     let dim = points.dim();
-    points.iter().map(|r| dot1(r, r, dim)).collect()
+    points
+        .iter()
+        .map(|r| simd::dot(backend, r, r, dim))
+        .collect()
 }
 
 /// [`row_sq_norms`] over a raw row-major buffer.
@@ -59,11 +80,21 @@ pub fn row_sq_norms(points: &FlatPoints) -> Vec<f64> {
 /// # Panics
 /// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`).
 pub fn row_sq_norms_flat(data: &[f64], dim: usize) -> Vec<f64> {
+    row_sq_norms_flat_with(KernelBackend::resolved(), data, dim)
+}
+
+/// [`row_sq_norms_flat`] on an explicit kernel backend.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `dim` (for `dim > 0`).
+pub fn row_sq_norms_flat_with(backend: KernelBackend, data: &[f64], dim: usize) -> Vec<f64> {
     if dim == 0 {
         return Vec::new();
     }
     assert_eq!(data.len() % dim, 0, "row_sq_norms: ragged buffer");
-    data.chunks_exact(dim).map(|r| dot1(r, r, dim)).collect()
+    data.chunks_exact(dim)
+        .map(|r| simd::dot(backend, r, r, dim))
+        .collect()
 }
 
 /// Dense `C ← A·Bᵀ` panel: `out[i·ldc + j] = ⟨aᵢ, bⱼ⟩` for
@@ -84,7 +115,37 @@ pub fn abt_into(
     out: &mut [f64],
     ldc: usize,
 ) {
-    panel_driver(a, ma, dim, b, nb, dim, dim, out, ldc, |_, _, dot| dot);
+    abt_into_with(KernelBackend::resolved(), a, ma, b, nb, dim, out, ldc);
+}
+
+/// [`abt_into`] on an explicit kernel backend.
+///
+/// # Panics
+/// Panics under the same shape conditions as [`abt_into`].
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+pub fn abt_into_with(
+    backend: KernelBackend,
+    a: &[f64],
+    ma: usize,
+    b: &[f64],
+    nb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
+    panel_driver_with(
+        backend,
+        a,
+        ma,
+        dim,
+        b,
+        nb,
+        dim,
+        dim,
+        out,
+        ldc,
+        |_, _, dot| dot,
+    );
 }
 
 /// [`abt_into`] with independent row strides for `A` and `B`: each
@@ -108,7 +169,50 @@ pub fn abt_strided_into(
     out: &mut [f64],
     ldc: usize,
 ) {
-    panel_driver(a, ma, lda, b, nb, ldb, dim, out, ldc, |_, _, dot| dot);
+    abt_strided_into_with(
+        KernelBackend::resolved(),
+        a,
+        ma,
+        lda,
+        b,
+        nb,
+        ldb,
+        dim,
+        out,
+        ldc,
+    );
+}
+
+/// [`abt_strided_into`] on an explicit kernel backend.
+///
+/// # Panics
+/// Panics under the same shape conditions as [`abt_strided_into`].
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+pub fn abt_strided_into_with(
+    backend: KernelBackend,
+    a: &[f64],
+    ma: usize,
+    lda: usize,
+    b: &[f64],
+    nb: usize,
+    ldb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
+    panel_driver_with(
+        backend,
+        a,
+        ma,
+        lda,
+        b,
+        nb,
+        ldb,
+        dim,
+        out,
+        ldc,
+        |_, _, dot| dot,
+    );
 }
 
 /// Fused pairwise squared distances:
@@ -135,11 +239,52 @@ pub fn sq_dists_into(
     out: &mut [f64],
     ldc: usize,
 ) {
+    sq_dists_into_with(
+        KernelBackend::resolved(),
+        a,
+        ma,
+        a_norms,
+        b,
+        nb,
+        b_norms,
+        dim,
+        out,
+        ldc,
+    );
+}
+
+/// [`sq_dists_into`] on an explicit kernel backend.
+///
+/// # Panics
+/// Panics under the same shape conditions as [`sq_dists_into`].
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+pub fn sq_dists_into_with(
+    backend: KernelBackend,
+    a: &[f64],
+    ma: usize,
+    a_norms: &[f64],
+    b: &[f64],
+    nb: usize,
+    b_norms: &[f64],
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+) {
     assert_eq!(a_norms.len(), ma, "sq_dists: a_norms length mismatch");
     assert_eq!(b_norms.len(), nb, "sq_dists: b_norms length mismatch");
-    panel_driver(a, ma, dim, b, nb, dim, dim, out, ldc, |i, j, dot| {
-        (a_norms[i] + b_norms[j] - 2.0 * dot).max(0.0)
-    });
+    panel_driver_with(
+        backend,
+        a,
+        ma,
+        dim,
+        b,
+        nb,
+        dim,
+        dim,
+        out,
+        ldc,
+        |i, j, dot| (a_norms[i] + b_norms[j] - 2.0 * dot).max(0.0),
+    );
 }
 
 /// Convenience tile driver: the full `ma × nb` squared-distance matrix
@@ -172,14 +317,15 @@ pub fn pairwise_sq_dists(a: &FlatPoints, b: &FlatPoints) -> Vec<f64> {
     out
 }
 
-/// Shared tiled driver: stream tiles of `B` rows against every `A` row,
-/// finishing each inner product through `finish(i, j, dot)`.
+/// Shared tiled driver: validate the panel shapes once, then dispatch
+/// the tile loop to the requested backend's kernels.
 ///
 /// The `finish` closure is monomorphized into the kernel, so the fused
 /// distance variant pays nothing over the raw matmul.
 #[inline]
 #[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
-fn panel_driver<F>(
+fn panel_driver_with<F>(
+    backend: KernelBackend,
     a: &[f64],
     ma: usize,
     lda: usize,
@@ -204,6 +350,75 @@ fn panel_driver<F>(
         out.len() >= (ma - 1) * ldc + nb,
         "gemm: output buffer too small"
     );
+    match backend {
+        KernelBackend::Scalar => {
+            panel_scalar(a, ma, lda, b, nb, ldb, dim, out, ldc, finish);
+        }
+        KernelBackend::Avx2Fma => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the backend is only resolvable/constructible after
+            // `is_available` confirmed AVX2+FMA; shapes validated above.
+            unsafe {
+                simd::avx2::panel(
+                    a,
+                    ma,
+                    lda,
+                    b,
+                    nb,
+                    ldb,
+                    dim,
+                    out,
+                    ldc,
+                    GEMM_TILE_ROWS,
+                    finish,
+                );
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            panel_scalar(a, ma, lda, b, nb, ldb, dim, out, ldc, finish);
+        }
+        KernelBackend::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above, with NEON confirmed at resolution time.
+            unsafe {
+                simd::neon::panel(
+                    a,
+                    ma,
+                    lda,
+                    b,
+                    nb,
+                    ldb,
+                    dim,
+                    out,
+                    ldc,
+                    GEMM_TILE_ROWS,
+                    finish,
+                );
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            panel_scalar(a, ma, lda, b, nb, ldb, dim, out, ldc, finish);
+        }
+    }
+}
+
+/// The scalar tile loop, byte-for-byte the pre-SIMD driver: this is
+/// what `DASC_KERNEL=scalar` runs and what the SIMD panels are tested
+/// against.
+#[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-style panel signature: shapes travel with buffers
+fn panel_scalar<F>(
+    a: &[f64],
+    ma: usize,
+    lda: usize,
+    b: &[f64],
+    nb: usize,
+    ldb: usize,
+    dim: usize,
+    out: &mut [f64],
+    ldc: usize,
+    finish: F,
+) where
+    F: Fn(usize, usize, f64) -> f64 + Copy,
+{
     // The 4-deep column kernel needs four contiguous B rows; strided B
     // panels fall back to the single-row kernel, which is still 4-way
     // unrolled over the depth dimension.

@@ -8,6 +8,11 @@
 //! Full (two-pass) reorthogonalization keeps the Krylov basis orthogonal
 //! at O(m²n) cost — the subspaces here are small (`m ≲ 2k + 20`), so this
 //! is cheaper and far more robust than selective reorthogonalization.
+//!
+//! The inner loops (`vector::{dot, axpy, norm2}` and the operator's
+//! `matvec`) dispatch to the process kernel backend (see
+//! [`crate::simd`]), so the Lanczos path is vectorized automatically
+//! wherever the host supports AVX2+FMA or NEON.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;

@@ -16,7 +16,12 @@
 //!   leading eigenpairs of any [`MatVec`] operator (PARPACK substitute).
 //! * [`qr`] — Householder QR used for orthonormalization (Nyström).
 //!
-//! Everything is `f64`, deterministic, and free of `unsafe`.
+//! Everything is `f64` and deterministic within a kernel backend: the
+//! hot gemm/dot/axpy primitives dispatch once per process to a SIMD
+//! backend (AVX2+FMA or NEON) or the portable scalar kernels via
+//! [`KernelBackend`], selectable with `DASC_KERNEL=scalar|auto`. The
+//! only `unsafe` in the crate is the `#[target_feature]` kernels in
+//! [`simd`], gated behind runtime CPU-feature detection.
 //!
 //! ```
 //! use dasc_linalg::{symmetric_eigen, Matrix};
@@ -36,6 +41,7 @@ pub mod lanczos;
 pub mod operator;
 pub mod points;
 pub mod qr;
+pub mod simd;
 pub mod sparse;
 pub mod svd;
 pub mod tridiag;
@@ -52,6 +58,7 @@ pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
 pub use operator::MatVec;
 pub use points::FlatPoints;
 pub use qr::{qr, QrDecomposition};
+pub use simd::KernelBackend;
 pub use sparse::{CooBuilder, CsrMatrix};
 pub use svd::{energy_captured, numerical_rank, singular_values};
 pub use tridiag::{tridiagonalize, tridiagonalize_factored, FactoredTridiagonal, Tridiagonal};

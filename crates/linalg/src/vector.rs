@@ -3,6 +3,15 @@
 //! These are the innermost loops of the whole system (kernel evaluation,
 //! Lanczos, K-means all bottom out here), so they operate on plain slices
 //! and avoid allocation.
+//!
+//! [`dot`], [`norm2`], and [`axpy`] dispatch to the process kernel
+//! backend (see [`crate::simd`]): the scalar arm of [`dot`] is the same
+//! unrolled kernel the gemm panel drivers use for single rows, so there
+//! is exactly one scalar summation order in the tree — a pair's inner
+//! product agrees bitwise whether it came through `vector::dot` or a
+//! gemm panel on the same backend.
+
+use crate::simd::{self, KernelBackend};
 
 /// Dot product of two equal-length slices.
 ///
@@ -11,7 +20,7 @@
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    simd::dot(KernelBackend::resolved(), a, b, a.len())
 }
 
 /// Euclidean (L2) norm.
@@ -38,14 +47,14 @@ pub fn dist(a: &[f64], b: &[f64]) -> f64 {
 
 /// `y += alpha * x` (BLAS `axpy`).
 ///
+/// Elementwise, so every backend touches `y[i]` exactly once; the SIMD
+/// backends fuse the multiply-add where the scalar path rounds twice.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(KernelBackend::resolved(), alpha, x, y);
 }
 
 /// Scale a vector in place: `x *= alpha`.

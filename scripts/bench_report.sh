@@ -89,6 +89,28 @@ with open(sys.argv[1]) as f:
 
 assert doc["bench"] == "pipeline", "wrong bench id"
 assert doc["parallel_threads"] >= 1, "bad thread count"
+
+# Kernel backend: the resolved dispatch target plus the per-backend
+# micro-kernel throughput sweep.
+assert doc.get("kernel_backend") in ("scalar", "avx2fma", "neon"), (
+    f"bad kernel_backend {doc.get('kernel_backend')!r}"
+)
+kg = doc["kernel_gram_gflops"]
+assert isinstance(kg, dict) and "scalar" in kg, "kernel_gram_gflops missing scalar entry"
+assert doc["kernel_backend"] in kg, "resolved backend missing from kernel_gram_gflops"
+for name, gflops in kg.items():
+    assert name in ("scalar", "avx2fma", "neon"), f"unknown backend {name!r}"
+    assert gflops > 0, f"non-positive gram gflops for {name}"
+simd = {n: g for n, g in kg.items() if n != "scalar"}
+if simd:
+    best_name, best = max(simd.items(), key=lambda kv: kv[1])
+    ratio = best / kg["scalar"]
+    print(f"kernel: {best_name} {best:.2f} GFLOP/s vs scalar {kg['scalar']:.2f} "
+          f"({ratio:.2f}x)")
+    assert ratio >= 2.0, (
+        f"SIMD backend {best_name} only {ratio:.2f}x over scalar (want >= 2x)"
+    )
+
 runs = doc["runs"]
 assert len(runs) >= 4, f"expected >=2 sizes x 2 thread counts, got {len(runs)} runs"
 for run in runs:
@@ -112,13 +134,25 @@ for run in runs:
         assert stages["eigen"] > 0, "eigen substage empty on a non-trivial run"
         assert stages["kmeans"] > 0, "kmeans substage empty on a non-trivial run"
 assert len(doc["speedup"]) * 2 == len(runs), "one speedup entry per size"
-print(f"OK: {len(runs)} runs at {doc['parallel_threads']} parallel threads")
+# Regression floor on the parallel speedup. With a 1-wide pool the
+# bench reuses the sequential run, so the speedup is exactly 1.0; on
+# real multi-thread pools the small-n sequential threshold keeps tiny
+# runs off the pool, and anything below 0.95 means thread fan-out is
+# again costing more than it buys (0.05 is scheduling noise headroom
+# for shared runners).
+floor = 1.0 if doc["parallel_threads"] == 1 else 0.95
+for s in doc["speedup"]:
+    assert s["speedup"] >= floor, (
+        f"n={s['n']}: speedup {s['speedup']:.3f} below floor {floor}"
+    )
+print(f"OK: {len(runs)} runs at {doc['parallel_threads']} parallel threads, "
+      f"kernel_backend {doc['kernel_backend']}")
 for s in doc["speedup"]:
     print(f"  n={s['n']}: speedup {s['speedup']:.2f}x")
 EOF
 else
     # Fallback: at least confirm the expected keys are present.
-    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"' '"gram_gflops"' '"eigen_path"' '"laplacian"' '"eigen"' '"kmeans"'; do
+    for key in '"bench": "pipeline"' '"runs"' '"speedup"' '"stages_s"' '"gram_gflops"' '"eigen_path"' '"laplacian"' '"eigen"' '"kmeans"' '"kernel_backend"' '"kernel_gram_gflops"'; do
         grep -q "$key" "$OUT" || fail "$OUT missing $key"
     done
     echo "OK (python3 unavailable; key-presence check only)"
