@@ -10,6 +10,12 @@
 //! telemetry-off workers. Every run is checked bit-identical against
 //! the in-process distributed engine before it is reported.
 //!
+//! Each size is additionally submitted *by reference* against a packed
+//! `.dstr` store, so the JSON records both `shuffle_bytes` (inline:
+//! tasks carry points) and `shuffle_bytes_ref` (shard-addressed: tasks
+//! carry shard tables, workers pull shards through their caches). The
+//! ref run is asserted bit-identical to the inline run.
+//!
 //! Usage: `bench_dist [--full] [--workers N] [--out PATH]`. Sizes
 //! default to the quick set; `--full`/`DASC_SCALE=full` switches to
 //! paper-adjacent sizes. Workers default to 2 (the smallest cluster
@@ -20,8 +26,8 @@ use std::time::Instant;
 
 use dasc_bench::Scale;
 use dasc_core::{Dasc, DascConfig};
-use dasc_data::SyntheticConfig;
-use dasc_dist::{worker, Coordinator, JobClient, JobOutcome, JobSpec, WorkerOptions};
+use dasc_data::{dataset_to_store, Dataset, SyntheticConfig};
+use dasc_dist::{worker, Coordinator, JobClient, JobData, JobOutcome, JobSpec, WorkerOptions};
 use dasc_mapreduce::ClusterConfig;
 
 struct Run {
@@ -29,6 +35,8 @@ struct Run {
     dim: usize,
     total_s: f64,
     outcome: JobOutcome,
+    ref_total_s: f64,
+    ref_shuffle_bytes: u64,
 }
 
 fn json_run(out: &mut String, run: &Run) {
@@ -39,6 +47,7 @@ fn json_run(out: &mut String, run: &Run) {
             "{{\"n\": {}, \"dim\": {}, \"workers\": {}, \"total_s\": {:.6}, ",
             "\"points_per_s\": {:.1}, \"buckets\": {}, ",
             "\"shuffle_records\": {}, \"shuffle_bytes\": {}, ",
+            "\"ref_total_s\": {:.6}, \"shuffle_bytes_ref\": {}, ",
             "\"task_retries\": {}, \"stages_s\": {{",
             "\"map\": {:.6}, \"reduce\": {:.6}}}}}"
         ),
@@ -50,6 +59,8 @@ fn json_run(out: &mut String, run: &Run) {
         o.num_buckets,
         o.shuffle_records,
         o.shuffle_bytes,
+        run.ref_total_s,
+        run.ref_shuffle_bytes,
         o.task_retries,
         o.stage1_us as f64 / 1e6,
         o.stage2_us as f64 / 1e6,
@@ -85,7 +96,9 @@ fn main() {
         let ds = SyntheticConfig::paper_default(n, k).seed(0xDA7A).generate();
         let config = DascConfig::for_dataset(n, k).seed(0xBE7C);
         let spec = JobSpec {
-            points: ds.points.clone(),
+            data: JobData::Inline {
+                points: ds.points.clone(),
+            },
             k,
             kernel: config.kernel,
             num_bits: 0,
@@ -100,22 +113,60 @@ fn main() {
         let outcome = client.run(spec, |_, _, _| {}).expect("distributed job");
         let total_s = t0.elapsed().as_secs_f64();
 
-        let baseline = Dasc::new(config).run_distributed(&ds.points, &ClusterConfig::emr_default());
+        let baseline =
+            Dasc::new(config.clone()).run_distributed(&ds.points, &ClusterConfig::emr_default());
         assert_eq!(
             outcome.assignments, baseline.clustering.assignments,
             "distributed output must match the in-process engine"
         );
+
+        // The same job by reference against a packed store: tasks ship
+        // shard tables, not points.
+        let store_dir =
+            std::env::temp_dir().join(format!("dasc-bench-dist-{}-{n}.dstr", std::process::id()));
+        let manifest = dataset_to_store(
+            &Dataset::new(ds.points.clone(), None, "bench"),
+            &store_dir,
+            1024,
+        )
+        .expect("pack store");
+        let ref_spec = JobSpec {
+            data: JobData::Ref {
+                path: store_dir.to_string_lossy().into_owned(),
+                content_hash: manifest.content_hash,
+            },
+            k,
+            kernel: config.kernel,
+            num_bits: 0,
+            seed: config.seed,
+            consolidate: config.consolidate,
+            collect_trace: false,
+        };
+        eprintln!("n={n}: shard-addressed run from {}...", store_dir.display());
+        let t0 = Instant::now();
+        let ref_outcome = client.run(ref_spec, |_, _, _| {}).expect("ref job");
+        let ref_total_s = t0.elapsed().as_secs_f64();
+        std::fs::remove_dir_all(&store_dir).ok();
+        assert_eq!(
+            ref_outcome.assignments, outcome.assignments,
+            "shard-addressed output must match the inline path"
+        );
+
         eprintln!(
-            "n={n}: {total_s:.3}s end to end, map {:.3}s + reduce {:.3}s, {} bytes shuffled",
+            "n={n}: {total_s:.3}s end to end, map {:.3}s + reduce {:.3}s, \
+             {} bytes shuffled inline vs {} by ref",
             outcome.stage1_us as f64 / 1e6,
             outcome.stage2_us as f64 / 1e6,
             outcome.shuffle_bytes,
+            ref_outcome.shuffle_bytes,
         );
         runs.push(Run {
             n,
             dim: ds.points.first().map_or(0, Vec::len),
             total_s,
             outcome,
+            ref_total_s,
+            ref_shuffle_bytes: ref_outcome.shuffle_bytes,
         });
     }
 
@@ -129,7 +180,9 @@ fn main() {
         let ds = SyntheticConfig::paper_default(n, k).seed(0xDA7A).generate();
         let config = DascConfig::for_dataset(n, k).seed(0xBE7C);
         let spec = |collect_trace: bool| JobSpec {
-            points: ds.points.clone(),
+            data: JobData::Inline {
+                points: ds.points.clone(),
+            },
             k,
             kernel: config.kernel,
             num_bits: 0,

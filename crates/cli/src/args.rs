@@ -47,10 +47,14 @@ impl Algorithm {
 /// A fully-parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// Cluster a CSV dataset.
+    /// Cluster a CSV dataset or a packed `.dstr` store.
     Cluster {
-        /// Input CSV path.
-        input: String,
+        /// Input CSV path (exactly one of `--input` / `--data`).
+        input: Option<String>,
+        /// Packed `.dstr` store directory to cluster instead of a CSV.
+        /// With `--dist <host:port>` the job is submitted *by
+        /// reference*: tasks carry shard tables, not points.
+        data: Option<String>,
         /// Output CSV path (`-` or empty = stdout).
         output: Option<String>,
         /// Number of clusters.
@@ -154,6 +158,22 @@ pub enum Command {
         /// Coordinator address (`host:port`).
         coordinator: String,
     },
+    /// Pack a CSV into a sharded on-disk `.dstr` store.
+    Pack {
+        /// Input CSV path.
+        input: String,
+        /// Output store directory.
+        output: String,
+        /// Rows per shard; `None` = format default.
+        shard_rows: Option<usize>,
+        /// Store the last CSV column as per-row labels.
+        labels_last_column: bool,
+    },
+    /// Print a packed store's manifest and verify every shard checksum.
+    Inspect {
+        /// Store directory path.
+        data: String,
+    },
     /// Print usage.
     Help,
 }
@@ -183,12 +203,16 @@ pub const USAGE: &str = "\
 dasc — distributed approximate spectral clustering
 
 USAGE:
-  dasc cluster  --input <csv> --k <K> [--algorithm dasc|sc|psc|nyst|stsc]
+  dasc cluster  --input <csv>|--data <dstr> --k <K>
+                [--algorithm dasc|sc|psc|nyst|stsc]
                 [--sigma <f>] [--bits <M>] [--seed <S>] [--labels-last-column]
                 [--output <csv>] [--stage-timings] [--trace-out <json>]
                 [--dist local|<host:port>]
   dasc generate --kind blobs|wiki|grid --n <N> [--d <D>] [--k <K>]
                 [--seed <S>] --output <csv>
+  dasc pack     --input <csv> --output <dstr-dir> [--shard-rows <R>]
+                [--labels-last-column]
+  dasc inspect  --data <dstr-dir>
   dasc train    --input <csv> --k <K> --model-out <path> [--sigma <f>]
                 [--bits <M>] [--seed <S>] [--labels-last-column]
                 [--stage-timings] [--trace-out <json>]
@@ -215,6 +239,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
         "coordinator" => parse_coordinator(&argv[1..]),
         "worker" => parse_worker(&argv[1..]),
         "dist-metrics" => parse_dist_metrics(&argv[1..]),
+        "pack" => parse_pack(&argv[1..]),
+        "inspect" => parse_inspect(&argv[1..]),
         other => Err(ParseError::Invalid(format!("unknown command '{other}'"))),
     }
 }
@@ -270,11 +296,20 @@ impl<'a> Flags<'a> {
 
 fn parse_cluster(argv: &[String]) -> Result<Command, ParseError> {
     let flags = Flags::scan(argv, &["--labels-last-column", "--stage-timings"])?;
+    let input = flags.get("--input").map(str::to_string);
+    let data = flags.get("--data").map(str::to_string);
+    match (&input, &data) {
+        (None, None) => return Err(ParseError::Missing("--input or --data")),
+        (Some(_), Some(_)) => {
+            return Err(ParseError::Invalid(
+                "--input and --data are mutually exclusive".to_string(),
+            ))
+        }
+        _ => {}
+    }
     Ok(Command::Cluster {
-        input: flags
-            .get("--input")
-            .ok_or(ParseError::Missing("--input"))?
-            .to_string(),
+        input,
+        data,
         output: flags.get("--output").map(str::to_string),
         k: flags
             .parsed::<usize>("--k")?
@@ -398,6 +433,38 @@ fn parse_dist_metrics(argv: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+fn parse_pack(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &["--labels-last-column"])?;
+    let shard_rows = flags.parsed::<usize>("--shard-rows")?;
+    if shard_rows == Some(0) {
+        return Err(ParseError::Invalid(
+            "--shard-rows must be positive".to_string(),
+        ));
+    }
+    Ok(Command::Pack {
+        input: flags
+            .get("--input")
+            .ok_or(ParseError::Missing("--input"))?
+            .to_string(),
+        output: flags
+            .get("--output")
+            .ok_or(ParseError::Missing("--output"))?
+            .to_string(),
+        shard_rows,
+        labels_last_column: flags.has("--labels-last-column"),
+    })
+}
+
+fn parse_inspect(argv: &[String]) -> Result<Command, ParseError> {
+    let flags = Flags::scan(argv, &[])?;
+    Ok(Command::Inspect {
+        data: flags
+            .get("--data")
+            .ok_or(ParseError::Missing("--data"))?
+            .to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,7 +479,8 @@ mod tests {
         assert_eq!(
             c,
             Command::Cluster {
-                input: "a.csv".into(),
+                input: Some("a.csv".into()),
+                data: None,
                 output: None,
                 k: 5,
                 algorithm: Algorithm::Dasc,
@@ -578,7 +646,82 @@ mod tests {
     #[test]
     fn missing_required_flag() {
         let e = parse(&sv(&["cluster", "--k", "2"])).unwrap_err();
-        assert_eq!(e, ParseError::Missing("--input"));
+        assert_eq!(e, ParseError::Missing("--input or --data"));
+    }
+
+    #[test]
+    fn parses_cluster_data_store() {
+        let c = parse(&sv(&["cluster", "--data", "pts.dstr", "--k", "4"])).unwrap();
+        match c {
+            Command::Cluster { input, data, .. } => {
+                assert_eq!(input, None);
+                assert_eq!(data.as_deref(), Some("pts.dstr"));
+            }
+            _ => panic!("wrong command"),
+        }
+        let e = parse(&sv(&[
+            "cluster", "--input", "a.csv", "--data", "a.dstr", "--k", "2",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
+    fn parses_pack_and_inspect() {
+        assert_eq!(
+            parse(&sv(&[
+                "pack",
+                "--input",
+                "a.csv",
+                "--output",
+                "a.dstr",
+                "--shard-rows",
+                "512",
+                "--labels-last-column",
+            ]))
+            .unwrap(),
+            Command::Pack {
+                input: "a.csv".into(),
+                output: "a.dstr".into(),
+                shard_rows: Some(512),
+                labels_last_column: true,
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["pack", "--input", "a.csv", "--output", "a.dstr"])).unwrap(),
+            Command::Pack {
+                input: "a.csv".into(),
+                output: "a.dstr".into(),
+                shard_rows: None,
+                labels_last_column: false,
+            }
+        );
+        let e = parse(&sv(&[
+            "pack",
+            "--input",
+            "a.csv",
+            "--output",
+            "a.dstr",
+            "--shard-rows",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+        assert_eq!(
+            parse(&sv(&["pack", "--input", "a.csv"])).unwrap_err(),
+            ParseError::Missing("--output")
+        );
+
+        assert_eq!(
+            parse(&sv(&["inspect", "--data", "a.dstr"])).unwrap(),
+            Command::Inspect {
+                data: "a.dstr".into(),
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["inspect"])).unwrap_err(),
+            ParseError::Missing("--data")
+        );
     }
 
     #[test]

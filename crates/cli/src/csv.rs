@@ -1,185 +1,8 @@
-//! Minimal CSV reading/writing for numeric point data (no external
-//! dependencies; comma-separated, `#`-comments and blank lines skipped).
+//! CSV I/O for the CLI — re-exported from `dasc-data`, where the
+//! canonical streaming parser lives (it is shared with the CSV→store
+//! packer, so the `pack` subcommand and `cluster --input` agree on
+//! every parsing detail).
 
-use std::io::{BufRead, Write};
-
-/// CSV shape/parse failure.
-#[derive(Clone, Debug, PartialEq)]
-pub enum CsvError {
-    /// Non-numeric cell.
-    BadNumber {
-        /// 1-based line number.
-        line: usize,
-        /// Offending cell text.
-        cell: String,
-    },
-    /// Inconsistent column count.
-    Ragged {
-        /// 1-based line number.
-        line: usize,
-    },
-    /// No data rows at all.
-    Empty,
-}
-
-impl std::fmt::Display for CsvError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CsvError::BadNumber { line, cell } => {
-                write!(f, "line {line}: cannot parse '{cell}' as a number")
-            }
-            CsvError::Ragged { line } => {
-                write!(f, "line {line}: inconsistent column count")
-            }
-            CsvError::Empty => write!(f, "no data rows"),
-        }
-    }
-}
-
-impl std::error::Error for CsvError {}
-
-/// Parsed CSV content: the points plus optional trailing-column labels.
-pub type PointsAndLabels = (Vec<Vec<f64>>, Option<Vec<usize>>);
-
-/// Read numeric rows from a reader. Returns `(points, labels)`; when
-/// `labels_last_column` is set the final column is split off, rounded,
-/// and returned as ground-truth labels.
-pub fn read_points(
-    reader: impl BufRead,
-    labels_last_column: bool,
-) -> Result<PointsAndLabels, CsvError> {
-    let mut points: Vec<Vec<f64>> = Vec::new();
-    let mut labels: Vec<usize> = Vec::new();
-    let mut width: Option<usize> = None;
-
-    for (idx, line) in reader.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line.map_err(|_| CsvError::Ragged { line: line_no })?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let mut row: Vec<f64> = Vec::new();
-        for cell in trimmed.split(',') {
-            let cell = cell.trim();
-            let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
-                line: line_no,
-                cell: cell.to_string(),
-            })?;
-            row.push(v);
-        }
-        match width {
-            None => width = Some(row.len()),
-            Some(w) if w != row.len() => return Err(CsvError::Ragged { line: line_no }),
-            _ => {}
-        }
-        if labels_last_column {
-            let l = row.pop().ok_or(CsvError::Ragged { line: line_no })?;
-            labels.push(l.round().max(0.0) as usize);
-        }
-        points.push(row);
-    }
-    if points.is_empty() {
-        return Err(CsvError::Empty);
-    }
-    Ok((points, labels_last_column.then_some(labels)))
-}
-
-/// Write points (optionally with a trailing label column).
-pub fn write_points(
-    mut w: impl Write,
-    points: &[Vec<f64>],
-    labels: Option<&[usize]>,
-) -> std::io::Result<()> {
-    for (i, p) in points.iter().enumerate() {
-        let mut row: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
-        if let Some(ls) = labels {
-            row.push(ls[i].to_string());
-        }
-        writeln!(w, "{}", row.join(","))?;
-    }
-    Ok(())
-}
-
-/// Write one assignment per line (`index,cluster`).
-pub fn write_assignments(mut w: impl Write, assignments: &[usize]) -> std::io::Result<()> {
-    writeln!(w, "# index,cluster")?;
-    for (i, &c) in assignments.iter().enumerate() {
-        writeln!(w, "{i},{c}")?;
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::io::Cursor;
-
-    #[test]
-    fn read_basic() {
-        let data = "1.0,2.0\n3.5,4.5\n";
-        let (pts, labels) = read_points(Cursor::new(data), false).unwrap();
-        assert_eq!(pts, vec![vec![1.0, 2.0], vec![3.5, 4.5]]);
-        assert!(labels.is_none());
-    }
-
-    #[test]
-    fn read_with_labels_and_comments() {
-        let data = "# x,y,label\n0.1,0.2,0\n\n0.8,0.9,1\n";
-        let (pts, labels) = read_points(Cursor::new(data), true).unwrap();
-        assert_eq!(pts, vec![vec![0.1, 0.2], vec![0.8, 0.9]]);
-        assert_eq!(labels, Some(vec![0, 1]));
-    }
-
-    #[test]
-    fn whitespace_tolerated() {
-        let data = " 1.0 , 2.0 \n";
-        let (pts, _) = read_points(Cursor::new(data), false).unwrap();
-        assert_eq!(pts[0], vec![1.0, 2.0]);
-    }
-
-    #[test]
-    fn bad_number_reports_line() {
-        let data = "1.0\nbad\n";
-        let err = read_points(Cursor::new(data), false).unwrap_err();
-        assert_eq!(
-            err,
-            CsvError::BadNumber {
-                line: 2,
-                cell: "bad".into()
-            }
-        );
-    }
-
-    #[test]
-    fn ragged_detected() {
-        let data = "1.0,2.0\n3.0\n";
-        let err = read_points(Cursor::new(data), false).unwrap_err();
-        assert_eq!(err, CsvError::Ragged { line: 2 });
-    }
-
-    #[test]
-    fn empty_rejected() {
-        let err = read_points(Cursor::new("# nothing\n"), false).unwrap_err();
-        assert_eq!(err, CsvError::Empty);
-    }
-
-    #[test]
-    fn roundtrip() {
-        let pts = vec![vec![0.25, 0.75], vec![1.5, -2.0]];
-        let labels = vec![3usize, 1];
-        let mut buf = Vec::new();
-        write_points(&mut buf, &pts, Some(&labels)).unwrap();
-        let (rpts, rlabels) = read_points(Cursor::new(buf), true).unwrap();
-        assert_eq!(rpts, pts);
-        assert_eq!(rlabels, Some(labels));
-    }
-
-    #[test]
-    fn assignments_format() {
-        let mut buf = Vec::new();
-        write_assignments(&mut buf, &[2, 0, 1]).unwrap();
-        let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text, "# index,cluster\n0,2\n1,0\n2,1\n");
-    }
-}
+pub use dasc_data::csv::{
+    read_points, read_points_flat, write_assignments, write_points, CsvError, PointsAndLabels,
+};

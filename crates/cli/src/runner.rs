@@ -3,18 +3,20 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 
 use dasc_core::{
     local_scaling_similarity, Dasc, DascConfig, Nystrom, NystromConfig, ParallelSpectral,
     PscConfig, SpectralClustering, SpectralConfig,
 };
-use dasc_data::{SyntheticConfig, WikiCorpusConfig};
-use dasc_dist::{Coordinator, JobClient, JobSpec, WorkerOptions};
+use dasc_data::{dataset_from_store, pack_csv_to_store, SyntheticConfig, WikiCorpusConfig};
+use dasc_dist::{Coordinator, JobClient, JobData, JobSpec, WorkerOptions};
 use dasc_kernel::Kernel;
 use dasc_lsh::LshConfig;
 use dasc_mapreduce::ClusterConfig;
 use dasc_metrics::{accuracy, nmi};
 use dasc_serve::{AssignmentEngine, ModelArtifact, Server, ServerConfig};
+use dasc_store::{StoreReader, DEFAULT_SHARD_ROWS};
 
 use crate::args::{Algorithm, Command, USAGE};
 use crate::csv;
@@ -34,6 +36,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         } => generate(kind, *n, *d, *k, *seed, output),
         Command::Cluster {
             input,
+            data,
             output,
             k,
             algorithm,
@@ -46,7 +49,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             seed,
         } => match dist.as_deref() {
             Some(target) => cluster_dist(
-                input,
+                input.as_deref(),
+                data.as_deref(),
                 output.as_deref(),
                 *k,
                 *algorithm,
@@ -58,7 +62,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 target,
             ),
             None => cluster(
-                input,
+                input.as_deref(),
+                data.as_deref(),
                 output.as_deref(),
                 *k,
                 *algorithm,
@@ -109,6 +114,38 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         } => coordinator(addr, *port, *http_port),
         Command::Worker { coordinator, name } => worker_daemon(coordinator, name),
         Command::DistMetrics { coordinator } => dist_metrics(coordinator),
+        Command::Pack {
+            input,
+            output,
+            shard_rows,
+            labels_last_column,
+        } => pack(input, output, *shard_rows, *labels_last_column),
+        Command::Inspect { data } => inspect(data),
+    }
+}
+
+/// Load points and optional ground-truth labels from either a CSV
+/// file or a packed `.dstr` store. A store records label presence
+/// itself, so `labels_last_column` only applies to CSV input.
+#[allow(clippy::type_complexity)] // points + optional labels, same shape as csv::read_points
+fn load_points(
+    input: Option<&str>,
+    data: Option<&str>,
+    labels_last_column: bool,
+) -> Result<(Vec<Vec<f64>>, Option<Vec<usize>>), String> {
+    match (input, data) {
+        (Some(path), None) => {
+            let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            csv::read_points(BufReader::new(file), labels_last_column)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        (None, Some(dir)) => {
+            let reader =
+                StoreReader::open(Path::new(dir)).map_err(|e| format!("open store {dir}: {e}"))?;
+            let ds = dataset_from_store(&reader).map_err(|e| format!("read store {dir}: {e}"))?;
+            Ok((ds.points, ds.labels))
+        }
+        _ => Err("exactly one of --input / --data is required".to_string()),
     }
 }
 
@@ -183,7 +220,8 @@ fn with_tracing<T>(
 
 #[allow(clippy::too_many_arguments)]
 fn cluster(
-    input: &str,
+    input: Option<&str>,
+    data: Option<&str>,
     output: Option<&str>,
     k: usize,
     algorithm: Algorithm,
@@ -196,9 +234,7 @@ fn cluster(
     if k == 0 {
         return Err("--k must be at least 1".to_string());
     }
-    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
-    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
-        .map_err(|e| format!("{input}: {e}"))?;
+    let (points, labels) = load_points(input, data, labels_last_column)?;
     let n = points.len();
     let kernel = match sigma {
         Some(s) if s > 0.0 => Kernel::gaussian(s),
@@ -304,9 +340,16 @@ fn cluster(
 /// the in-process MapReduce simulation, anything else is a coordinator
 /// address to submit the job to over the wire protocol. Both paths are
 /// bit-identical to each other for the same data and seed.
+///
+/// With `--data <dstr>` and a coordinator target the job is submitted
+/// *by reference*: the spec carries only the store path and content
+/// hash, the coordinator opens the store itself, and tasks ship shard
+/// tables instead of points (the points are still read locally once,
+/// for the sigma heuristic and accuracy reporting).
 #[allow(clippy::too_many_arguments)]
 fn cluster_dist(
-    input: &str,
+    input: Option<&str>,
+    data: Option<&str>,
     output: Option<&str>,
     k: usize,
     algorithm: Algorithm,
@@ -323,9 +366,7 @@ fn cluster_dist(
     if k == 0 {
         return Err("--k must be at least 1".to_string());
     }
-    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
-    let (points, labels) = csv::read_points(BufReader::new(file), labels_last_column)
-        .map_err(|e| format!("{input}: {e}"))?;
+    let (points, labels) = load_points(input, data, labels_last_column)?;
     let n = points.len();
     let kernel = match sigma {
         Some(s) if s > 0.0 => Kernel::gaussian(s),
@@ -358,8 +399,26 @@ fn cluster_dist(
         )
     } else {
         let cluster = ClusterConfig::emr_default();
+        let job_data = match data {
+            // By reference: resolve to an absolute path so the
+            // coordinator finds the store regardless of its own cwd,
+            // and pin the manifest hash so a swapped store is refused.
+            Some(dir) => {
+                let reader = StoreReader::open(Path::new(dir))
+                    .map_err(|e| format!("open store {dir}: {e}"))?;
+                let path = std::fs::canonicalize(dir)
+                    .map(|p| p.to_string_lossy().into_owned())
+                    .unwrap_or_else(|_| dir.to_string());
+                JobData::Ref {
+                    path,
+                    content_hash: reader.manifest().content_hash,
+                }
+            }
+            None => JobData::Inline { points },
+        };
+        let by_ref = matches!(job_data, JobData::Ref { .. });
         let spec = JobSpec {
-            points,
+            data: job_data,
             k: cfg.k,
             kernel: cfg.kernel,
             num_bits: bits.unwrap_or(0),
@@ -384,10 +443,11 @@ fn cluster_dist(
                 "\nmerged cluster trace written to {path} (open in chrome://tracing or Perfetto)"
             );
         }
+        let mode = if by_ref { ", shard-addressed" } else { "" };
         (
             outcome.assignments,
             format!(
-                "dist({target}): {} buckets, {} workers, \
+                "dist({target}{mode}): {} buckets, {} workers, \
                  stage1 {:.1} ms, stage2 {:.1} ms, \
                  {} records / {} bytes shuffled, {} task retries{trace_report}",
                 outcome.num_buckets,
@@ -467,6 +527,68 @@ fn worker_daemon(coordinator: &str, name: &str) -> Result<String, String> {
 fn dist_metrics(coordinator: &str) -> Result<String, String> {
     let mut client = JobClient::connect(coordinator, &ClusterConfig::emr_default());
     client.metrics()
+}
+
+/// Stream a CSV into a sharded `.dstr` store, one shard in memory at a
+/// time.
+fn pack(
+    input: &str,
+    output: &str,
+    shard_rows: Option<usize>,
+    labels_last_column: bool,
+) -> Result<String, String> {
+    let file = File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let rows = shard_rows.unwrap_or(DEFAULT_SHARD_ROWS);
+    let manifest = pack_csv_to_store(
+        BufReader::new(file),
+        labels_last_column,
+        Path::new(output),
+        rows,
+    )
+    .map_err(|e| format!("pack {input}: {e}"))?;
+    let bytes: u64 = manifest.shards.iter().map(|s| s.byte_len).sum();
+    Ok(format!(
+        "packed {} rows x {} dims into {} shards ({} rows/shard, {bytes} bytes) at {output}\n\
+         content hash {:#018x}, labels: {}",
+        manifest.n,
+        manifest.dim,
+        manifest.shards.len(),
+        manifest.shard_rows,
+        manifest.content_hash,
+        if manifest.has_labels { "yes" } else { "no" },
+    ))
+}
+
+/// Print a store's manifest and verify every shard checksum.
+fn inspect(data: &str) -> Result<String, String> {
+    let reader =
+        StoreReader::open(Path::new(data)).map_err(|e| format!("open store {data}: {e}"))?;
+    reader
+        .verify_all()
+        .map_err(|e| format!("verify {data}: {e}"))?;
+    let m = reader.manifest();
+    let bytes: u64 = m.shards.iter().map(|s| s.byte_len).sum();
+    let mut report = format!(
+        "store {data}\n\
+         content hash  {:#018x}\n\
+         rows          {} x {} dims, labels: {}\n\
+         shards        {} ({} rows/shard, {bytes} bytes total)\n\
+         checksums     all {} shards verified",
+        m.content_hash,
+        m.n,
+        m.dim,
+        if m.has_labels { "yes" } else { "no" },
+        m.shards.len(),
+        m.shard_rows,
+        m.shards.len(),
+    );
+    for (i, s) in m.shards.iter().enumerate() {
+        report.push_str(&format!(
+            "\n  shard {i:>5}: {} rows, {} bytes, fnv1a {:#018x}",
+            s.rows, s.byte_len, s.checksum
+        ));
+    }
+    Ok(report)
 }
 
 /// Train a DASC model and persist the serving artifact.
@@ -962,6 +1084,137 @@ mod tests {
         for f in [&data, &local_out, &remote_out] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn pack_inspect_and_cluster_from_store_match_csv() {
+        let data = tmp("store-pts.csv");
+        let store = tmp("store-pts.dstr");
+        let csv_out = tmp("store-csv-out.csv");
+        let store_out = tmp("store-store-out.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "150", "--d", "6", "--k", "3", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let r = run(&args::parse(&sv(&[
+            "pack",
+            "--input",
+            &data,
+            "--output",
+            &store,
+            "--shard-rows",
+            "64",
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("packed 150 rows"), "{r}");
+        assert!(r.contains("3 shards"), "{r}");
+        assert!(r.contains("labels: yes"), "{r}");
+
+        let r = run(&args::parse(&sv(&["inspect", "--data", &store])).unwrap()).unwrap();
+        assert!(r.contains("150 x 6 dims"), "{r}");
+        assert!(r.contains("all 3 shards verified"), "{r}");
+        assert!(r.contains("shard     0"), "{r}");
+
+        // The same clustering from the CSV and from the packed store,
+        // bit-for-bit: both read identical points and run the same
+        // engine with the same defaults.
+        run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--labels-last-column",
+            "--output",
+            &csv_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let r = run(&args::parse(&sv(&[
+            "cluster", "--data", &store, "--k", "3", "--output", &store_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        // Labels ride along inside the store, so accuracy is reported
+        // without any flag.
+        assert!(r.contains("accuracy"), "{r}");
+        let from_csv = std::fs::read_to_string(&csv_out).unwrap();
+        let from_store = std::fs::read_to_string(&store_out).unwrap();
+        assert_eq!(from_csv, from_store, "store path diverges from CSV path");
+
+        for f in [&data, &csv_out, &store_out] {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn cluster_dist_ref_submission_matches_inline() {
+        let data = tmp("ref-pts.csv");
+        let store = tmp("ref-pts.dstr");
+        let inline_out = tmp("ref-inline.csv");
+        let ref_out = tmp("ref-byref.csv");
+        run(&args::parse(&sv(&[
+            "generate", "--kind", "blobs", "--n", "150", "--d", "6", "--k", "3", "--output", &data,
+        ]))
+        .unwrap())
+        .unwrap();
+        run(&args::parse(&sv(&[
+            "pack",
+            "--input",
+            &data,
+            "--output",
+            &store,
+            "--shard-rows",
+            "48",
+            "--labels-last-column",
+        ]))
+        .unwrap())
+        .unwrap();
+
+        let coord =
+            Coordinator::start("127.0.0.1:0", ClusterConfig::emr_default()).expect("coordinator");
+        let addr = coord.addr().to_string();
+        let w = dasc_dist::worker::spawn(&addr, WorkerOptions::named("cli-ref"));
+
+        run(&args::parse(&sv(&[
+            "cluster",
+            "--input",
+            &data,
+            "--k",
+            "3",
+            "--seed",
+            "7",
+            "--labels-last-column",
+            "--dist",
+            &addr,
+            "--output",
+            &inline_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        let r = run(&args::parse(&sv(&[
+            "cluster", "--data", &store, "--k", "3", "--seed", "7", "--dist", &addr, "--output",
+            &ref_out,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(r.contains("shard-addressed"), "{r}");
+
+        let inline = std::fs::read_to_string(&inline_out).unwrap();
+        let by_ref = std::fs::read_to_string(&ref_out).unwrap();
+        assert_eq!(inline, by_ref, "ref submission diverges from inline");
+
+        w.shutdown().expect("worker");
+        coord.shutdown();
+        for f in [&data, &inline_out, &ref_out] {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_dir_all(&store);
     }
 
     #[test]

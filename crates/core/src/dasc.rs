@@ -16,7 +16,7 @@ use std::time::Duration;
 use dasc_obs::span;
 
 use dasc_kernel::{ApproximateGram, Kernel};
-use dasc_linalg::KernelBackend;
+use dasc_linalg::{FlatPoints, KernelBackend, PointsView};
 use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
 use dasc_mapreduce::{
     reduce_groups, run_map_only, simulate_on_cluster, ClusterConfig, FnMapper, FnReducer, JobStats,
@@ -517,11 +517,34 @@ pub fn cluster_bucket(
     seed: u64,
     bucket_id: usize,
 ) -> Clustering {
+    cluster_bucket_flat(
+        &FlatPoints::from_rows(points),
+        ki,
+        kernel,
+        lanczos_threshold,
+        seed,
+        bucket_id,
+    )
+}
+
+/// [`cluster_bucket`] over a flat row-major buffer. The shard-addressed
+/// worker gathers a bucket's members straight out of mmap'd shards into
+/// one flat buffer and clusters it here; `cluster_bucket` delegates to
+/// this function, so the inline and dataset-ref executors stay
+/// bit-identical by construction.
+pub fn cluster_bucket_flat(
+    points: &FlatPoints,
+    ki: usize,
+    kernel: Kernel,
+    lanczos_threshold: usize,
+    seed: u64,
+    bucket_id: usize,
+) -> Clustering {
     let mut cfg = SpectralConfig::new(ki)
         .kernel(kernel)
         .seed(seed ^ (bucket_id as u64).wrapping_mul(0x9E37_79B9));
     cfg.lanczos_threshold = lanczos_threshold;
-    SpectralClustering::new(cfg).run(points).clustering
+    SpectralClustering::new(cfg).run_flat(points).clustering
 }
 
 /// Stitch distributed stage-2 output records `(point, bucket_id,
@@ -553,7 +576,12 @@ pub fn stitch_distributed(
 /// fragment centroids; see [`consolidate_fragments`]) for external
 /// executors that replay the DASC pipeline — the `dasc-dist`
 /// coordinator finishes its jobs through this exact function.
-pub fn consolidate(points: &[Vec<f64>], stitched: &Clustering, k: usize, seed: u64) -> Clustering {
+pub fn consolidate<P: PointsView + ?Sized>(
+    points: &P,
+    stitched: &Clustering,
+    k: usize,
+    seed: u64,
+) -> Clustering {
     consolidate_fragments(points, stitched, k, seed)
 }
 
@@ -564,8 +592,8 @@ pub fn consolidate(points: &[Vec<f64>], stitched: &Clustering, k: usize, seed: u
 /// LSH buckets can split a natural cluster across partitions; this
 /// two-level step reunites fragments, so the final clustering is
 /// comparable to one produced directly with `k` clusters.
-fn consolidate_fragments(
-    points: &[Vec<f64>],
+fn consolidate_fragments<P: PointsView + ?Sized>(
+    points: &P,
     stitched: &Clustering,
     k: usize,
     seed: u64,
@@ -574,13 +602,15 @@ fn consolidate_fragments(
     if num_fragments <= k || points.is_empty() {
         return stitched.clone();
     }
-    let d = points[0].len();
+    let d = points.dim();
 
-    // Fragment centroids and weights.
+    // Fragment centroids and weights. Accumulation order is point
+    // order regardless of the points layout, so nested-vec and
+    // shard-backed callers sum in the same sequence and agree bitwise.
     let mut centroids = vec![vec![0.0; d]; num_fragments];
     let mut weights = vec![0.0f64; num_fragments];
-    for (p, &a) in points.iter().zip(&stitched.assignments) {
-        for (c, &v) in centroids[a].iter_mut().zip(p) {
+    for (i, &a) in stitched.assignments.iter().enumerate() {
+        for (c, &v) in centroids[a].iter_mut().zip(points.row(i)) {
             *c += v;
         }
         weights[a] += 1.0;

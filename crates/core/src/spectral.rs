@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use dasc_kernel::{full_gram, gram_memory_bytes, Kernel};
+use dasc_kernel::{full_gram_flat, gram_memory_bytes, Kernel};
 use dasc_linalg::{FlatPoints, Matrix};
 use dasc_obs::span;
 
@@ -151,8 +151,19 @@ impl SpectralClustering {
     /// # Panics
     /// Panics on an empty dataset.
     pub fn run(&self, points: &[Vec<f64>]) -> SpectralResult {
+        self.run_flat(&FlatPoints::from_rows(points))
+    }
+
+    /// [`Self::run`] over a flat row-major buffer — the layout mmap'd
+    /// store shards and the distributed reduce path already hold, so
+    /// neither needs a `Vec<Vec<f64>>` round-trip. `run` delegates
+    /// here, which keeps both entry points bit-identical.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn run_flat(&self, points: &FlatPoints) -> SpectralResult {
         assert!(!points.is_empty(), "spectral clustering: empty dataset");
-        let gram = full_gram(points, &self.config.kernel);
+        let gram = full_gram_flat(points, &self.config.kernel);
         let (clustering, _) = self.run_on_similarity_owned(gram);
         SpectralResult {
             clustering,

@@ -1,0 +1,269 @@
+//! Minimal CSV reading/writing for numeric point data (no external
+//! dependencies; comma-separated, `#`-comments and blank lines
+//! skipped).
+//!
+//! The parser streams line-by-line into one growing flat buffer
+//! ([`read_points_flat`]) — one allocation amortized over the whole
+//! file, not one `Vec<f64>` per point. The nested-row
+//! [`read_points`] is a compatibility wrapper over the same core.
+
+use std::io::{BufRead, Write};
+
+use dasc_linalg::FlatPoints;
+
+/// CSV shape/parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CsvError {
+    /// Non-numeric cell.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// Inconsistent column count.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No data rows at all.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadNumber { line, cell } => {
+                write!(f, "line {line}: cannot parse '{cell}' as a number")
+            }
+            CsvError::Ragged { line } => {
+                write!(f, "line {line}: inconsistent column count")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parsed CSV content: the points plus optional trailing-column labels.
+pub type PointsAndLabels = (Vec<Vec<f64>>, Option<Vec<usize>>);
+
+/// Parsed CSV content in flat row-major form.
+pub type FlatPointsAndLabels = (FlatPoints, Option<Vec<usize>>);
+
+/// Visit each data row of the CSV exactly once, streaming: `on_row`
+/// receives the parsed cells (label column already split off when
+/// `labels_last_column`) and the optional label. This is the single
+/// parsing core — the flat reader, the nested reader, and the
+/// CSV→store packer all drive it, so they agree on comments, blanks,
+/// whitespace, ragged detection, and label rounding by construction.
+pub fn for_each_row(
+    reader: impl BufRead,
+    labels_last_column: bool,
+    mut on_row: impl FnMut(&[f64], Option<usize>) -> Result<(), CsvError>,
+) -> Result<usize, CsvError> {
+    let mut width: Option<usize> = None;
+    let mut row: Vec<f64> = Vec::new();
+    let mut rows = 0usize;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|_| CsvError::Ragged { line: line_no })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        row.clear();
+        for cell in trimmed.split(',') {
+            let cell = cell.trim();
+            let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
+                line: line_no,
+                cell: cell.to_string(),
+            })?;
+            row.push(v);
+        }
+        match width {
+            None => width = Some(row.len()),
+            Some(w) if w != row.len() => return Err(CsvError::Ragged { line: line_no }),
+            _ => {}
+        }
+        let label = if labels_last_column {
+            let l = row.pop().ok_or(CsvError::Ragged { line: line_no })?;
+            Some(l.round().max(0.0) as usize)
+        } else {
+            None
+        };
+        on_row(&row, label)?;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(CsvError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Read numeric rows into one flat row-major buffer. Returns the
+/// packed points and, when `labels_last_column` is set, the final
+/// column rounded to ground-truth labels.
+pub fn read_points_flat(
+    reader: impl BufRead,
+    labels_last_column: bool,
+) -> Result<FlatPointsAndLabels, CsvError> {
+    let mut flat: Vec<f64> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut dim = 0usize;
+    let rows = for_each_row(reader, labels_last_column, |row, label| {
+        dim = row.len();
+        flat.extend_from_slice(row);
+        if let Some(l) = label {
+            labels.push(l);
+        }
+        Ok(())
+    })?;
+    debug_assert!(dim == 0 || flat.len() == rows * dim);
+    let points = FlatPoints::from_flat(flat, dim);
+    Ok((points, labels_last_column.then_some(labels)))
+}
+
+/// Read numeric rows as nested `Vec<Vec<f64>>` (compatibility wrapper
+/// over [`read_points_flat`]).
+pub fn read_points(
+    reader: impl BufRead,
+    labels_last_column: bool,
+) -> Result<PointsAndLabels, CsvError> {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for_each_row(reader, labels_last_column, |row, label| {
+        points.push(row.to_vec());
+        if let Some(l) = label {
+            labels.push(l);
+        }
+        Ok(())
+    })?;
+    Ok((points, labels_last_column.then_some(labels)))
+}
+
+/// Write points (optionally with a trailing label column).
+pub fn write_points(
+    mut w: impl Write,
+    points: &[Vec<f64>],
+    labels: Option<&[usize]>,
+) -> std::io::Result<()> {
+    for (i, p) in points.iter().enumerate() {
+        let mut row: Vec<String> = p.iter().map(|v| format!("{v}")).collect();
+        if let Some(ls) = labels {
+            row.push(ls[i].to_string());
+        }
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write one assignment per line (`index,cluster`).
+pub fn write_assignments(mut w: impl Write, assignments: &[usize]) -> std::io::Result<()> {
+    writeln!(w, "# index,cluster")?;
+    for (i, &c) in assignments.iter().enumerate() {
+        writeln!(w, "{i},{c}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_basic() {
+        let data = "1.0,2.0\n3.5,4.5\n";
+        let (pts, labels) = read_points(Cursor::new(data), false).unwrap();
+        assert_eq!(pts, vec![vec![1.0, 2.0], vec![3.5, 4.5]]);
+        assert!(labels.is_none());
+    }
+
+    #[test]
+    fn read_with_labels_and_comments() {
+        let data = "# x,y,label\n0.1,0.2,0\n\n0.8,0.9,1\n";
+        let (pts, labels) = read_points(Cursor::new(data), true).unwrap();
+        assert_eq!(pts, vec![vec![0.1, 0.2], vec![0.8, 0.9]]);
+        assert_eq!(labels, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn flat_reader_matches_nested_bitwise() {
+        let data = "# header\n1.0,2.5,0\n-3.125,0.0625,1\n 7 , 8 , 2 \n";
+        for labels_last in [false, true] {
+            let (nested, nlabels) = read_points(Cursor::new(data), labels_last).unwrap();
+            let (flat, flabels) = read_points_flat(Cursor::new(data), labels_last).unwrap();
+            assert_eq!(flat.to_rows(), nested);
+            assert_eq!(flabels, nlabels);
+            for (i, row) in nested.iter().enumerate() {
+                for (a, b) in flat.row(i).iter().zip(row) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let data = " 1.0 , 2.0 \n";
+        let (pts, _) = read_points(Cursor::new(data), false).unwrap();
+        assert_eq!(pts[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let data = "1.0\nbad\n";
+        let err = read_points(Cursor::new(data), false).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::BadNumber {
+                line: 2,
+                cell: "bad".into()
+            }
+        );
+        assert!(read_points_flat(Cursor::new(data), false).is_err());
+    }
+
+    #[test]
+    fn ragged_detected() {
+        let data = "1.0,2.0\n3.0\n";
+        let err = read_points(Cursor::new(data), false).unwrap_err();
+        assert_eq!(err, CsvError::Ragged { line: 2 });
+        assert_eq!(
+            read_points_flat(Cursor::new(data), false).unwrap_err(),
+            CsvError::Ragged { line: 2 }
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let err = read_points(Cursor::new("# nothing\n"), false).unwrap_err();
+        assert_eq!(err, CsvError::Empty);
+        assert_eq!(
+            read_points_flat(Cursor::new("# nothing\n"), false).unwrap_err(),
+            CsvError::Empty
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts = vec![vec![0.25, 0.75], vec![1.5, -2.0]];
+        let labels = vec![3usize, 1];
+        let mut buf = Vec::new();
+        write_points(&mut buf, &pts, Some(&labels)).unwrap();
+        let (rpts, rlabels) = read_points(Cursor::new(buf), true).unwrap();
+        assert_eq!(rpts, pts);
+        assert_eq!(rlabels, Some(labels));
+    }
+
+    #[test]
+    fn assignments_format() {
+        let mut buf = Vec::new();
+        write_assignments(&mut buf, &[2, 0, 1]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "# index,cluster\n0,2\n1,0\n2,1\n");
+    }
+}

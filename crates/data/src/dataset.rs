@@ -53,12 +53,32 @@ impl Dataset {
     }
 
     /// Number of distinct ground-truth labels, if labelled.
+    ///
+    /// Single O(n) pass — labels are small non-negative class ids, so
+    /// a bitset covers the common case and a `HashSet` absorbs any
+    /// outliers without cloning or sorting the label vector.
     pub fn num_classes(&self) -> Option<usize> {
         self.labels.as_ref().map(|ls| {
-            let mut seen: Vec<usize> = ls.clone();
-            seen.sort_unstable();
-            seen.dedup();
-            seen.len()
+            const BITSET_LIMIT: usize = 1 << 16;
+            let mut bits = vec![0u64; 64]; // classes < 4096 stay in the bitset
+            let mut distinct = 0usize;
+            let mut large: Option<std::collections::HashSet<usize>> = None;
+            for &l in ls {
+                if l < BITSET_LIMIT {
+                    let word = l / 64;
+                    if word >= bits.len() {
+                        bits.resize(word + 1, 0);
+                    }
+                    let mask = 1u64 << (l % 64);
+                    if bits[word] & mask == 0 {
+                        bits[word] |= mask;
+                        distinct += 1;
+                    }
+                } else if large.get_or_insert_with(Default::default).insert(l) {
+                    distinct += 1;
+                }
+            }
+            distinct
         })
     }
 
@@ -139,6 +159,18 @@ mod tests {
         assert_eq!(d.dims(), 2);
         assert_eq!(d.num_classes(), Some(2));
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn num_classes_counts_distinct_without_mutating() {
+        let labels = vec![5, 0, 5, 2, 1_000_000, 2, 1_000_000, 70_000];
+        let d = Dataset::new(
+            vec![vec![0.0]; labels.len()],
+            Some(labels.clone()),
+            "classes",
+        );
+        assert_eq!(d.num_classes(), Some(5));
+        assert_eq!(d.labels, Some(labels), "label order preserved");
     }
 
     #[test]

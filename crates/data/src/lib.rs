@@ -14,10 +14,14 @@
 //!   distributions, tf-idf weighting, and exactly the Table 1 category
 //!   scaling. See DESIGN.md for the substitution argument.
 
+pub mod csv;
 pub mod dataset;
+pub mod store_io;
 pub mod synthetic;
 pub mod wiki;
 
+pub use csv::CsvError;
 pub use dataset::Dataset;
+pub use store_io::{dataset_from_store, dataset_to_store, pack_csv_to_store, PackError};
 pub use synthetic::SyntheticConfig;
 pub use wiki::{wiki_num_categories, WikiCorpusConfig, TABLE1_SIZES};

@@ -13,6 +13,12 @@
 //! 4. stage 2: one `ReduceBucket` task per merged bucket;
 //! 5. stitch + consolidate locally via the shared `dasc-core` helpers.
 //!
+//! Jobs submitted against a packed dataset store ([`JobData::Ref`])
+//! follow the same flow with the `*Ref` task kinds: tasks carry the
+//! [`DatasetManifest`] and row ranges instead of points, and the
+//! coordinator doubles as the name node, serving raw shard bytes to
+//! workers on [`Msg::ShardRequest`] out of the mmap'd store.
+//!
 //! Because every numerical step is the same shared function the
 //! in-process engine calls, the final assignments are bit-identical to
 //! `Dasc::run_distributed` for the same `JobSpec` — regardless of
@@ -28,6 +34,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::SocketAddr;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,9 +43,10 @@ use dasc_lsh::{BucketSet, LshConfig, Signature, SignatureModel};
 use dasc_mapreduce::{split_ranges, ClusterConfig};
 use dasc_net::{ConnId, Server, ServerConfig, ServerHandle, Service};
 use dasc_obs::{labeled, span, InstantRecord, MetricsSnapshot, SpanRecord, TraceLane};
+use dasc_store::{DatasetManifest, StoreReader};
 
 use crate::httpd::HttpHandle;
-use crate::proto::{stage, JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
+use crate::proto::{stage, JobData, JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
 
 /// A task is flagged as a straggler once its elapsed time exceeds this
 /// multiple of the running-median completed-task duration (Hadoop's
@@ -159,6 +167,11 @@ pub(crate) struct State {
     /// Per-job merged trace under assembly (only for jobs submitted
     /// with `collect_trace`).
     traces: HashMap<u64, JobTrace>,
+    /// Open dataset stores, keyed by content hash — the coordinator's
+    /// name-node table. Registered at ref-job submission, retained for
+    /// the server's lifetime so late shard fetches (retried tasks,
+    /// follow-up jobs on the same dataset) keep resolving.
+    datasets: HashMap<u64, Arc<StoreReader>>,
 }
 
 pub(crate) struct WorkerInfo {
@@ -702,8 +715,10 @@ impl CoordinatorService {
                     // before their next heartbeat ships metrics.
                     let duration_us = inflight.assigned_at.elapsed().as_micros() as u64;
                     let stage_name = match inflight.task.kind {
-                        TaskKind::MapSignatures { .. } => "map",
-                        TaskKind::ReduceBucket { .. } => "reduce",
+                        TaskKind::MapSignatures { .. } | TaskKind::MapSignaturesRef { .. } => "map",
+                        TaskKind::ReduceBucket { .. } | TaskKind::ReduceBucketRef { .. } => {
+                            "reduce"
+                        }
                     };
                     let series = labeled("dasc_dist_task_duration_us", "stage", stage_name);
                     reg.observe(&series, duration_us);
@@ -801,6 +816,28 @@ impl CoordinatorService {
                     },
                 }
             }
+            Msg::ShardRequest { dataset, shard } => {
+                // Resolve the reader under the lock, read the file
+                // outside it — shard serving must not stall scheduling.
+                let reader = {
+                    let state = shared.inner.lock().expect("state");
+                    state.datasets.get(&dataset).cloned()
+                };
+                match reader {
+                    Some(r) => match r.shard_file_bytes(shard as usize) {
+                        Ok(bytes) => {
+                            reg.inc("dasc_store_shards_served_total", 1);
+                            Msg::ShardReply { bytes }
+                        }
+                        Err(e) => Msg::JobError {
+                            message: format!("shard {shard} of dataset {dataset:#018x}: {e}"),
+                        },
+                    },
+                    None => Msg::JobError {
+                        message: format!("unknown dataset {dataset:#018x}"),
+                    },
+                }
+            }
             Msg::MetricsRequest => Msg::MetricsReply {
                 text: shared.federated_metrics_text(),
             },
@@ -841,6 +878,52 @@ fn output_volume(output: &TaskOutput) -> (u64, u64) {
     }
 }
 
+/// Payload accounting for task *inputs*: the approximate wire bytes the
+/// coordinator ships to a worker inside one task body (counted once per
+/// task at build time; a retried task re-ships but isn't re-counted).
+/// Inline tasks carry their points; shard-addressed tasks carry only
+/// the hash planes / member ids plus a manifest — the gap between the
+/// two is the shuffle saving the dataset store buys, and it is what
+/// `JobOutcome::shuffle_bytes` measures alongside the output volume.
+pub fn task_input_volume(kind: &TaskKind) -> u64 {
+    fn manifest_bytes(m: &DatasetManifest) -> u64 {
+        37 + 24 * m.shards.len() as u64
+    }
+    fn points_bytes(points: &[Vec<f64>]) -> u64 {
+        points.iter().map(|p| 4 + 8 * p.len() as u64).sum()
+    }
+    match kind {
+        TaskKind::MapSignatures { planes, points, .. } => {
+            16 * planes.len() as u64 + points_bytes(points) + 16
+        }
+        TaskKind::ReduceBucket {
+            members, points, ..
+        } => 8 * members.len() as u64 + points_bytes(points) + 29,
+        TaskKind::MapSignaturesRef {
+            planes, manifest, ..
+        } => 16 * planes.len() as u64 + manifest_bytes(manifest) + 16,
+        TaskKind::ReduceBucketRef {
+            members, manifest, ..
+        } => 8 * members.len() as u64 + manifest_bytes(manifest) + 29,
+    }
+}
+
+/// The resolved dataset a job computes over: the submission's inline
+/// points, or an opened (verified) store served shard-wise to workers.
+enum DataSource<'a> {
+    Inline(&'a [Vec<f64>]),
+    Store(Arc<StoreReader>),
+}
+
+impl DataSource<'_> {
+    fn len(&self) -> usize {
+        match self {
+            DataSource::Inline(points) => points.len(),
+            DataSource::Store(reader) => reader.len(),
+        }
+    }
+}
+
 /// The job runner: the exact `Dasc::train_distributed` flow with map
 /// and reduce bodies farmed out to workers.
 fn run_job(shared: &SharedState, job_id: u64, spec: JobSpec) {
@@ -855,7 +938,36 @@ fn run_job(shared: &SharedState, job_id: u64, spec: JobSpec) {
 }
 
 fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobOutcome, String> {
-    let n = spec.points.len();
+    // Resolve the dataset. A store ref is opened on the coordinator's
+    // filesystem, fully checksum-verified, pinned against the submitted
+    // identity hash, and registered in the name-node table so workers
+    // can fetch its shards.
+    let source = match &spec.data {
+        JobData::Inline { points } => DataSource::Inline(points),
+        JobData::Ref { path, content_hash } => {
+            let reader = StoreReader::open(Path::new(path))
+                .map_err(|e| format!("open dataset store {path}: {e}"))?;
+            let actual = reader.manifest().content_hash;
+            if actual != *content_hash {
+                return Err(format!(
+                    "dataset store {path} has content hash {actual:#018x}, \
+                     job submitted {content_hash:#018x}"
+                ));
+            }
+            reader
+                .verify_all()
+                .map_err(|e| format!("verify dataset store {path}: {e}"))?;
+            let reader = Arc::new(reader);
+            shared
+                .inner
+                .lock()
+                .expect("state")
+                .datasets
+                .insert(*content_hash, Arc::clone(&reader));
+            DataSource::Store(reader)
+        }
+    };
+    let n = source.len();
     if n == 0 {
         return Err("empty dataset".to_string());
     }
@@ -881,7 +993,12 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
     let stage1_span = span!("dist.stage1");
     let stage1_id = shared.trace_begin(job_id, "dist.stage1", job_span_id);
     let stage1_start = Instant::now();
-    let model = SignatureModel::fit(&spec.points, &lsh);
+    // Both arms delegate to the same `fit_view` core, so the fitted
+    // planes are bit-identical between inline and store submissions.
+    let model = match &source {
+        DataSource::Inline(points) => SignatureModel::fit(points, &lsh),
+        DataSource::Store(reader) => SignatureModel::fit_view(reader.as_ref(), &lsh),
+    };
     let ranges = split_ranges(n, &shared.cluster);
     let first_id = shared.alloc_task_ids(ranges.len());
     let map_tasks: Vec<Task> = ranges
@@ -892,14 +1009,25 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
             task_id: first_id + i as u64,
             attempt: 1,
             trace_parent: stage1_id,
-            kind: TaskKind::MapSignatures {
-                num_bits: model.num_bits(),
-                planes: model.planes().to_vec(),
-                start,
-                points: spec.points[start..start + len].to_vec(),
+            kind: match &source {
+                DataSource::Inline(points) => TaskKind::MapSignatures {
+                    num_bits: model.num_bits(),
+                    planes: model.planes().to_vec(),
+                    start,
+                    points: points[start..start + len].to_vec(),
+                },
+                DataSource::Store(reader) => TaskKind::MapSignaturesRef {
+                    num_bits: model.num_bits(),
+                    planes: model.planes().to_vec(),
+                    manifest: reader.manifest().clone(),
+                    start,
+                    len,
+                },
             },
         })
         .collect();
+    let stage1_input_bytes: u64 = map_tasks.iter().map(|t| task_input_volume(&t.kind)).sum();
+    dasc_obs::global().inc("dasc_dist_shuffle_bytes_total", stage1_input_bytes);
     let (map_outputs, workers1) = shared.run_stage(job_id, stage::MAP, map_tasks)?;
     let stage1_us = stage1_start.elapsed().as_micros() as u64;
     shared.trace_end(job_id, stage1_id);
@@ -938,17 +1066,33 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
             task_id: first_id + bi as u64,
             attempt: 1,
             trace_parent: stage2_id,
-            kind: TaskKind::ReduceBucket {
-                bucket_id: bi,
-                ki: bucket_cluster_count(spec.k, b.members.len(), n),
-                kernel: spec.kernel,
-                seed: spec.seed,
-                lanczos_threshold: 512,
-                members: b.members.clone(),
-                points: b.members.iter().map(|&i| spec.points[i].clone()).collect(),
+            kind: match &source {
+                DataSource::Inline(points) => TaskKind::ReduceBucket {
+                    bucket_id: bi,
+                    ki: bucket_cluster_count(spec.k, b.members.len(), n),
+                    kernel: spec.kernel,
+                    seed: spec.seed,
+                    lanczos_threshold: 512,
+                    members: b.members.clone(),
+                    points: b.members.iter().map(|&i| points[i].clone()).collect(),
+                },
+                DataSource::Store(reader) => TaskKind::ReduceBucketRef {
+                    bucket_id: bi,
+                    ki: bucket_cluster_count(spec.k, b.members.len(), n),
+                    kernel: spec.kernel,
+                    seed: spec.seed,
+                    lanczos_threshold: 512,
+                    manifest: reader.manifest().clone(),
+                    members: b.members.clone(),
+                },
             },
         })
         .collect();
+    let stage2_input_bytes: u64 = reduce_tasks
+        .iter()
+        .map(|t| task_input_volume(&t.kind))
+        .sum();
+    dasc_obs::global().inc("dasc_dist_shuffle_bytes_total", stage2_input_bytes);
     let (reduce_outputs, workers2) = shared.run_stage(job_id, stage::REDUCE, reduce_tasks)?;
     let stage2_us = stage2_start.elapsed().as_micros() as u64;
     shared.trace_end(job_id, stage2_id);
@@ -981,7 +1125,10 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
     }
     let stitched = stitch_distributed(n, spec.k, &buckets.sizes(), &records);
     let clustering: Clustering = if spec.consolidate {
-        consolidate(&spec.points, &stitched, spec.k, spec.seed)
+        match &source {
+            DataSource::Inline(points) => consolidate(*points, &stitched, spec.k, spec.seed),
+            DataSource::Store(reader) => consolidate(reader.as_ref(), &stitched, spec.k, spec.seed),
+        }
     } else {
         stitched
     };
@@ -989,11 +1136,16 @@ fn execute_job(shared: &SharedState, job_id: u64, spec: &JobSpec) -> Result<JobO
     shared.trace_end(job_id, job_span_id);
     job_span.finish();
 
-    let (shuffle_records, shuffle_bytes) = map_outputs
+    let (shuffle_records, output_bytes) = map_outputs
         .values()
         .chain(reduce_outputs.values())
         .map(output_volume)
         .fold((0, 0), |(r, b), (r2, b2)| (r + r2, b + b2));
+    // Shuffle volume is both directions: task inputs shipped out plus
+    // task outputs shipped back. Worker shard *fetches* are deliberately
+    // excluded — they are DFS reads in the Hadoop analogy and are
+    // accounted under the `dasc_store_*` series instead.
+    let shuffle_bytes = output_bytes + stage1_input_bytes + stage2_input_bytes;
     let workers_used: HashSet<u64> = workers1.union(&workers2).copied().collect();
     let task_retries =
         dasc_obs::global().counter_value("dasc_dist_task_retries_total") - retries_before;

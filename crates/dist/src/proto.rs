@@ -4,9 +4,14 @@
 //! [`MsgType`] discriminant and the payload is the [`Wire`]-encoded
 //! body. The scheme is deliberately Hadoop-shaped: workers *pull* tasks
 //! ([`RequestTask`](Msg::RequestTask)) the way task trackers ask the
-//! job tracker for work on each heartbeat, and task payloads carry
-//! their input data inline (this runtime has no shared DFS between
-//! processes — the coordinator plays both job tracker and name node).
+//! job tracker for work on each heartbeat. Task inputs travel one of
+//! two ways: inline (points embedded in the task body — the original
+//! scheme, still the fallback), or **shard-addressed** — a job
+//! submitted against a packed `.dstr` dataset ships only the
+//! [`DatasetManifest`] plus row ranges, and workers resolve the shard
+//! bytes through a local cache, fetching misses from the coordinator
+//! with [`ShardRequest`](Msg::ShardRequest) (the coordinator plays
+//! both job tracker and name node).
 //!
 //! | tag | message        | direction            |
 //! |-----|----------------|----------------------|
@@ -30,6 +35,8 @@
 //! | 18  | TaskFailed     | worker → coordinator |
 //! | 19  | TraceRequest   | client → coordinator |
 //! | 20  | TraceReply     | reply                |
+//! | 21  | ShardRequest   | worker → coordinator |
+//! | 22  | ShardReply     | reply                |
 //!
 //! Observability rides the same frames: tasks carry a trace context
 //! ([`Task::trace_parent`]), completed tasks return their span log
@@ -40,6 +47,7 @@ use dasc_kernel::Kernel;
 use dasc_lsh::HashPlane;
 use dasc_net::{Wire, WireError, WireReader, WireWriter};
 use dasc_obs::{HistogramSnapshot, MetricsSnapshot, SpanRecord, HISTOGRAM_BUCKETS};
+use dasc_store::{DatasetManifest, ShardMeta};
 
 /// Frame `msg_type` values (see module table).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +73,8 @@ pub enum MsgType {
     TaskFailed = 18,
     TraceRequest = 19,
     TraceReply = 20,
+    ShardRequest = 21,
+    ShardReply = 22,
 }
 
 impl MsgType {
@@ -91,6 +101,8 @@ impl MsgType {
             18 => MsgType::TaskFailed,
             19 => MsgType::TraceRequest,
             20 => MsgType::TraceReply,
+            21 => MsgType::ShardRequest,
+            22 => MsgType::ShardReply,
             _ => return None,
         })
     }
@@ -161,6 +173,13 @@ pub enum Msg {
     /// The merged Chrome trace-event JSON (coordinator lane + one lane
     /// per worker). Empty string when the job collected no trace.
     TraceReply { json: String },
+    /// Worker asks the coordinator (acting as name node) for one raw
+    /// shard of a registered dataset, addressed by content hash.
+    ShardRequest { dataset: u64, shard: u32 },
+    /// The shard's file bytes, verbatim — the requester validates them
+    /// against the manifest's per-shard checksum before use, so a
+    /// corrupt or substituted reply can never enter a computation.
+    ShardReply { bytes: Vec<u8> },
 }
 
 /// Largest merged trace JSON the coordinator will put on the wire —
@@ -232,6 +251,40 @@ pub enum TaskKind {
         /// The bucket's points, parallel to `members`.
         points: Vec<Vec<f64>>,
     },
+    /// Shard-addressed stage 1: hash the global row range
+    /// `start..start + len` of the manifest's dataset. Ships no point
+    /// data — the worker resolves rows from its shard cache.
+    MapSignaturesRef {
+        /// Signature width M.
+        num_bits: usize,
+        /// The fitted model's hash planes, in bit order.
+        planes: Vec<HashPlane>,
+        /// Shard table of the dataset the rows live in.
+        manifest: DatasetManifest,
+        /// First global row of the range.
+        start: usize,
+        /// Rows in the range.
+        len: usize,
+    },
+    /// Shard-addressed stage 2: cluster the bucket whose members are
+    /// the listed global rows of the manifest's dataset.
+    ReduceBucketRef {
+        /// Bucket index in the merged bucket set (drives the spectral
+        /// seed derivation).
+        bucket_id: usize,
+        /// Clusters apportioned to this bucket.
+        ki: usize,
+        /// Kernel for the sub-similarity block.
+        kernel: Kernel,
+        /// Run seed (bucket seed derives from it).
+        seed: u64,
+        /// Dense→Lanczos crossover.
+        lanczos_threshold: usize,
+        /// Shard table of the dataset the members live in.
+        manifest: DatasetManifest,
+        /// Global point ids, in bucket order.
+        members: Vec<usize>,
+    },
 }
 
 /// What a completed task ships back.
@@ -243,13 +296,26 @@ pub enum TaskOutput {
     ReduceBucket(Vec<(usize, usize, usize)>),
 }
 
+/// How a job names its dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobData {
+    /// Points travel inside the submission frame (the original scheme;
+    /// simple, but every task re-ships its slice of them).
+    Inline { points: Vec<Vec<f64>> },
+    /// The dataset is a packed `.dstr` store on the coordinator's
+    /// filesystem. Only the path and the expected identity hash travel;
+    /// the coordinator opens and verifies the store, then serves shards
+    /// to workers on demand.
+    Ref { path: String, content_hash: u64 },
+}
+
 /// A submitted DASC job: the dataset plus exactly the knobs the CLI
 /// derives a `DascConfig` from, so the coordinator reconstructs the
 /// identical configuration a single-process run would use.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
-    /// The dataset.
-    pub points: Vec<Vec<f64>>,
+    /// The dataset, inline or by store reference.
+    pub data: JobData,
     /// Total clusters K.
     pub k: usize,
     /// Kernel.
@@ -438,6 +504,53 @@ fn decode_metrics(r: &mut WireReader<'_>) -> Result<MetricsSnapshot, WireError> 
     Ok(m)
 }
 
+/// Newtype to give [`DatasetManifest`] a wire form without dasc-store
+/// depending on dasc-net (the store's own serialization is its on-disk
+/// format, which carries magic bytes and a self-hash the wire form
+/// doesn't need — tasks already travel inside checksummed frames).
+struct WireManifest(DatasetManifest);
+
+impl Wire for WireManifest {
+    fn encode(&self, w: &mut WireWriter) {
+        let m = &self.0;
+        w.put_u64(m.content_hash);
+        w.put_u64(m.n);
+        w.put_u64(m.dim);
+        w.put_bool(m.has_labels);
+        w.put_u64(m.shard_rows);
+        w.put_u32(m.shards.len() as u32);
+        for s in &m.shards {
+            w.put_u64(s.rows);
+            w.put_u64(s.byte_len);
+            w.put_u64(s.checksum);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let content_hash = r.u64()?;
+        let n = r.u64()?;
+        let dim = r.u64()?;
+        let has_labels = r.bool()?;
+        let shard_rows = r.u64()?;
+        let count = r.seq_len()?;
+        let mut shards = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            shards.push(ShardMeta {
+                rows: r.u64()?,
+                byte_len: r.u64()?,
+                checksum: r.u64()?,
+            });
+        }
+        Ok(WireManifest(DatasetManifest {
+            content_hash,
+            n,
+            dim,
+            has_labels,
+            shard_rows,
+            shards,
+        }))
+    }
+}
+
 /// Newtype to give [`HashPlane`] a wire form without dasc-lsh depending
 /// on dasc-net.
 struct WirePlane(HashPlane);
@@ -496,6 +609,42 @@ impl Wire for Task {
                 members.encode(w);
                 points.encode(w);
             }
+            TaskKind::MapSignaturesRef {
+                num_bits,
+                planes,
+                manifest,
+                start,
+                len,
+            } => {
+                w.put_u8(2);
+                w.put_usize(*num_bits);
+                planes
+                    .iter()
+                    .map(|&p| WirePlane(p))
+                    .collect::<Vec<_>>()
+                    .encode(w);
+                WireManifest(manifest.clone()).encode(w);
+                w.put_usize(*start);
+                w.put_usize(*len);
+            }
+            TaskKind::ReduceBucketRef {
+                bucket_id,
+                ki,
+                kernel,
+                seed,
+                lanczos_threshold,
+                manifest,
+                members,
+            } => {
+                w.put_u8(3);
+                w.put_usize(*bucket_id);
+                w.put_usize(*ki);
+                encode_kernel(kernel, w);
+                w.put_u64(*seed);
+                w.put_usize(*lanczos_threshold);
+                WireManifest(manifest.clone()).encode(w);
+                members.encode(w);
+            }
         }
     }
 
@@ -522,6 +671,25 @@ impl Wire for Task {
                 lanczos_threshold: r.usize()?,
                 members: Vec::decode(r)?,
                 points: Vec::decode(r)?,
+            },
+            2 => TaskKind::MapSignaturesRef {
+                num_bits: r.usize()?,
+                planes: Vec::<WirePlane>::decode(r)?
+                    .into_iter()
+                    .map(|p| p.0)
+                    .collect(),
+                manifest: WireManifest::decode(r)?.0,
+                start: r.usize()?,
+                len: r.usize()?,
+            },
+            3 => TaskKind::ReduceBucketRef {
+                bucket_id: r.usize()?,
+                ki: r.usize()?,
+                kernel: decode_kernel(r)?,
+                seed: r.u64()?,
+                lanczos_threshold: r.usize()?,
+                manifest: WireManifest::decode(r)?.0,
+                members: Vec::decode(r)?,
             },
             _ => return Err(WireError::Invalid("task kind tag")),
         };
@@ -557,9 +725,37 @@ impl Wire for TaskOutput {
     }
 }
 
+impl Wire for JobData {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            JobData::Inline { points } => {
+                w.put_u8(0);
+                points.encode(w);
+            }
+            JobData::Ref { path, content_hash } => {
+                w.put_u8(1);
+                w.put_str(path);
+                w.put_u64(*content_hash);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => JobData::Inline {
+                points: Vec::decode(r)?,
+            },
+            1 => JobData::Ref {
+                path: r.str()?,
+                content_hash: r.u64()?,
+            },
+            _ => return Err(WireError::Invalid("job data tag")),
+        })
+    }
+}
+
 impl Wire for JobSpec {
     fn encode(&self, w: &mut WireWriter) {
-        self.points.encode(w);
+        self.data.encode(w);
         w.put_usize(self.k);
         encode_kernel(&self.kernel, w);
         w.put_usize(self.num_bits);
@@ -569,7 +765,7 @@ impl Wire for JobSpec {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(JobSpec {
-            points: Vec::decode(r)?,
+            data: JobData::decode(r)?,
             k: r.usize()?,
             kernel: decode_kernel(r)?,
             num_bits: r.usize()?,
@@ -631,6 +827,8 @@ impl Msg {
             Msg::TaskFailed { .. } => MsgType::TaskFailed,
             Msg::TraceRequest { .. } => MsgType::TraceRequest,
             Msg::TraceReply { .. } => MsgType::TraceReply,
+            Msg::ShardRequest { .. } => MsgType::ShardRequest,
+            Msg::ShardReply { .. } => MsgType::ShardReply,
         }
     }
 
@@ -687,6 +885,11 @@ impl Msg {
             }
             Msg::TraceRequest { job_id } => w.put_u64(*job_id),
             Msg::TraceReply { json } => w.put_str(json),
+            Msg::ShardRequest { dataset, shard } => {
+                w.put_u64(*dataset);
+                w.put_u32(*shard);
+            }
+            Msg::ShardReply { bytes } => w.put_blob(bytes),
         }
         w.into_vec()
     }
@@ -746,6 +949,11 @@ impl Msg {
             },
             MsgType::TraceRequest => Msg::TraceRequest { job_id: r.u64()? },
             MsgType::TraceReply => Msg::TraceReply { json: r.str()? },
+            MsgType::ShardRequest => Msg::ShardRequest {
+                dataset: r.u64()?,
+                shard: r.u32()?,
+            },
+            MsgType::ShardReply => Msg::ShardReply { bytes: r.blob()? },
         };
         r.finish()?;
         Ok(msg)
@@ -800,6 +1008,61 @@ mod tests {
                 points: vec![vec![0.0; 2]; 3],
             },
         };
+        let manifest = DatasetManifest {
+            content_hash: 0xFEED_BEEF,
+            n: 10,
+            dim: 2,
+            has_labels: true,
+            shard_rows: 4,
+            shards: vec![
+                ShardMeta {
+                    rows: 4,
+                    byte_len: 200,
+                    checksum: 11,
+                },
+                ShardMeta {
+                    rows: 4,
+                    byte_len: 200,
+                    checksum: 22,
+                },
+                ShardMeta {
+                    rows: 2,
+                    byte_len: 120,
+                    checksum: 33,
+                },
+            ],
+        };
+        let map_ref_task = Task {
+            job_id: 2,
+            task_id: 44,
+            attempt: 1,
+            trace_parent: 5,
+            kind: TaskKind::MapSignaturesRef {
+                num_bits: 4,
+                planes: vec![HashPlane {
+                    dimension: 1,
+                    threshold: 0.25,
+                }],
+                manifest: manifest.clone(),
+                start: 4,
+                len: 6,
+            },
+        };
+        let reduce_ref_task = Task {
+            job_id: 2,
+            task_id: 45,
+            attempt: 3,
+            trace_parent: 0,
+            kind: TaskKind::ReduceBucketRef {
+                bucket_id: 1,
+                ki: 2,
+                kernel: Kernel::Gaussian { sigma: 0.2 },
+                seed: 0xDA5C,
+                lanczos_threshold: 512,
+                manifest,
+                members: vec![0, 3, 8, 9],
+            },
+        };
         let mut worker_metrics = MetricsSnapshot::default();
         worker_metrics
             .counters
@@ -834,6 +1097,10 @@ mod tests {
             Msg::RequestTask { worker_id: 9 },
             Msg::AssignTask { task: map_task },
             Msg::AssignTask { task: reduce_task },
+            Msg::AssignTask { task: map_ref_task },
+            Msg::AssignTask {
+                task: reduce_ref_task,
+            },
             Msg::NoTask { backoff_ms: 250 },
             Msg::TaskDone {
                 worker_id: 9,
@@ -867,7 +1134,9 @@ mod tests {
             Msg::TaskAck,
             Msg::SubmitJob {
                 spec: JobSpec {
-                    points: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                    data: JobData::Inline {
+                        points: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+                    },
                     k: 2,
                     kernel: Kernel::Laplacian { gamma: 1.5 },
                     num_bits: 0,
@@ -876,6 +1145,28 @@ mod tests {
                     collect_trace: true,
                 },
             },
+            Msg::SubmitJob {
+                spec: JobSpec {
+                    data: JobData::Ref {
+                        path: "/data/wiki.dstr".into(),
+                        content_hash: 0xFEED_BEEF,
+                    },
+                    k: 2,
+                    kernel: Kernel::Gaussian { sigma: 0.2 },
+                    num_bits: 5,
+                    seed: 0xDA5C,
+                    consolidate: true,
+                    collect_trace: false,
+                },
+            },
+            Msg::ShardRequest {
+                dataset: 0xFEED_BEEF,
+                shard: 2,
+            },
+            Msg::ShardReply {
+                bytes: vec![0xD5, 0x48, 0x44, 0x00, 1, 2, 3],
+            },
+            Msg::ShardReply { bytes: vec![] },
             Msg::JobAccepted { job_id: 3 },
             Msg::PollJob { job_id: 3 },
             Msg::JobPending {
@@ -927,7 +1218,9 @@ mod tests {
         ] {
             roundtrip(Msg::SubmitJob {
                 spec: JobSpec {
-                    points: vec![vec![0.5]],
+                    data: JobData::Inline {
+                        points: vec![vec![0.5]],
+                    },
                     k: 1,
                     kernel,
                     num_bits: 3,

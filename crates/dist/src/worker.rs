@@ -13,21 +13,32 @@
 //! * `ReduceBucket` → [`reduce_groups`] with a reducer that calls
 //!   `dasc_core::cluster_bucket` (the shared stage-2 body).
 //!
+//! Shard-addressed tasks (`MapSignaturesRef` / `ReduceBucketRef`)
+//! carry no points; the worker resolves the referenced global rows
+//! through its [`ShardSource`] — a byte-bounded LRU shard cache that
+//! fetches misses from the coordinator with `ShardRequest` RPCs and
+//! verifies every fetched shard against the manifest checksum. The
+//! numerical bodies are the same shared `dasc-core` functions, so a
+//! ref task's output is bit-identical to its inline twin's.
+//!
 //! For fault-injection tests, [`WorkerOptions::die_after_assignments`]
 //! makes the worker drop all its connections and stop the moment it
 //! has *accepted* its Nth task — the coordinator sees a vanished
 //! worker holding an in-flight task, exactly like a crashed machine.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dasc_core::cluster_bucket;
+use dasc_core::{cluster_bucket, cluster_bucket_flat};
+use dasc_linalg::FlatPoints;
 use dasc_lsh::SignatureModel;
 use dasc_mapreduce::{reduce_groups, run_map_only, ClusterConfig, FnMapper, FnReducer};
 use dasc_net::{Client, ClientConfig};
 use dasc_obs::{labeled, MetricsSnapshot, SpanRecord, Tracer};
+use dasc_store::{DatasetManifest, Shard, ShardCache, StoreError};
 
 use crate::client::{client_config, rpc};
 use crate::proto::{Msg, Task, TaskKind, TaskOutput};
@@ -59,6 +70,75 @@ impl WorkerOptions {
             die_after_assignments: None,
             telemetry: true,
         }
+    }
+}
+
+/// Worker-side shard resolver: an LRU [`ShardCache`] backed by
+/// `ShardRequest` RPCs to the coordinator. The fetch connection is
+/// created lazily on the first cache miss (a worker that only ever runs
+/// inline tasks never opens it) and dropped on any RPC failure so the
+/// next miss reconnects cleanly.
+pub struct ShardSource {
+    cache: ShardCache,
+    addr: String,
+    config: ClientConfig,
+    client: Mutex<Option<Client>>,
+}
+
+impl ShardSource {
+    /// Resolver fetching from the coordinator at `addr`, cache sized
+    /// from `DASC_SHARD_CACHE_BYTES` (default 256 MiB).
+    pub fn new(addr: impl Into<String>, cluster: &ClusterConfig) -> Self {
+        Self {
+            cache: ShardCache::from_env(),
+            addr: addr.into(),
+            config: client_config(cluster),
+            client: Mutex::new(None),
+        }
+    }
+
+    /// The underlying cache (tests inspect residency and capacity).
+    pub fn cache(&self) -> &ShardCache {
+        &self.cache
+    }
+
+    /// Resolve shard `index` of `manifest`'s dataset: cache hit, or a
+    /// checksum-verified fetch from the coordinator.
+    pub fn shard(&self, manifest: &DatasetManifest, index: usize) -> Result<Arc<Shard>, String> {
+        let meta = manifest
+            .shards
+            .get(index)
+            .ok_or_else(|| format!("shard {index} out of range"))?;
+        self.cache
+            .get_or_fetch(
+                manifest.content_hash,
+                index as u32,
+                manifest.dim,
+                manifest.has_labels,
+                meta,
+                || {
+                    let mut guard = self.client.lock().expect("shard client");
+                    let client = guard
+                        .get_or_insert_with(|| Client::new(self.addr.clone(), self.config.clone()));
+                    let req = Msg::ShardRequest {
+                        dataset: manifest.content_hash,
+                        shard: index as u32,
+                    };
+                    match rpc(client, &req) {
+                        Ok(Msg::ShardReply { bytes }) => Ok(bytes),
+                        Ok(Msg::JobError { message }) => Err(StoreError::Fetch(message)),
+                        Ok(other) => Err(StoreError::Fetch(format!(
+                            "unexpected shard reply {:?}",
+                            other.msg_type()
+                        ))),
+                        Err(e) => {
+                            *guard = None;
+                            Err(StoreError::Fetch(e))
+                        }
+                    }
+                },
+            )
+            .map_err(|e| format!("shard {index}: {e}"))
     }
 }
 
@@ -150,7 +230,8 @@ pub fn run_worker(
         Arc::clone(stop),
     );
 
-    let result = pull_loop(&mut client, worker_id, options, stop);
+    let shard_source = ShardSource::new(coordinator_addr, &options.cluster);
+    let result = pull_loop(&mut client, worker_id, options, &shard_source, stop);
 
     // Whatever ended the loop, stop heartbeating so the coordinator's
     // liveness sweep can reclaim our tasks.
@@ -195,6 +276,7 @@ fn pull_loop(
     client: &mut Client,
     worker_id: u64,
     options: &WorkerOptions,
+    shard_source: &ShardSource,
     stop: &AtomicBool,
 ) -> Result<(), String> {
     let mut assignments_taken = 0usize;
@@ -230,19 +312,20 @@ fn pull_loop(
                     return Ok(());
                 }
                 let task_id = task.task_id;
-                let report = match execute_task_traced(task, &options.cluster) {
-                    (Ok(output), spans) => Msg::TaskDone {
-                        worker_id,
-                        task_id,
-                        output,
-                        spans,
-                    },
-                    (Err(error), _) => Msg::TaskFailed {
-                        worker_id,
-                        task_id,
-                        error,
-                    },
-                };
+                let report =
+                    match execute_task_traced_with(task, &options.cluster, Some(shard_source)) {
+                        (Ok(output), spans) => Msg::TaskDone {
+                            worker_id,
+                            task_id,
+                            output,
+                            spans,
+                        },
+                        (Err(error), _) => Msg::TaskFailed {
+                            worker_id,
+                            task_id,
+                            error,
+                        },
+                    };
                 rpc(client, &report)?;
             }
             Msg::NoTask { backoff_ms } => {
@@ -256,9 +339,29 @@ fn pull_loop(
 /// Execute one task body through the in-process MapReduce machinery.
 /// A panic inside the body (the engine's failure unit) becomes an
 /// error string for `TaskFailed`. Convenience wrapper over
-/// [`execute_task_traced`] for callers that don't want the span log.
+/// [`execute_task_traced_with`] for callers that don't want the span
+/// log; shard-addressed tasks fail without a [`ShardSource`].
 pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, String> {
-    execute_task_traced(task, cluster).0
+    execute_task_traced_with(task, cluster, None).0
+}
+
+/// [`execute_task`] with an explicit shard resolver for the
+/// shard-addressed task kinds.
+pub fn execute_task_with(
+    task: Task,
+    cluster: &ClusterConfig,
+    shard_source: Option<&ShardSource>,
+) -> Result<TaskOutput, String> {
+    execute_task_traced_with(task, cluster, shard_source).0
+}
+
+/// [`execute_task_traced_with`] without a shard resolver — kept for
+/// callers that only ever execute inline tasks.
+pub fn execute_task_traced(
+    task: Task,
+    cluster: &ClusterConfig,
+) -> (Result<TaskOutput, String>, Vec<SpanRecord>) {
+    execute_task_traced_with(task, cluster, None)
 }
 
 /// Execute one task body and return its output together with the span
@@ -270,83 +373,171 @@ pub fn execute_task(task: Task, cluster: &ClusterConfig) -> Result<TaskOutput, S
 /// concurrent workers sharing a process (tests, benches) never mix
 /// their logs; timestamps are relative to the task body's start and are
 /// rebased onto the job timeline by the coordinator.
-pub fn execute_task_traced(
+pub fn execute_task_traced_with(
     task: Task,
     cluster: &ClusterConfig,
+    shard_source: Option<&ShardSource>,
 ) -> (Result<TaskOutput, String>, Vec<SpanRecord>) {
     let tracer = Tracer::new();
     if task.trace_parent != 0 {
         tracer.enable();
     }
     let stage = match task.kind {
-        TaskKind::MapSignatures { .. } => "map",
-        TaskKind::ReduceBucket { .. } => "reduce",
+        TaskKind::MapSignatures { .. } | TaskKind::MapSignaturesRef { .. } => "map",
+        TaskKind::ReduceBucket { .. } | TaskKind::ReduceBucketRef { .. } => "reduce",
     };
     let began = std::time::Instant::now();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match task.kind {
-        TaskKind::MapSignatures {
-            num_bits: _,
-            planes,
-            start,
-            points,
-        } => {
-            let _span = tracer.span("dist.task.map");
-            let model = SignatureModel::from_planes(planes);
-            let mapper = FnMapper::new(
-                |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
-                    emit(model.hash(&point).bits(), index);
-                },
-            );
-            let inputs: Vec<(usize, Vec<f64>)> = points
-                .into_iter()
-                .enumerate()
-                .map(|(i, p)| (start + i, p))
-                .collect();
-            let hash_span = tracer.span("dist.task.map.hash");
-            let grouped = run_map_only(&mapper, inputs, cluster);
-            hash_span.finish();
-            TaskOutput::MapSignatures(grouped.records)
-        }
-        TaskKind::ReduceBucket {
-            bucket_id,
-            ki,
-            kernel,
-            seed,
-            lanczos_threshold,
-            members,
-            points,
-        } => {
-            let _span = tracer.span("dist.task.reduce");
-            let reducer = FnReducer::new(
-                move |bucket_id: usize,
-                      member_points: Vec<(usize, Vec<f64>)>,
-                      emit: &mut dyn FnMut((usize, usize, usize))| {
-                    let sub: Vec<Vec<f64>> = member_points.iter().map(|(_, p)| p.clone()).collect();
-                    let c = cluster_bucket(&sub, ki, kernel, lanczos_threshold, seed, bucket_id);
-                    for (local, &(point, _)) in member_points.iter().enumerate() {
-                        emit((point, bucket_id, c.assignments[local]));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<TaskOutput, String> {
+            match task.kind {
+                TaskKind::MapSignatures {
+                    num_bits: _,
+                    planes,
+                    start,
+                    points,
+                } => {
+                    let _span = tracer.span("dist.task.map");
+                    let model = SignatureModel::from_planes(planes);
+                    let mapper = FnMapper::new(
+                        |index: usize, point: Vec<f64>, emit: &mut dyn FnMut(u64, usize)| {
+                            emit(model.hash(&point).bits(), index);
+                        },
+                    );
+                    let inputs: Vec<(usize, Vec<f64>)> = points
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, p)| (start + i, p))
+                        .collect();
+                    let hash_span = tracer.span("dist.task.map.hash");
+                    let grouped = run_map_only(&mapper, inputs, cluster);
+                    hash_span.finish();
+                    Ok(TaskOutput::MapSignatures(grouped.records))
+                }
+                TaskKind::ReduceBucket {
+                    bucket_id,
+                    ki,
+                    kernel,
+                    seed,
+                    lanczos_threshold,
+                    members,
+                    points,
+                } => {
+                    let _span = tracer.span("dist.task.reduce");
+                    let reducer = FnReducer::new(
+                        move |bucket_id: usize,
+                              member_points: Vec<(usize, Vec<f64>)>,
+                              emit: &mut dyn FnMut((usize, usize, usize))| {
+                            let sub: Vec<Vec<f64>> =
+                                member_points.iter().map(|(_, p)| p.clone()).collect();
+                            let c = cluster_bucket(
+                                &sub,
+                                ki,
+                                kernel,
+                                lanczos_threshold,
+                                seed,
+                                bucket_id,
+                            );
+                            for (local, &(point, _)) in member_points.iter().enumerate() {
+                                emit((point, bucket_id, c.assignments[local]));
+                            }
+                        },
+                    );
+                    let values: Vec<(usize, Vec<f64>)> = members.into_iter().zip(points).collect();
+                    let cluster_span = tracer.span("dist.task.reduce.cluster");
+                    let reduced = reduce_groups(&reducer, vec![(bucket_id, values)], cluster);
+                    cluster_span.finish();
+                    Ok(TaskOutput::ReduceBucket(reduced.records))
+                }
+                TaskKind::MapSignaturesRef {
+                    num_bits: _,
+                    planes,
+                    manifest,
+                    start,
+                    len,
+                } => {
+                    let _span = tracer.span("dist.task.map");
+                    let source = shard_source
+                        .ok_or("shard-addressed task but this worker has no shard source")?;
+                    let model = SignatureModel::from_planes(planes);
+                    let hash_span = tracer.span("dist.task.map.hash");
+                    // Walk the global range shard by shard. Grouping by
+                    // signature bits matches the inline path's shuffle
+                    // grouping; the coordinator merge is per-point and
+                    // order-insensitive either way.
+                    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+                    let mut i = start;
+                    let end = start + len;
+                    while i < end {
+                        let (s, r) = manifest.locate(i);
+                        let shard = source.shard(&manifest, s)?;
+                        let take = (shard.rows() - r).min(end - i);
+                        for j in 0..take {
+                            let bits = model.hash(shard.row(r + j)).bits();
+                            groups.entry(bits).or_default().push(i + j);
+                        }
+                        i += take;
                     }
-                },
-            );
-            let values: Vec<(usize, Vec<f64>)> = members.into_iter().zip(points).collect();
-            let cluster_span = tracer.span("dist.task.reduce.cluster");
-            let reduced = reduce_groups(&reducer, vec![(bucket_id, values)], cluster);
-            cluster_span.finish();
-            TaskOutput::ReduceBucket(reduced.records)
-        }
-    }));
+                    hash_span.finish();
+                    Ok(TaskOutput::MapSignatures(groups.into_iter().collect()))
+                }
+                TaskKind::ReduceBucketRef {
+                    bucket_id,
+                    ki,
+                    kernel,
+                    seed,
+                    lanczos_threshold,
+                    manifest,
+                    members,
+                } => {
+                    let _span = tracer.span("dist.task.reduce");
+                    let source = shard_source
+                        .ok_or("shard-addressed task but this worker has no shard source")?;
+                    // Gather the bucket's rows straight into one flat
+                    // buffer — the same layout `cluster_bucket` builds
+                    // from its nested input, so the numerics agree.
+                    let dim = manifest.dim as usize;
+                    let mut flat = Vec::with_capacity(members.len() * dim);
+                    for &m in &members {
+                        let (s, r) = manifest.locate(m);
+                        let shard = source.shard(&manifest, s)?;
+                        flat.extend_from_slice(shard.row(r));
+                    }
+                    let cluster_span = tracer.span("dist.task.reduce.cluster");
+                    let c = cluster_bucket_flat(
+                        &FlatPoints::from_flat(flat, dim),
+                        ki,
+                        kernel,
+                        lanczos_threshold,
+                        seed,
+                        bucket_id,
+                    );
+                    cluster_span.finish();
+                    Ok(TaskOutput::ReduceBucket(
+                        members
+                            .iter()
+                            .enumerate()
+                            .map(|(local, &point)| (point, bucket_id, c.assignments[local]))
+                            .collect(),
+                    ))
+                }
+            }
+        },
+    ));
     dasc_obs::global().observe(
         &labeled("dasc_dist_task_duration_us", "stage", stage),
         began.elapsed().as_micros() as u64,
     );
     let spans = tracer.drain();
-    let result = result.map_err(|panic| {
-        let msg = panic
-            .downcast_ref::<&str>()
-            .map(|s| (*s).to_string())
-            .or_else(|| panic.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "task panicked".to_string());
-        format!("task panicked: {msg}")
-    });
+    let result = match result {
+        Ok(r) => r,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "task panicked".to_string());
+            Err(format!("task panicked: {msg}"))
+        }
+    };
     (result, spans)
 }

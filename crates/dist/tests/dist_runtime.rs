@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use dasc_core::{Dasc, DascConfig};
-use dasc_data::SyntheticConfig;
-use dasc_dist::{worker, Coordinator, JobClient, JobSpec, WorkerOptions};
+use dasc_data::{dataset_to_store, Dataset, SyntheticConfig};
+use dasc_dist::{worker, Coordinator, JobClient, JobData, JobSpec, WorkerOptions};
 use dasc_mapreduce::ClusterConfig;
 
 /// Fast-failure-detection cluster knobs for tests: sub-second
@@ -31,7 +31,9 @@ fn blobs(n: usize, k: usize) -> Vec<Vec<f64>> {
 
 fn spec_for(points: &[Vec<f64>], config: &DascConfig) -> JobSpec {
     JobSpec {
-        points: points.to_vec(),
+        data: JobData::Inline {
+            points: points.to_vec(),
+        },
         k: config.k,
         kernel: config.kernel,
         num_bits: 0, // for_dataset default, same as the baseline config
@@ -114,6 +116,126 @@ fn killed_worker_mid_map_recovers_and_matches() {
 
     survivor.shutdown().expect("survivor");
     coordinator.shutdown();
+}
+
+/// Pack `points` into a fresh temp `.dstr` store and return
+/// `(store dir, Ref job data)` for submission.
+fn packed_ref(points: &[Vec<f64>], tag: &str, shard_rows: usize) -> (std::path::PathBuf, JobData) {
+    let dir = std::env::temp_dir().join(format!(
+        "dasc-dist-{tag}-{}-{shard_rows}.dstr",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let manifest = dataset_to_store(&Dataset::new(points.to_vec(), None, tag), &dir, shard_rows)
+        .expect("pack store");
+    let data = JobData::Ref {
+        path: dir.to_string_lossy().into_owned(),
+        content_hash: manifest.content_hash,
+    };
+    (dir, data)
+}
+
+#[test]
+fn ref_job_with_killed_worker_matches_inline_bit_identically() {
+    // The acceptance bar for the shard-addressed path: a dataset-ref
+    // job must produce bit-identical labels to the inline path — here
+    // with a worker dying mid-job so retries and shard re-fetches are
+    // exercised too.
+    let points = blobs(600, 4);
+    let config = DascConfig::for_dataset(points.len(), 4);
+    let baseline =
+        Dasc::new(config.clone()).run_distributed(&points, &ClusterConfig::emr_default());
+    // Shards deliberately smaller than the dataset so ref tasks span
+    // several shard fetches.
+    let (dir, ref_data) = packed_ref(&points, "refkill", 64);
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let victim = worker::spawn(
+        &addr,
+        WorkerOptions {
+            die_after_assignments: Some(1),
+            ..WorkerOptions::named("ref-victim")
+        },
+    );
+    let survivor = worker::spawn(&addr, WorkerOptions::named("ref-survivor"));
+
+    // The ref job runs first, while the victim is still alive: its
+    // fatal assignment lands mid-job and the task is retried elsewhere.
+    let mut client = JobClient::connect(&addr, &cluster);
+    let mut ref_spec = spec_for(&points, &config);
+    ref_spec.data = ref_data;
+    let by_ref = client
+        .run(ref_spec, |_, _, _| {})
+        .expect("ref job survives a worker death");
+    assert!(
+        by_ref.task_retries >= 1,
+        "expected at least one retry, got {}",
+        by_ref.task_retries
+    );
+    victim.wait().expect("victim exits cleanly");
+
+    let inline = client
+        .run(spec_for(&points, &config), |_, _, _| {})
+        .expect("inline job");
+
+    assert_eq!(by_ref.assignments, baseline.clustering.assignments);
+    assert_eq!(by_ref.assignments, inline.assignments);
+    assert_eq!(by_ref.num_clusters, inline.num_clusters);
+    assert_eq!(by_ref.num_buckets, inline.num_buckets);
+    // Tasks carry shard tables instead of points: the shuffled volume
+    // must drop well below the inline job's.
+    assert!(
+        by_ref.shuffle_bytes * 2 < inline.shuffle_bytes,
+        "ref job shuffled {} bytes vs inline {}",
+        by_ref.shuffle_bytes,
+        inline.shuffle_bytes
+    );
+
+    survivor.shutdown().expect("survivor");
+    coordinator.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ref_job_rejects_content_hash_mismatch() {
+    let points = blobs(120, 3);
+    let config = DascConfig::for_dataset(points.len(), 3);
+    let (dir, ref_data) = packed_ref(&points, "refhash", 32);
+
+    let cluster = test_cluster();
+    let coordinator = Coordinator::start("127.0.0.1:0", cluster.clone()).expect("coordinator");
+    let addr = coordinator.addr().to_string();
+    let w = worker::spawn(&addr, WorkerOptions::named("hash-w"));
+
+    let mut client = JobClient::connect(&addr, &cluster);
+    let mut spec = spec_for(&points, &config);
+    spec.data = match ref_data {
+        JobData::Ref { path, content_hash } => JobData::Ref {
+            path,
+            content_hash: content_hash ^ 1,
+        },
+        other => other,
+    };
+    let err = client
+        .run(spec, |_, _, _| {})
+        .expect_err("stale content hash must be refused");
+    assert!(err.contains("content hash"), "unexpected error: {err}");
+
+    // A job against a path that does not exist fails cleanly too.
+    let mut spec = spec_for(&points, &config);
+    spec.data = JobData::Ref {
+        path: "/nonexistent/nowhere.dstr".into(),
+        content_hash: 7,
+    };
+    client
+        .run(spec, |_, _, _| {})
+        .expect_err("missing store must be refused");
+
+    w.shutdown().expect("w");
+    coordinator.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -3,10 +3,11 @@
 //! decoder rejects truncated or trailing-garbage payloads without
 //! panicking — whatever the message.
 
-use dasc_dist::{JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
+use dasc_dist::{JobData, JobOutcome, JobSpec, Msg, Task, TaskKind, TaskOutput};
 use dasc_kernel::Kernel;
 use dasc_lsh::HashPlane;
 use dasc_obs::{HistogramSnapshot, MetricsSnapshot, SpanRecord, HISTOGRAM_BUCKETS};
+use dasc_store::{DatasetManifest, ShardMeta};
 use proptest::prelude::*;
 
 /// An arbitrary-but-valid metrics snapshot derived from the scalar
@@ -114,6 +115,55 @@ fn all_messages(
             points: points.clone(),
         },
     };
+    // A manifest shaped from the same scalar pool: shard row counts and
+    // checksums vary per case, shard_rows stays nonzero.
+    let manifest = DatasetManifest {
+        content_hash: a ^ c,
+        n: b % 100_000,
+        dim: a % 64 + 1,
+        has_labels: c & 1 == 0,
+        shard_rows: b % 4096 + 1,
+        shards: members
+            .iter()
+            .take(5)
+            .map(|&m| ShardMeta {
+                rows: m as u64,
+                byte_len: m as u64 * 8 + 72,
+                checksum: (m as u64).wrapping_mul(c),
+            })
+            .collect(),
+    };
+    let map_ref_task = Task {
+        job_id: a,
+        task_id: b.wrapping_add(2),
+        attempt: 1,
+        trace_parent: c % 2,
+        kind: TaskKind::MapSignaturesRef {
+            num_bits: 4,
+            planes: vec![HashPlane {
+                dimension: a as usize % 8,
+                threshold: 0.5,
+            }],
+            manifest: manifest.clone(),
+            start: a as usize % 1024,
+            len: b as usize % 1024,
+        },
+    };
+    let reduce_ref_task = Task {
+        job_id: a,
+        task_id: b.wrapping_add(3),
+        attempt: (a % 4) as u32 + 1,
+        trace_parent: 0,
+        kind: TaskKind::ReduceBucketRef {
+            bucket_id: c as usize % 64,
+            ki: a as usize % 16 + 1,
+            kernel,
+            seed: c,
+            lanczos_threshold: 512,
+            manifest: manifest.clone(),
+            members: members.clone(),
+        },
+    };
     vec![
         Msg::Register { name: name.clone() },
         Msg::RegisterAck {
@@ -132,6 +182,10 @@ fn all_messages(
         Msg::RequestTask { worker_id: a },
         Msg::AssignTask { task: map_task },
         Msg::AssignTask { task: reduce_task },
+        Msg::AssignTask { task: map_ref_task },
+        Msg::AssignTask {
+            task: reduce_ref_task,
+        },
         Msg::NoTask { backoff_ms: c },
         Msg::TaskDone {
             worker_id: a,
@@ -148,7 +202,7 @@ fn all_messages(
         Msg::TaskAck,
         Msg::SubmitJob {
             spec: JobSpec {
-                points,
+                data: JobData::Inline { points },
                 k: a as usize % 32 + 1,
                 kernel,
                 num_bits: b as usize % 64,
@@ -156,6 +210,27 @@ fn all_messages(
                 consolidate: a & 1 == 0,
                 collect_trace: b & 1 == 0,
             },
+        },
+        Msg::SubmitJob {
+            spec: JobSpec {
+                data: JobData::Ref {
+                    path: format!("/tmp/{name}.dstr"),
+                    content_hash: a ^ c,
+                },
+                k: c as usize % 32 + 1,
+                kernel,
+                num_bits: a as usize % 64,
+                seed: b,
+                consolidate: c & 1 == 0,
+                collect_trace: a & 1 == 0,
+            },
+        },
+        Msg::ShardRequest {
+            dataset: a ^ c,
+            shard: (b % 100_000) as u32,
+        },
+        Msg::ShardReply {
+            bytes: members.iter().map(|&m| m as u8).collect(),
         },
         Msg::JobAccepted { job_id: a },
         Msg::PollJob { job_id: a },

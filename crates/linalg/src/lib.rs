@@ -56,7 +56,7 @@ pub use eigen_k::{
 pub use gemm::{abt_into, pairwise_sq_dists, row_sq_norms, row_sq_norms_flat, sq_dists_into};
 pub use lanczos::{lanczos, LanczosOptions, LanczosResult};
 pub use operator::MatVec;
-pub use points::FlatPoints;
+pub use points::{FlatPoints, FlatPointsView, PointsView};
 pub use qr::{qr, QrDecomposition};
 pub use simd::KernelBackend;
 pub use sparse::{CooBuilder, CsrMatrix};

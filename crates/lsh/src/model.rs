@@ -13,6 +13,7 @@
 //! * bit `i` of a point's signature is 1 iff the point's value along the
 //!   dimension exceeds the threshold.
 
+use dasc_linalg::PointsView;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -41,20 +42,35 @@ impl SignatureModel {
     /// Panics if the dataset is empty, has zero dimensions, or rows are
     /// ragged.
     pub fn fit(points: &[Vec<f64>], config: &LshConfig) -> Self {
+        if let Some(first) = points.first() {
+            let d = first.len();
+            assert!(
+                points.iter().all(|p| p.len() == d),
+                "SignatureModel::fit: ragged dataset"
+            );
+        }
+        Self::fit_view(points, config)
+    }
+
+    /// [`SignatureModel::fit`] over any [`PointsView`] storage —
+    /// nested rows, flat buffers, or an out-of-core store reader. The
+    /// iteration order is row-by-row in index order, identical to the
+    /// nested path, so the trained planes are bit-identical across
+    /// storage layouts.
+    ///
+    /// # Panics
+    /// Panics if the view is empty or zero-dimensional.
+    pub fn fit_view<P: PointsView + ?Sized>(points: &P, config: &LshConfig) -> Self {
         assert!(!points.is_empty(), "SignatureModel::fit: empty dataset");
-        let d = points[0].len();
+        let d = points.dim();
         assert!(d > 0, "SignatureModel::fit: zero-dimensional points");
-        assert!(
-            points.iter().all(|p| p.len() == d),
-            "SignatureModel::fit: ragged dataset"
-        );
         let m = config.num_bits;
 
         // Per-dimension extrema and spans.
         let mut mins = vec![f64::INFINITY; d];
         let mut maxs = vec![f64::NEG_INFINITY; d];
-        for p in points {
-            for (j, &v) in p.iter().enumerate() {
+        for i in 0..points.len() {
+            for (j, &v) in points.row(i).iter().enumerate() {
                 mins[j] = mins[j].min(v);
                 maxs[j] = maxs[j].max(v);
             }
@@ -187,8 +203,8 @@ fn select_dimensions(spans: &[f64], m: usize, selection: DimensionSelection) -> 
 /// cluster — while guaranteeing a real split; when no bin qualifies,
 /// the median is the fallback. `balance_fraction = 0` reproduces the
 /// paper's literal rule.
-fn histogram_valley_threshold(
-    points: &[Vec<f64>],
+fn histogram_valley_threshold<P: PointsView + ?Sized>(
+    points: &P,
     dim: usize,
     min: f64,
     span: f64,
@@ -201,8 +217,8 @@ fn histogram_valley_threshold(
         return min;
     }
     let mut counts = vec![0usize; bins];
-    for p in points {
-        let rel = (p[dim] - min) / span;
+    for i in 0..points.len() {
+        let rel = (points.row(i)[dim] - min) / span;
         let b = ((rel * bins as f64) as usize).min(bins - 1);
         counts[b] += 1;
     }
@@ -227,8 +243,8 @@ fn histogram_valley_threshold(
 }
 
 /// Median of the values along `dim` (ablation threshold rule).
-fn median_threshold(points: &[Vec<f64>], dim: usize) -> f64 {
-    let mut vals: Vec<f64> = points.iter().map(|p| p[dim]).collect();
+fn median_threshold<P: PointsView + ?Sized>(points: &P, dim: usize) -> f64 {
+    let mut vals: Vec<f64> = (0..points.len()).map(|i| points.row(i)[dim]).collect();
     vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN value"));
     vals[vals.len() / 2]
 }
@@ -362,7 +378,7 @@ mod tests {
             pts.push(vec![i as f64 * 0.05 + 0.01]);
         }
         pts.push(vec![0.999]); // define max
-        let t = histogram_valley_threshold(&pts, 0, 0.0, 1.0, 20, 0.05);
+        let t = histogram_valley_threshold(pts.as_slice(), 0, 0.0, 1.0, 20, 0.05);
         // Approximately the lower edge of the empty bin (span is measured
         // from actual min/max in fit(); here we pass exact range).
         assert!((t - 0.35).abs() < 1e-9, "t = {t}");

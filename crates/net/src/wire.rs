@@ -14,6 +14,9 @@ use std::fmt;
 const MAX_STR_LEN: u32 = 1 << 20;
 /// Cap on a single sequence's element count (64 Mi elements).
 const MAX_SEQ_LEN: u32 = 1 << 26;
+/// Cap on a single blob field (64 MiB) — bulk data transfers such as
+/// dataset-shard replies, which legitimately exceed [`MAX_STR_LEN`].
+const MAX_BLOB_LEN: u32 = 1 << 26;
 
 /// Decode failures. All are terminal for the message — the transport
 /// layer discards the frame and reports a protocol error.
@@ -112,6 +115,14 @@ impl WireWriter {
         self.put_u32(b.len() as u32);
         self.buf.extend_from_slice(b);
     }
+
+    /// Length-prefixed bulk payload, capped at 64 MiB instead of the
+    /// 1 MiB field cap (shard bytes and similar data-plane transfers).
+    pub fn put_blob(&mut self, b: &[u8]) {
+        assert!(b.len() as u64 <= u64::from(MAX_BLOB_LEN), "blob too long");
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
 }
 
 /// Slice cursor over a payload; every read is bounds-checked.
@@ -187,6 +198,16 @@ impl<'a> WireReader<'a> {
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let len = self.u32()?;
         if len > MAX_STR_LEN {
+            return Err(WireError::TooLong(len));
+        }
+        Ok(self.take(len as usize)?.to_vec())
+    }
+
+    /// Length-prefixed bulk payload (64 MiB cap; see
+    /// [`WireWriter::put_blob`]).
+    pub fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()?;
+        if len > MAX_BLOB_LEN {
             return Err(WireError::TooLong(len));
         }
         Ok(self.take(len as usize)?.to_vec())
@@ -383,6 +404,40 @@ mod tests {
         let bytes = (MAX_SEQ_LEN + 1).to_le_bytes().to_vec();
         let err = decode_from_slice::<Vec<u64>>(&bytes).unwrap_err();
         assert_eq!(err, WireError::TooLong(MAX_SEQ_LEN + 1));
+    }
+
+    #[test]
+    fn blobs_roundtrip_past_the_field_cap() {
+        // Larger than MAX_STR_LEN, so put_bytes would assert — the
+        // blob codec is the only legal path for payloads this size.
+        let payload = vec![0xA5u8; (MAX_STR_LEN as usize) + 17];
+        let mut w = WireWriter::new();
+        w.put_blob(&payload);
+        let bytes = w.into_vec();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.blob().expect("blob"), payload);
+        r.finish().expect("consumed exactly");
+    }
+
+    #[test]
+    fn blob_cap_and_truncation_enforced() {
+        let mut bytes = (MAX_BLOB_LEN + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 4]);
+        assert_eq!(
+            WireReader::new(&bytes).blob(),
+            Err(WireError::TooLong(MAX_BLOB_LEN + 1))
+        );
+
+        let mut w = WireWriter::new();
+        w.put_blob(&[1, 2, 3, 4, 5]);
+        let bytes = w.into_vec();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                WireReader::new(&bytes[..cut]).blob(),
+                Err(WireError::Truncated),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Error classes of the dataset store.
+//!
+//! Every way a `.dstr` directory can be malformed maps to a distinct
+//! variant so callers (and the robustness test suite) can assert the
+//! *exact* failure mode: a truncated file is [`StoreError::Truncated`],
+//! never a checksum mismatch; a flipped payload byte is
+//! [`StoreError::ChecksumMismatch`], never an I/O error.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, reading, or fetching store
+/// data. No variant panics: corrupt on-disk bytes always surface as an
+/// `Err`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying filesystem error (open/read/write/create).
+    Io(String),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// Recognized magic but an unsupported format version.
+    BadVersion(u16),
+    /// The file is shorter than its own header/shape claims.
+    Truncated,
+    /// Stored checksum does not match the bytes. `shard` is the shard
+    /// index, or `None` when the manifest's content hash failed.
+    ChecksumMismatch {
+        /// Which shard failed, `None` for the manifest itself.
+        shard: Option<u32>,
+    },
+    /// Internally inconsistent shape (row counts, byte lengths, or
+    /// dimensions that don't add up).
+    Shape(&'static str),
+    /// A remote shard fetch failed (worker-side cache miss path).
+    Fetch(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a dasc store file (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store format version {v}"),
+            StoreError::Truncated => write!(f, "store file truncated"),
+            StoreError::ChecksumMismatch { shard: Some(s) } => {
+                write!(f, "checksum mismatch in shard {s}")
+            }
+            StoreError::ChecksumMismatch { shard: None } => {
+                write!(f, "manifest content-hash mismatch")
+            }
+            StoreError::Shape(what) => write!(f, "inconsistent store shape: {what}"),
+            StoreError::Fetch(e) => write!(f, "shard fetch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -55,6 +55,17 @@ for run in runs:
     assert run["n"] > 0 and run["workers"] >= 1
     assert run["total_s"] > 0 and run["points_per_s"] > 0
     assert run["shuffle_records"] > 0 and run["shuffle_bytes"] > 0
+    assert run["ref_total_s"] > 0, "missing shard-addressed timing"
+    assert run["shuffle_bytes_ref"] > 0, "missing shard-addressed shuffle volume"
+    # Shard-addressed jobs ship shard tables instead of points: by
+    # n=4000 the shuffle volume must be at least 5x below inline.
+    if run["n"] >= 4000:
+        ratio = run["shuffle_bytes"] / run["shuffle_bytes_ref"]
+        assert ratio >= 5.0, (
+            f"n={run['n']}: shard-addressed shuffle only {ratio:.2f}x below "
+            f"inline ({run['shuffle_bytes_ref']} vs {run['shuffle_bytes']} "
+            f"bytes, want >= 5x)"
+        )
     stages = run["stages_s"]
     for stage in ("map", "reduce"):
         assert stage in stages, f"stages_s missing {stage}"
@@ -67,11 +78,13 @@ for run in runs:
     print(
         f"  n={run['n']}: {run['total_s']:.3f}s, "
         f"{run['points_per_s']:.0f} points/s, "
-        f"{run['shuffle_bytes']} bytes shuffled"
+        f"{run['shuffle_bytes']} bytes shuffled inline "
+        f"vs {run['shuffle_bytes_ref']} by ref "
+        f"({run['shuffle_bytes'] / run['shuffle_bytes_ref']:.1f}x less)"
     )
 EOF
     else
-        for key in '"bench": "dist"' '"runs"' '"shuffle_bytes"' '"stages_s"' '"obs_overhead_pct"'; do
+        for key in '"bench": "dist"' '"runs"' '"shuffle_bytes"' '"shuffle_bytes_ref"' '"stages_s"' '"obs_overhead_pct"'; do
             grep -q "$key" "$OUT" || fail "$OUT missing $key"
         done
         echo "OK (python3 unavailable; key-presence check only)"

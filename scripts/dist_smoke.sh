@@ -2,13 +2,16 @@
 # End-to-end smoke test of the distributed runtime:
 #   generate synthetic blobs → start 1 coordinator + 2 workers as real
 #   OS processes → run `cluster --dist` against the coordinator → diff
-#   the assignments against single-process `--dist local` → re-run on a
-#   larger dataset with --trace-out while killing one worker mid-job and
-#   verify the job still completes with identical output, the merged
-#   Chrome trace spans the coordinator plus both worker lanes with the
-#   killed worker's task visible as a retried event → scrape the
-#   federated metrics over both the wire protocol and the coordinator's
-#   HTTP /metrics endpoint, asserting per-worker labeled series.
+#   the assignments against single-process `--dist local` → pack a
+#   larger dataset into a .dstr store and submit it BY REFERENCE
+#   (shard-addressed tasks, workers pull shards through their caches)
+#   with --trace-out while killing one worker mid-job and verify the
+#   job still completes bit-identical to the inline single-process run,
+#   the merged Chrome trace spans the coordinator plus both worker
+#   lanes with the killed worker's task visible as a retried event →
+#   scrape the federated metrics over both the wire protocol and the
+#   coordinator's HTTP /metrics endpoint, asserting per-worker labeled
+#   series including the shard-cache counters.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,9 +94,16 @@ diff -q "$WORK/dist.csv" "$WORK/local.csv" \
     || fail "distributed assignments differ from single-process"
 echo "assignments bit-identical across 2 workers vs single process"
 
-echo "== kill a worker mid-job (traced) =="
+echo "== pack a store for the shard-addressed job =="
 "$DASC" generate --kind blobs --n 12000 --d 24 --k 6 --seed 23 \
     --output "$WORK/big.csv"
+"$DASC" pack --input "$WORK/big.csv" --output "$WORK/big.dstr" \
+    --shard-rows 2048 --labels-last-column | tee "$WORK/pack.log"
+grep -q 'packed 12000 rows' "$WORK/pack.log" || fail "pack reported wrong row count"
+"$DASC" inspect --data "$WORK/big.dstr" | tee "$WORK/inspect.log"
+grep -q 'checksums     all' "$WORK/inspect.log" || fail "inspect did not verify checksums"
+
+echo "== kill a worker mid-job (shard-addressed, traced) =="
 workers_roster() {
     if command -v curl >/dev/null 2>&1; then
         curl -sf "http://$HTTP_ADDR/workers"
@@ -102,7 +112,7 @@ workers_roster() {
             print(urllib.request.urlopen('http://$HTTP_ADDR/workers').read().decode())"
     fi
 }
-"$DASC" cluster --input "$WORK/big.csv" --k 6 --seed 23 --labels-last-column \
+"$DASC" cluster --data "$WORK/big.dstr" --k 6 --seed 23 \
     --dist "$ADDR" --output "$WORK/big-dist.csv" \
     --trace-out "$WORK/trace.json" >"$WORK/big-dist.log" 2>&1 &
 JOB_PID=$!
@@ -149,12 +159,17 @@ fi
 echo "killed $VICTIM mid-task with the job in flight"
 wait "$JOB_PID" || { cat "$WORK/big-dist.log" >&2; fail "job did not survive the worker kill"; }
 cat "$WORK/big-dist.log"
+grep -q 'shard-addressed' "$WORK/big-dist.log" \
+    || fail "packed-store job did not run shard-addressed"
 
+# Label diff vs the inline path: the same dataset from its CSV through
+# the single-process engine must match the shard-addressed job that
+# lost a worker mid-flight.
 "$DASC" cluster --input "$WORK/big.csv" --k 6 --seed 23 --labels-last-column \
     --dist local --output "$WORK/big-local.csv" >/dev/null
 diff -q "$WORK/big-dist.csv" "$WORK/big-local.csv" \
-    || fail "assignments diverged after the worker kill"
-echo "assignments bit-identical despite a killed worker"
+    || fail "shard-addressed assignments diverged from inline after the worker kill"
+echo "shard-addressed assignments bit-identical to inline despite a killed worker"
 
 echo "== merged cluster trace =="
 [ -s "$WORK/trace.json" ] || fail "traced run wrote no trace.json"
@@ -189,6 +204,7 @@ for series in \
     dasc_dist_jobs_total \
     dasc_dist_shuffle_records_total \
     dasc_dist_heartbeats_total \
+    dasc_store_shards_served_total \
     dasc_net_frames_sent_total \
     dasc_net_frames_received_total; do
     case "$METRICS" in
@@ -216,6 +232,12 @@ echo "$HTTP_METRICS" | grep -q '^dasc_dist_stragglers' \
 # Heartbeat federation: the surviving worker's own registry re-labeled.
 echo "$HTTP_METRICS" | grep -q "worker=\"$SURVIVOR\"" \
     || fail "HTTP /metrics has no federated series for $SURVIVOR"
-echo "per-worker federation visible over HTTP (both workers, straggler gauge)"
+# The shard-addressed job leaves its cache telemetry behind: misses on
+# the workers (federated via heartbeats) and serves on the coordinator.
+echo "$HTTP_METRICS" | grep -q 'dasc_store_shard_cache_misses_total' \
+    || fail "HTTP /metrics missing federated shard cache counters"
+echo "$HTTP_METRICS" | grep -q 'dasc_store_shards_served_total' \
+    || fail "HTTP /metrics missing the coordinator's shards-served counter"
+echo "per-worker federation visible over HTTP (both workers, straggler gauge, shard cache)"
 
 echo "DIST SMOKE PASS"

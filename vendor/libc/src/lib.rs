@@ -1,0 +1,37 @@
+//! Offline shim of the `libc` crate: only the items `dasc-store`'s
+//! mmap wrapper uses. Raw FFI declarations against the platform C
+//! library — no code of the real crate is vendored, the symbols are
+//! provided by the system libc the binary already links.
+//!
+//! Everything is gated to Unix: on other targets the store falls back
+//! to buffered reads and never references these symbols.
+
+#![allow(non_camel_case_types)]
+
+#[cfg(unix)]
+pub use unix::*;
+
+#[cfg(unix)]
+mod unix {
+    pub type c_void = core::ffi::c_void;
+    pub type c_int = i32;
+    pub type size_t = usize;
+    // 64-bit file offsets everywhere we build (Linux/macOS 64-bit).
+    pub type off_t = i64;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: size_t,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: off_t,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    }
+}
